@@ -1,0 +1,38 @@
+# Convenience targets for the Range CUBE reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test test-thorough bench examples figures report claims clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-thorough:
+	REPRO_HYPOTHESIS_PROFILE=thorough $(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+figures:
+	$(PYTHON) -m repro.harness.fig8_dimensionality --preset small
+	$(PYTHON) -m repro.harness.fig9_skew --preset small
+	$(PYTHON) -m repro.harness.fig10_sparsity --preset small
+	$(PYTHON) -m repro.harness.fig11_scalability --preset small
+	$(PYTHON) -m repro.harness.real_weather --preset small
+	$(PYTHON) -m repro.harness.ablations --preset small
+
+report:
+	$(PYTHON) -m repro.harness.report_all --preset small --out docs/report_small.md
+
+claims:
+	$(PYTHON) -m repro.harness.claims --preset tiny
+
+clean:
+	rm -rf src/repro.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

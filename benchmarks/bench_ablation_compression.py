@@ -1,0 +1,68 @@
+"""Ablation benchmark: the cost of each lossless compression method.
+
+The paper positions the range cube as "close to optimality" in space at a
+fraction of the computation: the quotient cube's optimal classes need a
+closure search, the BST-condensed cube extends BUC, the range cube falls
+out of one trie traversal.  Times compare the three on correlated data;
+``extra_info`` carries the size census.
+"""
+
+import pytest
+
+from repro.baselines.condensed import condensed_cube
+from repro.baselines.quotient import quotient_cube
+from repro.core.range_cubing import range_cubing
+from repro.data.correlated import FunctionalDependency, correlated_table
+from repro.harness.runner import preferred_order
+
+from benchmarks.conftest import PRESET, run_once
+
+SCALES = {
+    "tiny": {"n_rows": 500, "n_dims": 5, "cardinality": 40},
+    "small": {"n_rows": 2000, "n_dims": 6, "cardinality": 80},
+}
+PARAMS = SCALES["small" if PRESET == "small" else "tiny"]
+
+_CACHE = {}
+
+
+def table():
+    if "t" not in _CACHE:
+        raw = correlated_table(
+            PARAMS["n_rows"],
+            PARAMS["n_dims"],
+            PARAMS["cardinality"],
+            [FunctionalDependency((0,), (1,))],
+            theta=1.5,
+            seed=7,
+        )
+        _CACHE["t"] = raw.reordered(preferred_order(raw, "desc"))
+    return _CACHE["t"]
+
+
+def test_compression_range_cube(benchmark):
+    cube = run_once(benchmark, range_cubing, table())
+    benchmark.extra_info.update(
+        ablation="compression",
+        method="range",
+        tuples=cube.n_ranges,
+        full_cells=cube.n_cells,
+        ratio=round(cube.n_ranges / cube.n_cells, 4),
+    )
+
+
+def test_compression_condensed_cube(benchmark):
+    cube = run_once(benchmark, condensed_cube, table())
+    benchmark.extra_info.update(
+        ablation="compression",
+        method="condensed",
+        tuples=cube.n_tuples,
+        ratio=round(cube.n_tuples / cube.n_cells, 4),
+    )
+
+
+def test_compression_quotient_cube(benchmark):
+    cube = run_once(benchmark, quotient_cube, table())
+    benchmark.extra_info.update(
+        ablation="compression", method="quotient", tuples=cube.n_classes
+    )

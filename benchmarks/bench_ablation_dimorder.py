@@ -1,0 +1,49 @@
+"""Ablation benchmark: dimension-order sensitivity (paper Section 5.2).
+
+The paper argues range cubing is comparatively insensitive to dimension
+order (the trie adapts per branch) and that cardinality-descending is its
+best order.  The series: range cubing and H-Cubing under descending,
+ascending and unsorted orders on the same skewed table.
+"""
+
+import pytest
+
+from repro.baselines.hcubing import h_cubing
+from repro.core.range_cubing import range_cubing
+from repro.harness.runner import preferred_order
+
+from benchmarks.conftest import PRESET, cached_zipf, run_once
+
+SCALES = {
+    "tiny": {"n_rows": 500, "n_dims": 5, "cardinality": 50},
+    "small": {"n_rows": 2000, "n_dims": 6, "cardinality": 100},
+}
+PARAMS = SCALES["small" if PRESET == "small" else "tiny"]
+POLICIES = ("desc", "asc", None)
+
+
+def table():
+    return cached_zipf(PARAMS["n_rows"], PARAMS["n_dims"], PARAMS["cardinality"], 1.5)
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p or "as-is")
+def test_order_range_cubing(benchmark, policy):
+    t = table()
+    order = preferred_order(t, policy)
+    cube = run_once(benchmark, range_cubing, t, order=order)
+    benchmark.extra_info.update(
+        ablation="dim-order",
+        order=policy or "as-is",
+        ranges=cube.n_ranges,
+        tuple_ratio=round(cube.n_ranges / cube.n_cells, 4),
+    )
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p or "as-is")
+def test_order_h_cubing(benchmark, policy):
+    t = table()
+    order = preferred_order(t, policy)
+    cube = run_once(benchmark, h_cubing, t, order=order)
+    benchmark.extra_info.update(
+        ablation="dim-order", order=policy or "as-is", cells=len(cube)
+    )

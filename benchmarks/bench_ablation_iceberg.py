@@ -1,0 +1,49 @@
+"""Ablation benchmark: iceberg (Apriori) pruning.
+
+Node counts upper-bound every descendant cell's count, so raising the
+support threshold prunes whole trie branches before any work is done on
+them — time and output size should fall together.  The same thresholds
+run on BUC for reference (its pruning is the original Apriori-in-BUC).
+"""
+
+import pytest
+
+from repro.baselines.buc import buc
+from repro.core.range_cubing import range_cubing
+from repro.harness.runner import preferred_order
+
+from benchmarks.conftest import PRESET, cached_zipf, run_once
+
+SCALES = {
+    "tiny": {"n_rows": 600, "n_dims": 5, "cardinality": 50},
+    "small": {"n_rows": 3000, "n_dims": 6, "cardinality": 100},
+}
+PARAMS = SCALES["small" if PRESET == "small" else "tiny"]
+MIN_SUPPORTS = (1, 4, 16, 64)
+
+
+def table():
+    return cached_zipf(PARAMS["n_rows"], PARAMS["n_dims"], PARAMS["cardinality"], 1.8)
+
+
+@pytest.mark.parametrize("min_support", MIN_SUPPORTS)
+def test_iceberg_range_cubing(benchmark, min_support):
+    t = table()
+    order = preferred_order(t, "desc")
+    cube = run_once(benchmark, range_cubing, t, order=order, min_support=min_support)
+    benchmark.extra_info.update(
+        ablation="iceberg",
+        min_support=min_support,
+        ranges=cube.n_ranges,
+        iceberg_cells=cube.n_cells,
+    )
+
+
+@pytest.mark.parametrize("min_support", MIN_SUPPORTS)
+def test_iceberg_buc(benchmark, min_support):
+    t = table()
+    order = preferred_order(t, "desc")
+    cube = run_once(benchmark, buc, t, order=order, min_support=min_support)
+    benchmark.extra_info.update(
+        ablation="iceberg", min_support=min_support, cells=len(cube)
+    )

@@ -1,0 +1,56 @@
+"""Ablation benchmark: merge-based trie reduction vs rebuild-from-scratch.
+
+DESIGN.md commits to the non-destructive merge-based reduction of paper
+Section 5.1 over the naive alternative (project the leaves, rebuild with
+Algorithm 1).  The two are proven structurally equal by property tests;
+this benchmark justifies the choice on cost: one full reduction chain
+(n dims -> 0) per approach, on the same trie.
+"""
+
+from repro.core.range_trie import RangeTrie
+from repro.core.reduction import rebuild_reduced, reduce_trie
+from repro.table.aggregates import SumCountAggregator
+
+from benchmarks.conftest import PRESET, cached_zipf, run_once
+
+SCALES = {
+    "tiny": {"n_rows": 600, "n_dims": 5, "cardinality": 40},
+    "small": {"n_rows": 3000, "n_dims": 6, "cardinality": 100},
+}
+PARAMS = SCALES["small" if PRESET == "small" else "tiny"]
+AGG = SumCountAggregator(0)
+
+_CACHE: dict = {}
+
+
+def trie() -> RangeTrie:
+    if "trie" not in _CACHE:
+        table = cached_zipf(PARAMS["n_rows"], PARAMS["n_dims"], PARAMS["cardinality"], 1.5)
+        _CACHE["trie"] = RangeTrie.build(table, AGG)
+    return _CACHE["trie"]
+
+
+def test_reduction_merge_based(benchmark):
+    base = trie()
+
+    def full_chain():
+        root = base.root
+        for _ in range(PARAMS["n_dims"]):
+            root = reduce_trie(root, AGG.merge)
+        return root
+
+    run_once(benchmark, full_chain)
+    benchmark.extra_info.update(ablation="reduction", method="merge")
+
+
+def test_reduction_rebuild_reference(benchmark):
+    base = trie()
+
+    def full_chain():
+        current = base
+        for dim in range(PARAMS["n_dims"]):
+            current = rebuild_reduced(current, drop_dim=dim, aggregator=AGG)
+        return current
+
+    run_once(benchmark, full_chain)
+    benchmark.extra_info.update(ablation="reduction", method="rebuild")

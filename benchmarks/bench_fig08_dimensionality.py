@@ -1,0 +1,52 @@
+"""Figure 8 benchmark: run time and space compression vs dimensionality.
+
+Paper series (Zipf 1.5, cardinality 100): range cubing grows far slower
+than H-Cubing as dimensions are added (8x faster at 6 dims in the paper);
+tuple ratio and node ratio improve with dimensionality.  The benchmark
+names carry the dimension count, so the timing table *is* Figure 8(a);
+the range benchmarks' ``extra_info`` carries Figure 8(b)'s series.
+"""
+
+import pytest
+
+from repro.baselines.hcubing import h_cubing
+from repro.baselines.htree import HTree
+from repro.core.range_cubing import range_cubing_detailed
+from repro.harness.runner import preferred_order
+
+from benchmarks.conftest import PRESET, cached_zipf, run_once
+
+SCALES = {
+    "tiny": {"n_rows": 400, "cardinality": 50, "dims": (2, 3, 4, 5, 6)},
+    "small": {"n_rows": 1500, "cardinality": 100, "dims": (2, 4, 6, 8, 10)},
+}
+PARAMS = SCALES["small" if PRESET == "small" else "tiny"]
+THETA = 1.5
+
+
+def table_for(n_dims: int):
+    return cached_zipf(PARAMS["n_rows"], n_dims, PARAMS["cardinality"], THETA)
+
+
+@pytest.mark.parametrize("n_dims", PARAMS["dims"])
+def test_fig8_range_cubing(benchmark, n_dims):
+    table = table_for(n_dims)
+    order = preferred_order(table, "desc")
+    cube, stats = run_once(benchmark, range_cubing_detailed, table, order=order)
+    htree_nodes = HTree.build(table.reordered(order)).n_nodes()
+    benchmark.extra_info.update(
+        figure="8",
+        dimensionality=n_dims,
+        ranges=cube.n_ranges,
+        full_cells=cube.n_cells,
+        tuple_ratio=round(cube.n_ranges / cube.n_cells, 4),
+        node_ratio=round(stats["trie_nodes"] / htree_nodes, 4),
+    )
+
+
+@pytest.mark.parametrize("n_dims", PARAMS["dims"])
+def test_fig8_h_cubing(benchmark, n_dims):
+    table = table_for(n_dims)
+    order = preferred_order(table, "asc")
+    cube = run_once(benchmark, h_cubing, table, order=order)
+    benchmark.extra_info.update(figure="8", dimensionality=n_dims, cells=len(cube))

@@ -1,0 +1,54 @@
+"""Figure 9 benchmark: run time and space compression vs Zipf skew.
+
+Paper series (6 dims, cardinality 100): both algorithms get faster as the
+data gets more skewed (their trees adapt); the tuple ratio worsens with
+skew and stabilizes around Zipf 1.5.
+"""
+
+import pytest
+
+from repro.baselines.hcubing import h_cubing
+from repro.baselines.htree import HTree
+from repro.core.range_cubing import range_cubing_detailed
+from repro.harness.runner import preferred_order
+
+from benchmarks.conftest import PRESET, cached_zipf, run_once
+
+SCALES = {
+    "tiny": {"n_rows": 500, "n_dims": 5, "cardinality": 50, "thetas": (0.0, 1.0, 2.0, 3.0)},
+    "small": {
+        "n_rows": 2000,
+        "n_dims": 6,
+        "cardinality": 100,
+        "thetas": (0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0),
+    },
+}
+PARAMS = SCALES["small" if PRESET == "small" else "tiny"]
+
+
+def table_for(theta: float):
+    return cached_zipf(PARAMS["n_rows"], PARAMS["n_dims"], PARAMS["cardinality"], theta)
+
+
+@pytest.mark.parametrize("theta", PARAMS["thetas"])
+def test_fig9_range_cubing(benchmark, theta):
+    table = table_for(theta)
+    order = preferred_order(table, "desc")
+    cube, stats = run_once(benchmark, range_cubing_detailed, table, order=order)
+    htree_nodes = HTree.build(table.reordered(order)).n_nodes()
+    benchmark.extra_info.update(
+        figure="9",
+        zipf=theta,
+        ranges=cube.n_ranges,
+        full_cells=cube.n_cells,
+        tuple_ratio=round(cube.n_ranges / cube.n_cells, 4),
+        node_ratio=round(stats["trie_nodes"] / htree_nodes, 4),
+    )
+
+
+@pytest.mark.parametrize("theta", PARAMS["thetas"])
+def test_fig9_h_cubing(benchmark, theta):
+    table = table_for(theta)
+    order = preferred_order(table, "asc")
+    cube = run_once(benchmark, h_cubing, table, order=order)
+    benchmark.extra_info.update(figure="9", zipf=theta, cells=len(cube))

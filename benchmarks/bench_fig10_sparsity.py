@@ -1,0 +1,51 @@
+"""Figure 10 benchmark: run time and space compression vs cardinality.
+
+Paper series (Zipf 1.5, 6 dims, tuple count fixed): H-Cubing's run time
+rises rapidly with cardinality (less prefix sharing) while range cubing
+barely changes; both space ratios improve because sparser data means more
+value coincidence for the trie to factor out.
+"""
+
+import pytest
+
+from repro.baselines.hcubing import h_cubing
+from repro.baselines.htree import HTree
+from repro.core.range_cubing import range_cubing_detailed
+from repro.harness.runner import preferred_order
+
+from benchmarks.conftest import PRESET, cached_zipf, run_once
+
+SCALES = {
+    "tiny": {"n_rows": 500, "n_dims": 5, "cards": (10, 100, 1000)},
+    "small": {"n_rows": 2000, "n_dims": 6, "cards": (10, 100, 1000, 10000)},
+}
+PARAMS = SCALES["small" if PRESET == "small" else "tiny"]
+THETA = 1.5
+
+
+def table_for(cardinality: int):
+    return cached_zipf(PARAMS["n_rows"], PARAMS["n_dims"], cardinality, THETA)
+
+
+@pytest.mark.parametrize("cardinality", PARAMS["cards"])
+def test_fig10_range_cubing(benchmark, cardinality):
+    table = table_for(cardinality)
+    order = preferred_order(table, "desc")
+    cube, stats = run_once(benchmark, range_cubing_detailed, table, order=order)
+    htree_nodes = HTree.build(table.reordered(order)).n_nodes()
+    benchmark.extra_info.update(
+        figure="10",
+        cardinality=cardinality,
+        ranges=cube.n_ranges,
+        full_cells=cube.n_cells,
+        tuple_ratio=round(cube.n_ranges / cube.n_cells, 4),
+        node_ratio=round(stats["trie_nodes"] / htree_nodes, 4),
+    )
+
+
+@pytest.mark.parametrize("cardinality", PARAMS["cards"])
+def test_fig10_h_cubing(benchmark, cardinality):
+    table = table_for(cardinality)
+    order = preferred_order(table, "asc")
+    cube = run_once(benchmark, h_cubing, table, order=order)
+    benchmark.extra_info.update(figure="10", cardinality=cardinality, cells=len(cube))

@@ -1,0 +1,58 @@
+"""Figure 11 benchmark: scalability at constant density.
+
+Paper series (10 dims, Zipf 1.5): tuple count and cardinality grow
+together so density stays fixed; H-Cubing's time climbs steeply with
+scale while range cubing grows gently (17x gap at the paper's largest
+point), and the space ratios improve slightly.
+"""
+
+import pytest
+
+from repro.baselines.hcubing import h_cubing
+from repro.baselines.htree import HTree
+from repro.core.range_cubing import range_cubing_detailed
+from repro.harness.runner import preferred_order
+
+from benchmarks.conftest import PRESET, cached_zipf, run_once
+
+SCALES = {
+    "tiny": {"n_dims": 5, "points": ((250, 25), (500, 50), (1000, 100))},
+    "small": {
+        "n_dims": 8,
+        "points": ((500, 50), (1000, 100), (2000, 200), (4000, 400)),
+    },
+}
+PARAMS = SCALES["small" if PRESET == "small" else "tiny"]
+THETA = 1.5
+
+
+def table_for(point):
+    n_rows, cardinality = point
+    return cached_zipf(n_rows, PARAMS["n_dims"], cardinality, THETA)
+
+
+@pytest.mark.parametrize("point", PARAMS["points"], ids=lambda p: f"{p[0]}x{p[1]}")
+def test_fig11_range_cubing(benchmark, point):
+    table = table_for(point)
+    order = preferred_order(table, "desc")
+    cube, stats = run_once(benchmark, range_cubing_detailed, table, order=order)
+    htree_nodes = HTree.build(table.reordered(order)).n_nodes()
+    benchmark.extra_info.update(
+        figure="11",
+        n_rows=point[0],
+        cardinality=point[1],
+        ranges=cube.n_ranges,
+        full_cells=cube.n_cells,
+        tuple_ratio=round(cube.n_ranges / cube.n_cells, 4),
+        node_ratio=round(stats["trie_nodes"] / htree_nodes, 4),
+    )
+
+
+@pytest.mark.parametrize("point", PARAMS["points"], ids=lambda p: f"{p[0]}x{p[1]}")
+def test_fig11_h_cubing(benchmark, point):
+    table = table_for(point)
+    order = preferred_order(table, "asc")
+    cube = run_once(benchmark, h_cubing, table, order=order)
+    benchmark.extra_info.update(
+        figure="11", n_rows=point[0], cardinality=point[1], cells=len(cube)
+    )

@@ -1,0 +1,77 @@
+"""Incremental-maintenance benchmark: refresh vs from-scratch recompute.
+
+After a warm history has been absorbed, an incremental refresh pays only
+the new batch's insertions plus the traversal; the batch path re-inserts
+the whole history.  Both produce identical cubes (tested in
+tests/test_incremental.py); this measures the amortization.
+"""
+
+import numpy as np
+
+from repro.core.incremental import IncrementalRangeCuber
+from repro.core.range_cubing import range_cubing
+from repro.data.synthetic import zipf_table
+from repro.table.base_table import BaseTable
+
+from benchmarks.conftest import PRESET, run_once
+
+SCALES = {
+    "tiny": {"history_rows": 3000, "batch_rows": 300, "n_dims": 5, "cardinality": 40},
+    "small": {"history_rows": 15000, "batch_rows": 1500, "n_dims": 6, "cardinality": 80},
+}
+PARAMS = SCALES["small" if PRESET == "small" else "tiny"]
+
+_CACHE: dict = {}
+
+
+def _tables():
+    if not _CACHE:
+        history = zipf_table(
+            PARAMS["history_rows"], PARAMS["n_dims"], PARAMS["cardinality"], 1.2, seed=3
+        )
+        batch = zipf_table(
+            PARAMS["batch_rows"], PARAMS["n_dims"], PARAMS["cardinality"], 1.2, seed=4
+        )
+        combined = BaseTable(
+            history.schema,
+            np.concatenate([history.dim_codes, batch.dim_codes]),
+            np.concatenate([history.measures, batch.measures]),
+        )
+        _CACHE.update(history=history, batch=batch, combined=combined)
+    return _CACHE
+
+
+def test_incremental_refresh(benchmark):
+    tables = _tables()
+
+    def refresh():
+        # setup cost (absorbing history) paid per round to keep rounds
+        # independent; the measured delta vs batch recompute is the point.
+        cuber = IncrementalRangeCuber(PARAMS["n_dims"])
+        cuber.insert_table(tables["history"])
+        cuber.insert_table(tables["batch"])
+        return cuber.cube()
+
+    cube = run_once(benchmark, refresh)
+    benchmark.extra_info.update(mode="incremental", ranges=cube.n_ranges)
+
+
+def test_incremental_refresh_warm(benchmark):
+    tables = _tables()
+    cuber = IncrementalRangeCuber(PARAMS["n_dims"])
+    cuber.insert_table(tables["history"])
+
+    def refresh():
+        # NB: repeated rounds re-absorb the batch; counts inflate but the
+        # measured work per refresh (insert batch + traverse) is realistic.
+        cuber.insert_table(tables["batch"])
+        return cuber.cube()
+
+    cube = run_once(benchmark, refresh)
+    benchmark.extra_info.update(mode="incremental-warm", ranges=cube.n_ranges)
+
+
+def test_batch_recompute(benchmark):
+    tables = _tables()
+    cube = run_once(benchmark, range_cubing, tables["combined"])
+    benchmark.extra_info.update(mode="batch", ranges=cube.n_ranges)

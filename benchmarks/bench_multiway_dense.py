@@ -1,0 +1,56 @@
+"""Density-regime benchmark: range cubing vs MultiWay array cubing.
+
+The paper notes that in the dense regime the range trie degenerates
+toward an H-tree and range compression fades; that is exactly where the
+Array Cube (MultiWay) wins — its cost depends on the dimension space,
+not the tuple count.  The sweep crosses from dense (cardinality 4) to
+sparse (cardinality 256): MultiWay should win the dense end and lose the
+sparse end, with range cubing steady throughout.
+"""
+
+import pytest
+
+from repro.baselines.multiway import multiway
+from repro.core.range_cubing import range_cubing
+from repro.harness.runner import preferred_order
+
+from benchmarks.conftest import PRESET, cached_zipf, run_once
+
+SCALES = {
+    "tiny": {"n_rows": 600, "n_dims": 4, "cards": (4, 16, 64, 256)},
+    "small": {"n_rows": 4000, "n_dims": 5, "cards": (4, 16, 64, 256)},
+}
+PARAMS = SCALES["small" if PRESET == "small" else "tiny"]
+
+
+def table_for(cardinality: int):
+    return cached_zipf(PARAMS["n_rows"], PARAMS["n_dims"], cardinality, 0.5)
+
+
+@pytest.mark.parametrize("cardinality", PARAMS["cards"])
+def test_density_range_cubing(benchmark, cardinality):
+    t = table_for(cardinality)
+    cube = run_once(benchmark, range_cubing, t, order=preferred_order(t, "desc"))
+    benchmark.extra_info.update(
+        regime="density",
+        cardinality=cardinality,
+        ranges=cube.n_ranges,
+        tuple_ratio=round(cube.n_ranges / cube.n_cells, 4),
+    )
+
+
+@pytest.mark.parametrize("cardinality", PARAMS["cards"])
+def test_density_multiway(benchmark, cardinality):
+    t = table_for(cardinality)
+    space = 1
+    for d in range(t.n_dims):
+        space *= int(t.dim_codes[:, d].max()) + 1
+    if space > 20_000_000:
+        pytest.skip(
+            f"dimension space {space:,} cells: array cubing is out of its "
+            "regime here — which is the point of this sweep"
+        )
+    cube = run_once(benchmark, multiway, t)
+    benchmark.extra_info.update(
+        regime="density", cardinality=cardinality, cells=len(cube)
+    )

@@ -1,0 +1,39 @@
+"""Partitioned construction benchmark: chunked build+merge vs monolithic.
+
+The chunk builds are independent (parallelizable); the merge is the
+sequential tail.  At a single core the two paths should be comparable —
+the merge re-does the restructuring work insertion would have done — and
+the structural equality is guaranteed by tests/test_partitioned.py.
+"""
+
+import pytest
+
+from repro.core.partitioned import build_partitioned
+from repro.core.range_trie import RangeTrie
+from repro.table.aggregates import SumCountAggregator
+
+from benchmarks.conftest import PRESET, cached_zipf, run_once
+
+SCALES = {
+    "tiny": {"n_rows": 2000, "n_dims": 5, "cardinality": 50},
+    "small": {"n_rows": 10_000, "n_dims": 6, "cardinality": 100},
+}
+PARAMS = SCALES["small" if PRESET == "small" else "tiny"]
+AGG = SumCountAggregator(0)
+
+
+def table():
+    return cached_zipf(PARAMS["n_rows"], PARAMS["n_dims"], PARAMS["cardinality"], 1.2)
+
+
+def test_build_monolithic(benchmark):
+    trie = run_once(benchmark, RangeTrie.build, table(), AGG)
+    benchmark.extra_info.update(mode="monolithic", nodes=trie.n_nodes())
+
+
+@pytest.mark.parametrize("n_chunks", (2, 4, 8))
+def test_build_partitioned(benchmark, n_chunks):
+    trie = run_once(benchmark, build_partitioned, table(), n_chunks, AGG)
+    benchmark.extra_info.update(
+        mode="partitioned", n_chunks=n_chunks, nodes=trie.n_nodes()
+    )

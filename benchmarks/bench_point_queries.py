@@ -1,0 +1,102 @@
+"""Point-query benchmark: every cube representation as a query structure.
+
+The paper's format-preserving claim is that a range cube slots in where a
+plain cube would: this measures answering a fixed batch of point queries
+(every 7th cell of the full cube plus some empty cells) against
+
+* the expanded cube (a plain dict — the baseline),
+* the range cube through its general-endpoint hash index,
+* the Dwarf DAG (O(n_dims) hops per query),
+* the QC-tree over quotient classes.
+
+Construction costs are benchmarked separately so the storage/latency
+trade-off is visible.
+"""
+
+from repro.baselines.dwarf import Dwarf
+from repro.baselines.qc_tree import QCTree
+from repro.core.range_cubing import range_cubing
+from repro.core.range_index import RangeCubeIndex
+from repro.cube.full_cube import compute_full_cube
+
+from benchmarks.conftest import PRESET, cached_zipf, run_once
+
+SCALES = {
+    "tiny": {"n_rows": 400, "n_dims": 4, "cardinality": 20},
+    "small": {"n_rows": 2000, "n_dims": 5, "cardinality": 50},
+}
+PARAMS = SCALES["small" if PRESET == "small" else "tiny"]
+
+_CACHE: dict = {}
+
+
+def fixture():
+    if not _CACHE:
+        table = cached_zipf(
+            PARAMS["n_rows"], PARAMS["n_dims"], PARAMS["cardinality"], 1.2
+        )
+        oracle = compute_full_cube(table)
+        queries = list(oracle.iter_cells())[::7]
+        ghost = tuple(
+            int(table.dim_codes[:, d].max()) + 1 for d in range(table.n_dims)
+        )
+        queries.append(ghost)
+        _CACHE.update(table=table, oracle=oracle, queries=queries)
+    return _CACHE
+
+
+def _drain(structure, queries):
+    hits = 0
+    for cell in queries:
+        if structure.lookup(cell) is not None:
+            hits += 1
+    return hits
+
+
+def test_queries_expanded_dict(benchmark):
+    f = fixture()
+    hits = run_once(benchmark, _drain, f["oracle"], f["queries"])
+    benchmark.extra_info.update(structure="expanded-dict", queries=len(f["queries"]), hits=hits)
+
+
+def test_queries_range_cube_index(benchmark):
+    f = fixture()
+    cube = range_cubing(f["table"])
+    cube.lookup(f["queries"][0])  # force index construction outside timing
+    hits = run_once(benchmark, _drain, cube, f["queries"])
+    benchmark.extra_info.update(
+        structure="range-index", queries=len(f["queries"]), hits=hits,
+        index_entries=len(RangeCubeIndex(cube)),
+    )
+
+
+def test_queries_dwarf(benchmark):
+    f = fixture()
+    dwarf = Dwarf.build(f["table"])
+    hits = run_once(benchmark, _drain, dwarf, f["queries"])
+    benchmark.extra_info.update(
+        structure="dwarf", queries=len(f["queries"]), hits=hits,
+        stored_cells=dwarf.n_stored_cells(),
+    )
+
+
+def test_queries_qc_tree(benchmark):
+    f = fixture()
+    tree = QCTree.build(f["table"])
+    hits = run_once(benchmark, _drain, tree, f["queries"])
+    benchmark.extra_info.update(
+        structure="qc-tree", queries=len(f["queries"]), hits=hits,
+        classes=tree.n_classes,
+    )
+
+
+def test_build_dwarf(benchmark):
+    f = fixture()
+    dwarf = run_once(benchmark, Dwarf.build, f["table"])
+    benchmark.extra_info.update(structure="dwarf", nodes=dwarf.n_nodes())
+
+
+def test_build_qc_tree(benchmark):
+    f = fixture()
+    tree = run_once(benchmark, QCTree.build, f["table"])
+    benchmark.extra_info.update(structure="qc-tree", nodes=tree.n_nodes())

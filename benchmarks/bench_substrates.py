@@ -1,0 +1,39 @@
+"""Substrate benchmark: input-structure construction costs.
+
+One scan builds each structure; the interesting number is nodes touched
+per tuple.  The range trie does set intersections per node but allocates
+far fewer nodes on correlated data; the H-tree/star tree allocate one node
+per (tuple, level) minus prefix sharing.  ``extra_info`` records node
+counts so the time/size trade-off is visible in one table.
+"""
+
+from repro.baselines.htree import HTree
+from repro.baselines.star_cubing import StarTree
+from repro.core.range_trie import RangeTrie
+
+from benchmarks.conftest import PRESET, cached_weather, run_once
+
+N_ROWS = {"tiny": 2000, "small": 20_000}["small" if PRESET == "small" else "tiny"]
+
+
+def test_build_range_trie(benchmark):
+    table = cached_weather(N_ROWS)
+    trie = run_once(benchmark, RangeTrie.build, table)
+    benchmark.extra_info.update(
+        structure="range-trie",
+        nodes=trie.n_nodes(),
+        leaves=trie.n_leaves(),
+        depth=trie.max_depth(),
+    )
+
+
+def test_build_htree(benchmark):
+    table = cached_weather(N_ROWS)
+    tree = run_once(benchmark, HTree.build, table)
+    benchmark.extra_info.update(structure="h-tree", nodes=tree.n_nodes())
+
+
+def test_build_star_tree(benchmark):
+    table = cached_weather(N_ROWS)
+    tree = run_once(benchmark, StarTree.build, table)
+    benchmark.extra_info.update(structure="star-tree", nodes=tree.n_nodes())

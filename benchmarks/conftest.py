@@ -1,0 +1,55 @@
+"""Shared machinery for the pytest-benchmark suite.
+
+Each ``bench_*`` module regenerates one table/figure of the paper at a
+reduced ("tiny"/"small"-preset) scale: the timed series corresponds to the
+figure's run-time plot, and the space series (tuple ratio, node ratio,
+range/cell counts) is attached to each benchmark as ``extra_info`` so it
+appears in ``--benchmark-json`` output and can be compared against the
+figure's second panel.  ``python -m repro.harness.figN_... --preset small``
+prints the same series as full tables.
+
+Set ``REPRO_BENCH_PRESET=small`` to run the benchmarks at the larger
+preset (minutes instead of seconds).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.data.synthetic import zipf_table
+from repro.data.weather import weather_table
+
+PRESET = os.environ.get("REPRO_BENCH_PRESET", "tiny")
+
+_TABLE_CACHE: dict = {}
+
+
+def cached_zipf(n_rows: int, n_dims: int, cardinality: int, theta: float, seed: int = 7):
+    key = ("zipf", n_rows, n_dims, cardinality, theta, seed)
+    if key not in _TABLE_CACHE:
+        _TABLE_CACHE[key] = zipf_table(n_rows, n_dims, cardinality, theta, seed=seed)
+    return _TABLE_CACHE[key]
+
+
+def cached_weather(n_rows: int, seed: int = 7):
+    key = ("weather", n_rows, seed)
+    if key not in _TABLE_CACHE:
+        _TABLE_CACHE[key] = weather_table(n_rows, seed=seed)
+    return _TABLE_CACHE[key]
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark with one warm round and two measured rounds.
+
+    Cube computations are seconds-long and deterministic; pytest-benchmark's
+    auto-calibration would re-run them dozens of times for no extra
+    information.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=2, iterations=1)
+
+
+@pytest.fixture
+def preset() -> str:
+    return PRESET

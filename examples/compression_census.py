@@ -1,0 +1,64 @@
+"""Census of lossless cube compressions: range vs condensed vs quotient.
+
+Places the range cube between the two compression baselines the paper
+relates itself to (Related Work, items 2; Section 6's "close to
+optimality" remark):
+
+* the BST-condensed cube compresses only single-base-tuple families;
+* the quotient cube is the *optimal* convex compression (cell classes);
+* the range cube lands between the two — near-optimal space at a fraction
+  of the computation.
+
+Run:  python examples/compression_census.py
+"""
+
+import time
+
+from repro.data.correlated import FunctionalDependency, correlated_table
+from repro.data.synthetic import uniform_table, zipf_table
+from repro.data.weather import weather_table
+from repro.harness.ablations import compression_census
+from repro.harness.report import print_table
+
+
+def main() -> None:
+    tables = {
+        "uniform (dense-ish)": uniform_table(1200, 5, 12, seed=5),
+        "zipf 1.5 (skewed)": zipf_table(1200, 5, 60, theta=1.5, seed=5),
+        "zipf + FDs (correlated)": correlated_table(
+            1200, 5, 60,
+            [FunctionalDependency((0,), (1,)), FunctionalDependency((2,), (3,))],
+            theta=1.5, seed=5,
+        ),
+        "weather (simulated)": weather_table(1200, seed=5),
+    }
+
+    start = time.perf_counter()
+    rows = compression_census(tables)
+    seconds = time.perf_counter() - start
+
+    print_table(
+        rows,
+        [
+            ("dataset", "dataset", "s"),
+            ("full_cells", "full cells", ",.0f"),
+            ("range_tuples", "ranges", ",.0f"),
+            ("tuple_ratio", "range ratio", "pct"),
+            ("condensed_tuples", "condensed", ",.0f"),
+            ("condensed_ratio", "condensed ratio", "pct"),
+            ("quotient_classes", "quotient classes", ",.0f"),
+            ("quotient_ratio", "optimal ratio", "pct"),
+        ],
+        "Lossless cube compression census",
+    )
+    print(f"\n(computed in {seconds:.1f}s)")
+    print("reading guide: optimal <= range <= 100%; the more correlated the data,")
+    print("the closer the range cube sits to the quotient optimum while being")
+    print("computed in a single pass instead of a closure search per class.")
+
+    for row in rows:
+        assert row["quotient_classes"] <= row["range_tuples"] <= row["full_cells"]
+
+
+if __name__ == "__main__":
+    main()

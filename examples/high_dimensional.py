@@ -1,0 +1,81 @@
+"""High-dimensional OLAP: range cube vs shell fragments at 14 dimensions.
+
+At 14 dimensions a full cube has 16,384 cuboids; materializing it — even
+compressed — is rarely the right call.  This example contrasts the two
+strategies the repository offers:
+
+* **range cubing an iceberg** — materialize only cells with enough
+  support, compressed into ranges (precomputation-heavy, instant answers);
+* **shell fragments** — precompute only 2-dimension fragment cubes with
+  inverted tid-lists and assemble any cell online (precomputation-light,
+  pay per query).
+
+Both answer the same queries; the printout shows the storage each needs
+and times a query batch against each.
+
+Run:  python examples/high_dimensional.py
+"""
+
+import time
+
+from repro.baselines.shell_fragments import ShellFragmentCube
+from repro.core.range_cubing import range_cubing
+from repro.data.synthetic import zipf_table
+
+N_DIMS = 14
+N_ROWS = 3000
+MIN_SUPPORT = 30
+
+
+def main() -> None:
+    table = zipf_table(N_ROWS, N_DIMS, 20, theta=1.3, seed=17)
+    print(f"{N_ROWS:,} rows x {N_DIMS} dims -> {2 ** N_DIMS:,} cuboids in the full cube\n")
+
+    start = time.perf_counter()
+    iceberg = range_cubing(table, min_support=MIN_SUPPORT)
+    iceberg_seconds = time.perf_counter() - start
+    print(f"iceberg range cube (min support {MIN_SUPPORT}): "
+          f"{iceberg.n_ranges:,} ranges / {iceberg.n_cells:,} cells, "
+          f"built in {iceberg_seconds:.2f}s")
+
+    start = time.perf_counter()
+    shell = ShellFragmentCube(table, fragment_size=2)
+    shell_seconds = time.perf_counter() - start
+    print(f"shell fragments (size 2): {shell.n_fragments} fragments, "
+          f"{shell.n_stored_cells():,} local cells, "
+          f"{shell.stored_tid_entries():,} tid entries, "
+          f"built in {shell_seconds:.2f}s\n")
+
+    # A query batch: the 200 most supported iceberg cells.
+    queries = [
+        r.general for r in sorted(iceberg, key=lambda r: -r.state[0])[:200]
+    ]
+
+    start = time.perf_counter()
+    iceberg_answers = [iceberg.lookup(cell) for cell in queries]
+    iceberg_query_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    shell_answers = [shell.lookup(cell) for cell in queries]
+    shell_query_seconds = time.perf_counter() - start
+
+    for a, b in zip(iceberg_answers, shell_answers):
+        assert a[0] == b[0]
+    print(f"{len(queries)} point queries:")
+    print(f"   iceberg range cube: {1000 * iceberg_query_seconds:.1f} ms total")
+    print(f"   shell fragments:    {1000 * shell_query_seconds:.1f} ms total")
+    print("   (all answers identical)\n")
+
+    # The shell can also answer below the iceberg threshold.
+    rare = next(
+        cell
+        for cell in (r.specific for r in iceberg)
+        if shell.lookup(cell) is not None
+    )
+    print(f"shell answer for an arbitrary cell: count={shell.lookup(rare)[0]}")
+    print("the iceberg cube deliberately dropped everything under "
+          f"{MIN_SUPPORT}; the shell assembles any cell on demand.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Choosing a cubing strategy: estimate first, compute second.
+
+Materializing the wrong way costs hours; this example shows the decision
+loop a warehouse operator would actually run:
+
+1. estimate each candidate table's full-cube size from a 2,000-row sample
+   (GEE estimator — no full scan);
+2. let :func:`repro.cube.estimate.recommend_strategy` pick a regime
+   (dense -> MultiWay arrays, sparse/correlated -> range cubing,
+   very high-dimensional -> shell fragments);
+3. run the recommendation and sanity-check the estimate against the
+   real cube;
+4. for a question no precomputed cube can answer — the *median* — fall
+   back to shell fragments, whose tid-lists reach the base tuples.
+
+Run:  python examples/strategy_advisor.py
+"""
+
+import numpy as np
+
+from repro.baselines.multiway import multiway
+from repro.baselines.shell_fragments import ShellFragmentCube
+from repro.core.range_cubing import range_cubing
+from repro.cube.estimate import estimate_full_cube_size, recommend_strategy
+from repro.data.retail import retail_dataset
+from repro.data.synthetic import uniform_table, zipf_table
+
+
+def main() -> None:
+    candidates = {
+        "dense survey (5 dims, card 4)": uniform_table(6000, 5, 4, seed=21),
+        "retail sales (correlated)": retail_dataset(6000, seed=21).table,
+        "sparse logs (card 500)": zipf_table(6000, 5, 500, theta=1.0, seed=21),
+    }
+
+    print(f"{'table':<30} {'est. cells':>12} {'strategy':>16}")
+    advice_by_name = {}
+    for name, table in candidates.items():
+        advice = recommend_strategy(table, sample_size=2000, seed=3)
+        advice_by_name[name] = advice
+        print(f"{name:<30} {advice.estimated_cells:>12,.0f} {advice.strategy:>16}")
+
+    print("\nacting on the advice:")
+    for name, table in candidates.items():
+        advice = advice_by_name[name]
+        if advice.strategy == "multiway":
+            cube = multiway(table)
+            actual = len(cube)
+        else:
+            cube = range_cubing(table)
+            actual = cube.n_cells
+        error = advice.estimated_cells / actual
+        print(f"   {name}: {advice.strategy} -> {actual:,} cells "
+              f"(estimate was {error:.2f}x the truth)")
+
+    # A holistic question: median revenue per region — needs base tuples.
+    table = candidates["retail sales (correlated)"]
+    shell = ShellFragmentCube(table, fragment_size=2)
+    print("\nmedian revenue by region (holistic — via shell-fragment tid-lists):")
+    for region in sorted(set(table.dim_column(1).tolist())):
+        cell = (None, region, None, None, None)
+        median = shell.holistic(cell, np.median, measure_index=1)
+        print(f"   region {region}: median sale {median:,.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment used for the reproduction has setuptools but no ``wheel``
+package, so PEP 517 editable installs fail with ``invalid command
+'bdist_wheel'``.  This shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` (and plain ``python setup.py develop``) work; all
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

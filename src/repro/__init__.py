@@ -1,0 +1,95 @@
+"""Range CUBE — reproduction of Feng, Agrawal, El Abbadi & Metwally (ICDE 2004).
+
+Efficient data-cube computation by exploiting data correlation: the base
+table is compressed into a **range trie** whose nodes factor out dimension
+values shared by all tuples beneath them; traversing and successively
+reducing the trie yields a **range cube**, a compressed, lossless,
+semantics-preserving partition of all cube cells into ranges.
+
+Quick start::
+
+    from repro import BaseTable, Schema, range_cubing
+
+    schema = Schema.from_names(["store", "city", "product", "date"], ["price"])
+    table = BaseTable.from_rows(schema, [
+        ("S1", "C1", "P1", "D1", 100.0),
+        ("S1", "C1", "P2", "D2", 500.0),
+    ])
+    cube = range_cubing(table)
+    for r in cube:
+        print(r.to_string(table.encoder), cube.aggregator.finalize(r.state))
+
+The packages:
+
+* :mod:`repro.core` — the paper's contribution (range trie / range cubing);
+* :mod:`repro.table`, :mod:`repro.cube` — relational + cube substrates;
+* :mod:`repro.baselines` — BUC, H-Cubing, star-cubing, condensed cube,
+  quotient cube, all implemented from their original papers;
+* :mod:`repro.data` — synthetic uniform/Zipf/correlated generators and the
+  simulated weather dataset;
+* :mod:`repro.metrics`, :mod:`repro.harness` — the paper's evaluation
+  metrics and per-figure experiment drivers.
+"""
+
+from repro.core.display import print_trie, trie_to_dot, trie_to_lines
+from repro.core.incremental import IncrementalRangeCuber, range_cubing_from_trie
+from repro.core.range_cube import Range, RangeCube
+from repro.core.range_cubing import range_cubing, range_cubing_detailed
+from repro.core.range_index import RangeCubeIndex
+from repro.core.range_trie import RangeTrie, RangeTrieNode
+from repro.core.reduction import reduce_trie
+from repro.cube.cell import STAR, apex_cell, cell_str, make_cell
+from repro.cube.full_cube import MaterializedCube, compute_full_cube, full_cube_size
+from repro.cube.lattice import CuboidLattice
+from repro.cube.query import CubeQuery
+from repro.table.aggregates import (
+    Aggregator,
+    AvgAggregator,
+    CountAggregator,
+    MaxAggregator,
+    MinAggregator,
+    MultiAggregator,
+    SumCountAggregator,
+    default_aggregator,
+)
+from repro.table.base_table import BaseTable
+from repro.table.schema import Dimension, Measure, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregator",
+    "AvgAggregator",
+    "BaseTable",
+    "CountAggregator",
+    "CubeQuery",
+    "CuboidLattice",
+    "IncrementalRangeCuber",
+    "Dimension",
+    "MaterializedCube",
+    "MaxAggregator",
+    "Measure",
+    "MinAggregator",
+    "MultiAggregator",
+    "Range",
+    "RangeCube",
+    "RangeCubeIndex",
+    "RangeTrie",
+    "RangeTrieNode",
+    "STAR",
+    "Schema",
+    "SumCountAggregator",
+    "apex_cell",
+    "cell_str",
+    "compute_full_cube",
+    "default_aggregator",
+    "full_cube_size",
+    "make_cell",
+    "print_trie",
+    "range_cubing",
+    "range_cubing_detailed",
+    "range_cubing_from_trie",
+    "reduce_trie",
+    "trie_to_dot",
+    "trie_to_lines",
+]

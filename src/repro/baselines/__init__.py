@@ -1,0 +1,60 @@
+"""Baseline cube-computation algorithms the paper measures against.
+
+Every algorithm is implemented from its original publication:
+
+* :mod:`repro.baselines.buc` — Bottom-Up Computation
+  (Beyer & Ramakrishnan, SIGMOD 1999);
+* :mod:`repro.baselines.htree` / :mod:`repro.baselines.hcubing` — the
+  H-tree and H-Cubing (Han, Pei, Dong & Wang, SIGMOD 2001), the main
+  comparator of the Range-CUBE paper;
+* :mod:`repro.baselines.star_cubing` — star tree + star-cubing
+  (Xin, Han, Li & Wah, VLDB 2003), the comparison the paper defers to
+  future work;
+* :mod:`repro.baselines.condensed` — the BST-condensed cube
+  (Wang, Feng, Lu & Yu, ICDE 2002);
+* :mod:`repro.baselines.quotient` — quotient-cube classes
+  (Lakshmanan, Pei & Han, VLDB 2002), the optimal lossless coalescing
+  the paper compares its compression against;
+* :mod:`repro.baselines.multiway` — MultiWay array cubing
+  (Zhao, Deshpande & Naughton, SIGMOD 1997), the "Array Cube" of the
+  paper's Figure 1 classification;
+* :mod:`repro.baselines.dwarf` — the Dwarf cube store
+  (Sismanis et al., SIGMOD 2002), the compressed-output archetype the
+  paper says composes naturally with range cubes;
+* :mod:`repro.baselines.qc_tree` — the QC-tree index over quotient
+  classes (Lakshmanan, Pei & Zhao, SIGMOD 2003);
+* :mod:`repro.baselines.c_cubing` — C-Cubing closed cubes via the
+  aggregation-based closedness measure (Xin, Shao, Han & Liu, 2006);
+* :mod:`repro.baselines.shell_fragments` — shell-fragment minimal cubing
+  with inverted tid-lists (Li, Han & Gonzalez, VLDB 2004).
+"""
+
+from repro.baselines.buc import buc
+from repro.baselines.c_cubing import closed_cubing
+from repro.baselines.condensed import CondensedCube, condensed_cube
+from repro.baselines.dwarf import Dwarf
+from repro.baselines.hcubing import h_cubing, h_cubing_detailed
+from repro.baselines.htree import HTree
+from repro.baselines.multiway import multiway
+from repro.baselines.qc_tree import QCTree
+from repro.baselines.quotient import QuotientCube, quotient_cube
+from repro.baselines.shell_fragments import ShellFragmentCube
+from repro.baselines.star_cubing import StarTree, star_cubing
+
+__all__ = [
+    "CondensedCube",
+    "Dwarf",
+    "HTree",
+    "QCTree",
+    "QuotientCube",
+    "ShellFragmentCube",
+    "StarTree",
+    "buc",
+    "closed_cubing",
+    "condensed_cube",
+    "h_cubing",
+    "h_cubing_detailed",
+    "multiway",
+    "quotient_cube",
+    "star_cubing",
+]

@@ -1,0 +1,90 @@
+"""BUC — Bottom-Up Computation (Beyer & Ramakrishnan, SIGMOD 1999).
+
+BUC computes the cube from the apex downwards: it recursively partitions
+the input on one dimension at a time (dimensions taken in increasing
+order), outputs the aggregate of each partition, and recurses into the
+partition for the remaining dimensions.  A partition smaller than the
+iceberg threshold is dropped together with its whole sub-lattice — the
+Apriori pruning that made BUC the standard for sparse iceberg cubes.
+
+The partitioning here uses a stable numpy argsort per (partition,
+dimension), the moral equivalent of the original's counting sort; the
+per-cell cost profile (re-touching each tuple once per enclosing
+partition) is the one the Range-CUBE paper contrasts with tree-based
+methods on skewed data.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cube.cell import Cell, apex_cell
+from repro.cube.full_cube import MaterializedCube
+from repro.table.aggregates import Aggregator, default_aggregator
+from repro.table.base_table import BaseTable
+
+
+def buc(
+    table: BaseTable,
+    aggregator: Aggregator | None = None,
+    order: Sequence[int] | None = None,
+    min_support: int = 1,
+) -> MaterializedCube:
+    """Compute the (iceberg) cube of ``table`` bottom-up.
+
+    Cells come back in the table's original dimension order regardless of
+    the internal ``order`` used for partitioning.
+    """
+    agg = aggregator or default_aggregator(table.n_measures)
+    working = table if order is None else table.reordered(order)
+    n = working.n_dims
+    codes = working.dim_codes
+    states = [agg.state_from_row(m) for m in working.measure_rows()]
+    merge = agg.merge
+
+    def aggregate(indexes: np.ndarray):
+        it = iter(indexes.tolist())
+        total = states[next(it)]
+        for i in it:
+            total = merge(total, states[i])
+        return total
+
+    out: dict[Cell, tuple] = {}
+    bindings: dict[int, int] = {}
+
+    def recurse(indexes: np.ndarray, first_dim: int) -> None:
+        for d in range(first_dim, n):
+            column = codes[indexes, d]
+            sort = np.argsort(column, kind="stable")
+            sorted_idx = indexes[sort]
+            sorted_col = column[sort]
+            boundaries = np.flatnonzero(np.diff(sorted_col)) + 1
+            start = 0
+            for end in [*boundaries.tolist(), len(sorted_col)]:
+                part = sorted_idx[start:end]
+                value = int(sorted_col[start])
+                start = end
+                if len(part) < min_support:
+                    continue
+                bindings[d] = value
+                cell = tuple(bindings.get(i) for i in range(n))
+                out[cell] = aggregate(part)
+                recurse(part, d + 1)
+                del bindings[d]
+
+    all_rows = np.arange(working.n_rows)
+    if working.n_rows >= min_support and working.n_rows:
+        out[apex_cell(n)] = aggregate(all_rows)
+        recurse(all_rows, 0)
+
+    if order is not None:
+        remapped: dict[Cell, tuple] = {}
+        for cell, state in out.items():
+            mapped = [None] * n
+            for new_dim, old_dim in enumerate(order):
+                mapped[old_dim] = cell[new_dim]
+            remapped[tuple(mapped)] = state
+        out = remapped
+    return MaterializedCube(table.n_dims, agg, out)

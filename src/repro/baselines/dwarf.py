@@ -1,0 +1,179 @@
+"""Dwarf (Sismanis, Deligiannakis, Roussopoulos & Kotidis, SIGMOD 2002).
+
+The Range-CUBE paper cites Dwarf as the archetype of the
+"compressed-output" cube family (its Figure 1 classification) and notes
+that such index structures "can also be applied naturally to a range
+cube".  This module implements the Dwarf structure itself: a layered DAG
+with one level per dimension, where
+
+* **prefix redundancy** is eliminated as in a trie — equal prefixes share
+  the path; and
+* **suffix coalescing** shares the entire sub-dwarf whenever two
+  group-bys aggregate the *same set of tuples* (the dominant saving on
+  sparse/correlated data: any sub-space reached by a single tuple's
+  prefix collapses to one shared tail).
+
+Each node holds one cell per distinct value of its dimension plus the
+``ALL`` cell (the paper's ``*``); leaf-level cells store aggregate states.
+A point query walks one cell per dimension — following the value cell
+where the query binds the dimension and the ALL cell where it does not —
+so every cube cell is answered in O(n) hops.
+
+Construction here memoizes sub-dwarfs by (level, covered tuple set),
+which yields *full* suffix coalescing (the original detects the dominant
+single-tuple case during its sorted-order construction; the memo
+subsumes it).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.cube.cell import Cell
+from repro.table.aggregates import Aggregator, default_aggregator
+from repro.table.base_table import BaseTable
+
+
+class DwarfNode:
+    """One node: value cells plus the ALL cell, at one dimension level.
+
+    At interior levels cells hold child nodes; at the last level they
+    hold aggregate states.
+    """
+
+    __slots__ = ("level", "cells", "all_cell")
+
+    def __init__(self, level: int) -> None:
+        self.level = level
+        self.cells: dict[int, object] = {}
+        self.all_cell: object = None
+
+
+class Dwarf:
+    """The full data cube stored as a prefix-shared, suffix-coalesced DAG."""
+
+    def __init__(self, n_dims: int, aggregator: Aggregator, root: DwarfNode | None) -> None:
+        self.n_dims = n_dims
+        self.aggregator = aggregator
+        self.root = root
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, table: BaseTable, aggregator: Aggregator | None = None) -> "Dwarf":
+        agg = aggregator or default_aggregator(table.n_measures)
+        n = table.n_dims
+        if n == 0 or table.n_rows == 0:
+            return cls(n, agg, None)
+        codes = table.dim_codes
+        states = [agg.state_from_row(m) for m in table.measure_rows()]
+        merge = agg.merge
+        memo: dict[tuple[int, bytes], DwarfNode] = {}
+
+        def aggregate(rows: np.ndarray):
+            it = iter(rows.tolist())
+            total = states[next(it)]
+            for i in it:
+                total = merge(total, states[i])
+            return total
+
+        def build_node(level: int, rows: np.ndarray) -> DwarfNode:
+            key = (level, rows.tobytes())
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+            node = DwarfNode(level)
+            memo[key] = node
+            column = codes[rows, level]
+            order = np.argsort(column, kind="stable")
+            sorted_rows = rows[order]
+            sorted_col = column[order]
+            boundaries = np.flatnonzero(np.diff(sorted_col)) + 1
+            groups: list[tuple[int, np.ndarray]] = []
+            start = 0
+            for end in [*boundaries.tolist(), len(sorted_col)]:
+                groups.append((int(sorted_col[start]), np.sort(sorted_rows[start:end])))
+                start = end
+            if level == n - 1:
+                for value, group in groups:
+                    node.cells[value] = aggregate(group)
+                node.all_cell = aggregate(rows)
+            else:
+                for value, group in groups:
+                    node.cells[value] = build_node(level + 1, group)
+                if len(groups) == 1:
+                    # suffix coalescing's dominant case: one value means
+                    # the ALL cell aggregates the very same tuples.
+                    node.all_cell = node.cells[groups[0][0]]
+                else:
+                    node.all_cell = build_node(level + 1, np.sort(rows))
+            return node
+
+        all_rows = np.arange(table.n_rows)
+        return cls(n, agg, build_node(0, all_rows))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def lookup(self, cell: Cell) -> tuple | None:
+        """Aggregate state of ``cell`` in O(n_dims) hops; None if empty."""
+        if len(cell) != self.n_dims:
+            raise ValueError(f"query cell has {len(cell)} dims, dwarf has {self.n_dims}")
+        if self.root is None:
+            return None
+        position: object = self.root
+        for value in cell:
+            node: DwarfNode = position  # type: ignore[assignment]
+            if value is None:
+                position = node.all_cell
+            else:
+                position = node.cells.get(value)
+                if position is None:
+                    return None
+        return position  # the leaf-level cell content is the state
+
+    def value(self, cell: Cell) -> dict[str, float] | None:
+        state = self.lookup(cell)
+        return None if state is None else self.aggregator.finalize(state)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def iter_nodes(self) -> Iterator[DwarfNode]:
+        if self.root is None:
+            return
+        seen: set[int] = set()
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            yield node
+            if node.level < self.n_dims - 1:
+                for child in node.cells.values():
+                    stack.append(child)  # type: ignore[arg-type]
+                if node.all_cell is not None:
+                    stack.append(node.all_cell)  # type: ignore[arg-type]
+
+    def n_nodes(self) -> int:
+        return sum(1 for _ in self.iter_nodes())
+
+    def n_stored_cells(self) -> int:
+        """Dwarf's size metric: value cells + ALL cells over distinct nodes."""
+        return sum(len(node.cells) + 1 for node in self.iter_nodes())
+
+    def coalesced_all_cells(self) -> int:
+        """How many ALL cells were suffix-coalesced onto a value cell."""
+        return sum(
+            1
+            for node in self.iter_nodes()
+            if node.level < self.n_dims - 1
+            and any(node.all_cell is child for child in node.cells.values())
+        )

@@ -1,0 +1,164 @@
+"""The H-tree of Han, Pei, Dong & Wang (SIGMOD 2001).
+
+An H-tree stores the base table as a prefix tree: level ``i`` of the tree
+holds the values of dimension ``i`` (in the chosen dimension order), so a
+tuple occupies one node per dimension along a root-to-leaf path, with
+common prefixes shared.  Every distinct ``(dimension, value)`` pair has a
+*header-table* entry that aggregates all its occurrences and heads a
+*side-link* chain threading the nodes carrying that value; climbing from a
+chain node to the root recovers the values of all smaller dimensions,
+which is what H-Cubing's conditional traversals rely on.
+
+Contrast with the range trie (paper Section 3): an H-tree node carries
+exactly one dimension value, so its node count is ``O(T * D)`` in the
+worst case versus the range trie's ``O(T)`` leaves plus ``T - 1`` interior
+bound — the paper's *node ratio* metric measures exactly this gap (paper
+Lemma 4 and Figure 3(d)).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.table.aggregates import Aggregator, default_aggregator
+from repro.table.base_table import BaseTable
+
+
+class HTreeNode:
+    """One value of one dimension on one root-to-leaf path."""
+
+    __slots__ = ("value", "children", "agg", "side", "parent")
+
+    def __init__(self, value: int, agg, parent: "HTreeNode | None") -> None:
+        self.value = value
+        self.children: dict[int, HTreeNode] = {}
+        self.agg = agg
+        self.side: HTreeNode | None = None  # next node with the same (dim, value)
+        self.parent = parent
+
+    def ancestor_values(self) -> list[int]:
+        """Dimension values above this node, root-most first."""
+        values: list[int] = []
+        node = self.parent
+        while node is not None and node.parent is not None:
+            values.append(node.value)
+            node = node.parent
+        values.reverse()
+        return values
+
+
+class HeaderEntry:
+    """Header-table row: total aggregate plus the side-link chain ends."""
+
+    __slots__ = ("agg", "head", "tail")
+
+    def __init__(self, agg, node: HTreeNode) -> None:
+        self.agg = agg
+        self.head = node
+        self.tail = node
+
+    def chain(self) -> Iterator[HTreeNode]:
+        node = self.head
+        while node is not None:
+            yield node
+            node = node.side
+
+
+class HTree:
+    """A prefix tree over ``n_dims`` dimension levels with header tables."""
+
+    def __init__(self, n_dims: int, aggregator: Aggregator) -> None:
+        self.n_dims = n_dims
+        self.aggregator = aggregator
+        self.root = HTreeNode(-1, None, None)
+        #: one header table per dimension level: value -> HeaderEntry
+        self.headers: list[dict[int, HeaderEntry]] = [{} for _ in range(n_dims)]
+
+    @classmethod
+    def build(cls, table: BaseTable, aggregator: Aggregator | None = None) -> "HTree":
+        """One scan over the table, inserting tuples in dimension order."""
+        agg = aggregator or default_aggregator(table.n_measures)
+        tree = cls(table.n_dims, agg)
+        state_from_row = agg.state_from_row
+        for row, measures in zip(table.dim_rows(), table.measure_rows()):
+            tree.insert(row, state_from_row(measures))
+        return tree
+
+    def insert(self, values: Sequence[int], state) -> None:
+        """Insert one (possibly pre-aggregated) path of dimension values.
+
+        ``values`` has one entry per level; this is also how H-Cubing
+        materializes its conditional trees, feeding paths weighted by the
+        side-chain node aggregates.
+        """
+        merge = self.aggregator.merge
+        node = self.root
+        node.agg = state if node.agg is None else merge(node.agg, state)
+        for dim, value in enumerate(values):
+            child = node.children.get(value)
+            if child is None:
+                child = HTreeNode(value, state, node)
+                node.children[value] = child
+                entry = self.headers[dim].get(value)
+                if entry is None:
+                    self.headers[dim][value] = HeaderEntry(state, child)
+                else:
+                    entry.agg = merge(entry.agg, state)
+                    entry.tail.side = child
+                    entry.tail = child
+            else:
+                child.agg = merge(child.agg, state)
+                entry = self.headers[dim][value]
+                entry.agg = merge(entry.agg, state)
+            node = child
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_agg(self):
+        return self.root.agg
+
+    def n_nodes(self) -> int:
+        """Node count excluding the root — the paper's H-tree size metric."""
+        total = 0
+        stack = list(self.root.children.values())
+        while stack:
+            node = stack.pop()
+            total += 1
+            stack.extend(node.children.values())
+        return total
+
+    def check_invariants(self) -> None:
+        """Structure checks used by the test suite."""
+        count = self.aggregator.count
+
+        def walk(node: HTreeNode, depth: int) -> None:
+            assert depth <= self.n_dims, "path longer than dimension count"
+            if depth == self.n_dims:
+                assert not node.children, "leaf-level node with children"
+            if node.children:
+                total = None
+                for value, child in node.children.items():
+                    assert value == child.value, "children dict mis-keyed"
+                    assert child.parent is node, "broken parent pointer"
+                    total = child.agg if total is None else self.aggregator.merge(total, child.agg)
+                    walk(child, depth + 1)
+                assert count(total) == count(node.agg), "child counts do not add up"
+            elif depth < self.n_dims:
+                raise AssertionError(f"interior node at depth {depth} without children")
+
+        if self.root.children:
+            walk(self.root, 0)
+        for dim, header in enumerate(self.headers):
+            for value, entry in header.items():
+                chain_total = None
+                for node in entry.chain():
+                    assert node.value == value, "side link crosses values"
+                    chain_total = (
+                        node.agg
+                        if chain_total is None
+                        else self.aggregator.merge(chain_total, node.agg)
+                    )
+                assert count(chain_total) == count(entry.agg), (
+                    f"header aggregate mismatch at dim {dim} value {value}"
+                )

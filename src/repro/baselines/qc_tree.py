@@ -1,0 +1,158 @@
+"""The QC-tree (Lakshmanan, Pei & Zhao, SIGMOD 2003) over quotient classes.
+
+The Range-CUBE paper's related work notes that Lakshmanan et al. "index
+the classes of cells using a QC-tree".  This module provides that index:
+the upper bounds of all quotient-cube classes, stored in a prefix tree
+over their ``(dimension, value)`` pairs (dimension-sorted), each class
+node carrying the class aggregate.
+
+Point lookup exploits two facts: (i) the class of a query cell ``q`` is
+the unique closed cell whose bound pairs are a superset of ``q``'s with
+the *maximum* tuple count (any closed superset covers a subset of ``q``'s
+tuples; the closure covers exactly them), and (ii) paths are
+dimension-sorted, so a branch whose next dimension exceeds the smallest
+unmatched query dimension can never match and is pruned.  Dimensions
+absent from ``q`` are free to appear along the path — those are exactly
+the implied dimensions the closure added.
+
+The QC-tree plays for quotient cubes the role
+:class:`~repro.core.range_index.RangeCubeIndex` plays for range cubes;
+both are exercised against each other in the integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.baselines.quotient import QuotientCube, quotient_cube
+from repro.cube.cell import Cell
+from repro.table.aggregates import Aggregator
+from repro.table.base_table import BaseTable
+
+
+class QCTreeNode:
+    """One (dimension, value) pair on a path; ``state`` marks a class."""
+
+    __slots__ = ("dim", "value", "children", "state")
+
+    def __init__(self, dim: int, value: int) -> None:
+        self.dim = dim
+        self.value = value
+        self.children: dict[tuple[int, int], QCTreeNode] = {}
+        self.state: tuple | None = None
+
+
+class QCTree:
+    """Prefix tree over the dimension-sorted upper bounds of all classes."""
+
+    def __init__(self, n_dims: int, aggregator: Aggregator) -> None:
+        self.n_dims = n_dims
+        self.aggregator = aggregator
+        self.root = QCTreeNode(-1, -1)
+        self.n_classes = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_quotient(cls, quotient: QuotientCube) -> "QCTree":
+        tree = cls(quotient.n_dims, quotient.aggregator)
+        for upper, state in quotient.classes.items():
+            tree.insert(upper, state)
+        return tree
+
+    @classmethod
+    def build(cls, table: BaseTable, aggregator: Aggregator | None = None) -> "QCTree":
+        """Enumerate the quotient classes of ``table`` and index them."""
+        return cls.from_quotient(quotient_cube(table, aggregator))
+
+    def insert(self, upper_bound: Cell, state: tuple) -> None:
+        """Add one class, keyed by its (dimension-sorted) upper bound."""
+        node = self.root
+        for dim, value in enumerate(upper_bound):
+            if value is None:
+                continue
+            key = (dim, value)
+            child = node.children.get(key)
+            if child is None:
+                child = QCTreeNode(dim, value)
+                node.children[key] = child
+            node = child
+        if node.state is None:
+            self.n_classes += 1
+        node.state = state
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def lookup(self, cell: Cell) -> tuple | None:
+        """Aggregate state of ``cell``; None when the cell is empty."""
+        found = self.class_of(cell)
+        return None if found is None else found[1]
+
+    def class_of(self, cell: Cell) -> tuple[Cell, tuple] | None:
+        """The (upper bound, state) of the class containing ``cell``."""
+        if len(cell) != self.n_dims:
+            raise ValueError(f"query cell has {len(cell)} dims, tree has {self.n_dims}")
+        pairs = [(d, v) for d, v in enumerate(cell) if v is not None]
+        best: list = [None, -1, ()]  # state, count, path
+
+        def search(node: QCTreeNode, index: int, path: list) -> None:
+            if index == len(pairs) and node.state is not None:
+                if node.state[0] > best[1]:
+                    best[0], best[1], best[2] = node.state, node.state[0], tuple(path)
+            for (dim, value), child in node.children.items():
+                if index < len(pairs):
+                    want_dim, want_value = pairs[index]
+                    if dim > want_dim:
+                        continue  # dimension-sorted paths cannot match later
+                    if dim == want_dim:
+                        if value == want_value:
+                            path.append((dim, value))
+                            search(child, index + 1, path)
+                            path.pop()
+                        continue
+                # dim precedes the next wanted dimension (or nothing is
+                # wanted): it is free in the query — an implied dimension.
+                path.append((dim, value))
+                search(child, index, path)
+                path.pop()
+
+        search(self.root, 0, [])
+        if best[0] is None:
+            return None
+        upper = [None] * self.n_dims
+        for dim, value in best[2]:
+            upper[dim] = value
+        return tuple(upper), best[0]
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def n_nodes(self) -> int:
+        total = 0
+        stack = list(self.root.children.values())
+        while stack:
+            node = stack.pop()
+            total += 1
+            stack.extend(node.children.values())
+        return total
+
+    def classes(self) -> Iterator[tuple[Cell, tuple]]:
+        """Every (upper bound, state) stored in the tree."""
+
+        def walk(node: QCTreeNode, path: list) -> Iterator:
+            if node.state is not None:
+                upper = [None] * self.n_dims
+                for dim, value in path:
+                    upper[dim] = value
+                yield tuple(upper), node.state
+            for (dim, value), child in node.children.items():
+                path.append((dim, value))
+                yield from walk(child, path)
+                path.pop()
+
+        yield from walk(self.root, [])

@@ -1,0 +1,245 @@
+"""Command-line interface: cube CSV tables without writing any Python.
+
+    python -m repro generate zipf --rows 5000 --dims 5 --card 100 --out t.csv
+    python -m repro cube t.csv --measures 1 --out cube.csv --min-support 4
+    python -m repro stats t.csv --measures 1
+    python -m repro query cube.csv --bind 0=3 --bind 2=7
+    python -m repro experiment fig9 --preset tiny
+    python -m repro report --preset tiny --out report.md
+    python -m repro claims --preset tiny
+
+``cube`` writes the range cube in the paper's tuple notation (see
+:mod:`repro.data.io`); ``stats`` prints the table's shape plus the trie /
+H-tree node comparison; ``query`` answers point queries against a saved
+cube by dimension *codes*; ``experiment`` dispatches to the per-figure
+harness drivers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.baselines.buc import buc
+from repro.baselines.hcubing import h_cubing
+from repro.baselines.htree import HTree
+from repro.baselines.star_cubing import star_cubing
+from repro.core.range_cubing import range_cubing_detailed
+from repro.core.range_trie import RangeTrie
+from repro.data.io import read_range_cube_csv, read_table_csv, write_table_csv
+from repro.data.weather import weather_table
+from repro.data.synthetic import uniform_table, zipf_table
+from repro.harness.runner import preferred_order
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "zipf":
+        table = zipf_table(args.rows, args.dims, args.card, args.theta, seed=args.seed)
+    elif args.kind == "uniform":
+        table = uniform_table(args.rows, args.dims, args.card, seed=args.seed)
+    else:
+        table = weather_table(args.rows, seed=args.seed)
+    write_table_csv(table, args.out)
+    print(f"wrote {table.n_rows} rows x {table.n_dims} dims to {args.out}")
+    return 0
+
+
+def _cmd_cube(args: argparse.Namespace) -> int:
+    table = read_table_csv(args.table, n_measures=args.measures)
+    order = preferred_order(table, args.order) if args.order != "as-is" else None
+    start = time.perf_counter()
+    if args.algorithm == "range":
+        cube, stats = range_cubing_detailed(
+            table, order=order, min_support=args.min_support
+        )
+        seconds = time.perf_counter() - start
+        print(
+            f"range cube: {cube.n_ranges:,} ranges"
+            + (f" for {cube.n_cells:,} cells" if args.min_support <= 1 else "")
+            + f" in {seconds:.2f}s ({stats['trie_nodes']:,} trie nodes)"
+        )
+        if args.out:
+            from repro.data.io import write_range_cube_csv
+
+            write_range_cube_csv(cube, args.out, table.schema.dimension_names)
+            print(f"wrote {args.out}")
+    else:
+        algorithm = {"buc": buc, "hcubing": h_cubing, "star": star_cubing}[args.algorithm]
+        cube = algorithm(table, order=order, min_support=args.min_support)
+        seconds = time.perf_counter() - start
+        print(f"{args.algorithm}: {len(cube):,} cells in {seconds:.2f}s")
+        if args.out:
+            print("note: --out only writes range cubes; rerun with --algorithm range")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    table = read_table_csv(args.table, n_measures=args.measures)
+    print(f"{table.n_rows:,} rows, {table.n_dims} dimensions, "
+          f"{table.n_measures} measure(s)")
+    for i, name in enumerate(table.schema.dimension_names):
+        print(f"   {name}: cardinality {table.distinct_count(i)}")
+    print(f"distinct tuples: {table.distinct_tuple_count():,} "
+          f"(density {table.density():.3g})")
+    working = table.reordered(preferred_order(table, "desc"))
+    trie = RangeTrie.build(working)
+    htree = HTree.build(working)
+    print(f"range trie: {trie.n_nodes():,} nodes "
+          f"({trie.n_interior():,} interior, depth {trie.max_depth()})")
+    print(f"H-tree:     {htree.n_nodes():,} nodes "
+          f"(node ratio {100 * trie.n_nodes() / htree.n_nodes():.1f}%)")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    cube = read_range_cube_csv(args.cube)
+    bindings: dict[int, int] = {}
+    for item in args.bind or []:
+        dim_text, _, value_text = item.partition("=")
+        bindings[int(dim_text)] = int(value_text)
+    cell = tuple(bindings.get(i) for i in range(cube.n_dims))
+    state = cube.lookup(cell)
+    if state is None:
+        print("empty cell (no matching tuples)")
+        return 1
+    result = cube.aggregator.finalize(state)
+    containing = cube.range_of(cell)
+    print(f"cell {cell}: {result}")
+    print(f"containing range: {containing.to_string()}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.harness import (
+        ablations,
+        fig8_dimensionality,
+        fig9_skew,
+        fig10_sparsity,
+        fig11_scalability,
+        real_weather,
+    )
+
+    drivers = {
+        "fig8": fig8_dimensionality,
+        "fig9": fig9_skew,
+        "fig10": fig10_sparsity,
+        "fig11": fig11_scalability,
+        "weather": real_weather,
+        "ablations": ablations,
+    }
+    driver = drivers[args.which]
+    driver.main(["--preset", args.preset])
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.harness.report_all import main as report_main
+
+    argv = ["--preset", args.preset]
+    if args.out:
+        argv += ["--out", args.out]
+    return report_main(argv)
+
+
+def _cmd_claims(args: argparse.Namespace) -> int:
+    from repro.harness.claims import main as claims_main
+
+    return claims_main(["--preset", args.preset])
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.cube.estimate import estimate_full_cube_size, recommend_strategy
+
+    table = read_table_csv(args.table, n_measures=args.measures)
+    advice = recommend_strategy(table, sample_size=args.sample)
+    estimated = (
+        advice.estimated_cells
+        if advice.estimated_cells == advice.estimated_cells  # not NaN
+        else estimate_full_cube_size(table, args.sample)
+        if table.n_dims <= 16
+        else float("nan")
+    )
+    print(f"{table.n_rows:,} rows x {table.n_dims} dims")
+    if estimated == estimated:
+        print(f"estimated full-cube size: ~{estimated:,.0f} cells")
+    print(f"recommended strategy: {advice.strategy}")
+    print(f"reason: {advice.reason}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Range CUBE (ICDE 2004) command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="write a synthetic table as CSV")
+    p.add_argument("kind", choices=("zipf", "uniform", "weather"))
+    p.add_argument("--rows", type=int, default=5000)
+    p.add_argument("--dims", type=int, default=5)
+    p.add_argument("--card", type=int, default=100)
+    p.add_argument("--theta", type=float, default=1.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("cube", help="compute a cube from a CSV table")
+    p.add_argument("table")
+    p.add_argument("--measures", type=int, default=0, help="trailing measure columns")
+    p.add_argument(
+        "--algorithm", default="range", choices=("range", "buc", "hcubing", "star")
+    )
+    p.add_argument("--order", default="desc", choices=("desc", "asc", "as-is"))
+    p.add_argument("--min-support", type=int, default=1)
+    p.add_argument("--out", help="write the (range) cube as CSV")
+    p.set_defaults(func=_cmd_cube)
+
+    p = sub.add_parser("stats", help="table shape + trie/H-tree comparison")
+    p.add_argument("table")
+    p.add_argument("--measures", type=int, default=0)
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("query", help="point query against a saved range cube")
+    p.add_argument("cube")
+    p.add_argument(
+        "--bind",
+        action="append",
+        metavar="DIM=CODE",
+        help="bind a dimension index to a value code (repeatable)",
+    )
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("experiment", help="run a paper experiment driver")
+    p.add_argument(
+        "which", choices=("fig8", "fig9", "fig10", "fig11", "weather", "ablations")
+    )
+    p.add_argument("--preset", default="small", choices=("tiny", "small", "paper"))
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("report", help="run every experiment, write a markdown report")
+    p.add_argument("--preset", default="tiny", choices=("tiny", "small", "paper"))
+    p.add_argument("--out", default=None)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("claims", help="check the paper's qualitative claims")
+    p.add_argument("--preset", default="tiny", choices=("tiny", "small", "paper"))
+    p.set_defaults(func=_cmd_claims)
+
+    p = sub.add_parser("advise", help="estimate cube size, recommend a strategy")
+    p.add_argument("table")
+    p.add_argument("--measures", type=int, default=0)
+    p.add_argument("--sample", type=int, default=2000)
+    p.set_defaults(func=_cmd_advise)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

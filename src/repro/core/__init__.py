@@ -1,0 +1,66 @@
+"""The paper's contribution: range trie, range cubing, range cube.
+
+* :mod:`repro.core.range_trie` — the compressed trie of Section 3 and its
+  construction algorithm (paper Algorithm 1);
+* :mod:`repro.core.reduction` — the n-dim -> (n-1)-dim trie reorganization
+  of Section 5.1;
+* :mod:`repro.core.range_cubing` — the cube computation of Section 5
+  (paper Algorithm 2), full and iceberg variants;
+* :mod:`repro.core.range_cube` — the compressed, semantics-preserving cube
+  of Section 4 (ranges, range tuples, expansion);
+* :mod:`repro.core.range_index` — a point-query index over a range cube;
+* :mod:`repro.core.semantics` — the roll-up order between ranges
+  (Theorem 1's semantics preservation, Figure 5's structure);
+* :mod:`repro.core.incremental` — resident-trie incremental maintenance;
+* :mod:`repro.core.display` — Figure 3-style trie rendering;
+* :mod:`repro.core.complex_measures` — AVG-iceberg cubes via the top-k
+  antimonotone surrogate (the H-Cubing paper's complex measures, on the
+  range trie);
+* :mod:`repro.core.serialize` — JSON persistence for tries and cubers.
+"""
+
+from repro.core.complex_measures import TopKAvgAggregator, avg_iceberg_range_cubing
+from repro.core.display import print_trie, trie_to_dot, trie_to_lines
+from repro.core.incremental import IncrementalRangeCuber, range_cubing_from_trie
+from repro.core.range_cube import Range, RangeCube
+from repro.core.range_cubing import range_cubing
+from repro.core.partitioned import build_partitioned, merge_tries
+from repro.core.range_index import RangeCubeIndex
+from repro.core.range_trie import RangeTrie, RangeTrieNode
+from repro.core.reduction import reduce_trie
+from repro.core.serialize import load_cuber, load_trie, save_cuber, save_trie
+from repro.core.semantics import (
+    check_weak_congruence,
+    drill_down_neighbors,
+    range_order_edges,
+    range_rolls_up_to,
+    roll_up_neighbors,
+)
+
+__all__ = [
+    "IncrementalRangeCuber",
+    "TopKAvgAggregator",
+    "avg_iceberg_range_cubing",
+    "build_partitioned",
+    "merge_tries",
+    "load_cuber",
+    "load_trie",
+    "save_cuber",
+    "save_trie",
+    "Range",
+    "RangeCube",
+    "RangeCubeIndex",
+    "RangeTrie",
+    "RangeTrieNode",
+    "check_weak_congruence",
+    "drill_down_neighbors",
+    "print_trie",
+    "range_cubing",
+    "range_cubing_from_trie",
+    "range_order_edges",
+    "range_rolls_up_to",
+    "reduce_trie",
+    "roll_up_neighbors",
+    "trie_to_dot",
+    "trie_to_lines",
+]

@@ -1,0 +1,140 @@
+"""Iceberg cubes with complex (non-antimonotone) measures.
+
+The H-Cubing paper's headline problem — and a natural extension for range
+cubing — is the iceberg condition ``COUNT(*) >= k AND AVG(m) >= v``:
+average is not antimonotone, so it cannot prune subtrees by itself (a
+low-average group may contain a high-average subgroup).  Han et al.'s fix
+is the **top-k average**: the average of a group's ``k`` largest measure
+values *is* antimonotone for this condition — if even the best ``k``
+tuples of a node cannot reach the threshold, no descendant cell (which
+draws from a subset) ever will.
+
+This module carries a bounded top-k list through the range trie's
+aggregate states (merge = merge-and-truncate, still associative and
+commutative, so trie reduction stays sound) and prunes the range-cubing
+traversal with the top-k test while *emitting* only cells that satisfy
+the exact condition.  The brute-force oracle in the tests pins the output
+cell-for-cell.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from repro.core.range_cube import Range, RangeCube
+from repro.core.range_trie import RangeTrie
+from repro.core.reduction import reduce_trie
+from repro.table.aggregates import Aggregator
+from repro.table.base_table import BaseTable
+
+
+class TopKAvgAggregator(Aggregator):
+    """COUNT + SUM + bounded top-k of one measure.
+
+    State: ``(count, sum, topk)`` where ``topk`` is a sorted (descending)
+    tuple of at most ``k`` measure values.  Merging concatenates and
+    re-truncates — associative, commutative, idempotent in shape — so the
+    state is safe for simultaneous aggregation and trie reduction.
+    """
+
+    def __init__(self, k: int, measure_index: int = 0) -> None:
+        super().__init__(())
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self.measure_index = measure_index
+
+    def state_from_row(self, measures: Sequence[float]) -> tuple:
+        value = measures[self.measure_index]
+        return (1, value, (value,))
+
+    def merge(self, a: tuple, b: tuple) -> tuple:
+        merged = heapq.nlargest(self.k, a[2] + b[2])
+        return (a[0] + b[0], a[1] + b[1], tuple(merged))
+
+    def finalize(self, state: tuple) -> dict[str, float]:
+        return {
+            "count": state[0],
+            "sum": state[1],
+            "avg": state[1] / state[0],
+            "top_k_avg": sum(state[2]) / len(state[2]),
+        }
+
+    def top_k_avg(self, state: tuple) -> float:
+        return sum(state[2]) / len(state[2])
+
+    def exact_avg(self, state: tuple) -> float:
+        return state[1] / state[0]
+
+
+def avg_iceberg_range_cubing(
+    table: BaseTable,
+    min_count: int,
+    min_avg: float,
+    measure_index: int = 0,
+) -> RangeCube:
+    """Cells with ``COUNT >= min_count`` and ``AVG(measure) >= min_avg``.
+
+    Pruning: a trie node whose count is below ``min_count``, or whose
+    top-``min_count`` average is below ``min_avg``, cannot contain a
+    qualifying cell anywhere beneath it (any qualifying cell needs at
+    least ``min_count`` tuples, and the best ``min_count`` it could draw
+    are bounded by the node's).  Nodes still participate in reductions —
+    merged nodes can only improve on both tests.
+    """
+    if min_count < 1:
+        raise ValueError("min_count must be at least 1")
+    agg = TopKAvgAggregator(min_count, measure_index)
+    trie = RangeTrie.build(table, agg)
+    out: list[Range] = []
+    n = table.n_dims
+
+    def qualifies(state: tuple) -> bool:
+        return state[0] >= min_count and agg.exact_avg(state) >= min_avg
+
+    def may_contain(state: tuple) -> bool:
+        return state[0] >= min_count and agg.top_k_avg(state) >= min_avg
+
+    if trie.root.agg is not None and qualifies(trie.root.agg):
+        out.append(Range((None,) * n, 0, trie.root.agg))
+
+    def cube(node, specific, mask):
+        while node.children:
+            for child in node.children.values():
+                if not may_contain(child.agg):
+                    continue  # top-k pruning (node still merges in reductions)
+                key = child.key
+                child_specific = specific.copy()
+                child_mask = mask
+                child_specific[key[0][0]] = key[0][1]
+                for dim, value in key[1:]:
+                    child_specific[dim] = value
+                    child_mask |= 1 << dim
+                if qualifies(child.agg):
+                    out.append(Range(tuple(child_specific), child_mask, child.agg))
+                if child.children:
+                    cube(child, child_specific, child_mask)
+            node = reduce_trie(node, agg.merge)
+
+    if trie.root.children:
+        cube(trie.root, [None] * n, 0)
+    return RangeCube(n, agg, out)
+
+
+def avg_iceberg_bruteforce(
+    table: BaseTable,
+    min_count: int,
+    min_avg: float,
+    measure_index: int = 0,
+) -> dict:
+    """Oracle: filter the naive full cube by the exact condition."""
+    from repro.cube.full_cube import compute_full_cube
+    from repro.table.aggregates import SumCountAggregator
+
+    cube = compute_full_cube(table, SumCountAggregator(measure_index))
+    return {
+        cell: state
+        for cell, state in cube.cells()
+        if state[0] >= min_count and state[1] / state[0] >= min_avg
+    }

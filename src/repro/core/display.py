@@ -1,0 +1,88 @@
+"""Rendering helpers for range tries (the paper's Figure 3/6 drawings).
+
+``trie_to_lines`` produces the indented text form used throughout the
+paper — node key, aggregate count — and ``trie_to_dot`` emits Graphviz
+source for the same structure.  Both accept an optional
+:class:`~repro.table.encoding.TableEncoder` (plus dimension names) so the
+output reads ``(store=S1, city=C1):2`` instead of ``(d0=0, d1=0):2``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.range_trie import RangeTrie, RangeTrieNode
+
+
+def _key_label(
+    node: RangeTrieNode,
+    dim_names: Sequence[str] | None,
+    encoder,
+) -> str:
+    parts = []
+    for dim, value in node.key:
+        name = dim_names[dim] if dim_names else f"d{dim}"
+        if encoder is not None:
+            value = encoder.encoders[dim].decode(value)
+        parts.append(f"{name}={value}")
+    return ", ".join(parts)
+
+
+def trie_to_lines(
+    trie: RangeTrie,
+    dim_names: Sequence[str] | None = None,
+    encoder=None,
+) -> list[str]:
+    """The trie as indented text, one node per line (Figure 3 style).
+
+    Children are ordered by start value for deterministic output.
+    """
+    count = trie.aggregator.count
+    lines = [f"(root):{count(trie.root.agg) if trie.root.agg is not None else 0}"]
+
+    def walk(node: RangeTrieNode, depth: int) -> None:
+        label = _key_label(node, dim_names, encoder)
+        lines.append("  " * depth + f"({label}):{count(node.agg)}")
+        for value in sorted(node.children):
+            walk(node.children[value], depth + 1)
+
+    for value in sorted(trie.root.children):
+        walk(trie.root.children[value], 1)
+    return lines
+
+
+def print_trie(trie: RangeTrie, dim_names=None, encoder=None) -> None:
+    """Print the Figure 3-style indented rendering of ``trie``."""
+    for line in trie_to_lines(trie, dim_names, encoder):
+        print(line)
+
+
+def trie_to_dot(
+    trie: RangeTrie,
+    dim_names: Sequence[str] | None = None,
+    encoder=None,
+    graph_name: str = "range_trie",
+) -> str:
+    """Graphviz DOT source for the trie."""
+    count = trie.aggregator.count
+    lines = [f"digraph {graph_name} {{", "  node [shape=box];"]
+    counter = [0]
+
+    def node_id() -> str:
+        counter[0] += 1
+        return f"n{counter[0]}"
+
+    def emit(node: RangeTrieNode, parent_id: str) -> None:
+        this_id = node_id()
+        label = _key_label(node, dim_names, encoder) or "()"
+        lines.append(f'  {this_id} [label="({label}):{count(node.agg)}"];')
+        lines.append(f"  {parent_id} -> {this_id};")
+        for value in sorted(node.children):
+            emit(node.children[value], this_id)
+
+    root_count = count(trie.root.agg) if trie.root.agg is not None else 0
+    lines.append(f'  n0 [label="(root):{root_count}"];')
+    for value in sorted(trie.root.children):
+        emit(trie.root.children[value], "n0")
+    lines.append("}")
+    return "\n".join(lines)

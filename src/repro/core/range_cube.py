@@ -1,0 +1,234 @@
+"""The range cube: a convex, semantics-preserving partition of all cells.
+
+A *range* ``[general, specific]`` (paper Definition 2) stands for every
+cell ``c`` with ``general ⪯ c ⪯ specific``; all of them share one
+aggregation value (paper Lemma 3), so one *range tuple* (Definition 6)
+represents them losslessly.  A coordinate of a range tuple is
+
+* ``v``  — fixed: bound to ``v`` in both endpoints;
+* ``v'`` — marked: ``*`` in the general endpoint, ``v`` in the specific
+  one, i.e. the represented cells may bind it or not;
+* ``*``  — free in both endpoints.
+
+We store a range as its *specific* endpoint plus a bitmask of marked
+dimensions; the general endpoint is derived.  A range with ``m`` marked
+dimensions covers ``2**m`` cells.
+
+A :class:`RangeCube` is a list of pairwise-disjoint ranges covering every
+cell of the full cube exactly once — a *convex partition* in the sense of
+Lakshmanan et al., which is what preserves roll-up/drill-down semantics
+(paper Theorem 1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cube.cell import Cell
+from repro.cube.full_cube import MaterializedCube
+from repro.table.aggregates import Aggregator
+
+
+class Range:
+    """One range: specific endpoint, marked-dimension mask, aggregate state."""
+
+    __slots__ = ("specific", "mask", "state")
+
+    def __init__(self, specific: Cell, mask: int, state) -> None:
+        self.specific = specific
+        self.mask = mask
+        self.state = state
+
+    @property
+    def general(self) -> Cell:
+        """The general endpoint: marked dimensions relaxed to ``*``."""
+        return tuple(
+            None if self.mask >> i & 1 else v for i, v in enumerate(self.specific)
+        )
+
+    @property
+    def n_marked(self) -> int:
+        return self.mask.bit_count()
+
+    @property
+    def n_cells(self) -> int:
+        """Number of cells this range represents (``2**marked``)."""
+        return 1 << self.mask.bit_count()
+
+    def contains(self, cell: Cell) -> bool:
+        """Membership test ``general ⪯ cell ⪯ specific``."""
+        for i, v in enumerate(self.specific):
+            c = cell[i]
+            if self.mask >> i & 1:
+                if c is not None and c != v:
+                    return False
+            elif c != v:
+                return False
+        return True
+
+    def cells(self) -> Iterator[Cell]:
+        """Every represented cell, by expanding subsets of the marked dims."""
+        marked = [i for i in range(len(self.specific)) if self.mask >> i & 1]
+        base = list(self.general)
+        for subset in range(1 << len(marked)):
+            cell = base[:]
+            for j, dim in enumerate(marked):
+                if subset >> j & 1:
+                    cell[dim] = self.specific[dim]
+            yield tuple(cell)
+
+    def to_string(self, decode=None) -> str:
+        """The paper's range-tuple notation, e.g. ``(S1, C1', *, D1)``."""
+        parts = []
+        for i, v in enumerate(self.specific):
+            if v is None:
+                parts.append("*")
+                continue
+            text = str(v)
+            if decode is not None and hasattr(decode, "encoders"):
+                text = str(decode.encoders[i].decode(v))
+            parts.append(text + "'" if self.mask >> i & 1 else text)
+        return "(" + ", ".join(parts) + ")"
+
+    def __repr__(self) -> str:
+        return f"Range{self.to_string()}"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Range)
+            and self.specific == other.specific
+            and self.mask == other.mask
+            and self.state == other.state
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.specific, self.mask))
+
+
+class RangeCube:
+    """The output of range cubing: disjoint ranges partitioning the cube."""
+
+    def __init__(self, n_dims: int, aggregator: Aggregator, ranges: list[Range]) -> None:
+        self.n_dims = n_dims
+        self.aggregator = aggregator
+        self.ranges = ranges
+        self._index = None
+
+    # -- size ------------------------------------------------------------
+
+    @property
+    def n_ranges(self) -> int:
+        """The paper's "number of tuples in the range cube"."""
+        return len(self.ranges)
+
+    def __len__(self) -> int:
+        return len(self.ranges)
+
+    @property
+    def n_cells(self) -> int:
+        """Number of cells represented — the full cube's size when complete.
+
+        Valid because the ranges are disjoint: the sizes simply add up.
+        """
+        return sum(1 << r.mask.bit_count() for r in self.ranges)
+
+    def tuple_ratio(self, full_cube_cells: int | None = None) -> float:
+        """Range-cube tuples over full-cube cells (paper's space metric)."""
+        total = full_cube_cells if full_cube_cells is not None else self.n_cells
+        return self.n_ranges / total if total else 1.0
+
+    # -- access ----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Range]:
+        return iter(self.ranges)
+
+    def expand(self) -> Iterator[tuple[Cell, tuple]]:
+        """Every (cell, aggregate state) pair — the uncompressed cube."""
+        for r in self.ranges:
+            for cell in r.cells():
+                yield cell, r.state
+
+    def cuboid(self, mask: int) -> dict[Cell, tuple]:
+        """All cells of one cuboid (dimension bitmask), without full expansion.
+
+        A range contributes to cuboid ``mask`` exactly when its fixed
+        dimensions are all in ``mask`` and ``mask`` is covered by fixed
+        plus marked dimensions — in that case it contributes the single
+        cell that binds ``mask``'s dimensions to the specific endpoint.
+        Cost is one pass over the ranges, independent of cube size.
+        """
+        out: dict[Cell, tuple] = {}
+        n = self.n_dims
+        for r in self.ranges:
+            fixed = 0
+            bound = 0
+            for i, v in enumerate(r.specific):
+                if v is not None:
+                    bound |= 1 << i
+                    if not r.mask >> i & 1:
+                        fixed |= 1 << i
+            if fixed & ~mask or mask & ~bound:
+                continue
+            cell = tuple(
+                r.specific[i] if mask >> i & 1 else None for i in range(n)
+            )
+            out[cell] = r.state
+        return out
+
+    def cuboid_sizes(self) -> dict[int, int]:
+        """Cells per cuboid mask, computed range-by-range (no expansion)."""
+        sizes: dict[int, int] = {}
+        for r in self.ranges:
+            fixed = 0
+            marked_dims = []
+            for i, v in enumerate(r.specific):
+                if v is None:
+                    continue
+                if r.mask >> i & 1:
+                    marked_dims.append(i)
+                else:
+                    fixed |= 1 << i
+            for subset in range(1 << len(marked_dims)):
+                mask = fixed
+                for j, dim in enumerate(marked_dims):
+                    if subset >> j & 1:
+                        mask |= 1 << dim
+                sizes[mask] = sizes.get(mask, 0) + 1
+        return sizes
+
+    def to_materialized(self) -> MaterializedCube:
+        """Expand into a plain cell dictionary (for tests and small cubes)."""
+        return MaterializedCube(self.n_dims, self.aggregator, dict(self.expand()))
+
+    def lookup(self, cell: Cell):
+        """Aggregate state of ``cell``, or None if the cell is empty.
+
+        Delegates to a lazily built :class:`~repro.core.range_index.RangeCubeIndex`.
+        """
+        if self._index is None:
+            from repro.core.range_index import RangeCubeIndex
+
+            self._index = RangeCubeIndex(self)
+        found = self._index.find(cell)
+        return None if found is None else found.state
+
+    def range_of(self, cell: Cell):
+        """The unique range containing ``cell`` (None if the cell is empty)."""
+        if self._index is None:
+            from repro.core.range_index import RangeCubeIndex
+
+            self._index = RangeCubeIndex(self)
+        return self._index.find(cell)
+
+    def value(self, cell: Cell) -> dict[str, float] | None:
+        state = self.lookup(cell)
+        return None if state is None else self.aggregator.finalize(state)
+
+    # -- presentation ----------------------------------------------------
+
+    def sorted_strings(self, decode=None, limit: int | None = None) -> list[str]:
+        lines = sorted(r.to_string(decode) for r in self.ranges)
+        return lines if limit is None else lines[:limit]
+
+    def __repr__(self) -> str:
+        return f"RangeCube({self.n_ranges} ranges over {self.n_dims} dims)"

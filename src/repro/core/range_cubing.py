@@ -1,0 +1,140 @@
+"""Range cubing (paper Section 5, Algorithm 2).
+
+The algorithm walks a range trie depth-first, emitting one range per node,
+then reorganizes the trie from ``n`` dimensions to ``n-1`` and repeats —
+at every level of the recursion.  For a node whose key is
+``(a_i1, a_i2, ..., a_ik)`` with start value ``a_i1``:
+
+* the *general* endpoint binds the start values of the node and its
+  ancestors (within the current trie context);
+* the *specific* endpoint additionally binds every non-start key value —
+  the values *implied* by the start values (paper Lemma 2);
+
+so the emitted range covers exactly the cells of paper Lemma 3, all with
+the node's aggregate.  Each node is aggregated once during construction or
+reduction and never re-aggregated — the paper's simultaneous-aggregation
+argument — and a node whose tuple count misses an iceberg threshold prunes
+its whole branch (Apriori pruning), while still participating in trie
+reductions, whose merged nodes can only have larger counts.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.core.range_cube import Range, RangeCube
+from repro.core.range_trie import RangeTrie, RangeTrieNode
+from repro.core.reduction import reduce_trie
+from repro.table.aggregates import Aggregator, default_aggregator
+from repro.table.base_table import BaseTable
+
+
+def range_cubing(
+    table: BaseTable,
+    aggregator: Aggregator | None = None,
+    order: Sequence[int] | None = None,
+    min_support: int = 1,
+) -> RangeCube:
+    """Compute the range cube of ``table``.
+
+    ``order`` optionally permutes the dimension order used by the trie
+    (e.g. ``table.schema.cardinality_descending_order()``, the paper's
+    preferred order); the returned ranges are always expressed in the
+    table's *original* dimension order.  ``min_support`` > 1 computes the
+    iceberg range cube: only ranges whose count reaches the threshold.
+    """
+    cube, _ = range_cubing_detailed(table, aggregator, order, min_support)
+    return cube
+
+
+def range_cubing_detailed(
+    table: BaseTable,
+    aggregator: Aggregator | None = None,
+    order: Sequence[int] | None = None,
+    min_support: int = 1,
+) -> tuple[RangeCube, dict[str, float]]:
+    """Like :func:`range_cubing` but also returns harness statistics.
+
+    The stats dict carries the initial trie's node counts (the paper's
+    node-ratio ingredient) and the build/traversal split of the run time.
+    """
+    agg = aggregator or default_aggregator(table.n_measures)
+    working = table if order is None else table.reordered(order)
+
+    t0 = time.perf_counter()
+    trie = RangeTrie.build(working, agg)
+    t1 = time.perf_counter()
+    ranges = _traverse(trie, agg, min_support)
+    t2 = time.perf_counter()
+
+    if order is not None:
+        ranges = [_remap_range(r, order) for r in ranges]
+    stats = {
+        "trie_nodes": trie.n_nodes(),
+        "trie_interior": trie.n_interior(),
+        "trie_leaves": trie.n_leaves(),
+        "build_seconds": t1 - t0,
+        "traverse_seconds": t2 - t1,
+        "total_seconds": t2 - t0,
+    }
+    return RangeCube(table.n_dims, agg, ranges), stats
+
+
+def _traverse(trie: RangeTrie, agg: Aggregator, min_support: int) -> list[Range]:
+    """Algorithm 2: emit one range per node over successive trie reductions."""
+    n = trie.n_dims
+    ranges: list[Range] = []
+    if trie.root.agg is not None and agg.count(trie.root.agg) >= min_support:
+        # The apex cell (*, ..., *) is its own single-cell range.
+        ranges.append(Range((None,) * n, 0, trie.root.agg))
+    if trie.root.children:
+        _cube(trie.root, [None] * n, 0, ranges, agg, min_support)
+    return ranges
+
+
+def _cube(
+    node: RangeTrieNode,
+    specific: list,
+    mask: int,
+    out: list[Range],
+    agg: Aggregator,
+    min_support: int,
+) -> None:
+    """Process the trie rooted at ``node`` within the given cell context.
+
+    ``specific``/``mask`` carry the ancestor context: the key values bound
+    so far and which of them are marked (non-start, i.e. implied).  The
+    while loop is the per-level dimension iteration of Algorithm 2: emit
+    ranges for the current start dimension, then reduce the trie and move
+    to the next one.
+    """
+    count = agg.count
+    merge = agg.merge
+    while node.children:
+        for child in node.children.values():
+            if min_support > 1 and count(child.agg) < min_support:
+                continue  # Apriori pruning; the child still merges into reductions
+            key = child.key
+            child_specific = specific.copy()
+            child_mask = mask
+            child_specific[key[0][0]] = key[0][1]
+            for dim, value in key[1:]:
+                child_specific[dim] = value
+                child_mask |= 1 << dim
+            out.append(Range(tuple(child_specific), child_mask, child.agg))
+            if child.children:
+                _cube(child, child_specific, child_mask, out, agg, min_support)
+        node = reduce_trie(node, merge)
+
+
+def _remap_range(r: Range, order: Sequence[int]) -> Range:
+    """Translate a range from permuted dimension space back to the original."""
+    n = len(r.specific)
+    specific = [None] * n
+    mask = 0
+    for new_dim, old_dim in enumerate(order):
+        specific[old_dim] = r.specific[new_dim]
+        if r.mask >> new_dim & 1:
+            mask |= 1 << old_dim
+    return Range(tuple(specific), mask, r.state)

@@ -1,0 +1,63 @@
+"""Point-query index over a range cube.
+
+The paper notes (Section 4) that a range cube preserves the native tuple
+format of a data cube, so index structures apply to it naturally; the
+related quotient-cube work indexes cell classes with a QC-tree.  Here we
+provide the analogous capability for ranges: finding, for an arbitrary
+query cell, the unique range that contains it.
+
+A cell ``q`` belongs to range ``r`` exactly when ``q`` is obtained from
+``r``'s general endpoint by binding some subset of ``r``'s *marked*
+dimensions — equivalently, ``r``'s general endpoint is ``q`` with some
+subset of ``q``'s bound dimensions relaxed to ``*``.  The index therefore
+hashes ranges by their general endpoint and probes the ``2**m`` candidate
+generalizations of an ``m``-dimensional query cell, verifying each hit
+against the specific endpoint.  Typical analytical queries bind few
+dimensions, so the probe count stays small; a guard refuses pathologically
+wide query cells instead of silently exploding.
+"""
+
+from __future__ import annotations
+
+from repro.core.range_cube import Range, RangeCube
+from repro.cube.cell import Cell, bound_dims
+
+#: Refuse to probe more than 2**MAX_PROBE_DIMS generalizations per lookup.
+MAX_PROBE_DIMS = 24
+
+
+class RangeCubeIndex:
+    """Hash index from general endpoints to ranges."""
+
+    def __init__(self, cube: RangeCube) -> None:
+        self.cube = cube
+        self._by_general: dict[Cell, list[Range]] = {}
+        for r in cube.ranges:
+            self._by_general.setdefault(r.general, []).append(r)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_general.values())
+
+    def find(self, cell: Cell) -> Range | None:
+        """The unique range containing ``cell`` (None if the cell is empty)."""
+        if len(cell) != self.cube.n_dims:
+            raise ValueError(
+                f"query cell has {len(cell)} dims, cube has {self.cube.n_dims}"
+            )
+        bound = bound_dims(cell)
+        if len(bound) > MAX_PROBE_DIMS:
+            # Fall back to a scan rather than enumerating 2**m subsets.
+            for r in self.cube.ranges:
+                if r.contains(cell):
+                    return r
+            return None
+        base = list(cell)
+        for subset in range(1 << len(bound)):
+            candidate = base[:]
+            for j, dim in enumerate(bound):
+                if subset >> j & 1:
+                    candidate[dim] = None
+            for r in self._by_general.get(tuple(candidate), ()):
+                if r.contains(cell):
+                    return r
+        return None

@@ -1,0 +1,290 @@
+"""The range trie (paper Section 3, Definition 4, Algorithm 1).
+
+A range trie compresses a base table by storing, in every node, the *set*
+of dimension values shared by all tuples below it — not just a shared
+prefix, as the H-tree and star-tree do.  A node's key is a set of
+``(dimension, value)`` pairs; the smallest dimension in a node's subtree is
+its *start dimension*, siblings carry distinct values on their (common)
+start dimension, and the start-dimension values along a root-to-node path
+jointly *imply* every non-start value stored on that path (paper Lemma 2).
+That implication is exactly the data correlation range cubing exploits: all
+cells between "start values only" and "every value on the path" share one
+aggregation value (paper Lemma 3).
+
+Construction (paper Algorithm 1, reproduced here verbatim in structure)
+inserts one tuple at a time, peeling off matched common values and
+restructuring a node when some of its key values are *not* shared with the
+incoming tuple:
+
+* if the unmatched values sit on dimensions larger than the node's
+  children's start dimension, they are *appended* to every child's key;
+* otherwise the node is *split*: a new interior node takes the unmatched
+  values and the old children, and a new leaf takes the remainder of the
+  tuple.
+
+The resulting trie is invariant to tuple insertion order (tested by
+property tests), which also makes it a canonical form for the reduction
+step of range cubing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.table.aggregates import Aggregator, default_aggregator
+from repro.table.base_table import BaseTable
+
+#: A node key: ``((dim, value), ...)`` sorted by dimension index.
+Key = tuple  # tuple[tuple[int, int], ...]
+
+
+def merge_key(a: Key, b: Sequence[tuple[int, int]]) -> Key:
+    """Merge two dimension-disjoint keys, keeping dimension order."""
+    merged = sorted((*a, *b))
+    return tuple(merged)
+
+
+class RangeTrieNode:
+    """One node: a key of shared (dim, value) pairs, children, an aggregate.
+
+    ``children`` maps each child's start-dimension *value* to the child;
+    all children of one node share the same start *dimension* (paper
+    Proposition 1), so the value alone identifies the branch.
+    """
+
+    __slots__ = ("key", "children", "agg")
+
+    def __init__(self, key: Key, children: dict | None, agg) -> None:
+        self.key = key
+        self.children = children if children is not None else {}
+        self.agg = agg
+
+    @property
+    def start_dim(self) -> int:
+        return self.key[0][0]
+
+    @property
+    def start_value(self) -> int:
+        return self.key[0][1]
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def __repr__(self) -> str:
+        key = ",".join(f"d{d}={v}" for d, v in self.key)
+        return f"<node ({key}) children={len(self.children)}>"
+
+
+class RangeTrie:
+    """A range trie over all dimensions of a base table.
+
+    The root's key is empty (the paper's convention); every tuple's values
+    are distributed over the keys of one root-to-leaf path.
+    """
+
+    def __init__(self, n_dims: int, aggregator: Aggregator) -> None:
+        self.n_dims = n_dims
+        self.aggregator = aggregator
+        self.root = RangeTrieNode((), {}, None)
+
+    # ------------------------------------------------------------------
+    # construction (paper Algorithm 1)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        table: BaseTable,
+        aggregator: Aggregator | None = None,
+    ) -> "RangeTrie":
+        """One scan over ``table``, inserting every tuple (Algorithm 1).
+
+        The trie follows the table's dimension order; callers wanting a
+        different order reorder the table first (``table.reordered``).
+        """
+        agg = aggregator or default_aggregator(table.n_measures)
+        trie = cls(table.n_dims, agg)
+        state_from_row = agg.state_from_row
+        dims = range(table.n_dims)
+        for row, measures in zip(table.dim_rows(), table.measure_rows()):
+            pairs = [(d, row[d]) for d in dims]
+            trie._insert(row.__getitem__, pairs, state_from_row(measures))
+        return trie
+
+    def insert_assignment(self, pairs: Sequence[tuple[int, int]], state) -> None:
+        """Insert one pre-aggregated tuple given as sorted (dim, value) pairs.
+
+        Used by the reference (rebuild-based) trie reduction and by tests;
+        ``pairs`` must cover every dimension of the trie exactly once.
+        """
+        values = dict(pairs)
+        self._insert(values.__getitem__, sorted(pairs), state)
+
+    def _insert(
+        self,
+        value_of: Callable[[int], int],
+        remaining: list[tuple[int, int]],
+        state,
+    ) -> None:
+        merge = self.aggregator.merge
+        node = self.root
+        node.agg = state if node.agg is None else merge(node.agg, state)
+        while remaining:
+            child = node.children.get(remaining[0][1])
+            if child is None:
+                # No branch shares the tuple's start value: new leaf with
+                # every remaining value as its key (Algorithm 1 lines 6-8).
+                node.children[remaining[0][1]] = RangeTrieNode(tuple(remaining), {}, state)
+                return
+            ckey = child.key
+            common = [p for p in ckey if value_of(p[0]) == p[1]]
+            if len(common) == len(ckey):
+                # Whole key shared: descend with the unconsumed values
+                # (Algorithm 1 lines 10-11, 24).
+                consumed = {p[0] for p in ckey}
+                remaining = [p for p in remaining if p[0] not in consumed]
+                child.agg = merge(child.agg, state)
+                node = child
+                continue
+            # Some key values are not shared with this tuple: restructure
+            # (Algorithm 1 lines 12-23).
+            diff = [p for p in ckey if value_of(p[0]) != p[1]]
+            common_dims = {p[0] for p in common}
+            remaining = [p for p in remaining if p[0] not in common_dims]
+            if child.children and diff[0][0] > next(iter(child.children.values())).start_dim:
+                # The unmatched dimensions all come after the children's
+                # start dimension: push them down into every child's key
+                # (line 16) and keep inserting below this node.
+                for grandchild in child.children.values():
+                    grandchild.key = merge_key(grandchild.key, diff)
+                child.key = tuple(common)
+                child.agg = merge(child.agg, state)
+                node = child
+                continue
+            # Split: the unmatched values move to a new interior node that
+            # inherits the old children; the tuple's remainder becomes a
+            # new leaf (lines 18-21).
+            old_branch = RangeTrieNode(tuple(diff), child.children, child.agg)
+            new_leaf = RangeTrieNode(tuple(remaining), {}, state)
+            child.key = tuple(common)
+            child.children = {
+                old_branch.start_value: old_branch,
+                new_leaf.start_value: new_leaf,
+            }
+            child.agg = merge(child.agg, state)
+            return
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def total_agg(self):
+        """Aggregate state over the whole table (the apex cell's value)."""
+        return self.root.agg
+
+    def n_nodes(self) -> int:
+        """Number of nodes excluding the (empty-key) root.
+
+        This is the paper's *node count* metric: the number of recursive
+        calls of range cubing equals the number of interior nodes, and the
+        node ratio against the H-tree indicates memory demand.
+        """
+        return sum(1 for _ in self.iter_nodes())
+
+    def n_leaves(self) -> int:
+        return sum(1 for n in self.iter_nodes() if n.is_leaf)
+
+    def n_interior(self) -> int:
+        return sum(1 for n in self.iter_nodes() if not n.is_leaf)
+
+    def max_depth(self) -> int:
+        """Longest root-to-leaf path length (paper: bounded by n_dims)."""
+
+        def depth(node: RangeTrieNode) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(depth(c) for c in node.children.values())
+
+        return depth(self.root)
+
+    def iter_nodes(self) -> Iterator[RangeTrieNode]:
+        """All non-root nodes, depth-first."""
+        stack = list(self.root.children.values())
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def leaf_assignments(self) -> Iterator[tuple[dict[int, int], object]]:
+        """Per leaf: the full {dim: value} assignment along its path + agg.
+
+        Duplicated base tuples appear once, pre-aggregated — this is the
+        trie's lossless summary of the table and the input to the
+        reference (rebuild) reduction.
+        """
+
+        def walk(node: RangeTrieNode, acc: dict[int, int]) -> Iterator:
+            acc = {**acc, **dict(node.key)}
+            if node.is_leaf:
+                yield acc, node.agg
+            else:
+                for child in node.children.values():
+                    yield from walk(child, acc)
+
+        for child in self.root.children.values():
+            yield from walk(child, {})
+
+    # ------------------------------------------------------------------
+    # invariant checking (used by the test suite)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify Definition 4 plus the derived properties of Section 3.
+
+        Raises ``AssertionError`` with a description on the first violation.
+        """
+        count = self.aggregator.count
+
+        def walk(node: RangeTrieNode, used_dims: set[int], min_start: int) -> None:
+            assert node.key, "non-root node with empty key"
+            dims = [d for d, _ in node.key]
+            assert dims == sorted(dims), f"key not dimension-sorted: {node.key}"
+            assert len(set(dims)) == len(dims), f"duplicate dims in key: {node.key}"
+            assert not used_dims.intersection(dims), (
+                f"key {node.key} repeats an ancestor dimension"
+            )
+            assert node.start_dim > min_start, (
+                f"start dim {node.start_dim} not larger than ancestor start {min_start}"
+            )
+            if node.children:
+                starts = {c.start_dim for c in node.children.values()}
+                assert len(starts) == 1, f"children disagree on start dim: {starts}"
+                values = [c.start_value for c in node.children.values()]
+                assert len(set(values)) == len(values), "sibling start values collide"
+                assert len(node.children) >= 2, (
+                    "interior node with a single child (should have merged keys)"
+                )
+                for value, child in node.children.items():
+                    assert value == child.start_value, "children dict mis-keyed"
+                child_total = None
+                for child in node.children.values():
+                    child_total = (
+                        child.agg
+                        if child_total is None
+                        else self.aggregator.merge(child_total, child.agg)
+                    )
+                assert count(child_total) == count(node.agg), (
+                    f"node count {count(node.agg)} != children sum {count(child_total)}"
+                )
+                for child in node.children.values():
+                    walk(child, used_dims.union(dims), node.start_dim)
+
+        root = self.root
+        assert root.key == (), "root key must be empty"
+        if root.children:
+            starts = {c.start_dim for c in root.children.values()}
+            assert len(starts) == 1, f"root children disagree on start dim: {starts}"
+            for child in root.children.values():
+                walk(child, set(), -1)

@@ -1,0 +1,119 @@
+"""Trie reduction: reorganizing an n-dim range trie into an (n-1)-dim one.
+
+This is the transformation of paper Section 5.1 (Figure 6(d)): after the
+traversal of a trie over dimensions ``(A1, ..., An)`` has produced every
+range binding ``A1``, the trie is reorganized into one over
+``(A2, ..., An)``:
+
+1. every root child drops its ``A1`` value (set to ``*``);
+2. a child whose remaining key does not expose the new start dimension
+   ``A2`` pushes its key values down (either wrapping its children or
+   appending to their keys) so its children surface;
+3. surfaced siblings that now share the same ``A2`` value are merged,
+   re-extracting the dimension values they have in common.
+
+Everything here is **non-destructive**: reorganization allocates fresh
+nodes and shares untouched sub-tries, because the recursive step of range
+cubing (Algorithm 2) walks into children of the *original* trie after the
+parent level has conceptually moved on.
+
+``rebuild_reduced`` is the slow reference implementation — it projects the
+trie's leaf assignments onto the remaining dimensions and rebuilds with
+Algorithm 1.  The range trie is canonical (insertion-order invariant), so
+the property test ``merge reduction == rebuild`` pins the fast path down.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.range_trie import RangeTrie, RangeTrieNode, merge_key
+from repro.table.aggregates import Aggregator
+
+
+def _surface_candidates(
+    residual: Sequence[tuple[int, int]],
+    children: dict,
+    agg,
+) -> list[RangeTrieNode]:
+    """Nodes exposing the subtree ``residual + children`` at its start dim.
+
+    ``residual`` holds (dim, value) pairs that used to sit *above*
+    ``children``.  The returned nodes all have keys beginning at the true
+    start dimension of the combined subtree:
+
+    * no residual: the children already surface it;
+    * no children: the residual becomes a leaf;
+    * residual starts below the children's start dimension: wrap;
+    * otherwise: append the residual to every child's key (fresh nodes,
+      grandchildren shared).
+    """
+    if not residual:
+        return list(children.values())
+    if not children:
+        return [RangeTrieNode(tuple(residual), {}, agg)]
+    child_start = next(iter(children.values())).key[0][0]
+    if residual[0][0] < child_start:
+        return [RangeTrieNode(tuple(residual), children, agg)]
+    return [
+        RangeTrieNode(merge_key(child.key, residual), child.children, child.agg)
+        for child in children.values()
+    ]
+
+
+def merge_nodes(a: RangeTrieNode, b: RangeTrieNode, merge_agg: Callable) -> RangeTrieNode:
+    """Merge two range-trie nodes that share their start (dim, value) pair.
+
+    The merged node keeps exactly the (dim, value) pairs common to both
+    keys — the values still shared by *all* tuples underneath — and the
+    leftovers of each side are surfaced and merged recursively.  This is
+    the same "find the common dimension values" step Algorithm 1 performs
+    during insertion, applied trie-to-trie.
+    """
+    b_key_set = set(b.key)
+    common = tuple(p for p in a.key if p in b_key_set)
+    common_set = set(common)
+    a_res = [p for p in a.key if p not in common_set]
+    b_res = [p for p in b.key if p not in common_set]
+    candidates = _surface_candidates(a_res, a.children, a.agg)
+    candidates += _surface_candidates(b_res, b.children, b.agg)
+    children: dict[int, RangeTrieNode] = {}
+    get = children.get
+    for cand in candidates:
+        value = cand.key[0][1]
+        present = get(value)
+        children[value] = cand if present is None else merge_nodes(present, cand, merge_agg)
+    return RangeTrieNode(common, children, merge_agg(a.agg, b.agg))
+
+
+def reduce_trie(root: RangeTrieNode, merge_agg: Callable) -> RangeTrieNode:
+    """Drop the start dimension of ``root``'s children; return a new root.
+
+    The new root's children form the range trie of the same tuples
+    projected onto the remaining dimensions.  ``root`` and its descendants
+    are never modified.
+    """
+    candidates: list[RangeTrieNode] = []
+    for child in root.children.values():
+        stripped = list(child.key[1:])
+        candidates.extend(_surface_candidates(stripped, child.children, child.agg))
+    children: dict[int, RangeTrieNode] = {}
+    get = children.get
+    for cand in candidates:
+        value = cand.key[0][1]
+        present = get(value)
+        children[value] = cand if present is None else merge_nodes(present, cand, merge_agg)
+    return RangeTrieNode((), children, root.agg)
+
+
+def rebuild_reduced(trie: RangeTrie, drop_dim: int, aggregator: Aggregator) -> RangeTrie:
+    """Reference reduction: project leaves onto the remaining dims, rebuild.
+
+    Only used for testing the fast merge-based :func:`reduce_trie`; it is
+    quadratically slower but unarguably correct.
+    """
+    reduced = RangeTrie(trie.n_dims, aggregator)
+    for assignment, agg in trie.leaf_assignments():
+        pairs = sorted((d, v) for d, v in assignment.items() if d != drop_dim)
+        reduced.insert_assignment(pairs, agg)
+    return reduced

@@ -1,0 +1,139 @@
+"""Semantics preservation: the partial order between ranges (paper §4).
+
+Theorem 1 states that a range cube preserves the roll-up/drill-down
+semantics of the data cube: because the partition is *convex*, the cell
+partial order induces a well-defined order between the parts themselves
+(Lakshmanan et al.'s weak-congruence argument).  Figure 5 draws exactly
+this: the five ranges with Store = S1 arranged by roll-up edges.
+
+This module materializes that structure:
+
+* :func:`range_rolls_up_to` — the induced relation between two ranges
+  (some cell of the first rolls up to some cell of the second);
+* :func:`range_order_edges` — the covering edges among a cube's ranges,
+  i.e. Figure 5 as a graph;
+* :func:`roll_up_neighbors` / :func:`drill_down_neighbors` — one-step
+  navigation from a range, the range-level analogue of cube browsing;
+* :func:`check_weak_congruence` — the property behind Theorem 1, used by
+  the test suite: whenever a cell of range A rolls up to a cell of range
+  B, *every* cell of A must roll up to some cell of B (and into B only).
+
+All of this works on the expanded cell sets, so it is meant for
+interactive navigation and verification, not for bulk computation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.range_cube import Range, RangeCube
+from repro.cube.cell import Cell, bound_dims, roll_up, specializes
+
+
+def range_rolls_up_to(a: Range, b: Range) -> bool:
+    """True when some cell of ``a`` specializes some cell of ``b``.
+
+    For convex parts this is equivalent to ``a``'s most specific cell
+    specializing ``b``'s most general cell on ``b``'s fixed dimensions —
+    checked directly on the endpoints, no expansion needed.
+    """
+    return specializes(a.specific, b.general)
+
+
+def range_order_edges(cube: RangeCube) -> list[tuple[int, int]]:
+    """Direct (one-cell-step) roll-up edges between ranges, by index.
+
+    Edge ``(i, j)`` means: some cell of range ``i``, generalized on one
+    dimension, lands in range ``j``.  This is the granularity Figure 5
+    draws.  Cost is O(ranges x cells-per-range x dims); intended for
+    small-to-medium cubes.
+    """
+    owner: dict[Cell, int] = {}
+    for index, r in enumerate(cube.ranges):
+        for cell in r.cells():
+            owner[cell] = index
+    edges: set[tuple[int, int]] = set()
+    for cell, index in owner.items():
+        for dim in bound_dims(cell):
+            parent = roll_up(cell, dim)
+            parent_index = owner.get(parent)
+            if parent_index is not None and parent_index != index:
+                edges.add((index, parent_index))
+    return sorted(edges)
+
+
+def roll_up_neighbors(cube: RangeCube, r: Range) -> list[Range]:
+    """Ranges reachable by generalizing one dimension of one cell of ``r``."""
+    neighbors: list[Range] = []
+    seen = {id(r)}
+    for cell in r.cells():
+        for dim in bound_dims(cell):
+            found = cube.range_of(roll_up(cell, dim))
+            if found is not None and id(found) not in seen:
+                seen.add(id(found))
+                neighbors.append(found)
+    return neighbors
+
+
+def drill_down_neighbors(cube: RangeCube, r: Range) -> list[Range]:
+    """Ranges whose cells specialize a cell of ``r`` by one dimension.
+
+    Implemented by scanning the cube's ranges once (the inverse relation
+    has no endpoint shortcut without an index over free dimensions).
+    """
+    neighbors: list[Range] = []
+    for other in cube.ranges:
+        if other is r:
+            continue
+        if range_rolls_up_to(other, r) and _one_step_apart(other, r):
+            neighbors.append(other)
+    return neighbors
+
+
+def _one_step_apart(lower: Range, upper: Range) -> bool:
+    """True when some cell of ``lower`` is one roll-up from a cell of ``upper``."""
+    upper_cells = set(upper.cells())
+    for cell in lower.cells():
+        for dim in bound_dims(cell):
+            if roll_up(cell, dim) in upper_cells:
+                return True
+    return False
+
+
+def check_weak_congruence(cube: RangeCube) -> None:
+    """Verify the Theorem 1 property on an expanded cube.
+
+    For every cell ``c`` and every one-step roll-up ``c'`` of it: the part
+    containing ``c'`` must be the same for all cells of ``c``'s part that
+    admit the same generalization pattern... in weak-congruence terms it
+    suffices that the partition is convex: if ``a ⪯ c ⪯ b`` with ``a, b``
+    in one part then ``c`` is in that part too.  Raises AssertionError on
+    the first violation.
+    """
+    owner: dict[Cell, int] = {}
+    for index, r in enumerate(cube.ranges):
+        for cell in r.cells():
+            assert cell not in owner, f"cell {cell} in two ranges"
+            owner[cell] = index
+    for index, r in enumerate(cube.ranges):
+        for cell in _between(r.general, r.specific):
+            assert owner.get(cell) == index, (
+                f"convexity violated: {cell} lies between the endpoints of "
+                f"range {index} but belongs to {owner.get(cell)}"
+            )
+
+
+def _between(general: Cell, specific: Cell) -> Iterator[Cell]:
+    """All cells c with general ⪯ c ⪯ specific."""
+    free = [
+        i
+        for i, (g, s) in enumerate(zip(general, specific))
+        if g is None and s is not None
+    ]
+    base = list(general)
+    for subset in range(1 << len(free)):
+        cell = base[:]
+        for j, dim in enumerate(free):
+            if subset >> j & 1:
+                cell[dim] = specific[dim]
+        yield tuple(cell)

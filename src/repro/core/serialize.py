@@ -1,0 +1,125 @@
+"""JSON persistence for range tries (and cuber state).
+
+An :class:`~repro.core.incremental.IncrementalRangeCuber` is only useful
+if its resident trie survives process restarts.  This module serializes a
+range trie to a compact JSON document — nested ``[key, agg, children]``
+triples — and restores it exactly (node for node, state for state).  Only
+aggregate states made of numbers and nested lists/tuples round-trip,
+which covers every aggregator in :mod:`repro.table.aggregates`; richer
+states raise up front rather than corrupting silently.
+
+Range cubes already persist via CSV (:mod:`repro.data.io`); base tables
+via CSV as well.  With this module the complete warehouse state —
+history trie + emitted cube — is restartable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.incremental import IncrementalRangeCuber
+from repro.core.range_trie import RangeTrie, RangeTrieNode
+from repro.table.aggregates import Aggregator
+
+FORMAT_VERSION = 1
+
+
+def _check_state(state) -> None:
+    if isinstance(state, (int, float)):
+        return
+    if isinstance(state, (list, tuple)):
+        for item in state:
+            _check_state(item)
+        return
+    raise TypeError(
+        f"aggregate state contains non-serializable value {state!r}; "
+        "only numbers and nested tuples/lists round-trip"
+    )
+
+
+def _state_to_json(state):
+    _check_state(state)
+    return state
+
+
+def _state_from_json(value):
+    """Restore tuples (JSON arrays) recursively — states are tuples."""
+    if isinstance(value, list):
+        return tuple(_state_from_json(v) for v in value)
+    return value
+
+
+def _node_to_json(node: RangeTrieNode) -> list:
+    return [
+        [list(pair) for pair in node.key],
+        _state_to_json(node.agg),
+        [_node_to_json(child) for child in node.children.values()],
+    ]
+
+
+def _node_from_json(data: list) -> RangeTrieNode:
+    key = tuple((int(d), int(v)) for d, v in data[0])
+    node = RangeTrieNode(key, {}, _state_from_json(data[1]))
+    for child_data in data[2]:
+        child = _node_from_json(child_data)
+        node.children[child.start_value] = child
+    return node
+
+
+def trie_to_json(trie: RangeTrie) -> str:
+    """Serialize a range trie (structure + aggregate states) to JSON."""
+    document = {
+        "format": "range-trie",
+        "version": FORMAT_VERSION,
+        "n_dims": trie.n_dims,
+        "root": _node_to_json(trie.root) if trie.root.agg is not None else None,
+    }
+    return json.dumps(document, separators=(",", ":"))
+
+
+def trie_from_json(text: str, aggregator: Aggregator) -> RangeTrie:
+    """Restore a trie saved by :func:`trie_to_json`.
+
+    The aggregator is supplied by the caller (it holds behaviour, not
+    data) and must match the one used when saving.
+    """
+    document = json.loads(text)
+    if document.get("format") != "range-trie":
+        raise ValueError("not a range-trie document")
+    if document.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported version {document.get('version')!r}")
+    trie = RangeTrie(int(document["n_dims"]), aggregator)
+    if document["root"] is not None:
+        trie.root = _node_from_json(document["root"])
+    return trie
+
+
+def save_trie(trie: RangeTrie, path: str | Path) -> None:
+    Path(path).write_text(trie_to_json(trie))
+
+
+def load_trie(path: str | Path, aggregator: Aggregator) -> RangeTrie:
+    return trie_from_json(Path(path).read_text(), aggregator)
+
+
+def save_cuber(cuber: IncrementalRangeCuber, path: str | Path) -> None:
+    """Persist an incremental cuber (trie + row counter)."""
+    document = {
+        "format": "range-cuber",
+        "version": FORMAT_VERSION,
+        "n_rows_absorbed": cuber.n_rows_absorbed,
+        "trie": json.loads(trie_to_json(cuber.trie)),
+    }
+    Path(path).write_text(json.dumps(document, separators=(",", ":")))
+
+
+def load_cuber(path: str | Path, aggregator: Aggregator) -> IncrementalRangeCuber:
+    document = json.loads(Path(path).read_text())
+    if document.get("format") != "range-cuber":
+        raise ValueError("not a range-cuber document")
+    trie = trie_from_json(json.dumps(document["trie"]), aggregator)
+    cuber = IncrementalRangeCuber(trie.n_dims, aggregator)
+    cuber.trie = trie
+    cuber.n_rows_absorbed = int(document["n_rows_absorbed"])
+    return cuber

@@ -1,0 +1,64 @@
+"""The data-cube model: cells, the roll-up partial order, cuboids, queries.
+
+This package is the substrate shared by the paper's contribution
+(:mod:`repro.core`) and every baseline (:mod:`repro.baselines`): it defines
+what a *cell* is, the partial order ``a`` rolls-up-to ``b`` from the paper's
+Section 2, the lattice of cuboids, a naive full-cube materializer used as
+the correctness oracle, and a query layer that works over any materialized
+cube representation.
+"""
+
+from repro.cube.cell import (
+    STAR,
+    apex_cell,
+    bound_dims,
+    cell_str,
+    cuboid_of,
+    drill_down,
+    make_cell,
+    n_bound,
+    project_row,
+    roll_up,
+    specializes,
+)
+from repro.cube.estimate import (
+    StrategyAdvice,
+    estimate_cuboid_size,
+    estimate_full_cube_size,
+    recommend_strategy,
+)
+from repro.cube.full_cube import MaterializedCube, compute_full_cube, full_cube_size
+from repro.cube.hierarchy import Hierarchy, roll_up_dimension, roll_up_to_levels
+from repro.cube.lattice import CuboidLattice
+from repro.cube.view_selection import ViewSelection, ViewStore, greedy_view_selection, plan_views
+from repro.cube.query import CubeQuery
+
+__all__ = [
+    "STAR",
+    "CubeQuery",
+    "CuboidLattice",
+    "Hierarchy",
+    "MaterializedCube",
+    "StrategyAdvice",
+    "ViewSelection",
+    "ViewStore",
+    "apex_cell",
+    "bound_dims",
+    "cell_str",
+    "compute_full_cube",
+    "cuboid_of",
+    "drill_down",
+    "full_cube_size",
+    "estimate_cuboid_size",
+    "estimate_full_cube_size",
+    "make_cell",
+    "n_bound",
+    "project_row",
+    "greedy_view_selection",
+    "plan_views",
+    "recommend_strategy",
+    "roll_up",
+    "roll_up_dimension",
+    "roll_up_to_levels",
+    "specializes",
+]

@@ -1,0 +1,117 @@
+"""Cells and the roll-up partial order (paper Section 2).
+
+A *cell* of an ``n``-dimensional cube is represented as a length-``n``
+tuple whose entries are either an integer dimension code or ``None`` —
+``None`` plays the role of the paper's ``*`` ("all") value.  A cell with
+exactly ``m`` non-``None`` entries is an *m-dimensional cell* and belongs
+to the cuboid that groups by those ``m`` dimensions.
+
+The partial order (paper Definition 1): cell ``a`` *specializes* cell ``b``
+(equivalently, ``a`` can roll up to ``b``) when every dimension bound in
+``b`` is bound to the same value in ``a``.  The tuples aggregated by ``a``
+are then a subset of those aggregated by ``b``.  Under this vocabulary a
+paper range ``[b, a]`` runs from a *general* end ``b`` up to a *specific*
+end ``a`` with ``a`` specializing ``b``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+#: The "all" value. ``STAR is None`` — exported for readability at call sites.
+STAR = None
+
+Cell = tuple  # tuple[int | None, ...]; a type alias kept light on purpose.
+
+
+def make_cell(n_dims: int, bindings: Mapping[int, int] | None = None) -> Cell:
+    """Build a cell with the given ``{dimension index: value}`` bindings."""
+    cell = [None] * n_dims
+    for dim, value in (bindings or {}).items():
+        if not 0 <= dim < n_dims:
+            raise IndexError(f"dimension {dim} out of range for {n_dims}-dim cell")
+        cell[dim] = value
+    return tuple(cell)
+
+
+def apex_cell(n_dims: int) -> Cell:
+    """The all-``*`` cell ``(*, *, ..., *)`` summarizing the entire table."""
+    return (None,) * n_dims
+
+
+def bound_dims(cell: Cell) -> tuple[int, ...]:
+    """Indexes of the dimensions the cell binds (its group-by dimensions)."""
+    return tuple(i for i, v in enumerate(cell) if v is not None)
+
+
+def n_bound(cell: Cell) -> int:
+    """The ``m`` in "m-dimensional cell"."""
+    return sum(1 for v in cell if v is not None)
+
+
+def cuboid_of(cell: Cell) -> int:
+    """Bitmask of bound dimensions; identifies the cuboid the cell lives in."""
+    mask = 0
+    for i, v in enumerate(cell):
+        if v is not None:
+            mask |= 1 << i
+    return mask
+
+
+def specializes(a: Cell, b: Cell) -> bool:
+    """True when ``a`` specializes (can roll up to) ``b``.
+
+    Reflexive: every cell specializes itself.
+    """
+    return all(bv is None or av == bv for av, bv in zip(a, b))
+
+
+def roll_up(cell: Cell, dim: int) -> Cell:
+    """Generalize ``cell`` by un-binding dimension ``dim`` (set it to ``*``)."""
+    if cell[dim] is None:
+        raise ValueError(f"dimension {dim} is already * in {cell}")
+    return cell[:dim] + (None,) + cell[dim + 1 :]
+
+
+def drill_down(cell: Cell, dim: int, value: int) -> Cell:
+    """Specialize ``cell`` by binding dimension ``dim`` to ``value``."""
+    if cell[dim] is not None:
+        raise ValueError(f"dimension {dim} is already bound in {cell}")
+    return cell[:dim] + (value,) + cell[dim + 1 :]
+
+
+def project_row(row: Sequence[int], dims: Iterable[int], n_dims: int) -> Cell:
+    """The cell obtained by keeping ``row``'s values on ``dims`` only."""
+    cell = [None] * n_dims
+    for d in dims:
+        cell[d] = row[d]
+    return tuple(cell)
+
+
+def project_row_mask(row: Sequence[int], mask: int) -> Cell:
+    """Like :func:`project_row` but with the cuboid given as a bitmask."""
+    return tuple(v if mask >> i & 1 else None for i, v in enumerate(row))
+
+
+def matches_row(cell: Cell, row: Sequence[int]) -> bool:
+    """True when ``row`` belongs to the group-by group ``cell`` summarizes."""
+    return all(cv is None or cv == rv for cv, rv in zip(cell, row))
+
+
+def cell_str(cell: Cell, decode=None) -> str:
+    """Human-readable form, e.g. ``(S1, *, P1, *)``.
+
+    ``decode`` may be a callable ``(dim, code) -> value`` or a
+    :class:`~repro.table.encoding.TableEncoder`.
+    """
+    parts = []
+    for i, v in enumerate(cell):
+        if v is None:
+            parts.append("*")
+        elif decode is None:
+            parts.append(str(v))
+        elif hasattr(decode, "encoders"):
+            parts.append(str(decode.encoders[i].decode(v)))
+        else:
+            parts.append(str(decode(i, v)))
+    return "(" + ", ".join(parts) + ")"

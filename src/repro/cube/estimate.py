@@ -1,0 +1,153 @@
+"""Cube-size estimation by sampling, and a materialization advisor.
+
+Whether to materialize a full cube, an iceberg, or nothing at all depends
+on how many cells the cube would have — which is itself expensive to
+compute exactly.  This module estimates it from a row sample using the
+Guaranteed-Error Estimator (GEE) of Charikar et al. for per-group-by
+distinct counts:
+
+    D_hat = sqrt(N / n) * f1 + sum_{j >= 2} f_j
+
+where ``n`` of ``N`` rows were sampled, ``f1`` is the number of groups
+seen exactly once in the sample and ``f_j`` the number seen ``j`` times.
+Summing the estimate over every cuboid gives the cube size; doing it for
+a single dimension subset prices one cuboid.
+
+``recommend_strategy`` turns the estimate into advice, applying the
+regime analysis this repository's benchmarks back: dense low-dimension
+data favours the array method, correlated/sparse data favours range
+cubing, and very high dimensionality favours shell fragments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cube.lattice import CuboidLattice
+from repro.table.base_table import BaseTable
+
+
+def gee_distinct_estimate(sample_groups: np.ndarray, n_total: int) -> float:
+    """GEE estimate of the distinct count from sampled group labels.
+
+    ``sample_groups`` holds one (hashable-encoded) group id per sampled
+    row; ``n_total`` is the full table's row count.
+    """
+    n_sample = len(sample_groups)
+    if n_sample == 0:
+        return 0.0
+    _, counts = np.unique(sample_groups, return_counts=True)
+    f1 = int((counts == 1).sum())
+    rest = int((counts > 1).sum())
+    scale = np.sqrt(n_total / n_sample)
+    return min(float(n_total), scale * f1 + rest)
+
+
+def _row_keys(codes: np.ndarray, dims: list[int]) -> np.ndarray:
+    """Collapse the selected columns into one int64 key per row."""
+    keys = np.zeros(codes.shape[0], dtype=np.int64)
+    for d in dims:
+        keys = keys * np.int64(1_000_003) + codes[:, d]
+    return keys
+
+
+def estimate_cuboid_size(
+    table: BaseTable,
+    dims: list[int] | tuple[int, ...],
+    sample_size: int = 2000,
+    seed: int | None = 0,
+) -> float:
+    """Estimated distinct-group count of one cuboid."""
+    if not dims:
+        return 1.0 if table.n_rows else 0.0
+    if table.n_rows <= sample_size:
+        return float(np.unique(table.dim_codes[:, list(dims)], axis=0).shape[0])
+    rng = np.random.default_rng(seed)
+    rows = rng.choice(table.n_rows, size=sample_size, replace=False)
+    keys = _row_keys(table.dim_codes[rows], list(dims))
+    return gee_distinct_estimate(keys, table.n_rows)
+
+
+def estimate_full_cube_size(
+    table: BaseTable,
+    sample_size: int = 2000,
+    seed: int | None = 0,
+) -> float:
+    """Estimated total cell count over all ``2**n`` cuboids.
+
+    One shared sample serves every cuboid, so the cost is
+    ``O(2**n * sample_size)`` — seconds where the exact count would need
+    a full scan per cuboid.
+    """
+    n = table.n_dims
+    if table.n_rows == 0:
+        return 0.0
+    rng = np.random.default_rng(seed)
+    if table.n_rows <= sample_size:
+        sampled = table.dim_codes
+        exact = True
+    else:
+        rows = rng.choice(table.n_rows, size=sample_size, replace=False)
+        sampled = table.dim_codes[rows]
+        exact = False
+    total = 0.0
+    for mask in CuboidLattice(n):
+        if mask == 0:
+            total += 1.0
+            continue
+        dims = [i for i in range(n) if mask >> i & 1]
+        keys = _row_keys(sampled, dims)
+        if exact:
+            total += float(np.unique(keys).size)
+        else:
+            total += gee_distinct_estimate(keys, table.n_rows)
+    return total
+
+
+@dataclass(frozen=True)
+class StrategyAdvice:
+    """Outcome of :func:`recommend_strategy`."""
+
+    strategy: str  # "multiway" | "range" | "shell-fragments"
+    estimated_cells: float
+    density: float
+    reason: str
+
+
+def recommend_strategy(
+    table: BaseTable,
+    sample_size: int = 2000,
+    max_dims_for_full: int = 16,
+    seed: int | None = 0,
+) -> StrategyAdvice:
+    """Advise which computation strategy fits the table's regime."""
+    from repro.baselines.multiway import recommended_for
+
+    n = table.n_dims
+    if n > max_dims_for_full:
+        return StrategyAdvice(
+            "shell-fragments",
+            float("nan"),
+            float("nan"),
+            f"{n} dimensions means 2**{n} cuboids; avoid full materialization",
+        )
+    estimated = estimate_full_cube_size(table, sample_size, seed)
+    space = 1.0
+    for d in range(n):
+        space *= max(1, int(table.dim_codes[:, d].max()) + 1 if table.n_rows else 1)
+    density = table.n_rows / space if space else 0.0
+    if recommended_for(table):
+        return StrategyAdvice(
+            "multiway",
+            estimated,
+            density,
+            "dense, low-cardinality space: array cubing touches each cell once",
+        )
+    return StrategyAdvice(
+        "range",
+        estimated,
+        density,
+        "sparse or correlated data: the range trie compresses input and output",
+    )

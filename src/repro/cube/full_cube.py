@@ -1,0 +1,141 @@
+"""Naive full-cube materialization — the correctness oracle.
+
+``compute_full_cube`` enumerates all ``2**n`` cuboids and aggregates every
+group-by with plain dictionaries.  It is deliberately simple: every other
+algorithm in this repository (range cubing, H-Cubing, BUC, star-cubing) is
+tested cell-for-cell against it.
+
+``full_cube_size`` counts the cells of the full cube without materializing
+aggregates — it vectorizes the per-cuboid distinct count with numpy so the
+benchmark harness can compute the paper's *tuple ratio* metric at scale.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.cube.cell import Cell, apex_cell, cuboid_of, n_bound, project_row_mask
+from repro.cube.lattice import CuboidLattice
+from repro.table.aggregates import Aggregator, default_aggregator
+from repro.table.base_table import BaseTable
+
+
+class MaterializedCube:
+    """A fully enumerated cube: a mapping from cell to aggregate state."""
+
+    def __init__(self, n_dims: int, aggregator: Aggregator, cells: dict[Cell, tuple]) -> None:
+        self.n_dims = n_dims
+        self.aggregator = aggregator
+        self._cells = cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __contains__(self, cell: Cell) -> bool:
+        return cell in self._cells
+
+    def lookup(self, cell: Cell) -> tuple | None:
+        """The aggregate state of ``cell``, or None for an empty cell."""
+        return self._cells.get(cell)
+
+    def value(self, cell: Cell) -> dict[str, float] | None:
+        state = self.lookup(cell)
+        return None if state is None else self.aggregator.finalize(state)
+
+    def cells(self) -> Iterator[tuple[Cell, tuple]]:
+        return iter(self._cells.items())
+
+    def iter_cells(self) -> Iterator[Cell]:
+        return iter(self._cells)
+
+    def cuboid(self, mask: int) -> dict[Cell, tuple]:
+        """All cells of one cuboid, identified by its dimension bitmask."""
+        return {c: s for c, s in self._cells.items() if cuboid_of(c) == mask}
+
+    def cuboid_sizes(self) -> dict[int, int]:
+        sizes: dict[int, int] = {}
+        for cell in self._cells:
+            mask = cuboid_of(cell)
+            sizes[mask] = sizes.get(mask, 0) + 1
+        return sizes
+
+    def as_dict(self) -> dict[Cell, tuple]:
+        return dict(self._cells)
+
+
+def compute_full_cube(
+    table: BaseTable,
+    aggregator: Aggregator | None = None,
+    min_support: int = 1,
+) -> MaterializedCube:
+    """Aggregate every group-by of every cuboid, one dict pass per cuboid.
+
+    With ``min_support > 1`` this materializes the *iceberg* cube: only
+    cells whose tuple count reaches the threshold are kept (the apex cell
+    included, if it qualifies).
+    """
+    agg = aggregator or default_aggregator(table.n_measures)
+    n = table.n_dims
+    lattice = CuboidLattice(n)
+    rows = table.dim_rows()
+    states = [agg.state_from_row(m) for m in table.measure_rows()]
+
+    out: dict[Cell, tuple] = {}
+    merge = agg.merge
+    for mask in lattice:
+        if mask == 0:
+            if rows:
+                total = states[0]
+                for s in states[1:]:
+                    total = merge(total, s)
+                out[apex_cell(n)] = total
+            continue
+        groups: dict[Cell, tuple] = {}
+        for row, state in zip(rows, states):
+            cell = project_row_mask(row, mask)
+            prev = groups.get(cell)
+            groups[cell] = state if prev is None else merge(prev, state)
+        out.update(groups)
+    if min_support > 1:
+        out = {c: s for c, s in out.items() if agg.count(s) >= min_support}
+    return MaterializedCube(n, agg, out)
+
+
+def full_cube_size(table: BaseTable, min_support: int = 1) -> int:
+    """Number of cells in the full cube (all cuboids, apex included).
+
+    Counts distinct projected rows per cuboid with numpy.  For
+    ``min_support > 1`` it counts iceberg cells instead.
+    """
+    n = table.n_dims
+    if table.n_rows == 0:
+        return 0
+    total = 0
+    codes = table.dim_codes
+    for mask in CuboidLattice(n):
+        if mask == 0:
+            total += 1 if table.n_rows >= min_support else 0
+            continue
+        dims = [i for i in range(n) if mask >> i & 1]
+        sub = codes[:, dims]
+        if min_support <= 1:
+            total += int(np.unique(sub, axis=0).shape[0])
+        else:
+            _, counts = np.unique(sub, axis=0, return_counts=True)
+            total += int((counts >= min_support).sum())
+    return total
+
+
+def cuboid_cell_counts(table: BaseTable) -> dict[int, int]:
+    """Distinct-group count per cuboid mask (apex has exactly one cell)."""
+    n = table.n_dims
+    out: dict[int, int] = {}
+    for mask in CuboidLattice(n):
+        if mask == 0:
+            out[mask] = 1 if table.n_rows else 0
+            continue
+        dims = [i for i in range(n) if mask >> i & 1]
+        out[mask] = int(np.unique(table.dim_codes[:, dims], axis=0).shape[0])
+    return out

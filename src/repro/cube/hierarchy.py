@@ -1,0 +1,116 @@
+"""Dimension hierarchies: multi-level roll-ups (day -> month -> year).
+
+The paper treats each dimension as flat; real warehouses attach concept
+hierarchies to dimensions and ask for cubes at any level combination.
+Because range cubing (like every algorithm here) works on encoded integer
+columns, a hierarchy is just a chain of code mappings, and cubing at a
+coarser level is cubing a *recoded* table — so the whole library, range
+compression included, lifts to hierarchical dimensions for free.
+Notably, recoding to a coarser level only ever merges values, which adds
+correlation, so range cubes get (weakly) more compressed as levels rise —
+an effect the tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.table.base_table import BaseTable
+from repro.table.schema import Dimension, Schema
+
+
+class Hierarchy:
+    """A chain of levels for one dimension, finest first.
+
+    ``mappings[i]`` maps level-``i`` codes to level-``i+1`` codes (as an
+    integer array indexed by code).  ``levels`` names the levels, e.g.
+    ``["day", "month", "year"]``.
+    """
+
+    def __init__(self, levels: Sequence[str], mappings: Sequence[Sequence[int]]) -> None:
+        if len(mappings) != len(levels) - 1:
+            raise ValueError(
+                f"{len(levels)} levels need {len(levels) - 1} mappings, "
+                f"got {len(mappings)}"
+            )
+        self.levels = tuple(levels)
+        self.mappings = tuple(np.asarray(m, dtype=np.int64) for m in mappings)
+        for i, mapping in enumerate(self.mappings):
+            if mapping.ndim != 1:
+                raise ValueError(f"mapping {i} must be one-dimensional")
+            if mapping.size and mapping.min() < 0:
+                raise ValueError(f"mapping {i} contains negative codes")
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    def level_index(self, level: str) -> int:
+        try:
+            return self.levels.index(level)
+        except ValueError:
+            raise KeyError(f"no level named {level!r}; have {self.levels}") from None
+
+    def roll(self, codes: np.ndarray, to_level: str | int) -> np.ndarray:
+        """Map finest-level codes up to ``to_level``."""
+        target = to_level if isinstance(to_level, int) else self.level_index(to_level)
+        if not 0 <= target < self.n_levels:
+            raise IndexError(f"level {to_level!r} out of range")
+        rolled = np.asarray(codes, dtype=np.int64)
+        for mapping in self.mappings[:target]:
+            if rolled.size and rolled.max() >= mapping.size:
+                raise ValueError("code outside the hierarchy mapping's domain")
+            rolled = mapping[rolled]
+        return rolled
+
+    def cardinality_at(self, level: str | int) -> int:
+        """Number of distinct codes the hierarchy can produce at a level."""
+        target = level if isinstance(level, int) else self.level_index(level)
+        if target == 0:
+            return int(self.mappings[0].size) if self.mappings else 0
+        return int(self.mappings[target - 1].max()) + 1 if self.mappings[target - 1].size else 0
+
+    @classmethod
+    def calendar(cls, n_days: int, days_per_month: int = 30, months_per_year: int = 12) -> "Hierarchy":
+        """A day -> month -> year toy calendar over ``n_days`` day codes."""
+        day_to_month = np.arange(n_days) // days_per_month
+        n_months = int(day_to_month.max()) + 1 if n_days else 0
+        month_to_year = np.arange(n_months) // months_per_year
+        return cls(["day", "month", "year"], [day_to_month, month_to_year])
+
+
+def roll_up_dimension(
+    table: BaseTable,
+    dim: int,
+    hierarchy: Hierarchy,
+    level: str | int,
+) -> BaseTable:
+    """Recode one dimension of ``table`` at a coarser hierarchy level."""
+    codes = table.dim_codes.copy()
+    codes[:, dim] = hierarchy.roll(codes[:, dim], level)
+    level_name = (
+        hierarchy.levels[level] if isinstance(level, int) else level
+    )
+    old = table.schema.dimensions[dim]
+    new_card = int(codes[:, dim].max()) + 1 if table.n_rows else 0
+    base_name = old.name.split("@")[0]
+    renamed = Dimension(f"{base_name}@{level_name}", new_card)
+    dims = list(table.schema.dimensions)
+    dims[dim] = renamed
+    return BaseTable(Schema(tuple(dims), table.schema.measures), codes, table.measures)
+
+
+def roll_up_to_levels(
+    table: BaseTable,
+    hierarchies: Mapping[int, Hierarchy],
+    levels: Mapping[int, str | int],
+) -> BaseTable:
+    """Recode several dimensions at once; dims absent from ``levels`` stay."""
+    out = table
+    for dim, level in levels.items():
+        if dim not in hierarchies:
+            raise KeyError(f"dimension {dim} has no hierarchy attached")
+        out = roll_up_dimension(out, dim, hierarchies[dim], level)
+    return out

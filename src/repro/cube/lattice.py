@@ -1,0 +1,104 @@
+"""The lattice of cuboids (paper Figure 2(b)).
+
+A cuboid is identified by the bitmask of dimensions it groups by; the
+``n``-dimensional cube has ``2**n`` cuboids ordered by set inclusion.  In
+the paper's drawing the apex cuboid ``(*, *, ..., *)`` sits at the top and
+the base cuboid (all dimensions bound) at the bottom; rolling up moves
+toward the apex.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class CuboidLattice:
+    """Navigation helpers over the ``2**n`` cuboids of an ``n``-dim cube."""
+
+    def __init__(self, n_dims: int) -> None:
+        if n_dims < 0:
+            raise ValueError("n_dims must be non-negative")
+        if n_dims > 30:
+            raise ValueError(f"{n_dims} dimensions means 2^{n_dims} cuboids; refusing")
+        self.n_dims = n_dims
+
+    # -- identities -----------------------------------------------------
+
+    @property
+    def n_cuboids(self) -> int:
+        return 1 << self.n_dims
+
+    @property
+    def apex(self) -> int:
+        return 0
+
+    @property
+    def base(self) -> int:
+        return (1 << self.n_dims) - 1
+
+    def dims_of(self, mask: int) -> tuple[int, ...]:
+        return tuple(i for i in range(self.n_dims) if mask >> i & 1)
+
+    def mask_of(self, dims) -> int:
+        mask = 0
+        for d in dims:
+            if not 0 <= d < self.n_dims:
+                raise IndexError(f"dimension {d} out of range")
+            mask |= 1 << d
+        return mask
+
+    def name(self, mask: int, dim_names=None) -> str:
+        """E.g. ``(store, *, product, *)`` for mask 0b0101."""
+        parts = []
+        for i in range(self.n_dims):
+            if mask >> i & 1:
+                parts.append(dim_names[i] if dim_names else f"d{i}")
+            else:
+                parts.append("*")
+        return "(" + ", ".join(parts) + ")"
+
+    # -- traversal ------------------------------------------------------
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.n_cuboids))
+
+    def by_level(self) -> Iterator[list[int]]:
+        """Cuboids grouped by number of group-by dimensions, apex first."""
+        levels: list[list[int]] = [[] for _ in range(self.n_dims + 1)]
+        for mask in self:
+            levels[mask.bit_count()].append(mask)
+        yield from levels
+
+    def level(self, mask: int) -> int:
+        return mask.bit_count()
+
+    def drill_downs(self, mask: int) -> Iterator[int]:
+        """Cuboids one dimension more specific (one more bound dimension)."""
+        for i in range(self.n_dims):
+            if not mask >> i & 1:
+                yield mask | 1 << i
+
+    def roll_ups(self, mask: int) -> Iterator[int]:
+        """Cuboids one dimension more general (one fewer bound dimension)."""
+        for i in range(self.n_dims):
+            if mask >> i & 1:
+                yield mask & ~(1 << i)
+
+    def is_roll_up_of(self, general: int, specific: int) -> bool:
+        """True when ``general``'s dimensions are a subset of ``specific``'s."""
+        return general & specific == general
+
+    def to_networkx(self, dim_names=None):
+        """The lattice as a ``networkx`` DiGraph (edges point toward the apex).
+
+        Imported lazily so the core library never requires networkx.
+        """
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for mask in self:
+            g.add_node(mask, label=self.name(mask, dim_names), level=self.level(mask))
+        for mask in self:
+            for up in self.roll_ups(mask):
+                g.add_edge(mask, up)
+        return g

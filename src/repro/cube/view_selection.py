@@ -1,0 +1,185 @@
+"""Greedy materialized-view selection (Harinarayan, Rajaraman & Ullman,
+SIGMOD 1996) over the cuboid lattice.
+
+When even a compressed full cube is too much, warehouses materialize a
+*subset* of cuboids and answer the rest from the smallest materialized
+ancestor.  The classic HRU greedy algorithm picks, ``k`` times, the
+cuboid whose materialization most reduces the total answering cost
+
+    cost(S) = sum over every cuboid w of min{ size(u) : u in S, u ⊇ w }
+
+starting from S = {base cuboid}; it is guaranteed to reach at least
+63% (1 - 1/e) of the optimal benefit.  Cuboid sizes come exact from
+:func:`repro.cube.full_cube.cuboid_cell_counts` for small tables or
+estimated by sampling via :mod:`repro.cube.estimate` — the planner is
+the natural consumer of the GEE estimator.
+
+:class:`ViewStore` makes a selection actionable: it materializes the
+chosen cuboids (with any of this library's aggregators) and answers
+point queries and whole cuboids from the cheapest containing view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cube.cell import Cell, cuboid_of, project_row_mask
+from repro.cube.lattice import CuboidLattice
+from repro.table.aggregates import Aggregator, default_aggregator
+from repro.table.base_table import BaseTable
+
+
+@dataclass(frozen=True)
+class ViewSelection:
+    """Outcome of the greedy planner."""
+
+    selected: tuple[int, ...]  # cuboid masks, base first, greedy order after
+    sizes: dict[int, float]  # size used for every cuboid
+    total_cost: float  # sum over cuboids of cheapest-ancestor size
+    benefits: tuple[float, ...]  # benefit credited to each non-base pick
+
+
+def cuboid_sizes_for_planning(
+    table: BaseTable,
+    exact_threshold: int = 4096,
+    sample_size: int = 2000,
+    seed: int | None = 0,
+) -> dict[int, float]:
+    """Per-cuboid sizes: exact for small tables, GEE-estimated otherwise."""
+    from repro.cube.estimate import estimate_cuboid_size
+    from repro.cube.full_cube import cuboid_cell_counts
+
+    if table.n_rows <= exact_threshold:
+        return {m: float(c) for m, c in cuboid_cell_counts(table).items()}
+    lattice = CuboidLattice(table.n_dims)
+    return {
+        mask: estimate_cuboid_size(table, lattice.dims_of(mask), sample_size, seed)
+        for mask in lattice
+    }
+
+
+def _total_cost(sizes: dict[int, float], selected: set[int], n_dims: int) -> float:
+    lattice = CuboidLattice(n_dims)
+    total = 0.0
+    for w in lattice:
+        total += min(sizes[u] for u in selected if u & w == w)
+    return total
+
+
+def greedy_view_selection(
+    sizes: dict[int, float],
+    k: int,
+    n_dims: int,
+) -> ViewSelection:
+    """Pick ``k`` cuboids (beyond the base) by the HRU greedy benefit."""
+    lattice = CuboidLattice(n_dims)
+    base = lattice.base
+    if set(sizes) != set(lattice):
+        raise ValueError("sizes must cover every cuboid mask")
+    selected: set[int] = {base}
+    # cheapest materialized ancestor size per cuboid
+    cheapest = {w: sizes[base] for w in lattice}
+    order = [base]
+    benefits = []
+    for _ in range(k):
+        best_view, best_benefit = None, 0.0
+        for v in lattice:
+            if v in selected:
+                continue
+            benefit = 0.0
+            size_v = sizes[v]
+            for w in lattice:
+                if v & w == w and cheapest[w] > size_v:
+                    benefit += cheapest[w] - size_v
+            if benefit > best_benefit:
+                best_view, best_benefit = v, benefit
+        if best_view is None:
+            break  # nothing improves anything
+        selected.add(best_view)
+        order.append(best_view)
+        benefits.append(best_benefit)
+        size_v = sizes[best_view]
+        for w in lattice:
+            if best_view & w == w and cheapest[w] > size_v:
+                cheapest[w] = size_v
+    return ViewSelection(
+        tuple(order),
+        dict(sizes),
+        sum(cheapest.values()),
+        tuple(benefits),
+    )
+
+
+def plan_views(
+    table: BaseTable,
+    k: int,
+    sample_size: int = 2000,
+    seed: int | None = 0,
+) -> ViewSelection:
+    """Size the lattice (exactly or by sampling) and run the greedy planner."""
+    sizes = cuboid_sizes_for_planning(table, sample_size=sample_size, seed=seed)
+    return greedy_view_selection(sizes, k, table.n_dims)
+
+
+class ViewStore:
+    """Materialized cuboids + cheapest-ancestor query answering."""
+
+    def __init__(
+        self,
+        table: BaseTable,
+        masks: tuple[int, ...] | list[int],
+        aggregator: Aggregator | None = None,
+    ) -> None:
+        self.n_dims = table.n_dims
+        self.aggregator = aggregator or default_aggregator(table.n_measures)
+        base = (1 << table.n_dims) - 1
+        self.masks = tuple(dict.fromkeys([*masks, base]))  # ensure base, dedupe
+        self._views: dict[int, dict[Cell, tuple]] = {}
+        rows = table.dim_rows()
+        states = [self.aggregator.state_from_row(m) for m in table.measure_rows()]
+        merge = self.aggregator.merge
+        for mask in self.masks:
+            view: dict[Cell, tuple] = {}
+            for row, state in zip(rows, states):
+                cell = project_row_mask(row, mask)
+                present = view.get(cell)
+                view[cell] = state if present is None else merge(present, state)
+            self._views[mask] = view
+
+    def view_for(self, mask: int) -> int:
+        """The smallest materialized cuboid able to answer ``mask``."""
+        candidates = [m for m in self.masks if m & mask == mask]
+        if not candidates:
+            raise ValueError(f"no materialized view covers cuboid {mask:b}")
+        return min(candidates, key=lambda m: len(self._views[m]))
+
+    def lookup(self, cell: Cell) -> tuple | None:
+        """Aggregate ``cell`` from the cheapest covering view."""
+        mask = cuboid_of(cell)
+        source = self.view_for(mask)
+        if source == mask:
+            return self._views[source].get(cell)
+        merge = self.aggregator.merge
+        total = None
+        for view_cell, state in self._views[source].items():
+            if all(c is None or c == v for c, v in zip(cell, view_cell)):
+                total = state if total is None else merge(total, state)
+        return total
+
+    def answer_cuboid(self, mask: int) -> dict[Cell, tuple]:
+        """Materialize one cuboid on demand from its cheapest ancestor."""
+        source = self.view_for(mask)
+        if source == mask:
+            return dict(self._views[source])
+        merge = self.aggregator.merge
+        out: dict[Cell, tuple] = {}
+        for view_cell, state in self._views[source].items():
+            cell = tuple(
+                v if mask >> i & 1 else None for i, v in enumerate(view_cell)
+            )
+            present = out.get(cell)
+            out[cell] = state if present is None else merge(present, state)
+        return out
+
+    def stored_cells(self) -> int:
+        return sum(len(v) for v in self._views.values())

@@ -1,0 +1,35 @@
+"""Dataset generators and IO used by the paper's evaluation (Section 6).
+
+* :mod:`repro.data.synthetic` — uniform and Zipf-distributed tables, the
+  standard cube-benchmark datasets;
+* :mod:`repro.data.correlated` — functional-dependency injection, the
+  correlation structure the range trie exploits;
+* :mod:`repro.data.weather` — a simulation of the September-1985 weather
+  land-station dataset used in Section 6.2 (see DESIGN.md, Substitutions);
+* :mod:`repro.data.io` — CSV import/export of tables and range cubes.
+"""
+
+from repro.data.correlated import FunctionalDependency, correlated_table
+from repro.data.io import (
+    read_table_csv,
+    write_range_cube_csv,
+    write_table_csv,
+)
+from repro.data.retail import RetailDataset, retail_dataset
+from repro.data.synthetic import uniform_table, zipf_probabilities, zipf_table
+from repro.data.weather import WEATHER_ATTRIBUTES, weather_table
+
+__all__ = [
+    "FunctionalDependency",
+    "RetailDataset",
+    "WEATHER_ATTRIBUTES",
+    "correlated_table",
+    "read_table_csv",
+    "retail_dataset",
+    "uniform_table",
+    "weather_table",
+    "write_range_cube_csv",
+    "write_table_csv",
+    "zipf_probabilities",
+    "zipf_table",
+]

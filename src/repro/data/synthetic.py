@@ -1,0 +1,97 @@
+"""Uniform and Zipf synthetic tables (paper Section 6.1).
+
+"We used uniform and Zipf distributions for generating the synthetic
+data.  These are standard datasets most often used to test the
+performance of cube algorithms."
+
+Each dimension draws independently from its own distribution over
+``[0, cardinality)``.  For the Zipf distribution the probability of the
+value of rank ``r`` (1-based) is proportional to ``1 / r**theta``; the
+paper varies ``theta`` (the *Zipf factor*) from 0.0 — uniform — up to 3.0
+(highly skewed) and fixes it at 1.5 for the non-skew experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.table.base_table import BaseTable
+from repro.table.schema import Schema
+
+
+def _schema(n_dims: int, n_measures: int, cardinalities: Sequence[int]) -> Schema:
+    names = [f"d{i}" for i in range(n_dims)]
+    measures = [f"m{i}" for i in range(n_measures)]
+    schema = Schema.from_names(names, measures)
+    dims = tuple(d.with_cardinality(int(c)) for d, c in zip(schema.dimensions, cardinalities))
+    return Schema(dims, schema.measures)
+
+
+def _cardinality_list(cardinality: int | Sequence[int], n_dims: int) -> list[int]:
+    if isinstance(cardinality, int):
+        return [cardinality] * n_dims
+    cards = list(cardinality)
+    if len(cards) != n_dims:
+        raise ValueError(f"{len(cards)} cardinalities for {n_dims} dimensions")
+    return cards
+
+
+def _measures(n_rows: int, n_measures: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.uniform(1.0, 100.0, size=(n_rows, n_measures)).round(2)
+
+
+def uniform_table(
+    n_rows: int,
+    n_dims: int,
+    cardinality: int | Sequence[int],
+    n_measures: int = 1,
+    seed: int | None = 0,
+) -> BaseTable:
+    """A table whose dimension values are i.i.d. uniform over each domain."""
+    rng = np.random.default_rng(seed)
+    cards = _cardinality_list(cardinality, n_dims)
+    codes = np.empty((n_rows, n_dims), dtype=np.int64)
+    for d, card in enumerate(cards):
+        codes[:, d] = rng.integers(0, card, size=n_rows)
+    return BaseTable(
+        _schema(n_dims, n_measures, cards), codes, _measures(n_rows, n_measures, rng)
+    )
+
+
+def zipf_probabilities(cardinality: int, theta: float) -> np.ndarray:
+    """Rank probabilities ``p(r) ∝ 1 / r**theta`` over ``cardinality`` values.
+
+    ``theta = 0`` degenerates to the uniform distribution, matching the
+    paper's skew sweep that starts at Zipf factor 0.0.
+    """
+    if cardinality < 1:
+        raise ValueError("cardinality must be positive")
+    ranks = np.arange(1, cardinality + 1, dtype=np.float64)
+    weights = ranks ** (-theta)
+    return weights / weights.sum()
+
+
+def zipf_table(
+    n_rows: int,
+    n_dims: int,
+    cardinality: int | Sequence[int],
+    theta: float = 1.5,
+    n_measures: int = 1,
+    seed: int | None = 0,
+) -> BaseTable:
+    """A table whose dimension values are i.i.d. Zipf(theta) over each domain.
+
+    Value code ``r`` has rank ``r + 1``: code 0 is the most frequent value
+    of every dimension.
+    """
+    rng = np.random.default_rng(seed)
+    cards = _cardinality_list(cardinality, n_dims)
+    codes = np.empty((n_rows, n_dims), dtype=np.int64)
+    for d, card in enumerate(cards):
+        probs = zipf_probabilities(card, theta)
+        codes[:, d] = rng.choice(card, size=n_rows, p=probs)
+    return BaseTable(
+        _schema(n_dims, n_measures, cards), codes, _measures(n_rows, n_measures, rng)
+    )

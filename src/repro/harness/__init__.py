@@ -1,0 +1,28 @@
+"""Experiment harness: one driver per table/figure of the paper (Section 6).
+
+Each ``figN_*`` module exposes ``run(preset)`` returning the figure's data
+series as a list of row dicts, plus a ``main()`` that prints the series as
+a table; ``python -m repro.harness.fig8_dimensionality --preset small``
+regenerates a figure from the command line.  Presets trade scale for run
+time: ``tiny`` (CI), ``small`` (default), ``paper`` (the paper's sizes —
+hours in pure Python).
+
+The common machinery lives in :mod:`repro.harness.runner` (algorithm
+execution under each algorithm's preferred dimension order, metric
+collection) and :mod:`repro.harness.report` (plain-text tables).
+"""
+
+from repro.harness.report import format_table, print_table
+from repro.harness.runner import PREFERRED_ORDERS, measure, preferred_order
+
+__all__ = [
+    "PREFERRED_ORDERS",
+    "format_table",
+    "measure",
+    "preferred_order",
+    "print_table",
+]
+
+# Submodules commonly reached as repro.harness.<name>:
+#   fig8_dimensionality, fig9_skew, fig10_sparsity, fig11_scalability,
+#   real_weather, ablations, report_all, claims

@@ -1,0 +1,185 @@
+"""Ablation studies for the design choices the paper discusses.
+
+Three ablations, each tied to a claim in the text:
+
+* **dimension order** (Section 5.2): "the favorite dimension order for the
+  range cubing is cardinality-descending ... it produces smaller partition
+  and thus achieves earlier pruning, while it also generates more
+  compressed range cube", and range cubing is claimed *less sensitive* to
+  the order than other algorithms.  We run range cubing and H-Cubing under
+  descending, ascending and unsorted orders.
+* **iceberg pruning** (Section 1/5): node counts bound cell counts, so
+  min-support prunes whole branches.  We sweep the threshold and record
+  output size and time.
+* **compression census** (Sections 1, 4, 6): the range cube "does not try
+  to compress the cube optimally like Quotient-Cube ... however, it still
+  compresses the cube close to optimality".  We compare full cube, range
+  cube, BST-condensed cube and quotient-cube class counts on correlated
+  and uncorrelated data.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.condensed import condensed_cube
+from repro.baselines.hcubing import h_cubing_detailed
+from repro.baselines.quotient import quotient_cube
+from repro.core.range_cubing import range_cubing, range_cubing_detailed
+from repro.data.correlated import FunctionalDependency, correlated_table
+from repro.data.synthetic import zipf_table
+from repro.data.weather import weather_table
+from repro.harness.report import print_table
+from repro.harness.runner import preferred_order
+from repro.table.base_table import BaseTable
+
+PRESETS: dict[str, dict] = {
+    "tiny": {"n_rows": 400, "n_dims": 5, "cardinality": 40, "theta": 1.5},
+    "small": {"n_rows": 2000, "n_dims": 6, "cardinality": 100, "theta": 1.5},
+    "paper": {"n_rows": 200_000, "n_dims": 6, "cardinality": 100, "theta": 1.5},
+}
+
+ORDER_POLICIES = ("desc", "asc", None)
+
+
+def dimension_order_ablation(table: BaseTable, algorithms=("range", "hcubing")) -> list[dict]:
+    """Run each algorithm under each dimension-order policy."""
+    rows = []
+    for policy in ORDER_POLICIES:
+        order = preferred_order(table, policy)
+        row: dict = {"order": policy or "as-is"}
+        if "range" in algorithms:
+            cube, stats = range_cubing_detailed(table, order=order)
+            row["range_seconds"] = stats["total_seconds"]
+            row["range_tuples"] = cube.n_ranges
+            row["trie_nodes"] = stats["trie_nodes"]
+            row["full_cells"] = cube.n_cells
+            row["tuple_ratio"] = cube.n_ranges / cube.n_cells
+        if "hcubing" in algorithms:
+            _, stats = h_cubing_detailed(table, order=order)
+            row["hcubing_seconds"] = stats["total_seconds"]
+            row["htree_nodes"] = stats["htree_nodes"]
+        rows.append(row)
+    return rows
+
+
+def iceberg_ablation(table: BaseTable, min_supports=(1, 2, 4, 8, 16)) -> list[dict]:
+    """Sweep the iceberg threshold; record time and output size."""
+    rows = []
+    order = preferred_order(table, "desc")
+    for min_support in min_supports:
+        start = time.perf_counter()
+        cube = range_cubing(table, order=order, min_support=min_support)
+        seconds = time.perf_counter() - start
+        rows.append(
+            {
+                "min_support": min_support,
+                "range_seconds": seconds,
+                "range_tuples": cube.n_ranges,
+                "iceberg_cells": cube.n_cells,
+            }
+        )
+    return rows
+
+
+def compression_census(tables: dict[str, BaseTable]) -> list[dict]:
+    """Compare all lossless representations on several datasets."""
+    rows = []
+    for name, table in tables.items():
+        order = preferred_order(table, "desc")
+        working = table.reordered(order)
+        cube = range_cubing(working)
+        condensed = condensed_cube(working)
+        quotient = quotient_cube(working)
+        full = cube.n_cells
+        rows.append(
+            {
+                "dataset": name,
+                "full_cells": full,
+                "range_tuples": cube.n_ranges,
+                "tuple_ratio": cube.n_ranges / full,
+                "condensed_tuples": condensed.n_tuples,
+                "condensed_ratio": condensed.n_tuples / full,
+                "quotient_classes": quotient.n_classes,
+                "quotient_ratio": quotient.n_classes / full,
+            }
+        )
+    return rows
+
+
+def census_tables(preset: str = "small", seed: int = 7) -> dict[str, BaseTable]:
+    params = PRESETS[preset]
+    n, d, c, theta = (
+        params["n_rows"],
+        params["n_dims"],
+        params["cardinality"],
+        params["theta"],
+    )
+    fd = [FunctionalDependency((0,), (1, 2))]
+    return {
+        "zipf": zipf_table(n, d, c, theta, seed=seed),
+        "correlated": correlated_table(n, d, c, fd, theta=theta, seed=seed),
+        "weather": weather_table(n, seed=seed),
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Range-CUBE ablation studies")
+    parser.add_argument("--preset", default="small", choices=sorted(PRESETS))
+    parser.add_argument(
+        "--which", default="all", choices=("all", "order", "iceberg", "census")
+    )
+    args = parser.parse_args(argv)
+    params = PRESETS[args.preset]
+    table = zipf_table(
+        params["n_rows"], params["n_dims"], params["cardinality"], params["theta"], seed=7
+    )
+
+    if args.which in ("all", "order"):
+        print_table(
+            dimension_order_ablation(table),
+            [
+                ("order", "dim order", "s"),
+                ("range_seconds", "range cubing (s)", ".3f"),
+                ("hcubing_seconds", "H-Cubing (s)", ".3f"),
+                ("range_tuples", "ranges", ",.0f"),
+                ("trie_nodes", "trie nodes", ",.0f"),
+                ("htree_nodes", "H-tree nodes", ",.0f"),
+                ("tuple_ratio", "tuple ratio", "pct"),
+            ],
+            "Ablation: dimension order (Section 5.2)",
+        )
+        print()
+    if args.which in ("all", "iceberg"):
+        print_table(
+            iceberg_ablation(table),
+            [
+                ("min_support", "min support", "d"),
+                ("range_seconds", "range cubing (s)", ".3f"),
+                ("range_tuples", "ranges", ",.0f"),
+                ("iceberg_cells", "iceberg cells", ",.0f"),
+            ],
+            "Ablation: iceberg pruning",
+        )
+        print()
+    if args.which in ("all", "census"):
+        print_table(
+            compression_census(census_tables(args.preset)),
+            [
+                ("dataset", "dataset", "s"),
+                ("full_cells", "full cells", ",.0f"),
+                ("range_tuples", "ranges", ",.0f"),
+                ("tuple_ratio", "range ratio", "pct"),
+                ("condensed_tuples", "condensed", ",.0f"),
+                ("condensed_ratio", "condensed ratio", "pct"),
+                ("quotient_classes", "quotient classes", ",.0f"),
+                ("quotient_ratio", "optimal ratio", "pct"),
+            ],
+            "Ablation: compression census (range vs condensed vs quotient)",
+        )
+
+
+if __name__ == "__main__":
+    main()

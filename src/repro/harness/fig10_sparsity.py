@@ -1,0 +1,68 @@
+"""Figure 10 — impact of data sparsity (dimension cardinality).
+
+Paper setup: Zipf factor 1.5, 6 dimensions, 200K tuples, per-dimension
+cardinality taking the values 10, 100, 1000 and 10000.  The paper
+deliberately varies cardinality rather than tuple count so that sparsity
+changes while the experiment scale stays fixed.
+
+Expected shape: H-Cubing's run time climbs rapidly with cardinality (its
+prefix sharing evaporates) while range cubing barely moves; the space
+ratios improve because sparse data exhibits more value coincidence,
+yielding a more compressed trie in which each range tuple stands for more
+cells.
+"""
+
+from __future__ import annotations
+
+from repro.data.synthetic import zipf_table
+from repro.harness.presets import resolve_preset, standard_main
+from repro.harness.report import SPACE_COLUMNS, TIME_COLUMNS, print_table
+from repro.harness.runner import measure
+
+PRESETS: dict[str, dict] = {
+    "tiny": {"n_rows": 500, "n_dims": 5, "theta": 1.5, "cards": (10, 100, 1000)},
+    "small": {
+        "n_rows": 2000,
+        "n_dims": 6,
+        "theta": 1.5,
+        "cards": (10, 100, 1000, 10000),
+    },
+    "paper": {
+        "n_rows": 200_000,
+        "n_dims": 6,
+        "theta": 1.5,
+        "cards": (10, 100, 1000, 10000),
+    },
+}
+
+
+def run(
+    preset: str = "small",
+    algorithms=("range", "hcubing"),
+    seed: int = 7,
+) -> list[dict]:
+    params = resolve_preset(PRESETS, preset)
+    rows = []
+    for cardinality in params["cards"]:
+        table = zipf_table(
+            params["n_rows"], params["n_dims"], cardinality, params["theta"], seed=seed
+        )
+        row = measure(table, algorithms=algorithms)
+        row["cardinality"] = cardinality
+        rows.append(row)
+    return rows
+
+
+def print_figure(rows: list[dict]) -> None:
+    key = [("cardinality", "cardinality", "d")]
+    print_table(rows, key + TIME_COLUMNS, "Figure 10(a): total run time vs cardinality")
+    print()
+    print_table(rows, key + SPACE_COLUMNS, "Figure 10(b): space compression vs cardinality")
+
+
+def main(argv: list[str] | None = None) -> list[dict]:
+    return standard_main(__doc__.splitlines()[0], PRESETS, run, print_figure, argv)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Figure 11 — scalability with the dataset size at constant density.
+
+Paper setup: 10 dimensions, Zipf factor 1.5; tuple count swept from 200K
+to 1M (step 200K) *jointly* with cardinality from 100 to 500 (step 100),
+so the data density stays stable while the experiment scale grows — the
+paper's correction to scalability studies that only grow the tuple count
+(and thereby densify the data).
+
+Expected shape: H-Cubing's run time climbs steeply with scale (the paper
+reports 7,265s at the largest point) while range cubing grows gently
+(414s there — over 17x less); the space ratios improve slightly as scale
+grows, since density is held fixed.
+"""
+
+from __future__ import annotations
+
+from repro.data.synthetic import zipf_table
+from repro.harness.presets import resolve_preset, standard_main
+from repro.harness.report import SPACE_COLUMNS, TIME_COLUMNS, print_table
+from repro.harness.runner import measure
+
+PRESETS: dict[str, dict] = {
+    "tiny": {
+        "n_dims": 6,
+        "theta": 1.5,
+        "points": ((200, 20), (400, 40), (600, 60)),
+    },
+    "small": {
+        "n_dims": 10,
+        "theta": 1.5,
+        "points": ((500, 50), (1000, 100), (1500, 150), (2000, 200), (2500, 250)),
+    },
+    "paper": {
+        "n_dims": 10,
+        "theta": 1.5,
+        "points": (
+            (200_000, 100),
+            (400_000, 200),
+            (600_000, 300),
+            (800_000, 400),
+            (1_000_000, 500),
+        ),
+    },
+}
+
+
+def run(
+    preset: str = "small",
+    algorithms=("range", "hcubing"),
+    seed: int = 7,
+) -> list[dict]:
+    params = resolve_preset(PRESETS, preset)
+    rows = []
+    for n_rows, cardinality in params["points"]:
+        table = zipf_table(n_rows, params["n_dims"], cardinality, params["theta"], seed=seed)
+        row = measure(table, algorithms=algorithms)
+        row["cardinality"] = cardinality
+        rows.append(row)
+    return rows
+
+
+def print_figure(rows: list[dict]) -> None:
+    key = [("n_rows", "tuples", ",.0f"), ("cardinality", "cardinality", "d")]
+    print_table(rows, key + TIME_COLUMNS, "Figure 11(a): total run time vs scale")
+    print()
+    print_table(rows, key + SPACE_COLUMNS, "Figure 11(b): space compression vs scale")
+
+
+def main(argv: list[str] | None = None) -> list[dict]:
+    return standard_main(__doc__.splitlines()[0], PRESETS, run, print_figure, argv)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Scale presets shared by the figure drivers.
+
+``paper`` mirrors the published experimental setup (AthlonXP-era C code;
+expect hours in pure Python).  ``small`` is the default for command-line
+runs, ``tiny`` is what the pytest benchmarks use.  The reproduction target
+at reduced scale is the *shape* of each figure — orderings, trends and
+crossovers — which the paper's own analysis ties to sparsity, skew and
+correlation rather than to absolute size.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Mapping
+
+
+def resolve_preset(presets: Mapping[str, dict], name: str) -> dict:
+    try:
+        return dict(presets[name])
+    except KeyError:
+        raise SystemExit(
+            f"unknown preset {name!r}; choose from {sorted(presets)}"
+        ) from None
+
+
+def standard_main(
+    description: str,
+    presets: Mapping[str, dict],
+    run: Callable[..., list[dict]],
+    printer: Callable[[list[dict]], None],
+    argv: list[str] | None = None,
+) -> list[dict]:
+    """Shared CLI: ``--preset`` and ``--algorithms`` flags, then print."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--preset", default="small", choices=sorted(presets))
+    parser.add_argument(
+        "--algorithms",
+        default="range,hcubing",
+        help="comma list from: range,hcubing,buc,star,multiway",
+    )
+    args = parser.parse_args(argv)
+    algorithms = tuple(a.strip() for a in args.algorithms.split(",") if a.strip())
+    rows = run(preset=args.preset, algorithms=algorithms)
+    printer(rows)
+    return rows

@@ -1,0 +1,64 @@
+"""Plain-text tables for experiment output.
+
+Columns are ``(key, header, format)`` triples; a key missing from a row
+renders as ``-``.  Formats are standard format specs plus the special
+``"pct"`` (ratio rendered as a percentage, the paper's y-axis unit for the
+space-compression figures).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+Column = tuple[str, str, str]
+
+
+def _render(value, fmt: str) -> str:
+    if value is None:
+        return "-"
+    if fmt == "pct":
+        return f"{100.0 * value:.2f}%"
+    return format(value, fmt)
+
+
+def format_table(rows: Iterable[Mapping], columns: Sequence[Column], title: str | None = None) -> str:
+    """Render rows as an aligned monospace table."""
+    rows = list(rows)
+    headers = [header for _, header, _ in columns]
+    body = [
+        [_render(row.get(key), fmt) for key, _, fmt in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(line[i]) for line in body)) if body else len(headers[i])
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def print_table(rows: Iterable[Mapping], columns: Sequence[Column], title: str | None = None) -> None:
+    print(format_table(rows, columns, title))
+
+
+#: The standard column sets for the paper's two plots per figure.
+TIME_COLUMNS: list[Column] = [
+    ("range_seconds", "range cubing (s)", ".3f"),
+    ("hcubing_seconds", "H-Cubing (s)", ".3f"),
+    ("buc_seconds", "BUC (s)", ".3f"),
+    ("star_seconds", "star-cubing (s)", ".3f"),
+    ("multiway_seconds", "MultiWay (s)", ".3f"),
+]
+
+SPACE_COLUMNS: list[Column] = [
+    ("tuple_ratio", "tuple ratio", "pct"),
+    ("node_ratio", "node ratio", "pct"),
+    ("range_tuples", "ranges", ",.0f"),
+    ("full_cells", "full-cube cells", ",.0f"),
+]

@@ -1,0 +1,38 @@
+"""The paper's evaluation metrics (Section 6).
+
+* **total run time** — wall-clock to produce the cube from the input table
+  (:class:`~repro.metrics.timing.Timer` and the harness handle this);
+* **tuple ratio** — tuples in the range cube over cells in the full cube
+  ("the smaller the better");
+* **node ratio** — nodes in the initial range trie over nodes in the
+  H-tree, "an important indicator of the memory requirement".
+"""
+
+from repro.metrics.memory import (
+    htree_bytes,
+    memory_report,
+    range_cube_bytes,
+    range_trie_bytes,
+    star_tree_bytes,
+)
+from repro.metrics.ratios import (
+    CompressionReport,
+    compression_report,
+    node_ratio,
+    tuple_ratio,
+)
+from repro.metrics.timing import Timer, time_call
+
+__all__ = [
+    "CompressionReport",
+    "Timer",
+    "compression_report",
+    "htree_bytes",
+    "memory_report",
+    "node_ratio",
+    "range_cube_bytes",
+    "range_trie_bytes",
+    "star_tree_bytes",
+    "time_call",
+    "tuple_ratio",
+]

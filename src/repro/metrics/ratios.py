@@ -1,0 +1,108 @@
+"""Space-compression metrics: tuple ratio, node ratio, cross-algorithm census.
+
+The tuple ratio (from Wang et al., adopted by the paper) is
+
+    tuples in the compressed cube / cells in the full cube
+
+and the node ratio is
+
+    nodes in the initial range trie / nodes in the H-tree
+
+both reported as percentages in the paper's figures.  Because the range
+cube is a partition of the full cube, the full cube's size can be read off
+the range cube itself (sum of ``2**marked`` over ranges); the naive
+counter in :mod:`repro.cube.full_cube` cross-checks this in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.htree import HTree
+from repro.core.range_cube import RangeCube
+from repro.core.range_trie import RangeTrie
+from repro.table.base_table import BaseTable
+
+
+def tuple_ratio(range_cube: RangeCube, full_cube_cells: int | None = None) -> float:
+    """Range-cube tuples / full-cube cells, as a fraction in (0, 1]."""
+    total = full_cube_cells if full_cube_cells is not None else range_cube.n_cells
+    return range_cube.n_ranges / total if total else 1.0
+
+
+def node_ratio(range_trie: RangeTrie, htree: HTree) -> float:
+    """Range-trie nodes / H-tree nodes (roots excluded on both sides)."""
+    h_nodes = htree.n_nodes()
+    return range_trie.n_nodes() / h_nodes if h_nodes else 1.0
+
+
+def node_ratio_from_counts(trie_nodes: int, htree_nodes: int) -> float:
+    return trie_nodes / htree_nodes if htree_nodes else 1.0
+
+
+@dataclass(frozen=True)
+class CompressionReport:
+    """Sizes of every lossless cube representation for one table."""
+
+    full_cube_cells: int
+    range_cube_tuples: int
+    condensed_cube_tuples: int
+    quotient_cube_classes: int
+    range_trie_nodes: int
+    htree_nodes: int
+
+    @property
+    def tuple_ratio(self) -> float:
+        return self.range_cube_tuples / self.full_cube_cells if self.full_cube_cells else 1.0
+
+    @property
+    def condensed_ratio(self) -> float:
+        return (
+            self.condensed_cube_tuples / self.full_cube_cells if self.full_cube_cells else 1.0
+        )
+
+    @property
+    def quotient_ratio(self) -> float:
+        """The optimal convex-compression ratio — the paper's yardstick."""
+        return (
+            self.quotient_cube_classes / self.full_cube_cells if self.full_cube_cells else 1.0
+        )
+
+    @property
+    def node_ratio(self) -> float:
+        return self.range_trie_nodes / self.htree_nodes if self.htree_nodes else 1.0
+
+    def rows(self) -> list[tuple[str, int, float]]:
+        full = self.full_cube_cells
+        return [
+            ("full cube (cells)", full, 1.0),
+            ("range cube (ranges)", self.range_cube_tuples, self.tuple_ratio),
+            ("condensed cube (tuples)", self.condensed_cube_tuples, self.condensed_ratio),
+            ("quotient cube (classes)", self.quotient_cube_classes, self.quotient_ratio),
+        ]
+
+
+def compression_report(table: BaseTable, order=None) -> CompressionReport:
+    """Compute every representation's size for one table.
+
+    Runs range cubing, the condensed cube, the quotient cube, and builds
+    the two input structures; intended for the compression-census example
+    and ablation benchmark (moderate table sizes).
+    """
+    from repro.baselines.condensed import condensed_cube
+    from repro.baselines.quotient import quotient_cube
+    from repro.core.range_cubing import range_cubing_detailed
+
+    working = table if order is None else table.reordered(order)
+    cube, stats = range_cubing_detailed(working)
+    condensed = condensed_cube(working)
+    quotient = quotient_cube(working)
+    htree = HTree.build(working)
+    return CompressionReport(
+        full_cube_cells=cube.n_cells,
+        range_cube_tuples=cube.n_ranges,
+        condensed_cube_tuples=condensed.n_tuples,
+        quotient_cube_classes=quotient.n_classes,
+        range_trie_nodes=int(stats["trie_nodes"]),
+        htree_nodes=htree.n_nodes(),
+    )

@@ -1,0 +1,43 @@
+"""Relational substrate: schemas, dictionary encoding, base tables, aggregates.
+
+The cube algorithms in :mod:`repro.core` and :mod:`repro.baselines` operate
+on dictionary-encoded :class:`~repro.table.base_table.BaseTable` objects:
+every dimension value is a dense non-negative integer code and every measure
+is a float.  This package owns that encoding plus the aggregate-function
+machinery shared by all cube computation algorithms.
+"""
+
+from repro.table.aggregates import (
+    AggregateFunction,
+    Aggregator,
+    AvgAggregator,
+    CountAggregator,
+    MaxAggregator,
+    MinAggregator,
+    MultiAggregator,
+    SumAggregator,
+    SumCountAggregator,
+    default_aggregator,
+)
+from repro.table.base_table import BaseTable
+from repro.table.encoding import DimensionEncoder, TableEncoder
+from repro.table.schema import Dimension, Measure, Schema
+
+__all__ = [
+    "AggregateFunction",
+    "Aggregator",
+    "AvgAggregator",
+    "BaseTable",
+    "CountAggregator",
+    "Dimension",
+    "DimensionEncoder",
+    "MaxAggregator",
+    "Measure",
+    "MinAggregator",
+    "MultiAggregator",
+    "Schema",
+    "SumAggregator",
+    "SumCountAggregator",
+    "TableEncoder",
+    "default_aggregator",
+]

@@ -1,0 +1,204 @@
+"""Aggregate functions and aggregator states shared by all cube algorithms.
+
+Every cube algorithm in this repository (range cubing, H-Cubing, BUC,
+star-cubing, ...) manipulates *aggregate states* rather than raw tuples.  A
+state is an immutable value created from one tuple's measures and combined
+pairwise with :meth:`Aggregator.merge`; immutability lets the range-cubing
+reduction share states freely between tries.
+
+Only *distributive* and *algebraic* aggregates (in Gray et al.'s
+terminology) are supported — COUNT, SUM, MIN, MAX and AVG — because the
+paper's simultaneous-aggregation strategy (computing an ``m``-dimensional
+cell from ``(m+1)``-dimensional cells) requires states that merge.
+
+The tuple count is always tracked as the first component of every state:
+the count of a node bounds the count of every cell beneath it, which is what
+enables the Apriori (iceberg) pruning the paper describes in Section 1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+class AggregateFunction:
+    """One aggregate over one measure column.
+
+    Subclasses define a tiny algebra: ``initial(value)`` builds a state from
+    one measure value, ``merge`` combines two states, and ``finalize`` turns
+    a state into the reported aggregate value.
+    """
+
+    name = "abstract"
+
+    def initial(self, value: float) -> Any:
+        raise NotImplementedError
+
+    def merge(self, a: Any, b: Any) -> Any:
+        raise NotImplementedError
+
+    def finalize(self, state: Any) -> float:
+        raise NotImplementedError
+
+
+class SumFunction(AggregateFunction):
+    name = "sum"
+
+    def initial(self, value: float) -> float:
+        return value
+
+    def merge(self, a: float, b: float) -> float:
+        return a + b
+
+    def finalize(self, state: float) -> float:
+        return state
+
+
+class MinFunction(AggregateFunction):
+    name = "min"
+
+    def initial(self, value: float) -> float:
+        return value
+
+    def merge(self, a: float, b: float) -> float:
+        return a if a <= b else b
+
+    def finalize(self, state: float) -> float:
+        return state
+
+
+class MaxFunction(AggregateFunction):
+    name = "max"
+
+    def initial(self, value: float) -> float:
+        return value
+
+    def merge(self, a: float, b: float) -> float:
+        return a if a >= b else b
+
+    def finalize(self, state: float) -> float:
+        return state
+
+
+class AvgFunction(AggregateFunction):
+    """Algebraic average carried as a (sum, count) pair."""
+
+    name = "avg"
+
+    def initial(self, value: float) -> tuple[float, int]:
+        return (value, 1)
+
+    def merge(self, a: tuple[float, int], b: tuple[float, int]) -> tuple[float, int]:
+        return (a[0] + b[0], a[1] + b[1])
+
+    def finalize(self, state: tuple[float, int]) -> float:
+        return state[0] / state[1]
+
+
+class Aggregator:
+    """A bundle of aggregate functions applied to measure columns.
+
+    ``specs`` is a sequence of ``(function, measure_index)`` pairs.  The
+    state produced is ``(count, f1_state, f2_state, ...)``: the leading
+    count is always present so every algorithm can do iceberg pruning and
+    report COUNT for free.
+    """
+
+    def __init__(self, specs: Sequence[tuple[AggregateFunction, int]] = ()) -> None:
+        self.specs = tuple(specs)
+
+    def state_from_row(self, measures: Sequence[float]) -> tuple:
+        return (1,) + tuple(f.initial(measures[i]) for f, i in self.specs)
+
+    def merge(self, a: tuple, b: tuple) -> tuple:
+        return (a[0] + b[0],) + tuple(
+            f.merge(x, y) for (f, _), x, y in zip(self.specs, a[1:], b[1:])
+        )
+
+    def count(self, state: tuple) -> int:
+        return state[0]
+
+    def result_names(self) -> tuple[str, ...]:
+        return ("count",) + tuple(f.name for f, _ in self.specs)
+
+    def finalize(self, state: tuple) -> dict[str, float]:
+        out: dict[str, float] = {"count": state[0]}
+        for (f, i), s in zip(self.specs, state[1:]):
+            out[f"{f.name}({i})" if f.name in out else f.name] = f.finalize(s)
+        return out
+
+
+class CountAggregator(Aggregator):
+    """COUNT(*) only — the cheapest state, an integer wrapped in a 1-tuple."""
+
+    def __init__(self) -> None:
+        super().__init__(())
+
+    def state_from_row(self, measures: Sequence[float]) -> tuple:
+        return (1,)
+
+    def merge(self, a: tuple, b: tuple) -> tuple:
+        return (a[0] + b[0],)
+
+    def finalize(self, state: tuple) -> dict[str, float]:
+        return {"count": state[0]}
+
+
+class SumCountAggregator(Aggregator):
+    """COUNT(*) plus SUM over one measure column — the default.
+
+    This is the hot path for every benchmark, so the generic per-function
+    loops are overridden with direct tuple arithmetic.
+    """
+
+    def __init__(self, measure_index: int = 0) -> None:
+        super().__init__(((SumFunction(), measure_index),))
+        self.measure_index = measure_index
+
+    def state_from_row(self, measures: Sequence[float]) -> tuple:
+        return (1, measures[self.measure_index])
+
+    def merge(self, a: tuple, b: tuple) -> tuple:
+        return (a[0] + b[0], a[1] + b[1])
+
+    def finalize(self, state: tuple) -> dict[str, float]:
+        return {"count": state[0], "sum": state[1]}
+
+
+class SumAggregator(SumCountAggregator):
+    """Alias of :class:`SumCountAggregator` kept for API clarity."""
+
+
+class MinAggregator(Aggregator):
+    """COUNT(*) plus MIN over one measure column."""
+
+    def __init__(self, measure_index: int = 0) -> None:
+        super().__init__(((MinFunction(), measure_index),))
+
+
+class MaxAggregator(Aggregator):
+    """COUNT(*) plus MAX over one measure column."""
+
+    def __init__(self, measure_index: int = 0) -> None:
+        super().__init__(((MaxFunction(), measure_index),))
+
+
+class AvgAggregator(Aggregator):
+    """COUNT(*) plus AVG over one measure column."""
+
+    def __init__(self, measure_index: int = 0) -> None:
+        super().__init__(((AvgFunction(), measure_index),))
+
+
+class MultiAggregator(Aggregator):
+    """Several aggregate functions at once, e.g. SUM+MIN+MAX of a measure.
+
+    >>> agg = MultiAggregator([(SumFunction(), 0), (MaxFunction(), 1)])
+    """
+
+
+def default_aggregator(n_measures: int) -> Aggregator:
+    """COUNT for measure-less tables, COUNT+SUM(first measure) otherwise."""
+    if n_measures == 0:
+        return CountAggregator()
+    return SumCountAggregator(0)

@@ -1,0 +1,203 @@
+"""The encoded base table every cube algorithm consumes.
+
+A :class:`BaseTable` stores dimension values as a dense ``numpy`` integer
+matrix (one column per dimension, dictionary-encoded) and measures as a
+float matrix.  It remembers the :class:`~repro.table.encoding.TableEncoder`
+used to build it, so cells and cube output can be decoded back to raw
+values for presentation.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.table.encoding import TableEncoder
+from repro.table.schema import Schema
+
+
+class BaseTable:
+    """An immutable fact table of encoded dimension codes plus measures."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        dim_codes: np.ndarray,
+        measures: np.ndarray | None = None,
+        encoder: TableEncoder | None = None,
+    ) -> None:
+        dim_codes = np.ascontiguousarray(dim_codes, dtype=np.int64)
+        if dim_codes.ndim != 2:
+            raise ValueError("dim_codes must be a 2-D array (rows x dimensions)")
+        if dim_codes.shape[1] != schema.n_dims:
+            raise ValueError(
+                f"dim_codes has {dim_codes.shape[1]} columns, schema has {schema.n_dims} dimensions"
+            )
+        if measures is None:
+            measures = np.zeros((dim_codes.shape[0], schema.n_measures), dtype=np.float64)
+        measures = np.ascontiguousarray(measures, dtype=np.float64)
+        if measures.ndim == 1:
+            measures = measures.reshape(-1, 1)
+        if measures.shape != (dim_codes.shape[0], schema.n_measures):
+            raise ValueError(
+                f"measures shape {measures.shape} does not match "
+                f"({dim_codes.shape[0]}, {schema.n_measures})"
+            )
+        if dim_codes.size and dim_codes.min() < 0:
+            raise ValueError("dimension codes must be non-negative")
+        self.schema = schema
+        self.dim_codes = dim_codes
+        self.measures = measures
+        self.encoder = encoder
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Schema,
+        rows: Iterable[Sequence[Hashable]],
+        measures: Iterable[Sequence[float]] | None = None,
+    ) -> "BaseTable":
+        """Build a table from raw (unencoded) dimension-value rows.
+
+        ``rows`` may also carry the measures inline: if ``measures`` is None
+        and each row is longer than the schema's dimension count, the trailing
+        ``n_measures`` entries of each row are taken as measures.
+        """
+        rows = list(rows)
+        encoder = TableEncoder(schema)
+        n_dims, n_meas = schema.n_dims, schema.n_measures
+        if measures is None and rows and len(rows[0]) == n_dims + n_meas and n_meas:
+            measures = [r[n_dims:] for r in rows]
+            rows = [r[:n_dims] for r in rows]
+        codes = np.array(
+            [encoder.encode_row(r) for r in rows], dtype=np.int64
+        ).reshape(len(rows), n_dims)
+        meas_arr = None
+        if measures is not None:
+            meas_arr = np.array(list(measures), dtype=np.float64).reshape(len(rows), n_meas)
+        return cls(encoder.encoded_schema(), codes, meas_arr, encoder)
+
+    @classmethod
+    def from_encoded(
+        cls,
+        schema: Schema,
+        dim_codes: np.ndarray | Sequence[Sequence[int]],
+        measures: np.ndarray | Sequence[Sequence[float]] | None = None,
+    ) -> "BaseTable":
+        """Build a table whose dimension values are already integer codes."""
+        codes = np.asarray(dim_codes, dtype=np.int64)
+        if codes.ndim == 1:
+            codes = codes.reshape(-1, schema.n_dims)
+        meas = None if measures is None else np.asarray(measures, dtype=np.float64)
+        observed = tuple(
+            d.with_cardinality(int(codes[:, i].max()) + 1 if codes.size else 0)
+            if d.cardinality is None
+            else d
+            for i, d in enumerate(schema.dimensions)
+        )
+        return cls(Schema(observed, schema.measures), codes, meas)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return self.dim_codes.shape[0]
+
+    @property
+    def n_dims(self) -> int:
+        return self.schema.n_dims
+
+    @property
+    def n_measures(self) -> int:
+        return self.schema.n_measures
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:
+        return (
+            f"BaseTable({self.n_rows} rows, dims={list(self.schema.dimension_names)}, "
+            f"measures={list(self.schema.measure_names)})"
+        )
+
+    def dim_column(self, dim: int) -> np.ndarray:
+        return self.dim_codes[:, dim]
+
+    def dim_rows(self) -> list[tuple[int, ...]]:
+        """All dimension rows as Python int tuples (the algorithms' hot input)."""
+        return list(map(tuple, self.dim_codes.tolist()))
+
+    def measure_rows(self) -> list[tuple[float, ...]]:
+        return list(map(tuple, self.measures.tolist()))
+
+    def iter_rows(self) -> Iterator[tuple[tuple[int, ...], tuple[float, ...]]]:
+        yield from zip(self.dim_rows(), self.measure_rows())
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def cardinality(self, dim: int) -> int:
+        card = self.schema.dimensions[dim].cardinality
+        if card is not None:
+            return card
+        return self.distinct_count(dim)
+
+    @property
+    def cardinalities(self) -> tuple[int, ...]:
+        return tuple(self.cardinality(i) for i in range(self.n_dims))
+
+    def distinct_count(self, dim: int) -> int:
+        """Number of distinct values actually present in column ``dim``."""
+        if self.n_rows == 0:
+            return 0
+        return int(np.unique(self.dim_codes[:, dim]).size)
+
+    def distinct_tuple_count(self) -> int:
+        """Number of distinct full dimension-value combinations."""
+        if self.n_rows == 0:
+            return 0
+        return int(np.unique(self.dim_codes, axis=0).shape[0])
+
+    def density(self) -> float:
+        """Distinct tuples divided by the size of the full dimension space."""
+        space = 1.0
+        for c in self.cardinalities:
+            space *= max(c, 1)
+        return self.distinct_tuple_count() / space
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+
+    def reordered(self, order: Sequence[int]) -> "BaseTable":
+        """Return a table with dimensions permuted by ``order``."""
+        schema = self.schema.reordered(list(order))
+        return BaseTable(schema, self.dim_codes[:, list(order)], self.measures, None)
+
+    def with_cardinality_descending_dims(self) -> tuple["BaseTable", tuple[int, ...]]:
+        """Reorder dimensions by descending observed cardinality.
+
+        Returns the reordered table together with the permutation applied
+        (new position -> old dimension index), so cells can be mapped back.
+        """
+        observed = tuple(self.distinct_count(i) for i in range(self.n_dims))
+        order = tuple(sorted(range(self.n_dims), key=lambda i: (-observed[i], i)))
+        return self.reordered(order), order
+
+    def head(self, n: int = 5) -> list[tuple[Hashable, ...]]:
+        """First ``n`` rows, decoded if an encoder is available."""
+        rows = []
+        for codes in self.dim_codes[:n].tolist():
+            if self.encoder is not None:
+                rows.append(self.encoder.decode_row(codes))
+            else:
+                rows.append(tuple(codes))
+        return rows

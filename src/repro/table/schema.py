@@ -1,0 +1,131 @@
+"""Schema objects describing the dimensions and measures of a base table.
+
+Following the paper's data model (Section 1), a base table is a relation
+whose attributes split into *dimensions* (the group-by attributes, e.g.
+``Store``, ``City``, ``Product``, ``Date`` in the running sales example) and
+numeric *measures* (e.g. ``Price``).  The dimensions jointly determine the
+position of a tuple in the multidimensional space; the cube aggregates the
+measures over every subset of dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """A group-by attribute.
+
+    ``cardinality`` is the number of distinct values the dimension takes.
+    It is ``None`` for raw (not yet encoded) schemas and is filled in by
+    :class:`repro.table.encoding.TableEncoder` once values are seen.
+    """
+
+    name: str
+    cardinality: int | None = None
+
+    def with_cardinality(self, cardinality: int) -> "Dimension":
+        return Dimension(self.name, cardinality)
+
+
+@dataclass(frozen=True)
+class Measure:
+    """A numeric attribute to be aggregated."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered list of dimensions plus a list of measures.
+
+    The *order* of dimensions matters to every cube algorithm in this
+    repository (the paper discusses dimension-order sensitivity in
+    Section 5.2); :meth:`reordered` produces a schema with dimensions
+    permuted, and :meth:`cardinality_descending_order` computes the order
+    the paper identifies as favourable for range cubing, star-cubing and
+    BUC alike.
+    """
+
+    dimensions: tuple[Dimension, ...]
+    measures: tuple[Measure, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [d.name for d in self.dimensions] + [m.name for m in self.measures]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in schema: {names}")
+
+    @classmethod
+    def from_names(
+        cls,
+        dimension_names: list[str] | tuple[str, ...],
+        measure_names: list[str] | tuple[str, ...] = (),
+    ) -> "Schema":
+        return cls(
+            tuple(Dimension(n) for n in dimension_names),
+            tuple(Measure(n) for n in measure_names),
+        )
+
+    @property
+    def n_dims(self) -> int:
+        return len(self.dimensions)
+
+    @property
+    def n_measures(self) -> int:
+        return len(self.measures)
+
+    @property
+    def dimension_names(self) -> tuple[str, ...]:
+        return tuple(d.name for d in self.dimensions)
+
+    @property
+    def measure_names(self) -> tuple[str, ...]:
+        return tuple(m.name for m in self.measures)
+
+    @property
+    def cardinalities(self) -> tuple[int | None, ...]:
+        return tuple(d.cardinality for d in self.dimensions)
+
+    def dimension_index(self, name: str) -> int:
+        for i, d in enumerate(self.dimensions):
+            if d.name == name:
+                return i
+        raise KeyError(f"no dimension named {name!r}")
+
+    def measure_index(self, name: str) -> int:
+        for i, m in enumerate(self.measures):
+            if m.name == name:
+                return i
+        raise KeyError(f"no measure named {name!r}")
+
+    def reordered(self, order: list[int] | tuple[int, ...]) -> "Schema":
+        """Return a schema with dimensions permuted by ``order``.
+
+        ``order`` lists old dimension indexes in their new positions and
+        must be a permutation of ``range(n_dims)``.
+        """
+        if sorted(order) != list(range(self.n_dims)):
+            raise ValueError(f"order {order!r} is not a permutation of 0..{self.n_dims - 1}")
+        return Schema(tuple(self.dimensions[i] for i in order), self.measures)
+
+    def cardinality_descending_order(self) -> tuple[int, ...]:
+        """Dimension indexes sorted by descending cardinality.
+
+        This is the paper's preferred order for range cubing (Section 5.2):
+        high-cardinality dimensions are the most likely to *imply* values of
+        lower-cardinality dimensions, so putting them first exposes the most
+        correlation to the range trie while producing small partitions early
+        (which also benefits iceberg pruning).
+        """
+        cards = self.cardinalities
+        if any(c is None for c in cards):
+            raise ValueError("cardinalities unknown; encode the table first")
+        return tuple(sorted(range(self.n_dims), key=lambda i: (-cards[i], i)))
+
+    def cardinality_ascending_order(self) -> tuple[int, ...]:
+        """Dimension indexes sorted by ascending cardinality (H-Cubing's favourite)."""
+        cards = self.cardinalities
+        if any(c is None for c in cards):
+            raise ValueError("cardinalities unknown; encode the table first")
+        return tuple(sorted(range(self.n_dims), key=lambda i: (cards[i], i)))

@@ -1,0 +1,114 @@
+"""Shared fixtures and hypothesis strategies for the test suite.
+
+Hypothesis profiles: ``REPRO_HYPOTHESIS_PROFILE=thorough`` raises the
+example budget for release validation and ``=dev`` lowers it while
+iterating (tests that pin their own ``max_examples`` keep it — the
+profile governs the rest plus deadlines).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+
+settings.register_profile("default", settings())
+settings.register_profile("dev", settings(max_examples=10, deadline=None))
+settings.register_profile(
+    "thorough", settings(max_examples=300, deadline=None, derandomize=False)
+)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "default"))
+
+from repro.table.base_table import BaseTable
+from repro.table.schema import Schema
+
+#: The paper's running example (Figure 2(a)): the sales base table whose
+#: range trie, reductions and ranges the paper draws in Figures 3, 5 and 6.
+PAPER_ROWS = [
+    ("S1", "C1", "P1", "D1", 100.0),
+    ("S1", "C1", "P2", "D2", 500.0),
+    ("S2", "C1", "P1", "D2", 200.0),
+    ("S2", "C2", "P1", "D2", 1200.0),
+    ("S2", "C3", "P2", "D2", 400.0),
+    ("S3", "C3", "P3", "D1", 2500.0),
+]
+
+
+def make_paper_table() -> BaseTable:
+    schema = Schema.from_names(["store", "city", "product", "date"], ["price"])
+    return BaseTable.from_rows(schema, PAPER_ROWS)
+
+
+@pytest.fixture
+def paper_table() -> BaseTable:
+    return make_paper_table()
+
+
+def make_encoded_table(codes, n_measures: int = 1, measures=None) -> BaseTable:
+    """Build a table from a list of integer code rows."""
+    codes = np.asarray(codes, dtype=np.int64)
+    if codes.ndim == 1:
+        codes = codes.reshape(0, 0) if codes.size == 0 else codes.reshape(1, -1)
+    n_dims = codes.shape[1]
+    schema = Schema.from_names(
+        [f"d{i}" for i in range(n_dims)], [f"m{i}" for i in range(n_measures)]
+    )
+    if measures is None and n_measures:
+        measures = np.arange(codes.shape[0] * n_measures, dtype=np.float64).reshape(
+            codes.shape[0], n_measures
+        )
+    return BaseTable.from_encoded(schema, codes, measures)
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def table_strategy(
+    draw,
+    min_rows: int = 1,
+    max_rows: int = 24,
+    min_dims: int = 1,
+    max_dims: int = 5,
+    max_card: int = 4,
+    n_measures: int = 1,
+):
+    """Small encoded tables: the oracle (2**n cuboid scan) must stay cheap."""
+    n_dims = draw(st.integers(min_dims, max_dims))
+    n_rows = draw(st.integers(min_rows, max_rows))
+    cards = draw(
+        st.lists(st.integers(1, max_card), min_size=n_dims, max_size=n_dims)
+    )
+    rows = [
+        tuple(draw(st.integers(0, cards[d] - 1)) for d in range(n_dims))
+        for _ in range(n_rows)
+    ]
+    measures = [
+        tuple(float(draw(st.integers(0, 50))) for _ in range(n_measures))
+        for _ in range(n_rows)
+    ]
+    return make_encoded_table(rows, n_measures=n_measures, measures=measures)
+
+
+def states_equal(a: tuple, b: tuple, tol: float = 1e-9) -> bool:
+    """Compare aggregate states with float tolerance on the sums."""
+    if len(a) != len(b):
+        return False
+    for x, y in zip(a, b):
+        if isinstance(x, float) or isinstance(y, float):
+            if abs(x - y) > tol * max(1.0, abs(x), abs(y)):
+                return False
+        elif x != y:
+            return False
+    return True
+
+
+def cubes_equal(a: dict, b: dict, tol: float = 1e-9) -> bool:
+    if a.keys() != b.keys():
+        return False
+    return all(states_equal(a[k], b[k], tol) for k in a)

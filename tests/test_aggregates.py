@@ -1,0 +1,117 @@
+"""Unit tests for repro.table.aggregates."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.table.aggregates import (
+    Aggregator,
+    AvgAggregator,
+    AvgFunction,
+    CountAggregator,
+    MaxAggregator,
+    MaxFunction,
+    MinAggregator,
+    MinFunction,
+    MultiAggregator,
+    SumCountAggregator,
+    SumFunction,
+    default_aggregator,
+)
+
+
+def fold(agg, rows):
+    states = [agg.state_from_row(r) for r in rows]
+    total = states[0]
+    for s in states[1:]:
+        total = agg.merge(total, s)
+    return total
+
+
+def test_count_aggregator():
+    agg = CountAggregator()
+    total = fold(agg, [()] * 5)
+    assert agg.count(total) == 5
+    assert agg.finalize(total) == {"count": 5}
+
+
+def test_sum_count_aggregator():
+    agg = SumCountAggregator()
+    total = fold(agg, [(1.0,), (2.5,), (3.5,)])
+    assert agg.finalize(total) == {"count": 3, "sum": 7.0}
+
+
+def test_min_max_aggregators():
+    rows = [(3.0,), (1.0,), (2.0,)]
+    assert MinAggregator().finalize(fold(MinAggregator(), rows))["min"] == 1.0
+    assert MaxAggregator().finalize(fold(MaxAggregator(), rows))["max"] == 3.0
+
+
+def test_avg_aggregator():
+    agg = AvgAggregator()
+    total = fold(agg, [(1.0,), (2.0,), (6.0,)])
+    assert agg.finalize(total)["avg"] == pytest.approx(3.0)
+
+
+def test_multi_aggregator_over_two_measures():
+    agg = MultiAggregator([(SumFunction(), 0), (MaxFunction(), 1)])
+    total = fold(agg, [(1.0, 10.0), (2.0, 5.0)])
+    result = agg.finalize(total)
+    assert result["count"] == 2
+    assert result["sum"] == 3.0
+    assert result["max"] == 10.0
+
+
+def test_multi_aggregator_same_function_twice_disambiguates():
+    agg = MultiAggregator([(SumFunction(), 0), (SumFunction(), 1)])
+    total = fold(agg, [(1.0, 10.0), (2.0, 20.0)])
+    result = agg.finalize(total)
+    assert result["sum"] == 3.0
+    assert result["sum(1)"] == 30.0
+
+
+def test_default_aggregator_choices():
+    assert isinstance(default_aggregator(0), CountAggregator)
+    assert isinstance(default_aggregator(2), SumCountAggregator)
+
+
+def test_result_names():
+    assert CountAggregator().result_names() == ("count",)
+    assert SumCountAggregator().result_names() == ("count", "sum")
+
+
+def test_avg_function_algebra():
+    f = AvgFunction()
+    s = f.merge(f.initial(2.0), f.initial(4.0))
+    assert f.finalize(s) == 3.0
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=30))
+def test_merge_is_associative_for_sum_and_count(values):
+    agg = SumCountAggregator()
+    rows = [(v,) for v in values]
+    states = [agg.state_from_row(r) for r in rows]
+    left = states[0]
+    for s in states[1:]:
+        left = agg.merge(left, s)
+    right = states[-1]
+    for s in reversed(states[:-1]):
+        right = agg.merge(s, right)
+    assert left[0] == right[0] == len(values)
+    assert math.isclose(left[1], right[1], rel_tol=1e-9, abs_tol=1e-6)
+
+
+@given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=30))
+def test_min_max_match_python_builtins(values):
+    rows = [(v,) for v in values]
+    assert MinFunction().finalize(fold(MinAggregator(), rows)[1]) == min(values)
+    assert MaxFunction().finalize(fold(MaxAggregator(), rows)[1]) == max(values)
+
+
+def test_generic_aggregator_count_always_first():
+    agg = Aggregator([(SumFunction(), 0)])
+    state = agg.state_from_row((5.0,))
+    assert state[0] == 1
+    assert agg.count(agg.merge(state, state)) == 2

@@ -1,0 +1,103 @@
+"""Unit tests for repro.table.base_table."""
+
+import numpy as np
+import pytest
+
+from repro.table.base_table import BaseTable
+from repro.table.schema import Schema
+
+from tests.conftest import make_encoded_table, make_paper_table
+
+
+def test_from_rows_encodes_and_tracks_cardinalities():
+    table = make_paper_table()
+    assert table.n_rows == 6
+    assert table.n_dims == 4
+    assert table.n_measures == 1
+    # stores S1..S3, cities C1..C3, products P1..P3, dates D1..D2
+    assert table.cardinalities == (3, 3, 3, 2)
+
+
+def test_from_rows_with_inline_measures():
+    schema = Schema.from_names(["a"], ["m"])
+    table = BaseTable.from_rows(schema, [("x", 1.5), ("y", 2.5)])
+    assert table.measures[:, 0].tolist() == [1.5, 2.5]
+
+
+def test_from_rows_with_separate_measures():
+    schema = Schema.from_names(["a"], ["m"])
+    table = BaseTable.from_rows(schema, [("x",), ("y",)], measures=[(1.0,), (2.0,)])
+    assert table.measures[:, 0].tolist() == [1.0, 2.0]
+
+
+def test_from_encoded_infers_cardinalities():
+    table = make_encoded_table([(0, 2), (1, 0)])
+    assert table.cardinalities == (2, 3)
+
+
+def test_dim_rows_are_int_tuples():
+    table = make_encoded_table([(0, 1), (1, 0)])
+    rows = table.dim_rows()
+    assert rows == [(0, 1), (1, 0)]
+    assert all(isinstance(v, int) for row in rows for v in row)
+
+
+def test_negative_codes_rejected():
+    schema = Schema.from_names(["a"])
+    with pytest.raises(ValueError):
+        BaseTable(schema, np.array([[-1]]))
+
+
+def test_shape_validation():
+    schema = Schema.from_names(["a", "b"], ["m"])
+    with pytest.raises(ValueError):
+        BaseTable(schema, np.zeros((2, 3), dtype=np.int64))
+    with pytest.raises(ValueError):
+        BaseTable(schema, np.zeros((2, 2), dtype=np.int64), np.zeros((3, 1)))
+
+
+def test_distinct_counts():
+    table = make_encoded_table([(0, 0), (0, 1), (0, 0)])
+    assert table.distinct_count(0) == 1
+    assert table.distinct_count(1) == 2
+    assert table.distinct_tuple_count() == 2
+
+
+def test_density():
+    table = make_encoded_table([(0, 0), (1, 1)])
+    # 2 distinct tuples in a 2x2 space
+    assert table.density() == pytest.approx(0.5)
+
+
+def test_reordered_permutes_columns_and_schema():
+    table = make_paper_table()
+    reordered = table.reordered([3, 2, 1, 0])
+    assert reordered.schema.dimension_names == ("date", "product", "city", "store")
+    assert reordered.dim_codes[:, 0].tolist() == table.dim_codes[:, 3].tolist()
+    assert reordered.measures.tolist() == table.measures.tolist()
+
+
+def test_with_cardinality_descending_dims():
+    table = make_encoded_table([(0, 0, 0), (0, 1, 1), (0, 2, 1)])
+    reordered, order = table.with_cardinality_descending_dims()
+    assert order == (1, 2, 0)
+    assert reordered.distinct_count(0) == 3
+
+
+def test_head_decodes_when_encoder_present():
+    table = make_paper_table()
+    assert table.head(1) == [("S1", "C1", "P1", "D1")]
+
+
+def test_empty_table():
+    schema = Schema.from_names(["a", "b"])
+    table = BaseTable(schema, np.zeros((0, 2), dtype=np.int64))
+    assert table.n_rows == 0
+    assert table.distinct_count(0) == 0
+    assert table.distinct_tuple_count() == 0
+
+
+def test_repr_mentions_names():
+    table = make_paper_table()
+    assert "store" in repr(table)
+    assert "price" in repr(table)

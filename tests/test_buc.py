@@ -1,0 +1,79 @@
+"""Unit + property tests for the BUC baseline."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.baselines.buc import buc
+from repro.cube.cell import apex_cell, n_bound
+from repro.cube.full_cube import compute_full_cube
+from repro.table.base_table import BaseTable
+from repro.table.schema import Schema
+
+from tests.conftest import (
+    cubes_equal,
+    make_encoded_table,
+    make_paper_table,
+    table_strategy,
+)
+
+
+def test_paper_example_matches_oracle():
+    table = make_paper_table()
+    assert cubes_equal(buc(table).as_dict(), compute_full_cube(table).as_dict())
+
+
+def test_empty_table():
+    schema = Schema.from_names(["a", "b"])
+    table = BaseTable(schema, np.zeros((0, 2), dtype=np.int64))
+    assert len(buc(table)) == 0
+
+
+def test_apex_counts_all_rows():
+    table = make_encoded_table([(0, 0), (1, 1), (1, 0)])
+    cube = buc(table)
+    assert cube.lookup(apex_cell(2))[0] == 3
+
+
+def test_iceberg_prunes_sublattice():
+    # one lonely tuple + three copies of another: with min_support=2 no
+    # cell derived from the lonely tuple's unique values survives
+    table = make_encoded_table([(0, 0), (1, 1), (1, 1), (1, 1)])
+    cube = buc(table, min_support=2)
+    assert all(s[0] >= 2 for _, s in cube.cells())
+    assert cube.lookup((0, None)) is None
+    assert cube.lookup((1, 1))[0] == 3
+
+
+def test_iceberg_matches_filtered_oracle():
+    table = make_paper_table()
+    for min_support in (2, 3, 6):
+        expected = compute_full_cube(table, min_support=min_support).as_dict()
+        assert cubes_equal(buc(table, min_support=min_support).as_dict(), expected)
+
+
+def test_order_parameter_is_transparent():
+    table = make_paper_table()
+    oracle = compute_full_cube(table).as_dict()
+    for order in [(3, 2, 1, 0), (1, 0, 3, 2)]:
+        assert cubes_equal(buc(table, order=order).as_dict(), oracle)
+
+
+def test_all_cuboid_levels_present():
+    table = make_paper_table()
+    cube = buc(table)
+    levels = {n_bound(c) for c in cube.iter_cells()}
+    assert levels == {0, 1, 2, 3, 4}
+
+
+@settings(max_examples=50, deadline=None)
+@given(table_strategy())
+def test_matches_oracle_on_random_tables(table):
+    assert cubes_equal(buc(table).as_dict(), compute_full_cube(table).as_dict())
+
+
+@settings(max_examples=25, deadline=None)
+@given(table_strategy(max_rows=15, max_dims=4))
+def test_iceberg_property(table):
+    for min_support in (2, 3):
+        expected = compute_full_cube(table, min_support=min_support).as_dict()
+        assert cubes_equal(buc(table, min_support=min_support).as_dict(), expected)

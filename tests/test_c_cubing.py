@@ -1,0 +1,93 @@
+"""Unit + property tests for C-Cubing (closed cubes)."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.baselines.c_cubing import _merge_same, closed_cubing
+from repro.baselines.quotient import quotient_cube
+from repro.table.base_table import BaseTable
+from repro.table.schema import Schema
+
+from tests.conftest import make_encoded_table, make_paper_table, table_strategy
+
+
+def test_merge_same_keeps_agreement_only():
+    assert _merge_same((1, 2, 3), (1, 5, 3)) == (1, None, 3)
+    assert _merge_same((1, None), (1, 7)) == (1, None)
+    assert _merge_same((None, None), (4, 4)) == (None, None)
+
+
+def test_closed_cube_equals_quotient_classes_on_paper_table():
+    table = make_paper_table()
+    closed = closed_cubing(table)
+    quotient = quotient_cube(table)
+    assert closed.as_dict().keys() == quotient.classes.keys()
+    for cell, state in closed.cells():
+        assert state[0] == quotient.classes[cell][0]
+
+
+def test_non_closed_cells_are_absent():
+    table = make_paper_table()
+    closed = closed_cubing(table)
+    enc = table.encoder.encoders
+    s1 = enc[0].encode_existing("S1")
+    # (S1, *, *, *) is not closed — S1 implies C1 — so only the closed
+    # version (S1, C1, *, *) appears.
+    assert (s1, None, None, None) not in closed
+    assert (s1, enc[1].encode_existing("C1"), None, None) in closed
+
+
+def test_apex_closedness_depends_on_common_values():
+    # No common value anywhere: the apex is closed.
+    spread = make_encoded_table([(0, 0), (1, 1)])
+    assert (None, None) in closed_cubing(spread)
+    # A value common to all rows: the apex collapses into its closure.
+    shared = make_encoded_table([(0, 0), (0, 1)])
+    closed = closed_cubing(shared)
+    assert (None, None) not in closed
+    assert (0, None) in closed
+
+
+def test_min_support_filters_closed_cells():
+    table = make_encoded_table([(0, 0), (0, 1), (1, 1)])
+    closed = closed_cubing(table, min_support=2)
+    assert all(state[0] >= 2 for _, state in closed.cells())
+    full = closed_cubing(table)
+    expected = {c for c, s in full.cells() if s[0] >= 2}
+    assert set(closed.iter_cells()) == expected
+
+
+def test_empty_table():
+    schema = Schema.from_names(["a"])
+    table = BaseTable(schema, np.zeros((0, 1), dtype=np.int64))
+    assert len(closed_cubing(table)) == 0
+
+
+def test_closed_cube_is_much_smaller_than_full_cube():
+    from repro.cube.full_cube import full_cube_size
+
+    table = make_paper_table()
+    assert len(closed_cubing(table)) < full_cube_size(table) / 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(table_strategy(max_rows=14, max_dims=4))
+def test_closed_cube_matches_quotient_on_random_tables(table):
+    closed = closed_cubing(table)
+    quotient = quotient_cube(table)
+    assert closed.as_dict().keys() == quotient.classes.keys()
+    for cell, state in closed.cells():
+        assert state[0] == quotient.classes[cell][0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(table_strategy(max_rows=14, max_dims=4))
+def test_iceberg_closed_cube_property(table):
+    for min_support in (2, 3):
+        closed = closed_cubing(table, min_support=min_support)
+        expected = {
+            c: s
+            for c, s in quotient_cube(table).classes.items()
+            if s[0] >= min_support
+        }
+        assert closed.as_dict().keys() == expected.keys()

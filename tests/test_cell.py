@@ -1,0 +1,110 @@
+"""Unit tests for repro.cube.cell — cells and the roll-up partial order."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cube.cell import (
+    apex_cell,
+    bound_dims,
+    cell_str,
+    cuboid_of,
+    drill_down,
+    make_cell,
+    matches_row,
+    n_bound,
+    project_row,
+    project_row_mask,
+    roll_up,
+    specializes,
+)
+
+
+def test_make_cell_and_apex():
+    assert make_cell(3) == (None, None, None)
+    assert make_cell(3, {1: 7}) == (None, 7, None)
+    assert apex_cell(2) == (None, None)
+
+
+def test_make_cell_bounds_checked():
+    with pytest.raises(IndexError):
+        make_cell(2, {2: 1})
+
+
+def test_bound_dims_and_n_bound():
+    cell = (1, None, 3)
+    assert bound_dims(cell) == (0, 2)
+    assert n_bound(cell) == 2
+    assert n_bound(apex_cell(4)) == 0
+
+
+def test_cuboid_of_is_bitmask():
+    assert cuboid_of((1, None, 3)) == 0b101
+    assert cuboid_of(apex_cell(3)) == 0
+
+
+def test_specializes_follows_paper_example():
+    # Paper Example 2: (S1, C1, *, *) rolls up to (S1, *, *, *).
+    s1c1 = (0, 0, None, None)
+    s1 = (0, None, None, None)
+    assert specializes(s1c1, s1)
+    assert not specializes(s1, s1c1)
+    # And the chain (S1,C1,P1,D1) -> (S1,C1,P1,*) -> (S1,*,P1,*).
+    assert specializes((0, 0, 0, 0), (0, 0, 0, None))
+    assert specializes((0, 0, 0, None), (0, None, 0, None))
+
+
+def test_specializes_is_reflexive():
+    cell = (1, None, 2)
+    assert specializes(cell, cell)
+
+
+def test_specializes_requires_equal_values():
+    assert not specializes((1, None), (2, None))
+
+
+def test_roll_up_and_drill_down_invert():
+    cell = (1, None, 3)
+    up = roll_up(cell, 0)
+    assert up == (None, None, 3)
+    assert drill_down(up, 0, 1) == cell
+
+
+def test_roll_up_rejects_free_dim():
+    with pytest.raises(ValueError):
+        roll_up((None, 1), 0)
+
+
+def test_drill_down_rejects_bound_dim():
+    with pytest.raises(ValueError):
+        drill_down((1, None), 0, 2)
+
+
+def test_project_row_variants_agree():
+    row = (4, 5, 6)
+    assert project_row(row, [0, 2], 3) == (4, None, 6)
+    assert project_row_mask(row, 0b101) == (4, None, 6)
+    assert project_row_mask(row, 0) == (None, None, None)
+
+
+def test_matches_row():
+    assert matches_row((4, None, 6), (4, 9, 6))
+    assert not matches_row((4, None, 6), (4, 9, 7))
+
+
+def test_cell_str_plain_and_decoded():
+    assert cell_str((1, None)) == "(1, *)"
+    assert cell_str((1, None), decode=lambda d, v: f"v{d}{v}") == "(v01, *)"
+
+
+@given(st.lists(st.one_of(st.none(), st.integers(0, 3)), min_size=1, max_size=6))
+def test_partial_order_antisymmetry_and_transitivity(values):
+    cell = tuple(values)
+    ups = [roll_up(cell, d) for d in bound_dims(cell)]
+    for up in ups:
+        assert specializes(cell, up)
+        # antisymmetry: up never specializes back unless equal
+        assert not specializes(up, cell)
+        for upper in (roll_up(up, d) for d in bound_dims(up)):
+            # transitivity through two roll-ups
+            assert specializes(cell, upper)

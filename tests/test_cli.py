@@ -1,0 +1,111 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.data.io import read_range_cube_csv, read_table_csv, write_table_csv
+
+from tests.conftest import make_paper_table
+
+
+def test_generate_zipf_and_stats(tmp_path, capsys):
+    table_path = tmp_path / "t.csv"
+    assert main([
+        "generate", "zipf", "--rows", "200", "--dims", "3", "--card", "10",
+        "--out", str(table_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "200 rows x 3 dims" in out
+    loaded = read_table_csv(table_path, n_measures=1)
+    assert loaded.n_rows == 200
+
+    assert main(["stats", str(table_path), "--measures", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "range trie" in out
+    assert "node ratio" in out
+
+
+def test_generate_weather(tmp_path, capsys):
+    path = tmp_path / "w.csv"
+    assert main(["generate", "weather", "--rows", "150", "--out", str(path)]) == 0
+    loaded = read_table_csv(path, n_measures=1)
+    assert loaded.n_dims == 9
+
+
+def test_cube_and_query_roundtrip(tmp_path, capsys):
+    table_path = tmp_path / "sales.csv"
+    write_table_csv(make_paper_table(), table_path)
+    cube_path = tmp_path / "cube.csv"
+    assert main([
+        "cube", str(table_path), "--measures", "1",
+        "--order", "as-is", "--out", str(cube_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "33 ranges" in out
+    cube = read_range_cube_csv(cube_path)
+    assert cube.n_ranges == 33
+
+    # query (store=S1 encodes to code 0)
+    assert main(["query", str(cube_path), "--bind", "0=0"]) == 0
+    out = capsys.readouterr().out
+    assert "'count': 2" in out
+    assert "containing range" in out
+
+    # empty cell -> exit code 1
+    assert main(["query", str(cube_path), "--bind", "0=2", "--bind", "1=0"]) == 1
+
+
+def test_cube_with_baseline_algorithms(tmp_path, capsys):
+    table_path = tmp_path / "sales.csv"
+    write_table_csv(make_paper_table(), table_path)
+    for algorithm in ("buc", "hcubing", "star"):
+        assert main([
+            "cube", str(table_path), "--measures", "1", "--algorithm", algorithm,
+        ]) == 0
+        assert "69 cells" in capsys.readouterr().out
+
+
+def test_cube_iceberg(tmp_path, capsys):
+    table_path = tmp_path / "sales.csv"
+    write_table_csv(make_paper_table(), table_path)
+    assert main([
+        "cube", str(table_path), "--measures", "1", "--min-support", "3",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "ranges" in out
+
+
+def test_experiment_dispatch(capsys):
+    assert main(["experiment", "fig9", "--preset", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 9(a)" in out
+
+
+def test_report_command(tmp_path, capsys):
+    out = tmp_path / "r.md"
+    assert main(["report", "--preset", "tiny", "--out", str(out)]) == 0
+    assert out.read_text().startswith("# Range CUBE reproduction report")
+
+
+def test_claims_command(capsys, monkeypatch):
+    import repro.harness.claims as claims_module
+    from repro.harness.claims import ClaimResult
+
+    stub = [ClaimResult("stub", "a stubbed claim", True, "ok")]
+    monkeypatch.setattr(claims_module, "run_claims", lambda preset: stub)
+    assert main(["claims", "--preset", "tiny"]) == 0
+    assert "claims hold" in capsys.readouterr().out
+
+
+def test_advise_command(tmp_path, capsys):
+    table_path = tmp_path / "sales.csv"
+    write_table_csv(make_paper_table(), table_path)
+    assert main(["advise", str(table_path), "--measures", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "recommended strategy:" in out
+    assert "estimated full-cube size" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,110 @@
+"""Unit + property tests for complex-measure (AVG) iceberg cubing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.complex_measures import (
+    TopKAvgAggregator,
+    avg_iceberg_bruteforce,
+    avg_iceberg_range_cubing,
+)
+
+from tests.conftest import make_encoded_table, make_paper_table, table_strategy
+
+
+def test_topk_aggregator_state_algebra():
+    agg = TopKAvgAggregator(k=2)
+    a = agg.state_from_row((10.0,))
+    b = agg.state_from_row((4.0,))
+    c = agg.state_from_row((7.0,))
+    merged = agg.merge(agg.merge(a, b), c)
+    assert merged[0] == 3
+    assert merged[1] == 21.0
+    assert merged[2] == (10.0, 7.0)  # bounded at k=2, largest kept
+    assert agg.top_k_avg(merged) == pytest.approx(8.5)
+    assert agg.exact_avg(merged) == pytest.approx(7.0)
+
+
+def test_topk_merge_is_order_insensitive():
+    agg = TopKAvgAggregator(k=3)
+    states = [agg.state_from_row((float(v),)) for v in (5, 1, 9, 3, 7)]
+    left = states[0]
+    for s in states[1:]:
+        left = agg.merge(left, s)
+    right = states[-1]
+    for s in reversed(states[:-1]):
+        right = agg.merge(s, right)
+    assert left == right
+
+
+def test_k_validation():
+    with pytest.raises(ValueError):
+        TopKAvgAggregator(k=0)
+    with pytest.raises(ValueError):
+        avg_iceberg_range_cubing(make_paper_table(), min_count=0, min_avg=1.0)
+
+
+def test_finalize_reports_both_averages():
+    agg = TopKAvgAggregator(k=1)
+    state = agg.merge(agg.state_from_row((2.0,)), agg.state_from_row((8.0,)))
+    result = agg.finalize(state)
+    assert result["avg"] == 5.0
+    assert result["top_k_avg"] == 8.0
+
+
+def test_paper_table_avg_iceberg():
+    table = make_paper_table()
+    # cells averaging at least $600 over at least 2 sales
+    cube = avg_iceberg_range_cubing(table, min_count=2, min_avg=600.0)
+    expected = avg_iceberg_bruteforce(table, 2, 600.0)
+    expanded = {cell: (s[0], s[1]) for cell, s in cube.expand()}
+    assert expanded.keys() == expected.keys()
+    for cell, (count, total) in expanded.items():
+        assert (count, total) == pytest.approx(expected[cell])
+
+
+def test_nonmonotone_average_is_not_missed():
+    # The group (0, *) averages 50.5 — below a threshold of 60 — but its
+    # subgroup (0, 1) averages 100: pruning on the *exact* average would
+    # lose the subgroup; the top-k test keeps the branch alive.
+    table = make_encoded_table(
+        [(0, 0), (0, 0), (0, 1), (0, 1)],
+        measures=[(1.0,), (1.0,), (100.0,), (100.0,)],
+    )
+    cube = avg_iceberg_range_cubing(table, min_count=2, min_avg=60.0)
+    cells = dict(cube.expand())
+    assert (0, 1) in cells
+    assert (None, 1) in cells
+    assert (0, None) not in cells  # the low-average parent itself fails
+    expected = avg_iceberg_bruteforce(table, 2, 60.0)
+    assert cells.keys() == expected.keys()
+
+
+def test_high_threshold_empties_cube():
+    table = make_paper_table()
+    cube = avg_iceberg_range_cubing(table, min_count=1, min_avg=10_000.0)
+    assert cube.n_ranges == 0
+
+
+def test_count_one_degenerates_to_max_threshold():
+    table = make_paper_table()
+    cube = avg_iceberg_range_cubing(table, min_count=1, min_avg=2500.0)
+    expected = avg_iceberg_bruteforce(table, 1, 2500.0)
+    assert {c for c, _ in cube.expand()} == expected.keys()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    table_strategy(max_rows=16, max_dims=4),
+    st.integers(1, 4),
+    st.integers(0, 40),
+)
+def test_avg_iceberg_matches_bruteforce(table, min_count, min_avg):
+    cube = avg_iceberg_range_cubing(table, min_count, float(min_avg))
+    expected = avg_iceberg_bruteforce(table, min_count, float(min_avg))
+    expanded = {cell: (s[0], s[1]) for cell, s in cube.expand()}
+    assert expanded.keys() == expected.keys()
+    for cell in expanded:
+        assert expanded[cell][0] == expected[cell][0]
+        assert expanded[cell][1] == pytest.approx(expected[cell][1])

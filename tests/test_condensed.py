@@ -1,0 +1,94 @@
+"""Unit + property tests for the BST-condensed cube baseline."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.baselines.condensed import CondensedEntry, condensed_cube
+from repro.cube.full_cube import compute_full_cube, full_cube_size
+from repro.table.base_table import BaseTable
+from repro.table.schema import Schema
+
+from tests.conftest import (
+    cubes_equal,
+    make_encoded_table,
+    make_paper_table,
+    table_strategy,
+)
+
+
+def test_entry_expansion():
+    entry = CondensedEntry(cell=(0, None, None), free_from=1, row=(0, 5, 7), state=(1,))
+    assert entry.n_cells == 4
+    assert set(entry.cells()) == {
+        (0, None, None),
+        (0, 5, None),
+        (0, None, 7),
+        (0, 5, 7),
+    }
+
+
+def test_expansion_matches_oracle_on_paper_table():
+    table = make_paper_table()
+    cube = condensed_cube(table)
+    assert cubes_equal(
+        dict(cube.expand()), compute_full_cube(table).as_dict()
+    )
+
+
+def test_expansion_is_disjoint():
+    table = make_paper_table()
+    cube = condensed_cube(table)
+    seen = set()
+    for cell, _ in cube.expand():
+        assert cell not in seen
+        seen.add(cell)
+    assert cube.n_cells == len(seen) == full_cube_size(table)
+
+
+def test_condensation_shrinks_sparse_cube():
+    # all-distinct tuples: everything below depth 1 condenses
+    table = make_encoded_table([(0, 0, 0), (1, 1, 1), (2, 2, 2)])
+    cube = condensed_cube(table)
+    assert cube.n_tuples < full_cube_size(table)
+    assert cube.entries  # BSTs were found
+
+
+def test_single_row_is_one_entry():
+    table = make_encoded_table([(4, 2)])
+    cube = condensed_cube(table)
+    assert len(cube.entries) == 1
+    assert not cube.cells
+    assert cube.n_cells == 4
+
+
+def test_empty_table():
+    schema = Schema.from_names(["a"])
+    table = BaseTable(schema, np.zeros((0, 1), dtype=np.int64))
+    cube = condensed_cube(table)
+    assert cube.n_tuples == 0
+    assert cube.n_cells == 0
+
+
+def test_dense_duplicate_table_has_no_entries():
+    table = make_encoded_table([(0, 0), (0, 0)])
+    cube = condensed_cube(table)
+    assert not cube.entries
+    assert cube.n_tuples == 4  # apex, (0,*), (*,0), (0,0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(table_strategy())
+def test_matches_oracle_on_random_tables(table):
+    cube = condensed_cube(table)
+    expanded = {}
+    for cell, state in cube.expand():
+        assert cell not in expanded
+        expanded[cell] = state
+    assert cubes_equal(expanded, compute_full_cube(table).as_dict())
+
+
+@settings(max_examples=40, deadline=None)
+@given(table_strategy())
+def test_never_larger_than_full_cube(table):
+    cube = condensed_cube(table)
+    assert cube.n_tuples <= cube.n_cells

@@ -1,0 +1,98 @@
+"""Cross-cutting property tests: every representation of the same cube.
+
+One random table in, nine systems out — all must tell one consistent
+story.  This is the repository's strongest single safety net: a bug in
+any algorithm breaks an equality here even if its own unit oracle was
+fooled.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.buc import buc
+from repro.baselines.c_cubing import closed_cubing
+from repro.baselines.condensed import condensed_cube
+from repro.baselines.dwarf import Dwarf
+from repro.baselines.hcubing import h_cubing
+from repro.baselines.multiway import multiway
+from repro.baselines.qc_tree import QCTree
+from repro.baselines.quotient import quotient_cube
+from repro.baselines.star_cubing import star_cubing
+from repro.core.range_cubing import range_cubing
+from repro.cube.full_cube import compute_full_cube, full_cube_size
+from repro.table.aggregates import MaxFunction, MinFunction, MultiAggregator, SumFunction
+
+from tests.conftest import cubes_equal, table_strategy
+
+
+@settings(max_examples=25, deadline=None)
+@given(table_strategy(max_rows=18, max_dims=4))
+def test_all_nine_systems_agree(table):
+    oracle = compute_full_cube(table).as_dict()
+
+    # five full-cube computations
+    assert cubes_equal(dict(range_cubing(table).expand()), oracle)
+    assert cubes_equal(h_cubing(table).as_dict(), oracle)
+    assert cubes_equal(buc(table).as_dict(), oracle)
+    assert cubes_equal(star_cubing(table).as_dict(), oracle)
+    assert cubes_equal(multiway(table).as_dict(), oracle)
+
+    # two compressed representations expand to the same cube
+    assert cubes_equal(dict(condensed_cube(table).expand()), oracle)
+
+    # three query structures answer every cell
+    dwarf = Dwarf.build(table)
+    qc = QCTree.build(table)
+    cube = range_cubing(table)
+    for cell, state in oracle.items():
+        assert dwarf.lookup(cell)[0] == state[0]
+        assert qc.lookup(cell)[0] == state[0]
+        assert cube.lookup(cell)[0] == state[0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(table_strategy(max_rows=18, max_dims=4))
+def test_size_hierarchy_of_representations(table):
+    """closed == quotient <= range <= full; condensed <= full."""
+    full = full_cube_size(table)
+    quotient = quotient_cube(table)
+    closed = closed_cubing(table)
+    ranges = range_cubing(table)
+    condensed = condensed_cube(table)
+    assert len(closed) == quotient.n_classes
+    assert quotient.n_classes <= ranges.n_ranges <= full
+    assert condensed.n_tuples <= full
+    assert ranges.n_cells == condensed.n_cells == full
+
+
+@settings(max_examples=20, deadline=None)
+@given(table_strategy(max_rows=15, max_dims=3, n_measures=2))
+def test_multi_measure_aggregation_consistency(table):
+    """SUM/MIN/MAX of both measures agree between range cubing and oracle."""
+    agg = MultiAggregator(
+        [(SumFunction(), 0), (MinFunction(), 1), (MaxFunction(), 1)]
+    )
+    oracle = compute_full_cube(table, agg).as_dict()
+    cube = dict(range_cubing(table, aggregator=agg).expand())
+    assert cubes_equal(cube, oracle)
+    hc = h_cubing(table, aggregator=agg).as_dict()
+    assert cubes_equal(hc, oracle)
+
+
+@settings(max_examples=20, deadline=None)
+@given(table_strategy(max_rows=15, max_dims=4), st.integers(2, 4))
+def test_iceberg_consistency_everywhere(table, min_support):
+    expected = compute_full_cube(table, min_support=min_support).as_dict()
+    assert cubes_equal(
+        dict(range_cubing(table, min_support=min_support).expand()), expected
+    )
+    assert cubes_equal(h_cubing(table, min_support=min_support).as_dict(), expected)
+    assert cubes_equal(buc(table, min_support=min_support).as_dict(), expected)
+    assert cubes_equal(
+        star_cubing(table, min_support=min_support).as_dict(), expected
+    )
+    assert cubes_equal(multiway(table, min_support=min_support).as_dict(), expected)
+    # closed iceberg cells are exactly the closed cells meeting the bar
+    closed = closed_cubing(table, min_support=min_support)
+    assert set(closed.iter_cells()) <= set(expected)
+    assert all(expected[c][0] == s[0] for c, s in closed.cells())

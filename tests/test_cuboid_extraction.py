@@ -1,0 +1,92 @@
+"""Tests for per-cuboid extraction from a range cube (no full expansion)."""
+
+from hypothesis import given, settings
+
+from repro.baselines.quotient import quotient_cube
+from repro.core.range_cubing import range_cubing
+from repro.cube.cell import matches_row
+from repro.cube.full_cube import compute_full_cube
+from repro.cube.lattice import CuboidLattice
+
+from tests.conftest import make_paper_table, table_strategy
+
+
+def test_cuboid_matches_oracle_on_paper_table():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    oracle = compute_full_cube(table)
+    for mask in CuboidLattice(table.n_dims):
+        assert cube.cuboid(mask) == oracle.cuboid(mask)
+
+
+def test_cuboid_sizes_match_oracle():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    oracle = compute_full_cube(table)
+    assert cube.cuboid_sizes() == oracle.cuboid_sizes()
+    assert sum(cube.cuboid_sizes().values()) == cube.n_cells
+
+
+def test_apex_cuboid():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    apex = cube.cuboid(0)
+    assert list(apex.values())[0][0] == 6
+    assert len(apex) == 1
+
+
+def test_base_cuboid_has_distinct_tuples():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    base = cube.cuboid((1 << table.n_dims) - 1)
+    assert len(base) == table.distinct_tuple_count()
+
+
+@settings(max_examples=30, deadline=None)
+@given(table_strategy(max_rows=15, max_dims=4))
+def test_cuboid_extraction_property(table):
+    cube = range_cubing(table)
+    oracle = compute_full_cube(table)
+    lattice = CuboidLattice(table.n_dims)
+    for mask in lattice:
+        extracted = cube.cuboid(mask)
+        expected = oracle.cuboid(mask)
+        assert extracted.keys() == expected.keys()
+        for cell in extracted:
+            assert extracted[cell][0] == expected[cell][0]
+
+
+# ---------------------------------------------------------------------------
+# quotient-cube lookups (the QC-tree query role)
+# ---------------------------------------------------------------------------
+
+
+def test_quotient_class_of_and_lookup():
+    table = make_paper_table()
+    qc = quotient_cube(table)
+    oracle = compute_full_cube(table)
+    rows = table.dim_rows()
+    for cell, state in oracle.cells():
+        upper = qc.class_of(cell)
+        assert upper is not None
+        # the class upper bound covers exactly the same tuples as the cell
+        cover_cell = {i for i, r in enumerate(rows) if matches_row(cell, r)}
+        cover_upper = {i for i, r in enumerate(rows) if matches_row(upper, r)}
+        assert cover_cell == cover_upper
+        assert qc.lookup(cell)[0] == state[0]
+
+
+def test_quotient_lookup_empty_cell():
+    table = make_paper_table()
+    qc = quotient_cube(table)
+    assert qc.class_of((2, 0, None, None)) is None
+    assert qc.lookup((2, 0, None, None)) is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(table_strategy(max_rows=12, max_dims=3))
+def test_quotient_lookup_agrees_with_oracle(table):
+    qc = quotient_cube(table)
+    oracle = compute_full_cube(table)
+    for cell, state in oracle.cells():
+        assert qc.lookup(cell)[0] == state[0]

@@ -1,0 +1,64 @@
+"""Unit tests for the trie rendering helpers."""
+
+from repro.core.display import print_trie, trie_to_dot, trie_to_lines
+from repro.core.range_trie import RangeTrie
+
+from tests.conftest import make_paper_table
+
+
+def build():
+    table = make_paper_table()
+    return RangeTrie.build(table), table
+
+
+def test_lines_match_figure_3c():
+    trie, table = build()
+    lines = trie_to_lines(
+        trie, table.schema.dimension_names, table.encoder
+    )
+    assert lines[0] == "(root):6"
+    assert "  (store=S1, city=C1):2" in lines
+    assert "  (store=S2, date=D2):3" in lines
+    assert "  (store=S3, city=C3, product=P3, date=D1):1" in lines
+    assert "    (product=P1, date=D1):1" in lines
+    # 1 root + 8 nodes
+    assert len(lines) == 9
+
+
+def test_lines_without_decoder_use_codes():
+    trie, _ = build()
+    lines = trie_to_lines(trie)
+    assert lines[0] == "(root):6"
+    assert any("d0=0" in line for line in lines)
+
+
+def test_lines_are_deterministic():
+    trie, table = build()
+    assert trie_to_lines(trie) == trie_to_lines(trie)
+
+
+def test_print_trie_writes_stdout(capsys):
+    trie, table = build()
+    print_trie(trie, table.schema.dimension_names, table.encoder)
+    out = capsys.readouterr().out
+    assert "(root):6" in out
+    assert "store=S1" in out
+
+
+def test_dot_output_structure():
+    trie, table = build()
+    dot = trie_to_dot(trie, table.schema.dimension_names, table.encoder)
+    assert dot.startswith("digraph range_trie {")
+    assert dot.rstrip().endswith("}")
+    # 9 nodes and 8 edges
+    assert dot.count("label=") == 9
+    assert dot.count("->") == 8
+    assert "store=S1, city=C1" in dot
+
+
+def test_dot_on_empty_trie():
+    from repro.table.aggregates import CountAggregator
+
+    trie = RangeTrie(2, CountAggregator())
+    dot = trie_to_dot(trie)
+    assert "(root):0" in dot

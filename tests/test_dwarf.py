@@ -1,0 +1,111 @@
+"""Unit + property tests for the Dwarf cube structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.dwarf import Dwarf
+from repro.cube.full_cube import compute_full_cube, full_cube_size
+from repro.data.correlated import FunctionalDependency, correlated_table
+from repro.data.synthetic import uniform_table
+from repro.table.base_table import BaseTable
+from repro.table.schema import Schema
+
+from tests.conftest import make_encoded_table, make_paper_table, table_strategy
+
+
+def test_lookup_every_cell_of_the_paper_cube():
+    table = make_paper_table()
+    dwarf = Dwarf.build(table)
+    oracle = compute_full_cube(table)
+    for cell, state in oracle.cells():
+        assert dwarf.lookup(cell) == state
+
+
+def test_empty_cells_are_none():
+    table = make_paper_table()
+    dwarf = Dwarf.build(table)
+    assert dwarf.lookup((2, 0, None, None)) is None
+    assert dwarf.lookup((0, 0, 2, 0)) is None
+
+
+def test_value_finalizes():
+    table = make_paper_table()
+    dwarf = Dwarf.build(table)
+    assert dwarf.value((None,) * 4) == {"count": 6, "sum": 4900.0}
+
+
+def test_wrong_arity_rejected():
+    dwarf = Dwarf.build(make_encoded_table([(0, 1)]))
+    with pytest.raises(ValueError):
+        dwarf.lookup((0,))
+
+
+def test_empty_table():
+    schema = Schema.from_names(["a"])
+    dwarf = Dwarf.build(BaseTable(schema, np.zeros((0, 1), dtype=np.int64)))
+    assert dwarf.root is None
+    assert dwarf.lookup((None,)) is None
+    assert dwarf.n_nodes() == 0
+
+
+def test_single_tuple_coalesces_everything():
+    # One tuple: at every interior level there is a single value, so every
+    # ALL cell coalesces onto it — n_dims - 1 interior nodes, all coalesced.
+    table = make_encoded_table([(3, 1, 2)])
+    dwarf = Dwarf.build(table)
+    assert dwarf.n_nodes() == 3
+    assert dwarf.coalesced_all_cells() == 2
+    assert dwarf.lookup((3, None, 2)) == dwarf.lookup((3, 1, 2))
+
+
+def test_suffix_coalescing_shares_identical_tails():
+    # Correlated data: d0 determines d1, so for every d0-branch the d1
+    # level has a single value and coalesces.
+    table = correlated_table(
+        300, 3, 12, [FunctionalDependency((0,), (1,))], seed=6
+    )
+    dwarf = Dwarf.build(table)
+    assert dwarf.coalesced_all_cells() > 0
+    oracle = compute_full_cube(table)
+    for cell, state in list(oracle.cells())[::7]:
+        assert dwarf.lookup(cell)[0] == state[0]
+
+
+def test_stored_cells_below_full_cube_on_correlated_data():
+    # Dwarf's wins come from coalescing identical tuple-set suffixes, which
+    # correlation multiplies (on small uniform data it can exceed the full
+    # cube — the structure stores empty-combination slots the cube omits).
+    table = correlated_table(
+        300, 3, 12, [FunctionalDependency((0,), (1,))], seed=6
+    )
+    dwarf = Dwarf.build(table)
+    assert dwarf.n_stored_cells() < full_cube_size(table) / 2
+
+
+def test_memoization_makes_dag_not_tree():
+    # The level-2 sub-dwarf over tuple set {row 0} is reachable both via
+    # the prefix (0, 4) and via (*, 4); the memo must hand out one node.
+    table = make_encoded_table([(0, 4, 9), (1, 5, 9)])
+    dwarf = Dwarf.build(table)
+    via_bound_prefix = dwarf.root.cells[0].cells[4]
+    via_all_prefix = dwarf.root.all_cell.cells[4]
+    assert via_bound_prefix is via_all_prefix
+
+
+@settings(max_examples=40, deadline=None)
+@given(table_strategy(max_rows=15, max_dims=4))
+def test_dwarf_answers_match_oracle(table):
+    dwarf = Dwarf.build(table)
+    oracle = compute_full_cube(table)
+    for cell, state in oracle.cells():
+        assert dwarf.lookup(cell)[0] == state[0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(table_strategy(max_rows=15, max_dims=4))
+def test_dwarf_never_invents_cells(table):
+    # probe a few absent cells: codes one past the observed maximum
+    dwarf = Dwarf.build(table)
+    ghost = tuple(int(table.dim_codes[:, d].max()) + 1 for d in range(table.n_dims))
+    assert dwarf.lookup(ghost) is None

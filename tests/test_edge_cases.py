@@ -1,0 +1,135 @@
+"""Edge cases and failure injection across the whole library.
+
+Everything here is about *not* silently producing a wrong cube: malformed
+inputs are rejected with clear errors, degenerate-but-legal inputs
+(single column, single value, all-duplicates, huge codes) produce correct
+cubes, and the guards in the dense-array and index modules trip when they
+should.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.buc import buc
+from repro.baselines.hcubing import h_cubing
+from repro.baselines.star_cubing import star_cubing
+from repro.core.range_cubing import range_cubing
+from repro.cube.full_cube import compute_full_cube
+from repro.data.io import read_range_cube_csv, read_table_csv
+from repro.table.base_table import BaseTable
+from repro.table.schema import Schema
+
+from tests.conftest import cubes_equal, make_encoded_table
+
+
+ALL_ALGORITHMS = [
+    ("range", lambda t, **kw: range_cubing(t, **kw).to_materialized()),
+    ("hcubing", h_cubing),
+    ("buc", buc),
+    ("star", star_cubing),
+]
+
+
+@pytest.mark.parametrize("name,algorithm", ALL_ALGORITHMS)
+def test_single_column_single_value(name, algorithm):
+    table = make_encoded_table([(0,)] * 5)
+    cube = algorithm(table)
+    assert cube.lookup((0,))[0] == 5
+    assert cube.lookup((None,))[0] == 5
+
+
+@pytest.mark.parametrize("name,algorithm", ALL_ALGORITHMS)
+def test_all_rows_identical(name, algorithm):
+    table = make_encoded_table([(1, 2, 3)] * 7)
+    oracle = compute_full_cube(table)
+    assert cubes_equal(algorithm(table).as_dict(), oracle.as_dict())
+    assert len(oracle) == 8  # every cell collapses onto one tuple pattern
+
+
+@pytest.mark.parametrize("name,algorithm", ALL_ALGORITHMS)
+def test_sparse_large_codes(name, algorithm):
+    # codes far apart: nothing may assume contiguity
+    table = make_encoded_table([(10**6, 5), (0, 10**6), (10**6, 10**6)])
+    oracle = compute_full_cube(table)
+    assert cubes_equal(algorithm(table).as_dict(), oracle.as_dict())
+
+
+@pytest.mark.parametrize("name,algorithm", ALL_ALGORITHMS)
+def test_min_support_larger_than_table(name, algorithm):
+    table = make_encoded_table([(0, 1), (1, 0)])
+    cube = algorithm(table, min_support=99)
+    assert len(cube) == 0
+
+
+def test_negative_min_support_behaves_like_one():
+    table = make_encoded_table([(0, 1)])
+    assert cubes_equal(
+        dict(range_cubing(table, min_support=-5).expand()),
+        dict(range_cubing(table).expand()),
+    )
+
+
+def test_zero_dimensional_query_guard():
+    table = make_encoded_table([(0, 1)])
+    cube = range_cubing(table)
+    with pytest.raises(ValueError):
+        cube.range_of(())
+
+
+def test_measures_with_nan_propagate_not_crash():
+    schema = Schema.from_names(["a"], ["m"])
+    table = BaseTable(
+        schema, np.array([[0], [0]]), np.array([[float("nan")], [1.0]])
+    )
+    cube = range_cubing(table)
+    state = cube.lookup((0,))
+    assert state[0] == 2
+    assert np.isnan(state[1])
+
+
+def test_negative_measures_supported():
+    table = make_encoded_table([(0,), (0,)], measures=[(-5.0,), (2.0,)])
+    cube = range_cubing(table)
+    assert cube.lookup((0,)) == (2, -3.0)
+
+
+def test_read_table_csv_missing_file(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        read_table_csv(tmp_path / "nope.csv")
+
+
+def test_read_table_csv_ragged_measures(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a,m\nx,1.0\ny,not-a-number\n")
+    with pytest.raises(ValueError):
+        read_table_csv(path, n_measures=1)
+
+
+def test_read_range_cube_csv_rejects_garbage_coordinates(tmp_path):
+    path = tmp_path / "cube.csv"
+    path.write_text("d0,d1,count\n0,zzz,3\n")
+    with pytest.raises(ValueError):
+        read_range_cube_csv(path)
+
+
+def test_mixed_type_raw_values_encode_cleanly():
+    schema = Schema.from_names(["k"], [])
+    table = BaseTable.from_rows(schema, [("x",), (3,), ((1, 2),), ("x",)])
+    assert table.cardinalities == (3,)
+    cube = range_cubing(table)
+    assert cube.lookup((0,))[0] == 2  # "x" twice
+
+
+def test_order_must_be_permutation():
+    table = make_encoded_table([(0, 1)])
+    with pytest.raises(ValueError):
+        range_cubing(table, order=(0, 0))
+
+
+def test_very_wide_table_is_handled():
+    # 12 dimensions, few rows: 4096 cuboids but tiny data
+    rows = [tuple((i * 7 + d) % 3 for d in range(12)) for i in range(4)]
+    table = make_encoded_table(rows)
+    cube = range_cubing(table)
+    oracle = compute_full_cube(table)
+    assert cubes_equal(dict(cube.expand()), oracle.as_dict())

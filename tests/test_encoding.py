@@ -1,0 +1,68 @@
+"""Unit tests for repro.table.encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.table.encoding import DimensionEncoder, TableEncoder
+from repro.table.schema import Schema
+
+
+def test_encode_assigns_dense_codes_in_first_seen_order():
+    enc = DimensionEncoder()
+    assert enc.encode("x") == 0
+    assert enc.encode("y") == 1
+    assert enc.encode("x") == 0
+    assert enc.cardinality == 2
+    assert enc.values() == ("x", "y")
+
+
+def test_decode_inverts_encode():
+    enc = DimensionEncoder()
+    for value in ["a", "b", 3, (1, 2)]:
+        assert enc.decode(enc.encode(value)) == value
+
+
+def test_encode_existing_raises_on_unseen():
+    enc = DimensionEncoder()
+    enc.encode("a")
+    assert enc.encode_existing("a") == 0
+    with pytest.raises(KeyError):
+        enc.encode_existing("b")
+
+
+def test_table_encoder_row_roundtrip():
+    schema = Schema.from_names(["a", "b"])
+    enc = TableEncoder(schema)
+    codes = enc.encode_row(("x", "y"))
+    assert enc.decode_row(codes) == ("x", "y")
+
+
+def test_table_encoder_rejects_wrong_arity():
+    enc = TableEncoder(Schema.from_names(["a", "b"]))
+    with pytest.raises(ValueError):
+        enc.encode_row(("x",))
+
+
+def test_decode_cell_keeps_stars():
+    schema = Schema.from_names(["a", "b"])
+    enc = TableEncoder(schema)
+    enc.encode_row(("x", "y"))
+    assert enc.decode_cell((0, None)) == ("x", None)
+
+
+def test_encoded_schema_reports_cardinalities():
+    schema = Schema.from_names(["a", "b"])
+    enc = TableEncoder(schema)
+    enc.encode_rows([("x", "u"), ("y", "u"), ("z", "u")])
+    encoded = enc.encoded_schema()
+    assert encoded.cardinalities == (3, 1)
+
+
+@given(st.lists(st.text(max_size=5), min_size=1, max_size=50))
+def test_codes_are_dense_and_stable(values):
+    enc = DimensionEncoder()
+    codes = [enc.encode(v) for v in values]
+    assert max(codes) == len(set(values)) - 1
+    assert [enc.encode(v) for v in values] == codes
+    assert all(enc.decode(c) == v for v, c in zip(values, codes))

@@ -1,0 +1,91 @@
+"""Unit tests for cube-size estimation and the strategy advisor."""
+
+import numpy as np
+import pytest
+
+from repro.cube.estimate import (
+    estimate_cuboid_size,
+    estimate_full_cube_size,
+    gee_distinct_estimate,
+    recommend_strategy,
+)
+from repro.cube.full_cube import full_cube_size
+from repro.data.correlated import FunctionalDependency, correlated_table
+from repro.data.synthetic import uniform_table, zipf_table
+from repro.table.base_table import BaseTable
+from repro.table.schema import Schema
+
+from tests.conftest import make_paper_table
+
+
+def test_gee_on_all_distinct_sample():
+    # every sampled group unique: estimate scales f1 by sqrt(N/n)
+    sample = np.arange(100)
+    estimate = gee_distinct_estimate(sample, n_total=10_000)
+    assert estimate == pytest.approx(np.sqrt(100) * 100)
+
+
+def test_gee_on_single_group():
+    sample = np.zeros(50, dtype=np.int64)
+    assert gee_distinct_estimate(sample, n_total=5000) == 1.0
+
+
+def test_gee_clamped_to_population():
+    sample = np.arange(90)
+    assert gee_distinct_estimate(sample, n_total=100) <= 100
+
+
+def test_gee_empty_sample():
+    assert gee_distinct_estimate(np.array([], dtype=np.int64), 100) == 0.0
+
+
+def test_small_tables_are_counted_exactly():
+    table = make_paper_table()
+    assert estimate_full_cube_size(table) == full_cube_size(table)
+    assert estimate_cuboid_size(table, [0, 1]) == 5.0  # distinct (store, city)
+    assert estimate_cuboid_size(table, []) == 1.0
+
+
+def test_estimate_tracks_truth_within_factor():
+    table = zipf_table(20_000, 4, 60, theta=1.2, seed=5)
+    truth = full_cube_size(table)
+    estimate = estimate_full_cube_size(table, sample_size=2000, seed=1)
+    assert truth / 3 <= estimate <= truth * 3
+
+
+def test_estimate_orders_datasets_correctly():
+    sparse = uniform_table(8000, 4, 200, seed=2)
+    dense = uniform_table(8000, 4, 5, seed=2)
+    assert estimate_full_cube_size(sparse, seed=3) > estimate_full_cube_size(
+        dense, seed=3
+    )
+
+
+def test_empty_table_estimates_zero():
+    schema = Schema.from_names(["a", "b"])
+    table = BaseTable(schema, np.zeros((0, 2), dtype=np.int64))
+    assert estimate_full_cube_size(table) == 0.0
+    assert estimate_cuboid_size(table, []) == 0.0
+
+
+def test_recommend_dense_table_gets_multiway():
+    dense = uniform_table(5000, 3, 4, seed=1)
+    advice = recommend_strategy(dense)
+    assert advice.strategy == "multiway"
+    assert advice.density > 0.01
+
+
+def test_recommend_sparse_table_gets_range():
+    sparse = correlated_table(
+        3000, 5, 500, [FunctionalDependency((0,), (1,))], seed=1
+    )
+    advice = recommend_strategy(sparse)
+    assert advice.strategy == "range"
+    assert advice.estimated_cells > 0
+
+
+def test_recommend_high_dims_gets_shell():
+    rows = np.zeros((10, 20), dtype=np.int64)
+    table = BaseTable(Schema.from_names([f"d{i}" for i in range(20)]), rows)
+    advice = recommend_strategy(table)
+    assert advice.strategy == "shell-fragments"

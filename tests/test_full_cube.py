@@ -1,0 +1,102 @@
+"""Unit tests for the naive full-cube oracle itself."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.cube.cell import apex_cell, cuboid_of
+from repro.cube.full_cube import (
+    compute_full_cube,
+    cuboid_cell_counts,
+    full_cube_size,
+)
+from repro.table.aggregates import CountAggregator
+from repro.table.base_table import BaseTable
+from repro.table.schema import Schema
+
+from tests.conftest import make_encoded_table, make_paper_table, table_strategy
+
+
+def test_paper_example_cell_values():
+    table = make_paper_table()
+    cube = compute_full_cube(table)
+    enc = table.encoder.encoders
+    store = enc[0].encode_existing
+    city = enc[1].encode_existing
+
+    # cuboid (Store, *, *, *): three stores with counts 2, 3, 1
+    assert cube.value((store("S1"), None, None, None))["count"] == 2
+    assert cube.value((store("S2"), None, None, None))["count"] == 3
+    assert cube.value((store("S3"), None, None, None))["count"] == 1
+    # 2-dimensional cells from Example 1's style
+    assert cube.value((store("S2"), city("C1"), None, None))["count"] == 1
+    # sums aggregate the price measure
+    assert cube.value(apex_cell(4))["sum"] == pytest.approx(4900.0)
+
+
+def test_number_of_cuboids_and_cells():
+    table = make_paper_table()
+    cube = compute_full_cube(table)
+    sizes = cube.cuboid_sizes()
+    assert len(sizes) == 16  # every cuboid of a 4-dim cube is non-empty here
+    assert sizes[0] == 1
+    assert sum(sizes.values()) == len(cube) == 69
+
+
+def test_lookup_missing_cell_is_none():
+    table = make_encoded_table([(0, 0)])
+    cube = compute_full_cube(table)
+    assert cube.lookup((1, None)) is None
+    assert cube.value((1, 1)) is None
+
+
+def test_cuboid_extraction():
+    table = make_encoded_table([(0, 0), (0, 1)])
+    cube = compute_full_cube(table)
+    only_first = cube.cuboid(0b01)
+    assert set(only_first) == {(0, None)}
+    assert all(cuboid_of(c) == 0b01 for c in only_first)
+
+
+def test_min_support_filters_cells():
+    table = make_encoded_table([(0, 0), (0, 1), (1, 0)])
+    iceberg = compute_full_cube(table, min_support=2)
+    full = compute_full_cube(table)
+    expected = {c: s for c, s in full.as_dict().items() if s[0] >= 2}
+    assert iceberg.as_dict() == expected
+
+
+def test_full_cube_size_matches_materialization():
+    table = make_paper_table()
+    assert full_cube_size(table) == 69
+    for min_support in (2, 3):
+        assert full_cube_size(table, min_support) == len(
+            compute_full_cube(table, min_support=min_support)
+        )
+
+
+def test_cuboid_cell_counts_sum_to_size():
+    table = make_paper_table()
+    counts = cuboid_cell_counts(table)
+    assert sum(counts.values()) == 69
+    assert counts[0] == 1
+
+
+def test_empty_table_has_empty_cube():
+    schema = Schema.from_names(["a", "b"])
+    table = BaseTable(schema, np.zeros((0, 2), dtype=np.int64))
+    cube = compute_full_cube(table)
+    assert len(cube) == 0
+    assert full_cube_size(table) == 0
+
+
+def test_count_aggregator_supported():
+    table = make_encoded_table([(0,), (0,), (1,)], n_measures=0)
+    cube = compute_full_cube(table, CountAggregator())
+    assert cube.value((0,)) == {"count": 2}
+
+
+@settings(max_examples=30, deadline=None)
+@given(table_strategy(max_rows=15, max_dims=4))
+def test_size_helper_agrees_with_enumeration(table):
+    assert full_cube_size(table) == len(compute_full_cube(table))

@@ -1,0 +1,139 @@
+"""Unit tests for the experiment harness (tiny presets only)."""
+
+import pytest
+
+from repro.data.synthetic import zipf_table
+from repro.harness import ablations
+from repro.harness import fig8_dimensionality as fig8
+from repro.harness import fig9_skew as fig9
+from repro.harness import fig10_sparsity as fig10
+from repro.harness import fig11_scalability as fig11
+from repro.harness import real_weather
+from repro.harness.report import format_table
+from repro.harness.runner import measure, preferred_order
+
+
+def small_table():
+    return zipf_table(150, 4, 10, theta=1.5, seed=1)
+
+
+def test_preferred_order_policies():
+    table = zipf_table(200, 3, [50, 2, 10], theta=0.0, seed=1)
+    desc = preferred_order(table, "desc")
+    asc = preferred_order(table, "asc")
+    assert desc == tuple(reversed(asc))
+    assert preferred_order(table, None) is None
+    with pytest.raises(ValueError):
+        preferred_order(table, "sideways")
+
+
+def test_measure_collects_all_metrics():
+    row = measure(small_table(), algorithms=("range", "hcubing", "buc", "star"))
+    for key in (
+        "range_seconds",
+        "hcubing_seconds",
+        "buc_seconds",
+        "star_seconds",
+        "range_tuples",
+        "full_cells",
+        "tuple_ratio",
+        "trie_nodes",
+        "htree_nodes",
+        "node_ratio",
+    ):
+        assert key in row, key
+    assert 0 < row["tuple_ratio"] <= 1
+    assert 0 < row["node_ratio"] <= 1.5
+
+
+def test_measure_algorithms_agree_on_cell_count():
+    row = measure(small_table(), algorithms=("range", "hcubing", "buc", "star"))
+    assert row["full_cells"] == row["hcubing_cells"] == row["buc_cells"] == row["star_cells"]
+
+
+def test_measure_rejects_unknown_algorithm():
+    with pytest.raises(ValueError):
+        measure(small_table(), algorithms=("alien",))
+
+
+def test_node_ratio_uses_matching_order():
+    # with equal policies, no extra H-tree is built and the counts coincide
+    row = measure(
+        small_table(),
+        algorithms=("range", "hcubing"),
+        order_policies={"hcubing": "desc"},
+    )
+    assert row["htree_nodes_same_order"] == row["htree_nodes"]
+
+
+def test_format_table_alignment_and_missing_values():
+    rows = [{"a": 1.0, "b": None}, {"a": 2.5}]
+    text = format_table(rows, [("a", "A", ".1f"), ("b", "B", "pct")], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    # title, header, separator, then the data rows
+    assert "1.0" in lines[3] and "-" in lines[3]
+    assert "2.5" in lines[4]
+
+
+@pytest.mark.parametrize(
+    "module,sweep_key",
+    [
+        (fig8, "dimensionality"),
+        (fig9, "zipf"),
+        (fig10, "cardinality"),
+        (fig11, "cardinality"),
+    ],
+)
+def test_figure_runs_produce_series(module, sweep_key):
+    rows = module.run(preset="tiny", algorithms=("range",))
+    assert len(rows) >= 3
+    assert all(sweep_key in row for row in rows)
+    assert all(row["range_seconds"] >= 0 for row in rows)
+    module.print_figure(rows)  # must not raise
+
+
+def test_weather_run_reports_ratios():
+    rows = real_weather.run(preset="tiny")
+    (row,) = rows
+    assert "time_ratio" in row
+    assert 0 < row["tuple_ratio"] < 1
+    real_weather.print_figure(rows)
+
+
+def test_figure_main_cli(capsys):
+    fig9.main(["--preset", "tiny", "--algorithms", "range"])
+    out = capsys.readouterr().out
+    assert "Figure 9(a)" in out
+    assert "Figure 9(b)" in out
+
+
+def test_unknown_preset_exits():
+    with pytest.raises(SystemExit):
+        fig8.run(preset="galactic")
+
+
+def test_ablation_dimension_order():
+    rows = ablations.dimension_order_ablation(small_table())
+    assert {r["order"] for r in rows} == {"desc", "asc", "as-is"}
+    cells = {r["full_cells"] for r in rows}
+    assert len(cells) == 1  # same cube whatever the order
+
+
+def test_ablation_iceberg_monotone():
+    rows = ablations.iceberg_ablation(small_table(), min_supports=(1, 2, 4))
+    sizes = [r["range_tuples"] for r in rows]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_ablation_census():
+    tables = {"tiny": small_table()}
+    rows = ablations.compression_census(tables)
+    (row,) = rows
+    assert row["quotient_classes"] <= row["range_tuples"]
+    assert row["range_tuples"] <= row["full_cells"]
+
+
+def test_ablations_main(capsys):
+    ablations.main(["--preset", "tiny", "--which", "order"])
+    assert "dimension order" in capsys.readouterr().out

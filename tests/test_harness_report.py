@@ -1,0 +1,67 @@
+"""Remaining harness surfaces: presets, report columns, percent rendering."""
+
+import pytest
+
+from repro.harness.presets import resolve_preset, standard_main
+from repro.harness.report import SPACE_COLUMNS, TIME_COLUMNS, format_table
+
+
+def test_resolve_preset_returns_a_copy():
+    presets = {"tiny": {"n": 1}}
+    resolved = resolve_preset(presets, "tiny")
+    resolved["n"] = 99
+    assert presets["tiny"]["n"] == 1
+
+
+def test_resolve_preset_unknown_exits_with_choices():
+    with pytest.raises(SystemExit) as excinfo:
+        resolve_preset({"a": {}, "b": {}}, "c")
+    assert "'c'" in str(excinfo.value)
+
+
+def test_standard_main_parses_algorithm_list(capsys):
+    captured = {}
+
+    def fake_run(preset, algorithms):
+        captured["preset"] = preset
+        captured["algorithms"] = algorithms
+        return [{"x": 1}]
+
+    rows = standard_main(
+        "test", {"tiny": {}}, fake_run, lambda rows: print("printed"),
+        ["--preset", "tiny", "--algorithms", "range, buc"],
+    )
+    assert captured == {"preset": "tiny", "algorithms": ("range", "buc")}
+    assert rows == [{"x": 1}]
+    assert "printed" in capsys.readouterr().out
+
+
+def test_percent_format_rendering():
+    text = format_table([{"r": 0.12345}], [("r", "ratio", "pct")])
+    assert "12.35%" in text
+
+
+def test_time_and_space_columns_cover_measure_keys():
+    from repro.harness.runner import measure
+    from repro.data.synthetic import zipf_table
+
+    row = measure(
+        zipf_table(80, 3, 6, theta=1.0, seed=1),
+        algorithms=("range", "hcubing", "buc", "star", "multiway"),
+    )
+    time_keys = {key for key, _, _ in TIME_COLUMNS}
+    assert {
+        "range_seconds",
+        "hcubing_seconds",
+        "buc_seconds",
+        "star_seconds",
+        "multiway_seconds",
+    } <= time_keys
+    assert all(key in row for key in time_keys)
+    space_keys = {key for key, _, _ in SPACE_COLUMNS}
+    assert {"tuple_ratio", "node_ratio"} <= space_keys
+
+
+def test_format_table_with_no_rows():
+    text = format_table([], [("a", "A", "d")])
+    assert "A" in text  # header still renders

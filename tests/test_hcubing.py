@@ -1,0 +1,83 @@
+"""Unit + property tests for the H-Cubing baseline."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.baselines.hcubing import h_cubing, h_cubing_detailed
+from repro.cube.cell import apex_cell
+from repro.cube.full_cube import compute_full_cube
+from repro.table.base_table import BaseTable
+from repro.table.schema import Schema
+
+from tests.conftest import (
+    cubes_equal,
+    make_encoded_table,
+    make_paper_table,
+    table_strategy,
+)
+
+
+def test_paper_example_matches_oracle():
+    table = make_paper_table()
+    assert cubes_equal(
+        h_cubing(table).as_dict(), compute_full_cube(table).as_dict()
+    )
+
+
+def test_apex_present():
+    table = make_paper_table()
+    cube = h_cubing(table)
+    assert cube.lookup(apex_cell(4))[0] == 6
+
+
+def test_empty_table():
+    schema = Schema.from_names(["a"])
+    table = BaseTable(schema, np.zeros((0, 1), dtype=np.int64))
+    assert len(h_cubing(table)) == 0
+
+
+def test_single_dimension():
+    table = make_encoded_table([(0,), (1,), (0,)])
+    cube = h_cubing(table)
+    assert cube.lookup((0,))[0] == 2
+    assert cube.lookup((1,))[0] == 1
+    assert len(cube) == 3
+
+
+def test_order_parameter_is_transparent():
+    table = make_paper_table()
+    oracle = compute_full_cube(table).as_dict()
+    for order in [(3, 2, 1, 0), (2, 0, 3, 1)]:
+        assert cubes_equal(h_cubing(table, order=order).as_dict(), oracle)
+
+
+def test_detailed_reports_htree_nodes():
+    table = make_paper_table()
+    _, stats = h_cubing_detailed(table)
+    assert stats["htree_nodes"] == 20
+    assert stats["total_seconds"] >= 0
+
+
+def test_iceberg_matches_filtered_oracle():
+    table = make_paper_table()
+    for min_support in (2, 3):
+        expected = compute_full_cube(table, min_support=min_support).as_dict()
+        assert cubes_equal(h_cubing(table, min_support=min_support).as_dict(), expected)
+
+
+@settings(max_examples=50, deadline=None)
+@given(table_strategy())
+def test_matches_oracle_on_random_tables(table):
+    assert cubes_equal(
+        h_cubing(table).as_dict(), compute_full_cube(table).as_dict()
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(table_strategy(max_rows=15, max_dims=4))
+def test_iceberg_property(table):
+    for min_support in (2, 3):
+        expected = compute_full_cube(table, min_support=min_support).as_dict()
+        assert cubes_equal(
+            h_cubing(table, min_support=min_support).as_dict(), expected
+        )

@@ -1,0 +1,119 @@
+"""Unit + property tests for dimension hierarchies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.range_cubing import range_cubing
+from repro.cube.hierarchy import Hierarchy, roll_up_dimension, roll_up_to_levels
+from repro.data.synthetic import uniform_table
+
+from tests.conftest import make_encoded_table
+
+
+def calendar():
+    return Hierarchy.calendar(360, days_per_month=30, months_per_year=12)
+
+
+def test_calendar_structure():
+    h = calendar()
+    assert h.levels == ("day", "month", "year")
+    assert h.n_levels == 3
+    assert h.cardinality_at("day") == 360
+    assert h.cardinality_at("month") == 12
+    assert h.cardinality_at("year") == 1
+
+
+def test_roll_maps_codes_up():
+    h = calendar()
+    days = np.array([0, 29, 30, 359])
+    assert h.roll(days, "day").tolist() == [0, 29, 30, 359]
+    assert h.roll(days, "month").tolist() == [0, 0, 1, 11]
+    assert h.roll(days, "year").tolist() == [0, 0, 0, 0]
+
+
+def test_roll_by_level_index():
+    h = calendar()
+    assert h.roll(np.array([45]), 1).tolist() == [1]
+
+
+def test_roll_rejects_out_of_domain_codes():
+    h = calendar()
+    with pytest.raises(ValueError):
+        h.roll(np.array([360]), "month")
+    with pytest.raises(IndexError):
+        h.roll(np.array([0]), 5)
+    with pytest.raises(KeyError):
+        h.level_index("week")
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        Hierarchy(["a", "b"], [])
+    with pytest.raises(ValueError):
+        Hierarchy(["a", "b"], [np.array([[0]])])
+    with pytest.raises(ValueError):
+        Hierarchy(["a", "b"], [np.array([-1])])
+
+
+def test_roll_up_dimension_recodes_and_renames():
+    table = make_encoded_table([(5, 0), (35, 1), (65, 1)])
+    rolled = roll_up_dimension(table, 0, calendar(), "month")
+    assert rolled.dim_codes[:, 0].tolist() == [0, 1, 2]
+    assert rolled.schema.dimensions[0].name == "d0@month"
+    assert rolled.dim_codes[:, 1].tolist() == [0, 1, 1]  # untouched
+
+
+def test_roll_up_to_levels_multi():
+    table = make_encoded_table([(5, 40), (35, 40)])
+    hierarchies = {0: calendar(), 1: calendar()}
+    rolled = roll_up_to_levels(table, hierarchies, {0: "month", 1: "year"})
+    assert rolled.dim_codes[:, 0].tolist() == [0, 1]
+    assert rolled.dim_codes[:, 1].tolist() == [0, 0]
+    with pytest.raises(KeyError):
+        roll_up_to_levels(table, {}, {0: "month"})
+
+
+def test_repeated_rollup_names_keep_base():
+    table = make_encoded_table([(5, 0)])
+    h = calendar()
+    monthly = roll_up_dimension(table, 0, h, "month")
+    # rolling an already rolled dimension keeps one @level suffix
+    again = roll_up_dimension(monthly, 0, Hierarchy(["month", "year"], [np.arange(12) // 12]), "year")
+    assert again.schema.dimensions[0].name == "d0@year"
+
+
+def test_coarser_cube_aggregates_consistently():
+    # month-level cell == sum of the corresponding day-level cells
+    table = uniform_table(300, 2, [360, 5], seed=3)
+    h = calendar()
+    day_cube = range_cubing(table)
+    month_cube = range_cubing(roll_up_dimension(table, 0, h, "month"))
+    month_of = h.mappings[0]
+    for (cell, state) in month_cube.expand():
+        if cell[0] is None or cell[1] is not None:
+            continue
+        days = [d for d in range(360) if month_of[d] == cell[0]]
+        total_count = 0
+        total_sum = 0.0
+        for d in days:
+            day_state = day_cube.lookup((d, None))
+            if day_state is not None:
+                total_count += day_state[0]
+                total_sum += day_state[1]
+        assert state[0] == total_count
+        assert state[1] == pytest.approx(total_sum)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 40), st.integers(2, 10))
+def test_rollup_only_merges_values(n_days, days_per_month):
+    h = Hierarchy.calendar(n_days, days_per_month=days_per_month)
+    table = uniform_table(60, 2, [n_days, 4], seed=1)
+    fine = range_cubing(table)
+    coarse = range_cubing(roll_up_dimension(table, 0, h, "month"))
+    # merging values cannot create cells: the coarse cube is no larger
+    assert coarse.n_cells <= fine.n_cells
+    # and both agree on the apex
+    assert coarse.lookup((None, None))[0] == fine.lookup((None, None))[0]

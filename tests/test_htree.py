@@ -1,0 +1,86 @@
+"""Unit tests for the H-tree structure (paper Figure 3(d))."""
+
+from hypothesis import given, settings
+
+from repro.baselines.htree import HTree
+from repro.table.aggregates import SumCountAggregator
+
+from tests.conftest import make_encoded_table, make_paper_table, table_strategy
+
+
+def test_figure_3d_node_count():
+    # Paper Figure 3(d): the star tree / H-tree of the sales table has one
+    # node per (tuple, level) with prefix sharing: S1,S2,S3 / C1,C1,C2,C3,C3
+    # / P1,P2,P1,P1,P2,P3 / D1,D2,D2,D2,D2,D1 = 3 + 5 + 6 + 6 = 20 nodes.
+    table = make_paper_table()
+    tree = HTree.build(table)
+    tree.check_invariants()
+    assert tree.n_nodes() == 20
+
+
+def test_prefix_sharing():
+    table = make_encoded_table([(0, 0), (0, 1)])
+    tree = HTree.build(table)
+    # shared first level node, two second level nodes
+    assert tree.n_nodes() == 3
+    assert tree.root.children[0].agg[0] == 2
+
+
+def test_header_tables_aggregate_across_branches():
+    table = make_paper_table()
+    tree = HTree.build(table)
+    # city C1 appears under S1 (twice) and S2 (once)
+    city_header = tree.headers[1]
+    c1 = city_header[0]
+    assert c1.agg[0] == 3
+    chain = list(c1.chain())
+    assert len(chain) == 2  # two tree nodes carry C1
+    assert sum(n.agg[0] for n in chain) == 3
+
+
+def test_side_links_preserve_insertion_structure():
+    table = make_paper_table()
+    tree = HTree.build(table)
+    for dim, header in enumerate(tree.headers):
+        for value, entry in header.items():
+            for node in entry.chain():
+                assert node.value == value
+
+
+def test_ancestor_values_recover_path():
+    table = make_paper_table()
+    tree = HTree.build(table)
+    date_header = tree.headers[3]
+    for entry in date_header.values():
+        for node in entry.chain():
+            path = node.ancestor_values()
+            assert len(path) == 3
+            row = (*path, node.value)
+            assert row in set(table.dim_rows())
+
+
+def test_duplicate_rows_share_full_path():
+    table = make_encoded_table([(1, 2), (1, 2), (1, 2)])
+    tree = HTree.build(table)
+    assert tree.n_nodes() == 2
+    assert tree.total_agg[0] == 3
+
+
+def test_insert_weighted_path():
+    tree = HTree(2, SumCountAggregator())
+    tree.insert((0, 1), (5, 50.0))
+    tree.insert((0, 2), (2, 20.0))
+    tree.check_invariants()
+    assert tree.total_agg == (7, 70.0)
+    assert tree.headers[0][0].agg == (7, 70.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(table_strategy())
+def test_invariants_on_random_tables(table):
+    tree = HTree.build(table)
+    tree.check_invariants()
+    # node count = number of distinct prefixes of all lengths >= 1
+    rows = table.dim_rows()
+    prefixes = {row[: k + 1] for row in rows for k in range(table.n_dims)}
+    assert tree.n_nodes() == len(prefixes)

@@ -1,0 +1,116 @@
+"""Unit + property tests for incremental range-cube maintenance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.incremental import IncrementalRangeCuber, range_cubing_from_trie
+from repro.core.range_cubing import range_cubing
+from repro.core.range_trie import RangeTrie
+from repro.cube.full_cube import compute_full_cube
+from repro.table.base_table import BaseTable
+
+from tests.conftest import cubes_equal, make_encoded_table, make_paper_table, table_strategy
+from tests.test_range_trie import snapshot
+
+
+def split_table(table: BaseTable, k: int) -> tuple[BaseTable, BaseTable]:
+    return (
+        BaseTable(table.schema, table.dim_codes[:k], table.measures[:k]),
+        BaseTable(table.schema, table.dim_codes[k:], table.measures[k:]),
+    )
+
+
+def test_range_cubing_from_trie_equals_direct():
+    table = make_paper_table()
+    trie = RangeTrie.build(table)
+    direct = range_cubing(table)
+    via_trie = range_cubing_from_trie(trie)
+    assert cubes_equal(dict(via_trie.expand()), dict(direct.expand()))
+
+
+def test_incremental_equals_batch_on_paper_table():
+    table = make_paper_table()
+    first, second = split_table(table, 3)
+    cuber = IncrementalRangeCuber(table.n_dims)
+    cuber.insert_table(first)
+    cuber.insert_table(second)
+    assert cuber.n_rows_absorbed == 6
+    assert cubes_equal(
+        dict(cuber.cube().expand()), compute_full_cube(table).as_dict()
+    )
+
+
+def test_incremental_trie_identical_to_batch_trie():
+    # Stronger than cube equality: order invariance makes the resident
+    # trie structurally equal to a one-shot load.
+    table = make_paper_table()
+    first, second = split_table(table, 2)
+    cuber = IncrementalRangeCuber(table.n_dims)
+    cuber.insert_table(first)
+    cuber.insert_table(second)
+    assert snapshot(cuber.trie.root) == snapshot(RangeTrie.build(table).root)
+
+
+def test_insert_row_matches_insert_table():
+    table = make_encoded_table([(0, 1), (1, 1), (0, 0)])
+    by_table = IncrementalRangeCuber(2)
+    by_table.insert_table(table)
+    by_row = IncrementalRangeCuber(2)
+    for row, measures in table.iter_rows():
+        by_row.insert_row(row, measures)
+    assert snapshot(by_table.trie.root) == snapshot(by_row.trie.root)
+    assert by_row.n_rows_absorbed == 3
+
+
+def test_cube_can_be_emitted_repeatedly():
+    table = make_paper_table()
+    cuber = IncrementalRangeCuber(table.n_dims)
+    cuber.insert_table(table)
+    first = cuber.cube()
+    second = cuber.cube()
+    assert cubes_equal(dict(first.expand()), dict(second.expand()))
+    # emitting a cube must not corrupt the resident trie
+    cuber.trie.check_invariants()
+
+
+def test_iceberg_emission():
+    table = make_paper_table()
+    cuber = IncrementalRangeCuber(table.n_dims)
+    cuber.insert_table(table)
+    iceberg = cuber.cube(min_support=3)
+    expected = compute_full_cube(table, min_support=3).as_dict()
+    assert cubes_equal(dict(iceberg.expand()), expected)
+
+
+def test_dimension_mismatch_rejected():
+    cuber = IncrementalRangeCuber(3)
+    with pytest.raises(ValueError):
+        cuber.insert_table(make_encoded_table([(0, 1)]))
+    with pytest.raises(ValueError):
+        cuber.insert_row((0, 1), (1.0,))
+
+
+def test_trie_nodes_property():
+    cuber = IncrementalRangeCuber(4)
+    cuber.insert_table(make_paper_table())
+    assert cuber.trie_nodes == 8
+
+
+@settings(max_examples=40, deadline=None)
+@given(table_strategy(min_rows=2), st.data())
+def test_incremental_equals_batch_property(table, data):
+    k = data.draw(st.integers(1, table.n_rows - 1))
+    first, second = split_table(table, k)
+    cuber = IncrementalRangeCuber(table.n_dims)
+    cuber.insert_table(first)
+    interim = cuber.cube()
+    assert cubes_equal(
+        dict(interim.expand()), compute_full_cube(first).as_dict()
+    )
+    cuber.insert_table(second)
+    assert snapshot(cuber.trie.root) == snapshot(RangeTrie.build(table).root)
+    assert cubes_equal(
+        dict(cuber.cube().expand()), compute_full_cube(table).as_dict()
+    )

@@ -1,0 +1,102 @@
+"""Integration tests: whole-pipeline agreement at moderate scale.
+
+These go beyond the unit oracles: every algorithm on the same realistic
+(Zipf / correlated / weather) inputs, through IO round-trips and the query
+layer, at sizes where the structures actually branch and restructure.
+"""
+
+import pytest
+
+from repro.baselines.buc import buc
+from repro.baselines.condensed import condensed_cube
+from repro.baselines.hcubing import h_cubing
+from repro.baselines.quotient import quotient_cube
+from repro.baselines.star_cubing import star_cubing
+from repro.core.range_cubing import range_cubing
+from repro.cube.full_cube import compute_full_cube, full_cube_size
+from repro.cube.query import CubeQuery
+from repro.data.correlated import FunctionalDependency, correlated_table
+from repro.data.io import read_range_cube_csv, write_range_cube_csv
+from repro.data.synthetic import zipf_table
+from repro.data.weather import weather_table
+
+from tests.conftest import cubes_equal
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return {
+        "zipf": zipf_table(400, 5, 12, theta=1.5, seed=21),
+        "correlated": correlated_table(
+            400, 5, 12, [FunctionalDependency((0,), (1,))], theta=1.0, seed=21
+        ),
+        "weather": weather_table(300, seed=21),
+    }
+
+
+@pytest.mark.parametrize("name", ["zipf", "correlated", "weather"])
+def test_all_algorithms_compute_the_same_cube(datasets, name):
+    table = datasets[name]
+    oracle = compute_full_cube(table).as_dict()
+    assert cubes_equal(dict(range_cubing(table).expand()), oracle)
+    assert cubes_equal(h_cubing(table).as_dict(), oracle)
+    assert cubes_equal(buc(table).as_dict(), oracle)
+    assert cubes_equal(star_cubing(table).as_dict(), oracle)
+    assert cubes_equal(dict(condensed_cube(table).expand()), oracle)
+
+
+@pytest.mark.parametrize("name", ["zipf", "correlated"])
+def test_all_algorithms_agree_under_reordering(datasets, name):
+    table = datasets[name]
+    order = tuple(reversed(range(table.n_dims)))
+    oracle = compute_full_cube(table).as_dict()
+    assert cubes_equal(dict(range_cubing(table, order=order).expand()), oracle)
+    assert cubes_equal(h_cubing(table, order=order).as_dict(), oracle)
+    assert cubes_equal(buc(table, order=order).as_dict(), oracle)
+    assert cubes_equal(star_cubing(table, order=order).as_dict(), oracle)
+
+
+@pytest.mark.parametrize("min_support", [2, 5, 20])
+def test_iceberg_agreement_across_algorithms(datasets, min_support):
+    table = datasets["zipf"]
+    expected = compute_full_cube(table, min_support=min_support).as_dict()
+    assert cubes_equal(
+        dict(range_cubing(table, min_support=min_support).expand()), expected
+    )
+    assert cubes_equal(h_cubing(table, min_support=min_support).as_dict(), expected)
+    assert cubes_equal(buc(table, min_support=min_support).as_dict(), expected)
+    assert cubes_equal(star_cubing(table, min_support=min_support).as_dict(), expected)
+
+
+def test_compression_ordering_holds(datasets):
+    # quotient (optimal) <= range cube <= full cube; all exact.
+    for table in datasets.values():
+        cube = range_cubing(table)
+        classes = quotient_cube(table).n_classes
+        full = full_cube_size(table)
+        assert classes <= cube.n_ranges <= full
+        assert cube.n_cells == full
+
+
+def test_cube_survives_io_and_answers_queries(tmp_path, datasets):
+    table = datasets["weather"]
+    cube = range_cubing(table)
+    path = tmp_path / "weather_cube.csv"
+    write_range_cube_csv(cube, path, table.schema.dimension_names)
+    loaded = read_range_cube_csv(path)
+    query = CubeQuery(loaded, table.schema, table)
+    oracle = compute_full_cube(table)
+    # spot-check one cell per station code
+    stations = sorted(set(table.dim_column(0).tolist()))[:10]
+    for station in stations:
+        cell = (station,) + (None,) * (table.n_dims - 1)
+        assert loaded.lookup(cell)[0] == oracle.lookup(cell)[0]
+        assert query.point(station_id=station)["count"] == oracle.lookup(cell)[0]
+
+
+def test_weather_correlation_is_exploited(datasets):
+    # The station -> (longitude, latitude) FD must show up as compression:
+    # far fewer ranges than cells.
+    table = datasets["weather"]
+    cube = range_cubing(table, order=tuple(range(table.n_dims)))
+    assert cube.tuple_ratio() < 0.5

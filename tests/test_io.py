@@ -1,0 +1,74 @@
+"""Unit tests for CSV IO of tables and range cubes."""
+
+import numpy as np
+
+from repro.core.range_cubing import range_cubing
+from repro.data.io import (
+    read_range_cube_csv,
+    read_table_csv,
+    table_from_arrays,
+    write_range_cube_csv,
+    write_table_csv,
+)
+from repro.table.aggregates import CountAggregator
+
+from tests.conftest import cubes_equal, make_paper_table
+
+
+def test_table_roundtrip(tmp_path):
+    table = make_paper_table()
+    path = tmp_path / "sales.csv"
+    write_table_csv(table, path)
+    loaded = read_table_csv(path, n_measures=1)
+    assert loaded.schema.dimension_names == table.schema.dimension_names
+    assert loaded.schema.measure_names == ("price",)
+    assert np.array_equal(loaded.dim_codes, table.dim_codes)
+    assert np.array_equal(loaded.measures, table.measures)
+
+
+def test_table_csv_header(tmp_path):
+    table = make_paper_table()
+    path = tmp_path / "sales.csv"
+    write_table_csv(table, path)
+    header = path.read_text().splitlines()[0]
+    assert header == "store,city,product,date,price"
+
+
+def test_range_cube_roundtrip(tmp_path):
+    table = make_paper_table()
+    cube = range_cubing(table)
+    path = tmp_path / "cube.csv"
+    write_range_cube_csv(cube, path, table.schema.dimension_names)
+    loaded = read_range_cube_csv(path)
+    assert loaded.n_ranges == cube.n_ranges
+    assert cubes_equal(dict(loaded.expand()), dict(cube.expand()))
+
+
+def test_range_cube_file_uses_paper_notation(tmp_path):
+    table = make_paper_table()
+    cube = range_cubing(table)
+    path = tmp_path / "cube.csv"
+    write_range_cube_csv(cube, path)
+    text = path.read_text()
+    assert "*" in text
+    assert "'" in text  # marked coordinates
+    assert text.splitlines()[0] == "store,city,product,date,count,sum".replace(
+        "store,city,product,date", "d0,d1,d2,d3"
+    )
+
+
+def test_count_only_cube_roundtrip(tmp_path):
+    table = make_paper_table()
+    cube = range_cubing(table, aggregator=CountAggregator())
+    path = tmp_path / "cube.csv"
+    write_range_cube_csv(cube, path)
+    loaded = read_range_cube_csv(path)
+    assert cubes_equal(dict(loaded.expand()), dict(cube.expand()))
+
+
+def test_table_from_arrays():
+    codes = np.array([[0, 1], [1, 0]])
+    table = table_from_arrays(codes, np.array([[1.0], [2.0]]), ["x", "y"])
+    assert table.schema.dimension_names == ("x", "y")
+    assert table.n_measures == 1
+    assert table.n_rows == 2

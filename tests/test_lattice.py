@@ -1,0 +1,72 @@
+"""Unit tests for repro.cube.lattice."""
+
+import pytest
+
+from repro.cube.lattice import CuboidLattice
+
+
+def test_counts_and_extremes():
+    lattice = CuboidLattice(4)
+    assert lattice.n_cuboids == 16
+    assert lattice.apex == 0
+    assert lattice.base == 0b1111
+
+
+def test_refuses_absurd_dimensionality():
+    with pytest.raises(ValueError):
+        CuboidLattice(31)
+    with pytest.raises(ValueError):
+        CuboidLattice(-1)
+
+
+def test_dims_of_and_mask_of_invert():
+    lattice = CuboidLattice(5)
+    for mask in lattice:
+        assert lattice.mask_of(lattice.dims_of(mask)) == mask
+
+
+def test_mask_of_bounds_checked():
+    with pytest.raises(IndexError):
+        CuboidLattice(3).mask_of([3])
+
+
+def test_by_level_partitions_all_cuboids():
+    lattice = CuboidLattice(4)
+    levels = list(lattice.by_level())
+    assert len(levels) == 5
+    assert [len(level) for level in levels] == [1, 4, 6, 4, 1]  # binomials
+    assert sorted(m for level in levels for m in level) == list(range(16))
+
+
+def test_roll_ups_and_drill_downs_are_inverse_edges():
+    lattice = CuboidLattice(4)
+    for mask in lattice:
+        for up in lattice.roll_ups(mask):
+            assert lattice.level(up) == lattice.level(mask) - 1
+            assert mask in set(lattice.drill_downs(up))
+        for down in lattice.drill_downs(mask):
+            assert lattice.level(down) == lattice.level(mask) + 1
+
+
+def test_is_roll_up_of():
+    lattice = CuboidLattice(3)
+    assert lattice.is_roll_up_of(0b001, 0b011)
+    assert not lattice.is_roll_up_of(0b100, 0b011)
+    assert lattice.is_roll_up_of(0, 0b111)  # apex generalizes everything
+
+
+def test_name_rendering_matches_paper_style():
+    lattice = CuboidLattice(4)
+    name = lattice.name(0b0011, ["store", "city", "product", "date"])
+    assert name == "(store, city, *, *)"
+    assert lattice.name(0) == "(*, *, *, *)"
+
+
+def test_to_networkx_structure():
+    networkx = pytest.importorskip("networkx")
+    lattice = CuboidLattice(3)
+    graph = lattice.to_networkx()
+    assert graph.number_of_nodes() == 8
+    # every non-apex cuboid has level edges up
+    assert graph.number_of_edges() == sum(m.bit_count() for m in lattice)
+    assert networkx.is_directed_acyclic_graph(graph)

@@ -1,0 +1,66 @@
+"""Unit tests for the memory-footprint metrics."""
+
+from repro.baselines.htree import HTree
+from repro.baselines.star_cubing import StarTree
+from repro.core.range_cubing import range_cubing
+from repro.core.range_trie import RangeTrie
+from repro.data.correlated import FunctionalDependency, correlated_table
+from repro.metrics.memory import (
+    htree_bytes,
+    memory_report,
+    range_cube_bytes,
+    range_trie_bytes,
+    star_tree_bytes,
+)
+
+from tests.conftest import make_paper_table
+
+
+def test_all_footprints_positive():
+    table = make_paper_table()
+    assert range_trie_bytes(RangeTrie.build(table)) > 0
+    assert htree_bytes(HTree.build(table)) > 0
+    assert star_tree_bytes(StarTree.build(table)) > 0
+    assert range_cube_bytes(range_cubing(table)) > 0
+
+
+def test_trie_smaller_than_htree_on_correlated_data():
+    # The node-count advantage must show up in bytes as well.
+    table = correlated_table(
+        600, 5, 30, [FunctionalDependency((0,), (1, 2))], theta=1.0, seed=4
+    )
+    trie = RangeTrie.build(table)
+    htree = HTree.build(table)
+    assert trie.n_nodes() < htree.n_nodes()
+    assert range_trie_bytes(trie) < htree_bytes(htree)
+
+
+def test_footprint_grows_with_data():
+    small = correlated_table(50, 3, 10, [], seed=1)
+    large = correlated_table(500, 3, 10, [], seed=1)
+    assert range_trie_bytes(RangeTrie.build(large)) > range_trie_bytes(
+        RangeTrie.build(small)
+    )
+
+
+def test_memory_report_keys_and_consistency():
+    table = make_paper_table()
+    report = memory_report(table)
+    assert report["range_trie_nodes"] == 8
+    assert report["htree_nodes"] == 20
+    assert report["star_tree_nodes"] == 20
+    for key, value in report.items():
+        assert value > 0, key
+
+
+def test_shared_states_counted_once():
+    # A cube whose ranges share aggregate state objects must not double
+    # count them.
+    table = make_paper_table()
+    cube = range_cubing(table)
+    first = range_cube_bytes(cube)
+    cube.ranges.append(cube.ranges[0])  # alias an existing range
+    second = range_cube_bytes(cube)
+    cube.ranges.pop()
+    # the alias adds at most the per-range overhead, not a full state copy
+    assert second - first < 500

@@ -1,0 +1,72 @@
+"""Unit tests for the evaluation metrics."""
+
+import time
+
+import pytest
+
+from repro.baselines.htree import HTree
+from repro.core.range_cubing import range_cubing
+from repro.core.range_trie import RangeTrie
+from repro.cube.full_cube import full_cube_size
+from repro.metrics.ratios import (
+    compression_report,
+    node_ratio,
+    node_ratio_from_counts,
+    tuple_ratio,
+)
+from repro.metrics.timing import Timer, time_call
+
+from tests.conftest import make_paper_table
+
+
+def test_tuple_ratio_against_oracle_count():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    assert tuple_ratio(cube) == pytest.approx(33 / 69)
+    assert tuple_ratio(cube, full_cube_size(table)) == pytest.approx(33 / 69)
+
+
+def test_node_ratio_paper_example():
+    table = make_paper_table()
+    trie = RangeTrie.build(table)
+    htree = HTree.build(table)
+    # 8 trie nodes vs 20 H-tree nodes (Figures 3(c) vs 3(d))
+    assert node_ratio(trie, htree) == pytest.approx(8 / 20)
+    assert node_ratio_from_counts(8, 20) == pytest.approx(0.4)
+
+
+def test_node_ratio_handles_empty():
+    assert node_ratio_from_counts(0, 0) == 1.0
+
+
+def test_compression_report_on_paper_table():
+    table = make_paper_table()
+    report = compression_report(table)
+    assert report.full_cube_cells == 69
+    assert report.range_cube_tuples == 33
+    assert report.quotient_cube_classes <= report.range_cube_tuples
+    assert report.quotient_cube_classes <= report.condensed_cube_tuples
+    assert 0 < report.tuple_ratio <= 1
+    assert 0 < report.quotient_ratio <= report.tuple_ratio
+    rows = report.rows()
+    assert rows[0][1] == 69
+    assert len(rows) == 4
+
+
+def test_compression_report_respects_order():
+    table = make_paper_table()
+    plain = compression_report(table)
+    reordered = compression_report(table, order=(3, 2, 1, 0))
+    assert reordered.full_cube_cells == plain.full_cube_cells
+
+
+def test_timer_measures_elapsed():
+    with Timer() as t:
+        time.sleep(0.01)
+    assert t.seconds >= 0.009
+
+
+def test_time_call_returns_result_and_seconds():
+    result, seconds = time_call(sum, [1, 2, 3])
+    assert result == 6
+    assert seconds >= 0

@@ -1,0 +1,87 @@
+"""Unit + property tests for the MultiWay array-cubing baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.multiway import _encode_rows, multiway, recommended_for
+from repro.cube.full_cube import compute_full_cube
+from repro.table.aggregates import AvgAggregator, CountAggregator
+from repro.table.base_table import BaseTable
+from repro.table.schema import Schema
+
+from tests.conftest import (
+    cubes_equal,
+    make_encoded_table,
+    make_paper_table,
+    table_strategy,
+)
+
+
+def test_paper_example_matches_oracle():
+    table = make_paper_table()
+    assert cubes_equal(
+        multiway(table).as_dict(), compute_full_cube(table).as_dict()
+    )
+
+
+def test_count_only_aggregator():
+    table = make_encoded_table([(0, 1), (0, 1), (1, 0)], n_measures=0)
+    cube = multiway(table, CountAggregator())
+    assert cube.lookup((0, 1)) == (2,)
+    assert cube.lookup((None, None)) == (3,)
+
+
+def test_rich_aggregators_rejected():
+    table = make_paper_table()
+    with pytest.raises(ValueError):
+        multiway(table, AvgAggregator())
+
+
+def test_space_guard():
+    table = make_encoded_table([(0, 0), (999, 999)])
+    with pytest.raises(ValueError):
+        multiway(table, max_cells=1000)
+
+
+def test_min_support_filter():
+    table = make_paper_table()
+    for min_support in (2, 3):
+        expected = compute_full_cube(table, min_support=min_support).as_dict()
+        assert cubes_equal(
+            multiway(table, min_support=min_support).as_dict(), expected
+        )
+
+
+def test_empty_table():
+    schema = Schema.from_names(["a"])
+    table = BaseTable(schema, np.zeros((0, 1), dtype=np.int64))
+    assert len(multiway(table)) == 0
+
+
+def test_non_contiguous_codes():
+    # codes {0, 5} must not break the dense indexing
+    table = make_encoded_table([(0, 5), (5, 0), (5, 5)])
+    assert cubes_equal(
+        multiway(table).as_dict(), compute_full_cube(table).as_dict()
+    )
+
+
+def test_encode_rows_row_major():
+    codes = np.array([[1, 2], [0, 0]])
+    assert _encode_rows(codes, [3, 4]).tolist() == [1 * 4 + 2, 0]
+
+
+def test_recommended_for_dense_only():
+    dense = make_encoded_table([(i % 2, i % 3) for i in range(50)])
+    assert recommended_for(dense)
+    sparse = make_encoded_table([(0, 0), (100000, 99999)])
+    assert not recommended_for(sparse, max_cells=1000)
+
+
+@settings(max_examples=50, deadline=None)
+@given(table_strategy())
+def test_matches_oracle_on_random_tables(table):
+    assert cubes_equal(
+        multiway(table).as_dict(), compute_full_cube(table).as_dict()
+    )

@@ -1,0 +1,97 @@
+"""Unit + property tests for the QC-tree class index."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.qc_tree import QCTree
+from repro.baselines.quotient import quotient_cube
+from repro.cube.full_cube import compute_full_cube
+
+from tests.conftest import make_encoded_table, make_paper_table, table_strategy
+
+
+def test_build_indexes_every_class():
+    table = make_paper_table()
+    quotient = quotient_cube(table)
+    tree = QCTree.from_quotient(quotient)
+    assert tree.n_classes == quotient.n_classes
+    assert dict(tree.classes()) == quotient.classes
+
+
+def test_prefix_sharing_saves_nodes():
+    table = make_paper_table()
+    quotient = quotient_cube(table)
+    tree = QCTree.from_quotient(quotient)
+    path_pairs = sum(
+        sum(1 for v in upper if v is not None) for upper in quotient.classes
+    )
+    assert tree.n_nodes() < path_pairs  # prefixes shared
+
+
+def test_lookup_every_cell_of_the_paper_cube():
+    table = make_paper_table()
+    tree = QCTree.build(table)
+    oracle = compute_full_cube(table)
+    for cell, state in oracle.cells():
+        assert tree.lookup(cell)[0] == state[0]
+
+
+def test_lookup_empty_cell():
+    table = make_paper_table()
+    tree = QCTree.build(table)
+    assert tree.lookup((2, 0, None, None)) is None
+    assert tree.class_of((0, 0, 2, 1)) is None
+
+
+def test_class_of_returns_closed_upper_bound():
+    table = make_paper_table()
+    tree = QCTree.build(table)
+    enc = table.encoder.encoders
+    s1 = enc[0].encode_existing("S1")
+    upper, state = tree.class_of((s1, None, None, None))
+    # S1 implies C1: the class upper bound binds the city too.
+    assert upper[0] == s1
+    assert upper[1] == enc[1].encode_existing("C1")
+    assert state[0] == 2
+
+
+def test_wrong_arity_rejected():
+    tree = QCTree.build(make_encoded_table([(0, 1)]))
+    with pytest.raises(ValueError):
+        tree.lookup((0,))
+
+
+def test_insert_is_idempotent_per_bound():
+    tree = QCTree(2, quotient_cube(make_encoded_table([(0, 1)])).aggregator)
+    tree.insert((0, 1), (1,))
+    tree.insert((0, 1), (1,))
+    assert tree.n_classes == 1
+
+
+def test_apex_class_reachable():
+    table = make_encoded_table([(0, 0), (1, 1)])
+    tree = QCTree.build(table)
+    state = tree.lookup((None, None))
+    assert state[0] == 2
+
+
+@settings(max_examples=35, deadline=None)
+@given(table_strategy(max_rows=14, max_dims=4))
+def test_qc_tree_lookup_matches_oracle(table):
+    tree = QCTree.build(table)
+    oracle = compute_full_cube(table)
+    for cell, state in oracle.cells():
+        assert tree.lookup(cell)[0] == state[0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(table_strategy(max_rows=12, max_dims=3))
+def test_qc_tree_agrees_with_quotient_scan(table):
+    quotient = quotient_cube(table)
+    tree = QCTree.from_quotient(quotient)
+    oracle = compute_full_cube(table)
+    for cell in oracle.iter_cells():
+        by_tree = tree.class_of(cell)
+        by_scan = quotient.class_of(cell)
+        assert by_tree is not None
+        assert by_tree[0] == by_scan

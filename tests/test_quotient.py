@@ -1,0 +1,98 @@
+"""Unit + property tests for the quotient-cube baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.quotient import (
+    quotient_class_count_bruteforce,
+    quotient_cube,
+)
+from repro.core.range_cubing import range_cubing
+from repro.cube.cell import matches_row, n_bound
+from repro.table.base_table import BaseTable
+from repro.table.schema import Schema
+
+from tests.conftest import make_encoded_table, make_paper_table, table_strategy
+
+
+def test_class_count_on_paper_table():
+    table = make_paper_table()
+    cube = quotient_cube(table)
+    assert cube.n_classes == quotient_class_count_bruteforce(table)
+    # strictly fewer classes than cells (69) — the cube is compressible
+    assert cube.n_classes < 69
+
+
+def test_upper_bounds_are_closed_cells():
+    table = make_paper_table()
+    rows = table.dim_rows()
+    cube = quotient_cube(table)
+    for upper in cube.upper_bounds():
+        cover = [row for row in rows if matches_row(upper, row)]
+        assert cover
+        # closedness: no free dimension has a value shared by all coverers
+        for d in range(table.n_dims):
+            if upper[d] is None:
+                assert len({row[d] for row in cover}) > 1
+
+
+def test_base_tuple_classes_have_full_bounds():
+    # every distinct base tuple is its own closed cell
+    table = make_paper_table()
+    cube = quotient_cube(table)
+    for row in set(table.dim_rows()):
+        assert row in cube.classes
+
+
+def test_value_finalization():
+    table = make_paper_table()
+    cube = quotient_cube(table)
+    apex_class = min(cube.upper_bounds(), key=n_bound)
+    assert cube.value(apex_class)["count"] == 6
+
+
+def test_min_support_filters_classes():
+    table = make_encoded_table([(0, 0), (0, 1), (1, 1)])
+    cube = quotient_cube(table, min_support=2)
+    assert all(s[0] >= 2 for s in cube.classes.values())
+    assert cube.n_classes >= 1
+
+
+def test_empty_table():
+    schema = Schema.from_names(["a"])
+    table = BaseTable(schema, np.zeros((0, 1), dtype=np.int64))
+    assert quotient_cube(table).n_classes == 0
+
+
+def test_fully_correlated_table_has_single_nonbase_structure():
+    # one repeated tuple: the only class upper bound is the base tuple, and
+    # it absorbs the apex.
+    table = make_encoded_table([(1, 2), (1, 2)])
+    cube = quotient_cube(table)
+    assert cube.n_classes == 1
+    assert (1, 2) in cube.classes
+
+
+@settings(max_examples=40, deadline=None)
+@given(table_strategy(max_rows=12, max_dims=4))
+def test_class_count_matches_bruteforce(table):
+    assert quotient_cube(table).n_classes == quotient_class_count_bruteforce(table)
+
+
+@settings(max_examples=30, deadline=None)
+@given(table_strategy(max_rows=12, max_dims=4))
+def test_quotient_is_lower_bound_for_range_cube(table):
+    # A range never crosses a class (all its cells share one tuple set),
+    # so the range cube has at least as many parts as the quotient cube.
+    assert range_cubing(table).n_ranges >= quotient_cube(table).n_classes
+
+
+@settings(max_examples=30, deadline=None)
+@given(table_strategy(max_rows=12, max_dims=4))
+def test_class_aggregates_match_their_upper_bound_cover(table):
+    rows = table.dim_rows()
+    cube = quotient_cube(table)
+    for upper, state in cube.classes.items():
+        cover = sum(1 for row in rows if matches_row(upper, row))
+        assert cover == state[0]

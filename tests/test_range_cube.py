@@ -1,0 +1,124 @@
+"""Unit tests for the Range / RangeCube representation (paper Section 4)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.range_cube import Range, RangeCube
+from repro.core.range_cubing import range_cubing
+from repro.cube.cell import specializes
+from repro.table.aggregates import SumCountAggregator
+
+from tests.conftest import make_paper_table, table_strategy
+
+
+def test_range_endpoints_and_cells():
+    # The paper's example range [(S1,*,P1,*), (S1,C1,P1,D1)]:
+    r = Range((0, 0, 0, 0), mask=0b1010, state=(1, 100.0))
+    assert r.general == (0, None, 0, None)
+    assert r.n_marked == 2
+    assert r.n_cells == 4
+    assert set(r.cells()) == {
+        (0, None, 0, None),
+        (0, 0, 0, None),
+        (0, None, 0, 0),
+        (0, 0, 0, 0),
+    }
+
+
+def test_range_contains():
+    r = Range((0, 0, 0, 0), mask=0b1010, state=(1,))
+    assert r.contains((0, None, 0, None))
+    assert r.contains((0, 0, 0, 0))
+    assert not r.contains((0, 1, 0, 0))  # wrong value on marked dim
+    assert not r.contains((None, None, 0, None))  # fixed dim relaxed
+    assert not r.contains((0, None, None, None))  # fixed dim relaxed
+
+
+def test_range_endpoints_satisfy_partial_order():
+    r = Range((0, 1, None, 2), mask=0b0010, state=(1,))
+    assert specializes(r.specific, r.general)
+    for cell in r.cells():
+        assert specializes(cell, r.general)
+        assert specializes(r.specific, cell)
+
+
+def test_range_tuple_notation():
+    r = Range((5, None, 7), mask=0b100, state=(1,))
+    assert r.to_string() == "(5, *, 7')"
+
+
+def test_range_equality_and_hash():
+    a = Range((1, None), 0b01, (2,))
+    b = Range((1, None), 0b01, (2,))
+    c = Range((1, None), 0b00, (2,))
+    assert a == b and hash(a) == hash(b)
+    assert a != c
+    assert a != "not a range"
+
+
+def test_cube_sizes_and_ratio():
+    ranges = [Range((None, None), 0, (3,)), Range((1, 2), 0b10, (1,))]
+    cube = RangeCube(2, SumCountAggregator(), ranges)
+    assert cube.n_ranges == len(cube) == 2
+    assert cube.n_cells == 1 + 2
+    assert cube.tuple_ratio() == pytest.approx(2 / 3)
+    assert cube.tuple_ratio(10) == pytest.approx(0.2)
+
+
+def test_cube_value_finalizes():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    enc = table.encoder.encoders
+    cell = (enc[0].encode_existing("S1"), None, None, None)
+    assert cube.value(cell) == {"count": 2, "sum": 600.0}
+    assert cube.value((enc[0].encode_existing("S3"), 0, None, None)) is None
+
+
+def test_to_materialized_roundtrip():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    materialized = cube.to_materialized()
+    assert len(materialized) == cube.n_cells
+    for r in cube:
+        for cell in r.cells():
+            assert materialized.lookup(cell) == r.state
+
+
+def test_sorted_strings_limit():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    assert len(cube.sorted_strings(limit=5)) == 5
+    assert cube.sorted_strings() == sorted(cube.sorted_strings())
+
+
+def test_repr():
+    cube = RangeCube(3, SumCountAggregator(), [])
+    assert "0 ranges" in repr(cube)
+
+
+def test_empty_cube_ratio_defined():
+    cube = RangeCube(2, SumCountAggregator(), [])
+    assert cube.tuple_ratio() == 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(table_strategy())
+def test_convexity_of_every_range(table):
+    # Definition 3: a partition by ranges is convex — every cell between
+    # the endpoints belongs to the same part.  Here: cells() enumerates
+    # exactly the specializes-sandwiched cells.
+    cube = range_cubing(table)
+    for r in cube.ranges[:40]:
+        cells = set(r.cells())
+        assert len(cells) == r.n_cells
+        for cell in cells:
+            assert r.contains(cell)
+            assert specializes(r.specific, cell)
+            assert specializes(cell, r.general)
+
+
+@settings(max_examples=40, deadline=None)
+@given(table_strategy())
+def test_n_cells_equals_expansion_length(table):
+    cube = range_cubing(table)
+    assert cube.n_cells == sum(1 for _ in cube.expand())

@@ -1,0 +1,194 @@
+"""Unit + property tests for range cubing (paper Section 5, Algorithm 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.range_cubing import range_cubing, range_cubing_detailed
+from repro.cube.cell import apex_cell
+from repro.cube.full_cube import compute_full_cube
+from repro.table.base_table import BaseTable
+from repro.table.schema import Schema
+
+from tests.conftest import (
+    cubes_equal,
+    make_encoded_table,
+    make_paper_table,
+    table_strategy,
+)
+
+
+def test_paper_example_produces_figure_5_ranges():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    rendered = set(cube.sorted_strings(table.encoder))
+    # All five ranges of Figure 5 (those with Store = S1):
+    for expected in [
+        "(S1, C1', *, *)",
+        "(S1, C1', *, D1)",
+        "(S1, C1', *, D2)",
+        "(S1, C1', P1, D1')",
+        "(S1, C1', P2, D2')",
+    ]:
+        assert expected in rendered
+    # and those five are exactly the ranges binding S1:
+    assert sum(1 for s in rendered if s.startswith("(S1")) == 5
+
+
+def test_paper_example_range_counts():
+    # "the five ranges in Figure 5 consist of 14 cells"
+    table = make_paper_table()
+    cube = range_cubing(table)
+    s1_ranges = [r for r in cube if r.specific[0] == 0]
+    assert len(s1_ranges) == 5
+    assert sum(r.n_cells for r in s1_ranges) == 14
+    # and the whole cube partitions all 69 cells
+    assert cube.n_cells == 69
+
+
+def test_expansion_matches_oracle_on_paper_table():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    oracle = compute_full_cube(table)
+    assert cubes_equal(dict(cube.expand()), oracle.as_dict())
+
+
+def test_apex_is_emitted_exactly_once():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    apex_ranges = [r for r in cube if r.specific == apex_cell(4)]
+    assert len(apex_ranges) == 1
+    assert apex_ranges[0].state[0] == 6
+
+
+def test_ranges_are_pairwise_disjoint():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    seen = set()
+    for cell, _ in cube.expand():
+        assert cell not in seen, f"cell {cell} covered twice"
+        seen.add(cell)
+
+
+def test_single_row_table():
+    table = make_encoded_table([(3, 1, 2)])
+    cube = range_cubing(table)
+    # One range per leading bound dimension (3, *, *), (*, 1, *), (*, *, 2)
+    # — each with the later dimensions marked — plus the apex: n + 1 ranges
+    # covering all 2**3 cells.
+    assert cube.n_ranges == 4
+    assert cube.n_cells == 8
+    assert cubes_equal(dict(cube.expand()), compute_full_cube(table).as_dict())
+
+
+def test_empty_table():
+    schema = Schema.from_names(["a", "b"])
+    table = BaseTable(schema, np.zeros((0, 2), dtype=np.int64))
+    cube = range_cubing(table)
+    assert cube.n_ranges == 0
+    assert cube.n_cells == 0
+
+
+def test_one_dimensional_table():
+    table = make_encoded_table([(0,), (0,), (1,)])
+    cube = range_cubing(table)
+    oracle = compute_full_cube(table)
+    assert cubes_equal(dict(cube.expand()), oracle.as_dict())
+    assert cube.n_ranges == 3  # apex + two value ranges
+
+
+def test_order_parameter_is_transparent():
+    table = make_paper_table()
+    plain = compute_full_cube(table).as_dict()
+    for order in [(3, 2, 1, 0), (1, 3, 0, 2), (0, 1, 2, 3)]:
+        cube = range_cubing(table, order=order)
+        assert cubes_equal(dict(cube.expand()), plain)
+
+
+def test_detailed_stats_are_consistent():
+    table = make_paper_table()
+    cube, stats = range_cubing_detailed(table)
+    assert stats["trie_nodes"] == 8
+    assert stats["trie_interior"] == 2
+    assert stats["trie_leaves"] == 6
+    assert stats["total_seconds"] >= 0
+    assert (
+        stats["build_seconds"] + stats["traverse_seconds"]
+        == pytest.approx(stats["total_seconds"], rel=0.05)
+    )
+    assert cube.n_ranges == 33
+
+
+def test_iceberg_matches_filtered_full_cube():
+    table = make_paper_table()
+    for min_support in (2, 3, 4, 7):
+        iceberg = range_cubing(table, min_support=min_support)
+        expected = compute_full_cube(table, min_support=min_support).as_dict()
+        assert cubes_equal(dict(iceberg.expand()), expected)
+
+
+def test_iceberg_above_table_size_is_empty():
+    table = make_paper_table()
+    assert range_cubing(table, min_support=7).n_ranges == 0
+
+
+def test_duplicates_aggregate():
+    table = make_encoded_table([(0, 1), (0, 1)], measures=[(2.0,), (3.0,)])
+    cube = range_cubing(table)
+    lookup = dict(cube.expand())
+    assert lookup[(0, 1)] == (2, 5.0)
+    assert lookup[(None, None)] == (2, 5.0)
+
+
+# ---------------------------------------------------------------------------
+# property tests
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(table_strategy())
+def test_range_cube_equals_full_cube(table):
+    cube = range_cubing(table)
+    oracle = compute_full_cube(table)
+    expanded = {}
+    for cell, state in cube.expand():
+        assert cell not in expanded  # partition: disjoint ranges
+        expanded[cell] = state
+    assert cubes_equal(expanded, oracle.as_dict())
+
+
+@settings(max_examples=30, deadline=None)
+@given(table_strategy(max_rows=15, max_dims=4))
+def test_iceberg_property(table):
+    for min_support in (2, 3):
+        iceberg = range_cubing(table, min_support=min_support)
+        expected = compute_full_cube(table, min_support=min_support).as_dict()
+        assert cubes_equal(dict(iceberg.expand()), expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(table_strategy(max_dims=4))
+def test_any_dimension_order_gives_same_cube_contents(table):
+    oracle = compute_full_cube(table).as_dict()
+    order = tuple(reversed(range(table.n_dims)))
+    assert cubes_equal(dict(range_cubing(table, order=order).expand()), oracle)
+
+
+@settings(max_examples=30, deadline=None)
+@given(table_strategy())
+def test_cells_within_a_range_share_covering_tuples(table):
+    # Lemma 3: every cell of a range aggregates the same tuple set.
+    from repro.cube.cell import matches_row
+
+    rows = table.dim_rows()
+    cube = range_cubing(table)
+    for r in cube.ranges[:50]:
+        cover = None
+        for cell in r.cells():
+            matched = frozenset(
+                i for i, row in enumerate(rows) if matches_row(cell, row)
+            )
+            if cover is None:
+                cover = matched
+            assert matched == cover
+        assert cover is not None and len(cover) == r.state[0]

@@ -1,0 +1,84 @@
+"""Unit tests for the range-cube point-query index."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.range_cubing import range_cubing
+from repro.core.range_index import RangeCubeIndex
+from repro.cube.full_cube import compute_full_cube
+
+from tests.conftest import make_encoded_table, make_paper_table, table_strategy
+
+
+def test_every_cell_found_in_its_unique_range():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    index = RangeCubeIndex(cube)
+    for r in cube:
+        for cell in r.cells():
+            assert index.find(cell) is r
+
+
+def test_empty_cells_return_none():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    index = RangeCubeIndex(cube)
+    assert index.find((2, 0, None, None)) is None  # S3 never sells in C1
+    assert index.find((0, 0, 2, 0)) is None
+
+
+def test_index_length_counts_all_ranges():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    assert len(RangeCubeIndex(cube)) == cube.n_ranges
+
+
+def test_wrong_arity_rejected():
+    cube = range_cubing(make_encoded_table([(0, 1)]))
+    index = RangeCubeIndex(cube)
+    with pytest.raises(ValueError):
+        index.find((0,))
+
+
+def test_lazy_index_on_cube_lookup():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    assert cube._index is None
+    oracle = compute_full_cube(table)
+    for cell, state in oracle.cells():
+        assert cube.lookup(cell) == state
+    assert cube._index is not None
+
+
+def test_range_of_returns_containing_range():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    enc = table.encoder.encoders
+    cell = (enc[0].encode_existing("S1"), None, None, None)
+    r = cube.range_of(cell)
+    assert r is not None and r.contains(cell)
+    assert cube.range_of((2, 0, None, None)) is None
+
+
+def test_scan_fallback_for_wide_cells(monkeypatch):
+    import repro.core.range_index as range_index_module
+
+    table = make_paper_table()
+    cube = range_cubing(table)
+    index = RangeCubeIndex(cube)
+    monkeypatch.setattr(range_index_module, "MAX_PROBE_DIMS", 1)
+    found = index.find((0, 0, 0, 0))
+    assert found is not None and found.contains((0, 0, 0, 0))
+    assert index.find((2, 0, 1, 1)) is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(table_strategy(max_rows=15, max_dims=4))
+def test_index_agrees_with_oracle(table):
+    cube = range_cubing(table)
+    index = RangeCubeIndex(cube)
+    oracle = compute_full_cube(table)
+    for cell, state in oracle.cells():
+        found = index.find(cell)
+        assert found is not None
+        assert found.state == state

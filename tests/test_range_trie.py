@@ -1,0 +1,234 @@
+"""Unit tests for the range trie (paper Section 3, Algorithm 1).
+
+The structural tests reproduce, node for node, the construction sequence
+the paper draws in Figure 3(a)-(c), including both restructuring cases
+(split with an intermediate node; append to children) and the leaf
+convention.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.baselines.htree import HTree
+from repro.core.range_trie import RangeTrie, RangeTrieNode, merge_key
+from repro.table.aggregates import SumCountAggregator
+from repro.table.base_table import BaseTable
+from repro.table.schema import Schema
+
+from tests.conftest import make_encoded_table, make_paper_table, table_strategy
+
+# Dimension indexes of the paper's sales table.
+STORE, CITY, PRODUCT, DATE = 0, 1, 2, 3
+
+
+def snapshot(node: RangeTrieNode):
+    """Canonical structural form: (key, count, sorted children snapshots)."""
+    children = tuple(
+        sorted(snapshot(c) for c in node.children.values())
+    )
+    return (node.key, node.agg[0] if node.agg else 0, children)
+
+
+def build_paper_trie(n_tuples=6) -> tuple[RangeTrie, BaseTable]:
+    table = make_paper_table()
+    schema = table.schema
+    partial = BaseTable(
+        schema, table.dim_codes[:n_tuples], table.measures[:n_tuples], table.encoder
+    )
+    return RangeTrie.build(partial), partial
+
+
+def key(*pairs):
+    return tuple(pairs)
+
+
+def test_merge_key_interleaves_by_dimension():
+    assert merge_key(((0, 5), (3, 7)), [(1, 2)]) == ((0, 5), (1, 2), (3, 7))
+    assert merge_key((), [(2, 1)]) == ((2, 1),)
+
+
+def test_figure_3a_single_tuple_is_one_leaf():
+    trie, _ = build_paper_trie(1)
+    trie.check_invariants()
+    root = trie.root
+    assert len(root.children) == 1
+    leaf = next(iter(root.children.values()))
+    # (S1, C1, P1, D1) all in one leaf key
+    assert leaf.key == key((STORE, 0), (CITY, 0), (PRODUCT, 0), (DATE, 0))
+    assert leaf.is_leaf
+    assert leaf.agg[0] == 1
+
+
+def test_figure_3b_split_case_extracts_common_values():
+    # Inserting (S1,C1,P2,D2) into the Figure 3(a) trie splits the leaf:
+    # common (S1,C1) stays up, (P1,D1) and (P2,D2) become siblings.
+    trie, _ = build_paper_trie(2)
+    trie.check_invariants()
+    (branch,) = trie.root.children.values()
+    assert branch.key == key((STORE, 0), (CITY, 0))
+    assert branch.agg[0] == 2
+    kids = {c.key for c in branch.children.values()}
+    assert kids == {
+        key((PRODUCT, 0), (DATE, 0)),
+        key((PRODUCT, 1), (DATE, 1)),
+    }
+
+
+def test_figure_3b_full_state_after_four_tuples():
+    trie, _ = build_paper_trie(4)
+    trie.check_invariants()
+    by_value = trie.root.children
+    s1 = by_value[0]
+    s2 = by_value[1]
+    # (S1, C1):2 over {(P1,D1), (P2,D2)}
+    assert s1.key == key((STORE, 0), (CITY, 0))
+    assert s1.agg[0] == 2
+    # (S2, P1, D2):2 over {(C1), (C2)} — S2's tuples share product AND date
+    assert s2.key == key((STORE, 1), (PRODUCT, 0), (DATE, 1))
+    assert s2.agg[0] == 2
+    assert {c.key for c in s2.children.values()} == {key((CITY, 0)), key((CITY, 1))}
+
+
+def test_figure_3c_append_case_pushes_diff_into_children():
+    # Inserting (S2,C3,P2,D2): the chosen node (S2,P1,D2) keeps common
+    # {S2,D2}; the non-common P1 (Product > children's start dim City)
+    # is appended to children (C1,P1), (C2,P1); (C3,P2) becomes a new leaf.
+    trie, _ = build_paper_trie(5)
+    trie.check_invariants()
+    s2 = trie.root.children[1]
+    assert s2.key == key((STORE, 1), (DATE, 1))
+    assert s2.agg[0] == 3
+    kids = {c.key for c in s2.children.values()}
+    assert kids == {
+        key((CITY, 0), (PRODUCT, 0)),
+        key((CITY, 1), (PRODUCT, 0)),
+        key((CITY, 2), (PRODUCT, 1)),
+    }
+
+
+def test_figure_3c_complete_trie():
+    trie, _ = build_paper_trie(6)
+    trie.check_invariants()
+    root = trie.root
+    assert root.agg[0] == 6
+    assert len(root.children) == 3
+    s3 = root.children[2]
+    assert s3.key == key((STORE, 2), (CITY, 2), (PRODUCT, 2), (DATE, 0))
+    assert s3.is_leaf
+    # Node counts as in the figure: 2 interior + 6 leaves.
+    assert trie.n_interior() == 2
+    assert trie.n_leaves() == 6
+    assert trie.n_nodes() == 8
+    assert trie.max_depth() == 2
+
+
+def test_paper_insertion_example_s1c1p3d2():
+    # Section 3.1's worked example: inserting (S1, C1, P3, D2) into the
+    # Figure 3(b) trie descends through (S1, C1) unchanged and adds a new
+    # leaf (P3, D2).
+    trie, table = build_paper_trie(4)
+    trie.insert_assignment(
+        [(STORE, 0), (CITY, 0), (PRODUCT, 2), (DATE, 1)], (1, 42.0)
+    )
+    trie.check_invariants()
+    s1 = trie.root.children[0]
+    assert s1.key == key((STORE, 0), (CITY, 0))
+    assert s1.agg[0] == 3
+    assert {c.key for c in s1.children.values()} == {
+        key((PRODUCT, 0), (DATE, 0)),
+        key((PRODUCT, 1), (DATE, 1)),
+        key((PRODUCT, 2), (DATE, 1)),
+    }
+
+
+def test_duplicate_tuples_aggregate_into_one_leaf():
+    table = make_encoded_table([(0, 1), (0, 1), (0, 1)])
+    trie = RangeTrie.build(table)
+    trie.check_invariants()
+    assert trie.n_nodes() == 1
+    leaf = next(iter(trie.root.children.values()))
+    assert leaf.agg[0] == 3
+
+
+def test_all_identical_dimension_values_collapse():
+    table = make_encoded_table([(0, 0, 0)] * 4)
+    trie = RangeTrie.build(table)
+    assert trie.n_leaves() == 1
+    assert trie.n_nodes() == 1
+
+
+def test_empty_table_builds_empty_trie():
+    schema = Schema.from_names(["a", "b"])
+    table = BaseTable(schema, np.zeros((0, 2), dtype=np.int64))
+    trie = RangeTrie.build(table)
+    assert trie.root.children == {}
+    assert trie.n_nodes() == 0
+    assert trie.total_agg is None
+
+
+def test_total_agg_covers_all_rows():
+    table = make_paper_table()
+    trie = RangeTrie.build(table)
+    assert trie.total_agg[0] == 6
+    assert trie.total_agg[1] == 4900.0
+
+
+def test_leaf_assignments_recover_distinct_tuples():
+    table = make_paper_table()
+    trie = RangeTrie.build(table)
+    assignments = sorted(
+        tuple(a[d] for d in range(4)) for a, _ in trie.leaf_assignments()
+    )
+    assert assignments == sorted(set(table.dim_rows()))
+
+
+def test_aggregator_is_pluggable():
+    table = make_paper_table()
+    trie = RangeTrie.build(table, SumCountAggregator(0))
+    assert trie.total_agg == (6, 4900.0)
+
+
+# ---------------------------------------------------------------------------
+# property tests
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(table_strategy())
+def test_invariants_hold_on_random_tables(table):
+    trie = RangeTrie.build(table)
+    trie.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(table_strategy())
+def test_construction_is_insertion_order_invariant(table):
+    # The paper: "The range trie constructed from a dataset is invariant
+    # to the order of data entry."
+    trie = RangeTrie.build(table)
+    reversed_table = BaseTable(
+        table.schema, table.dim_codes[::-1].copy(), table.measures[::-1].copy()
+    )
+    rev = RangeTrie.build(reversed_table)
+    assert snapshot(trie.root) == snapshot(rev.root)
+
+
+@settings(max_examples=60, deadline=None)
+@given(table_strategy())
+def test_size_bounds_of_lemma_4(table):
+    # Leaves = distinct tuples <= T; interior <= leaves - 1; depth <= dims.
+    trie = RangeTrie.build(table)
+    distinct = table.distinct_tuple_count()
+    assert trie.n_leaves() == distinct
+    assert trie.n_interior() <= max(0, distinct - 1)
+    assert trie.max_depth() <= table.n_dims
+
+
+@settings(max_examples=40, deadline=None)
+@given(table_strategy())
+def test_range_trie_never_larger_than_htree(table):
+    # "The lower bound of a range trie is an H-Tree" (Section 6.1): under
+    # the same dimension order the trie can only merge H-tree chains.
+    trie = RangeTrie.build(table)
+    htree = HTree.build(table)
+    assert trie.n_nodes() <= htree.n_nodes()

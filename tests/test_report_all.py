@@ -1,0 +1,50 @@
+"""Tests for the one-shot report generator and multiway harness path."""
+
+from repro.harness.report_all import generate_report, main
+from repro.harness.runner import measure
+
+from tests.conftest import make_encoded_table
+
+
+def test_generate_report_contains_all_sections():
+    report = generate_report(preset="tiny", algorithms=("range",))
+    for heading in (
+        "# Range CUBE reproduction report",
+        "## Figure 8",
+        "## Figure 9",
+        "## Figure 10",
+        "## Figure 11",
+        "## Section 6.2",
+        "## Ablations",
+    ):
+        assert heading in report
+    assert "Expected shape (paper)" in report
+    assert "range cubing (s)" in report
+
+
+def test_main_writes_file(tmp_path, capsys):
+    out = tmp_path / "report.md"
+    assert main(["--preset", "tiny", "--algorithms", "range", "--out", str(out)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    assert out.read_text().startswith("# Range CUBE reproduction report")
+
+
+def test_main_prints_to_stdout(capsys):
+    assert main(["--preset", "tiny", "--algorithms", "range"]) == 0
+    assert "## Ablations" in capsys.readouterr().out
+
+
+def test_measure_supports_multiway():
+    table = make_encoded_table([(i % 3, i % 4) for i in range(40)])
+    row = measure(table, algorithms=("range", "multiway"))
+    assert row["multiway_cells"] == row["full_cells"]
+    assert row["multiway_seconds"] >= 0
+
+
+def test_measure_multiway_space_guard_is_soft():
+    import math
+
+    table = make_encoded_table([(0, 0), (10**6, 10**6)])
+    row = measure(table, algorithms=("multiway",))
+    assert math.isnan(row["multiway_seconds"])
+    assert "multiway_cells" not in row

@@ -1,0 +1,87 @@
+"""Unit tests for the retail star-schema generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.range_cubing import range_cubing
+from repro.cube.hierarchy import roll_up_dimension
+from repro.data.correlated import FunctionalDependency, verify_dependency
+from repro.data.retail import CATEGORY, DAY, PRODUCT, REGION, STORE, retail_dataset
+from repro.data.synthetic import zipf_table
+from repro.table.aggregates import MultiAggregator, SumFunction
+
+
+def test_schema_shape():
+    dataset = retail_dataset(500, seed=1)
+    table = dataset.table
+    assert table.schema.dimension_names == ("store", "region", "product", "category", "day")
+    assert table.schema.measure_names == ("quantity", "revenue")
+    assert table.n_rows == 500
+
+
+def test_entity_dependencies_hold():
+    table = retail_dataset(2000, seed=2).table
+    assert verify_dependency(table, FunctionalDependency((STORE,), (REGION,)))
+    assert verify_dependency(table, FunctionalDependency((PRODUCT,), (CATEGORY,)))
+
+
+def test_product_popularity_is_skewed():
+    table = retail_dataset(5000, product_skew=1.5, seed=3).table
+    _, counts = np.unique(table.dim_column(PRODUCT), return_counts=True)
+    counts = np.sort(counts)[::-1]
+    assert counts[0] > 3 * counts[min(10, len(counts) - 1)]
+
+
+def test_weekends_are_busier():
+    table = retail_dataset(20000, n_days=70, seed=4).table
+    days = table.dim_column(DAY)
+    weekend = (days % 7 >= 5).sum()
+    weekday = (days % 7 < 5).sum()
+    # 2 weekend days at double weight vs 5 weekday days: expect ratio ~0.8
+    assert weekend / weekday > 0.55
+
+
+def test_revenue_is_quantity_times_unit_price():
+    table = retail_dataset(1000, seed=5).table
+    quantity = table.measures[:, 0]
+    revenue = table.measures[:, 1]
+    # per product, revenue/quantity is a constant (its unit price)
+    products = table.dim_column(PRODUCT)
+    for product in np.unique(products)[:20]:
+        mask = products == product
+        unit = revenue[mask] / quantity[mask]
+        assert np.allclose(unit, unit[0])
+
+
+def test_day_hierarchy_attached_and_usable():
+    dataset = retail_dataset(800, n_days=360, seed=6)
+    monthly = roll_up_dimension(dataset.table, DAY, dataset.day_hierarchy, "month")
+    assert monthly.schema.dimensions[DAY].name == "day@month"
+    assert monthly.dim_codes[:, DAY].max() < 12
+
+
+def test_correlation_beats_independent_table():
+    dataset = retail_dataset(1500, seed=7)
+    correlated_ratio = range_cubing(dataset.table).tuple_ratio()
+    independent = zipf_table(
+        1500, 5, list(dataset.table.cardinalities), theta=0.8, seed=7
+    )
+    independent_ratio = range_cubing(independent).tuple_ratio()
+    assert correlated_ratio < independent_ratio
+
+
+def test_multi_measure_cubing_over_retail():
+    dataset = retail_dataset(600, seed=8)
+    agg = MultiAggregator([(SumFunction(), 0), (SumFunction(), 1)])
+    cube = range_cubing(dataset.table, aggregator=agg)
+    apex = cube.lookup((None,) * 5)
+    assert apex[0] == 600
+    assert apex[1] == pytest.approx(dataset.table.measures[:, 0].sum())
+    assert apex[2] == pytest.approx(dataset.table.measures[:, 1].sum())
+
+
+def test_seed_reproducibility():
+    a = retail_dataset(300, seed=9).table
+    b = retail_dataset(300, seed=9).table
+    assert np.array_equal(a.dim_codes, b.dim_codes)
+    assert np.array_equal(a.measures, b.measures)

@@ -1,0 +1,75 @@
+"""Unit tests for repro.table.schema."""
+
+import pytest
+
+from repro.table.schema import Dimension, Measure, Schema
+
+
+def test_from_names_builds_dimensions_and_measures():
+    schema = Schema.from_names(["a", "b"], ["m"])
+    assert schema.n_dims == 2
+    assert schema.n_measures == 1
+    assert schema.dimension_names == ("a", "b")
+    assert schema.measure_names == ("m",)
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(ValueError):
+        Schema.from_names(["a", "a"])
+    with pytest.raises(ValueError):
+        Schema.from_names(["a"], ["a"])
+
+
+def test_dimension_index_lookup():
+    schema = Schema.from_names(["store", "city"], ["price"])
+    assert schema.dimension_index("city") == 1
+    assert schema.measure_index("price") == 0
+    with pytest.raises(KeyError):
+        schema.dimension_index("nope")
+    with pytest.raises(KeyError):
+        schema.measure_index("city")
+
+
+def test_with_cardinality_is_functional():
+    dim = Dimension("a")
+    updated = dim.with_cardinality(5)
+    assert dim.cardinality is None
+    assert updated.cardinality == 5
+    assert updated.name == "a"
+
+
+def test_reordered_permutes_dimensions_only():
+    schema = Schema.from_names(["a", "b", "c"], ["m"])
+    reordered = schema.reordered([2, 0, 1])
+    assert reordered.dimension_names == ("c", "a", "b")
+    assert reordered.measures == schema.measures
+
+
+def test_reordered_rejects_non_permutation():
+    schema = Schema.from_names(["a", "b"])
+    with pytest.raises(ValueError):
+        schema.reordered([0, 0])
+    with pytest.raises(ValueError):
+        schema.reordered([0])
+
+
+def test_cardinality_orders():
+    dims = (Dimension("a", 5), Dimension("b", 100), Dimension("c", 5))
+    schema = Schema(dims, (Measure("m"),))
+    assert schema.cardinality_descending_order() == (1, 0, 2)
+    assert schema.cardinality_ascending_order() == (0, 2, 1)
+
+
+def test_cardinality_orders_require_known_cardinalities():
+    schema = Schema.from_names(["a", "b"])
+    with pytest.raises(ValueError):
+        schema.cardinality_descending_order()
+    with pytest.raises(ValueError):
+        schema.cardinality_ascending_order()
+
+
+def test_order_ties_break_by_index():
+    dims = (Dimension("a", 7), Dimension("b", 7), Dimension("c", 7))
+    schema = Schema(dims)
+    assert schema.cardinality_descending_order() == (0, 1, 2)
+    assert schema.cardinality_ascending_order() == (0, 1, 2)

@@ -1,0 +1,111 @@
+"""Unit + property tests for range-level semantics (paper §4, Theorem 1)."""
+
+from hypothesis import given, settings
+
+from repro.core.range_cubing import range_cubing
+from repro.core.semantics import (
+    check_weak_congruence,
+    drill_down_neighbors,
+    range_order_edges,
+    range_rolls_up_to,
+    roll_up_neighbors,
+)
+
+from tests.conftest import make_paper_table, table_strategy
+
+
+def s1_ranges(cube, table):
+    """The five Figure 5 ranges (Store = S1), keyed by their notation."""
+    s1 = table.encoder.encoders[0].encode_existing("S1")
+    return {
+        r.to_string(table.encoder): r for r in cube if r.specific[0] == s1
+    }
+
+
+def test_figure_5_roll_up_structure():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    ranges = s1_ranges(cube, table)
+    top = ranges["(S1, C1', *, *)"]
+    d1 = ranges["(S1, C1', *, D1)"]
+    d2 = ranges["(S1, C1', *, D2)"]
+    p1 = ranges["(S1, C1', P1, D1')"]
+    p2 = ranges["(S1, C1', P2, D2')"]
+    # The edges Figure 5 draws:
+    assert range_rolls_up_to(d1, top)
+    assert range_rolls_up_to(d2, top)
+    assert range_rolls_up_to(p1, d1)
+    assert range_rolls_up_to(p2, d2)
+    assert range_rolls_up_to(p1, top)
+    # and the ones it does not:
+    assert not range_rolls_up_to(p1, d2)
+    assert not range_rolls_up_to(top, d1)
+    assert not range_rolls_up_to(d1, d2)
+
+
+def test_roll_up_is_reflexive_on_endpoints():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    for r in cube.ranges[:10]:
+        assert range_rolls_up_to(r, r)
+
+
+def test_range_order_edges_on_paper_cube():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    edges = range_order_edges(cube)
+    index_of = {id(r): i for i, r in enumerate(cube.ranges)}
+    ranges = s1_ranges(cube, table)
+    p1 = index_of[id(ranges["(S1, C1', P1, D1')"])]
+    d1 = index_of[id(ranges["(S1, C1', *, D1)"])]
+    assert (p1, d1) in edges
+    # edges always point from more specific to more general parts
+    for i, j in edges:
+        assert range_rolls_up_to(cube.ranges[i], cube.ranges[j])
+
+
+def test_roll_up_neighbors_of_figure_5_bottom():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    ranges = s1_ranges(cube, table)
+    p1 = ranges["(S1, C1', P1, D1')"]
+    neighbor_strings = {
+        r.to_string(table.encoder) for r in roll_up_neighbors(cube, p1)
+    }
+    assert "(S1, C1', *, *)" in neighbor_strings
+    assert "(S1, C1', *, D1)" in neighbor_strings
+    # rolling up Store or Product leaves the S1 region entirely
+    assert any(s.startswith("(*") for s in neighbor_strings)
+
+
+def test_drill_down_neighbors_inverse_of_roll_up():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    ranges = s1_ranges(cube, table)
+    top = ranges["(S1, C1', *, *)"]
+    down = drill_down_neighbors(cube, top)
+    down_strings = {r.to_string(table.encoder) for r in down}
+    assert "(S1, C1', *, D1)" in down_strings
+    assert "(S1, C1', *, D2)" in down_strings
+    for r in down:
+        assert range_rolls_up_to(r, top)
+
+
+def test_weak_congruence_on_paper_cube():
+    check_weak_congruence(range_cubing(make_paper_table()))
+
+
+@settings(max_examples=40, deadline=None)
+@given(table_strategy(max_rows=15, max_dims=4))
+def test_theorem_1_partition_is_convex(table):
+    # Theorem 1 rests on convexity; check it for random tables.
+    check_weak_congruence(range_cubing(table))
+
+
+@settings(max_examples=25, deadline=None)
+@given(table_strategy(max_rows=12, max_dims=3))
+def test_order_edges_respect_cell_partial_order(table):
+    cube = range_cubing(table)
+    for i, j in range_order_edges(cube):
+        assert range_rolls_up_to(cube.ranges[i], cube.ranges[j])
+        assert not range_rolls_up_to(cube.ranges[j], cube.ranges[i])

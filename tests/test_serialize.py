@@ -1,0 +1,118 @@
+"""Unit + property tests for trie/cuber JSON persistence."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.incremental import IncrementalRangeCuber
+from repro.core.range_cubing import range_cubing
+from repro.core.range_trie import RangeTrie
+from repro.core.serialize import (
+    load_cuber,
+    load_trie,
+    save_cuber,
+    save_trie,
+    trie_from_json,
+    trie_to_json,
+)
+from repro.table.aggregates import Aggregator, SumCountAggregator
+
+from tests.conftest import cubes_equal, make_encoded_table, make_paper_table, table_strategy
+from tests.test_range_trie import snapshot
+
+AGG = SumCountAggregator(0)
+
+
+def test_roundtrip_preserves_structure_and_states():
+    table = make_paper_table()
+    trie = RangeTrie.build(table, AGG)
+    restored = trie_from_json(trie_to_json(trie), AGG)
+    assert snapshot(restored.root) == snapshot(trie.root)
+    assert restored.total_agg == trie.total_agg
+    restored.check_invariants()
+
+
+def test_restored_trie_produces_identical_cube():
+    from repro.core.incremental import range_cubing_from_trie
+
+    table = make_paper_table()
+    trie = RangeTrie.build(table, AGG)
+    restored = trie_from_json(trie_to_json(trie), AGG)
+    assert cubes_equal(
+        dict(range_cubing_from_trie(restored).expand()),
+        dict(range_cubing(table).expand()),
+    )
+
+
+def test_file_roundtrip(tmp_path):
+    table = make_paper_table()
+    trie = RangeTrie.build(table, AGG)
+    path = tmp_path / "trie.json"
+    save_trie(trie, path)
+    restored = load_trie(path, AGG)
+    assert snapshot(restored.root) == snapshot(trie.root)
+
+
+def test_empty_trie_roundtrip():
+    trie = RangeTrie(3, AGG)
+    restored = trie_from_json(trie_to_json(trie), AGG)
+    assert restored.root.children == {}
+    assert restored.n_dims == 3
+
+
+def test_wrong_format_rejected():
+    with pytest.raises(ValueError):
+        trie_from_json(json.dumps({"format": "nope"}), AGG)
+    doc = json.loads(trie_to_json(RangeTrie(1, AGG)))
+    doc["version"] = 99
+    with pytest.raises(ValueError):
+        trie_from_json(json.dumps(doc), AGG)
+
+
+def test_non_numeric_states_rejected():
+    class WeirdAggregator(Aggregator):
+        def state_from_row(self, measures):
+            return (1, object())
+
+        def merge(self, a, b):
+            return (a[0] + b[0], a[1])
+
+    table = make_encoded_table([(0,)])
+    trie = RangeTrie.build(table, WeirdAggregator())
+    with pytest.raises(TypeError):
+        trie_to_json(trie)
+
+
+def test_cuber_roundtrip_continues_absorbing(tmp_path):
+    first = make_encoded_table([(0, 1), (1, 0)])
+    second = make_encoded_table([(0, 0), (0, 1)])
+    cuber = IncrementalRangeCuber(2, AGG)
+    cuber.insert_table(first)
+    path = tmp_path / "cuber.json"
+    save_cuber(cuber, path)
+
+    restored = load_cuber(path, AGG)
+    assert restored.n_rows_absorbed == 2
+    restored.insert_table(second)
+
+    reference = IncrementalRangeCuber(2, AGG)
+    reference.insert_table(first)
+    reference.insert_table(second)
+    assert snapshot(restored.trie.root) == snapshot(reference.trie.root)
+
+
+def test_load_cuber_rejects_trie_document(tmp_path):
+    path = tmp_path / "trie.json"
+    save_trie(RangeTrie(2, AGG), path)
+    with pytest.raises(ValueError):
+        load_cuber(path, AGG)
+
+
+@settings(max_examples=40, deadline=None)
+@given(table_strategy())
+def test_roundtrip_property(table):
+    trie = RangeTrie.build(table, AGG)
+    restored = trie_from_json(trie_to_json(trie), AGG)
+    assert snapshot(restored.root) == snapshot(trie.root)
+    restored.check_invariants()

@@ -1,0 +1,139 @@
+"""Unit + property tests for shell-fragment cubing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.shell_fragments import ShellFragmentCube
+from repro.cube.full_cube import compute_full_cube, full_cube_size
+from repro.cube.lattice import CuboidLattice
+
+from tests.conftest import make_encoded_table, make_paper_table, table_strategy
+
+
+def test_fragment_partitioning():
+    table = make_paper_table()
+    shell = ShellFragmentCube(table, fragment_size=2)
+    assert shell.fragments == ((0, 1), (2, 3))
+    shell3 = ShellFragmentCube(table, fragment_size=3)
+    assert shell3.fragments == ((0, 1, 2), (3,))
+
+
+def test_fragment_size_validated():
+    with pytest.raises(ValueError):
+        ShellFragmentCube(make_paper_table(), fragment_size=0)
+
+
+def test_lookup_every_cell_of_the_paper_cube():
+    table = make_paper_table()
+    shell = ShellFragmentCube(table, fragment_size=2)
+    oracle = compute_full_cube(table)
+    for cell, state in oracle.cells():
+        assert shell.lookup(cell) == state
+
+
+def test_cross_fragment_cells_need_intersection():
+    table = make_paper_table()
+    shell = ShellFragmentCube(table, fragment_size=2)
+    enc = table.encoder.encoders
+    # store (fragment 0) x date (fragment 1)
+    cell = (enc[0].encode_existing("S2"), None, None, enc[3].encode_existing("D2"))
+    assert shell.lookup(cell)[0] == 3
+    tids = shell.tids_for(cell)
+    assert sorted(tids.tolist()) == [2, 3, 4]
+
+
+def test_empty_cells():
+    table = make_paper_table()
+    shell = ShellFragmentCube(table, fragment_size=2)
+    assert shell.lookup((2, 0, None, None)) is None  # within fragment 0
+    assert shell.lookup((2, None, 0, None)) is None  # across fragments
+    assert shell.tids_for((2, None, 0, None)) is None
+
+
+def test_apex_covers_everything():
+    table = make_paper_table()
+    shell = ShellFragmentCube(table, fragment_size=2)
+    assert shell.lookup((None,) * 4)[0] == 6
+    assert shell.tids_for((None,) * 4).size == 6
+
+
+def test_wrong_arity_rejected():
+    shell = ShellFragmentCube(make_encoded_table([(0, 1)]), fragment_size=1)
+    with pytest.raises(ValueError):
+        shell.lookup((0,))
+
+
+def test_storage_is_fraction_of_full_cube_in_high_dims():
+    rows = [tuple((i * 5 + d * 3) % 4 for d in range(10)) for i in range(60)]
+    table = make_encoded_table(rows)
+    shell = ShellFragmentCube(table, fragment_size=2)
+    assert shell.n_stored_cells() < full_cube_size(table) / 10
+
+
+def test_compute_cuboid_matches_oracle():
+    table = make_paper_table()
+    shell = ShellFragmentCube(table, fragment_size=2)
+    oracle = compute_full_cube(table)
+    lattice = CuboidLattice(4)
+    for mask in (0b0101, 0b1111, 0b0000, 0b0010):
+        dims = lattice.dims_of(mask)
+        assert shell.compute_cuboid(dims) == oracle.cuboid(mask)
+    with pytest.raises(IndexError):
+        shell.compute_cuboid([9])
+
+
+def test_value_finalizes():
+    table = make_paper_table()
+    shell = ShellFragmentCube(table, fragment_size=2)
+    assert shell.value((None,) * 4) == {"count": 6, "sum": 4900.0}
+    assert shell.value((2, 0, None, None)) is None
+
+
+def test_holistic_median_and_mode():
+    table = make_paper_table()
+    shell = ShellFragmentCube(table, fragment_size=2)
+    # median price over all six sales: sorted (100, 200, 400, 500, 1200, 2500)
+    assert shell.holistic((None,) * 4, np.median) == pytest.approx(450.0)
+    enc = table.encoder.encoders
+    s2 = (enc[0].encode_existing("S2"), None, None, None)
+    assert shell.holistic(s2, np.median) == pytest.approx(400.0)
+    assert shell.holistic(s2, np.max) == 1200.0
+    assert shell.holistic((2, 0, None, None), np.median) is None
+
+
+def test_holistic_matches_direct_computation():
+    from repro.cube.cell import matches_row
+
+    table = make_paper_table()
+    shell = ShellFragmentCube(table, fragment_size=3)
+    rows = table.dim_rows()
+    for cell in [(0, None, None, None), (None, 0, 0, None), (None,) * 4]:
+        expected = np.median(
+            [table.measures[i, 0] for i, r in enumerate(rows) if matches_row(cell, r)]
+        )
+        assert shell.holistic(cell, np.median) == pytest.approx(expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(table_strategy(max_rows=15, max_dims=5))
+def test_shell_answers_match_oracle(table):
+    for fragment_size in (1, 2, 3):
+        shell = ShellFragmentCube(table, fragment_size=fragment_size)
+        oracle = compute_full_cube(table)
+        for cell, state in oracle.cells():
+            assert shell.lookup(cell)[0] == state[0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(table_strategy(max_rows=15, max_dims=4))
+def test_tidlists_are_exact_covers(table):
+    from repro.cube.cell import matches_row
+
+    shell = ShellFragmentCube(table, fragment_size=2)
+    rows = table.dim_rows()
+    oracle = compute_full_cube(table)
+    for cell in oracle.iter_cells():
+        tids = shell.tids_for(cell)
+        expected = [i for i, row in enumerate(rows) if matches_row(cell, row)]
+        assert tids.tolist() == expected

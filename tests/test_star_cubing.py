@@ -1,0 +1,95 @@
+"""Unit + property tests for the star-cubing baseline."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.baselines.star_cubing import STAR_CODE, StarTree, _star_tables, star_cubing
+from repro.cube.full_cube import compute_full_cube
+from repro.table.base_table import BaseTable
+from repro.table.schema import Schema
+
+from tests.conftest import (
+    cubes_equal,
+    make_encoded_table,
+    make_paper_table,
+    table_strategy,
+)
+
+
+def test_star_tree_is_htree_without_links():
+    table = make_paper_table()
+    tree = StarTree.build(table)
+    # Same node count as the H-tree of Figure 3(d).
+    assert tree.n_nodes() == 20
+    assert tree.root.agg[0] == 6
+
+
+def test_star_tables_keep_frequent_values():
+    table = make_encoded_table([(0, 0), (0, 1), (0, 2), (1, 0)])
+    keeps = _star_tables(table, min_support=2)
+    assert keeps[0] == {0}
+    assert keeps[1] == {0}
+
+
+def test_star_reduction_inserts_star_codes():
+    table = make_encoded_table([(0, 0), (0, 1), (0, 2)])
+    tree = StarTree.build(table, min_support=2)
+    level1 = tree.root.children
+    assert set(level1) == {0}
+    level2 = level1[0].children
+    assert set(level2) == {STAR_CODE}
+    assert level2[STAR_CODE].agg[0] == 3
+
+
+def test_paper_example_matches_oracle():
+    table = make_paper_table()
+    assert cubes_equal(
+        star_cubing(table).as_dict(), compute_full_cube(table).as_dict()
+    )
+
+
+def test_empty_table():
+    schema = Schema.from_names(["a", "b"])
+    table = BaseTable(schema, np.zeros((0, 2), dtype=np.int64))
+    assert len(star_cubing(table)) == 0
+
+
+def test_iceberg_matches_filtered_oracle():
+    table = make_paper_table()
+    for min_support in (2, 3):
+        expected = compute_full_cube(table, min_support=min_support).as_dict()
+        assert cubes_equal(
+            star_cubing(table, min_support=min_support).as_dict(), expected
+        )
+
+
+def test_order_parameter_is_transparent():
+    table = make_paper_table()
+    oracle = compute_full_cube(table).as_dict()
+    for order in [(3, 2, 1, 0), (2, 3, 0, 1)]:
+        assert cubes_equal(star_cubing(table, order=order).as_dict(), oracle)
+
+
+def test_collapse_shares_single_child_subtree():
+    # A column with a single value makes the collapse a pure pass-through.
+    table = make_encoded_table([(0, 0), (0, 1)])
+    oracle = compute_full_cube(table).as_dict()
+    assert cubes_equal(star_cubing(table).as_dict(), oracle)
+
+
+@settings(max_examples=50, deadline=None)
+@given(table_strategy())
+def test_matches_oracle_on_random_tables(table):
+    assert cubes_equal(
+        star_cubing(table).as_dict(), compute_full_cube(table).as_dict()
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(table_strategy(max_rows=15, max_dims=4))
+def test_iceberg_property(table):
+    for min_support in (2, 3):
+        expected = compute_full_cube(table, min_support=min_support).as_dict()
+        assert cubes_equal(
+            star_cubing(table, min_support=min_support).as_dict(), expected
+        )

@@ -1,0 +1,76 @@
+"""Moderate-scale consistency checks (seconds, not milliseconds).
+
+These run the real generators at a few thousand rows — large enough for
+deep tries, multi-level reductions and heavy merging — and verify the
+cheap global invariants that must survive scale: cell-count agreement
+between independent implementations, partition disjointness by counting,
+and spot-checked aggregates against direct base-table scans.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.buc import buc
+from repro.core.range_cubing import range_cubing
+from repro.cube.cell import matches_row
+from repro.cube.full_cube import full_cube_size
+from repro.data.correlated import FunctionalDependency, correlated_table
+from repro.data.synthetic import zipf_table
+from repro.data.weather import weather_table
+
+
+@pytest.fixture(scope="module")
+def big_zipf():
+    return zipf_table(4000, 6, 80, theta=1.4, seed=99)
+
+
+def test_range_cube_cell_count_matches_numpy_count(big_zipf):
+    cube = range_cubing(big_zipf)
+    assert cube.n_cells == full_cube_size(big_zipf)
+
+
+def test_range_and_buc_agree_on_cell_count(big_zipf):
+    cube = range_cubing(big_zipf)
+    assert cube.n_cells == len(buc(big_zipf))
+
+
+def test_partition_is_disjoint_by_counting(big_zipf):
+    # duplicate-free expansion at scale, checked by count not by set
+    cube = range_cubing(big_zipf)
+    seen = set()
+    total = 0
+    for r in cube.ranges:
+        for cell in r.cells():
+            total += 1
+            seen.add(cell)
+    assert total == len(seen) == cube.n_cells
+
+
+def test_spot_aggregates_against_base_scans(big_zipf):
+    cube = range_cubing(big_zipf)
+    rows = big_zipf.dim_rows()
+    rng = np.random.default_rng(5)
+    candidates = [r.specific for r in cube.ranges]
+    for index in rng.choice(len(candidates), size=25, replace=False):
+        cell = candidates[int(index)]
+        expected_count = sum(1 for row in rows if matches_row(cell, row))
+        assert cube.lookup(cell)[0] == expected_count
+
+
+def test_weather_at_scale_compresses_hard():
+    table = weather_table(6000, seed=31)
+    cube = range_cubing(table, order=tuple(range(table.n_dims)))
+    assert cube.tuple_ratio() < 0.25
+    assert cube.n_cells == full_cube_size(table)
+
+
+def test_injected_correlation_shows_in_marked_dims():
+    table = correlated_table(
+        3000, 5, 60, [FunctionalDependency((0,), (1,))], theta=1.0, seed=13
+    )
+    cube = range_cubing(table, order=tuple(range(5)))
+    # dimension 1 is implied by dimension 0, so ranges binding dim 0
+    # should overwhelmingly carry dim 1 as a *marked* coordinate.
+    binding_zero = [r for r in cube.ranges if r.specific[0] is not None]
+    marked_one = [r for r in binding_zero if r.mask >> 1 & 1]
+    assert len(marked_one) > 0.9 * len(binding_zero)

@@ -1,0 +1,73 @@
+"""Unit tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import uniform_table, zipf_probabilities, zipf_table
+
+
+def test_uniform_table_shape_and_domains():
+    table = uniform_table(100, 3, 5, seed=1)
+    assert table.n_rows == 100
+    assert table.n_dims == 3
+    assert table.n_measures == 1
+    assert table.dim_codes.max() < 5
+    assert table.dim_codes.min() >= 0
+    assert table.cardinalities == (5, 5, 5)
+
+
+def test_per_dimension_cardinalities():
+    table = uniform_table(50, 3, [2, 4, 8], seed=1)
+    assert table.cardinalities == (2, 4, 8)
+    for d, card in enumerate((2, 4, 8)):
+        assert table.dim_codes[:, d].max() < card
+
+
+def test_cardinality_list_length_checked():
+    with pytest.raises(ValueError):
+        uniform_table(10, 3, [2, 4], seed=1)
+
+
+def test_zipf_probabilities_normalized_and_monotone():
+    probs = zipf_probabilities(10, 1.5)
+    assert probs.sum() == pytest.approx(1.0)
+    assert all(probs[i] >= probs[i + 1] for i in range(9))
+
+
+def test_zipf_theta_zero_is_uniform():
+    probs = zipf_probabilities(8, 0.0)
+    assert np.allclose(probs, 1 / 8)
+
+
+def test_zipf_probabilities_reject_empty_domain():
+    with pytest.raises(ValueError):
+        zipf_probabilities(0, 1.0)
+
+
+def test_zipf_table_skews_toward_low_codes():
+    table = zipf_table(5000, 1, 100, theta=2.0, seed=3)
+    values, counts = np.unique(table.dim_column(0), return_counts=True)
+    frequency = dict(zip(values.tolist(), counts.tolist()))
+    assert frequency[0] > frequency.get(10, 0)
+    assert frequency[0] > 5000 / 100  # far above the uniform share
+
+
+def test_zipf_more_skew_means_fewer_distinct_values():
+    mild = zipf_table(2000, 1, 1000, theta=0.5, seed=5)
+    harsh = zipf_table(2000, 1, 1000, theta=2.5, seed=5)
+    assert harsh.distinct_count(0) < mild.distinct_count(0)
+
+
+def test_seed_reproducibility():
+    a = zipf_table(100, 3, 10, theta=1.5, seed=42)
+    b = zipf_table(100, 3, 10, theta=1.5, seed=42)
+    assert np.array_equal(a.dim_codes, b.dim_codes)
+    assert np.array_equal(a.measures, b.measures)
+    c = zipf_table(100, 3, 10, theta=1.5, seed=43)
+    assert not np.array_equal(a.dim_codes, c.dim_codes)
+
+
+def test_measures_are_positive_floats():
+    table = uniform_table(20, 2, 3, n_measures=2, seed=1)
+    assert table.measures.shape == (20, 2)
+    assert (table.measures > 0).all()

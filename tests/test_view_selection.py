@@ -1,0 +1,123 @@
+"""Unit + property tests for HRU view selection and the view store."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cube.full_cube import compute_full_cube, cuboid_cell_counts
+from repro.cube.lattice import CuboidLattice
+from repro.cube.view_selection import (
+    ViewStore,
+    _total_cost,
+    cuboid_sizes_for_planning,
+    greedy_view_selection,
+    plan_views,
+)
+from repro.data.synthetic import zipf_table
+
+from tests.conftest import make_paper_table, table_strategy
+
+
+def test_sizes_exact_for_small_tables():
+    table = make_paper_table()
+    sizes = cuboid_sizes_for_planning(table)
+    assert sizes == {m: float(c) for m, c in cuboid_cell_counts(table).items()}
+
+
+def test_greedy_requires_complete_sizes():
+    with pytest.raises(ValueError):
+        greedy_view_selection({0: 1.0}, 1, 2)
+
+
+def test_base_always_selected_first():
+    table = make_paper_table()
+    plan = plan_views(table, k=2)
+    assert plan.selected[0] == (1 << table.n_dims) - 1
+    assert len(plan.selected) <= 3
+
+
+def test_benefits_are_monotone_nonincreasing():
+    table = zipf_table(300, 4, 8, theta=1.0, seed=2)
+    plan = plan_views(table, k=6)
+    assert all(
+        a >= b for a, b in zip(plan.benefits, plan.benefits[1:])
+    ), plan.benefits
+
+
+def test_each_pick_lowers_total_cost():
+    table = zipf_table(300, 4, 8, theta=1.0, seed=2)
+    sizes = cuboid_sizes_for_planning(table)
+    previous = _total_cost(sizes, {0b1111}, 4)
+    selected = {0b1111}
+    plan = plan_views(table, k=4)
+    for view in plan.selected[1:]:
+        selected.add(view)
+        current = _total_cost(sizes, selected, 4)
+        assert current < previous
+        previous = current
+    assert plan.total_cost == pytest.approx(previous)
+
+
+def test_greedy_reaches_63_percent_of_optimal_single_pick():
+    # with k=1 the greedy pick IS optimal; verify against exhaustive search
+    table = zipf_table(200, 3, 6, theta=0.8, seed=3)
+    sizes = cuboid_sizes_for_planning(table)
+    base = 0b111
+    plan = greedy_view_selection(sizes, 1, 3)
+    base_cost = _total_cost(sizes, {base}, 3)
+    greedy_cost = plan.total_cost
+    best = min(
+        _total_cost(sizes, {base, v}, 3) for v in CuboidLattice(3) if v != base
+    )
+    assert greedy_cost == pytest.approx(best)
+    assert greedy_cost <= base_cost
+
+
+def test_greedy_two_picks_not_worse_than_random_pairs():
+    table = zipf_table(200, 3, 6, theta=0.8, seed=4)
+    sizes = cuboid_sizes_for_planning(table)
+    plan = greedy_view_selection(sizes, 2, 3)
+    best_pair = min(
+        _total_cost(sizes, {0b111, a, b}, 3)
+        for a, b in itertools.combinations(range(7), 2)
+    )
+    # 1 - 1/e guarantee on benefit; on these tiny lattices greedy is
+    # usually optimal — require it to be within 20% of the best pair.
+    assert plan.total_cost <= best_pair * 1.2
+
+
+def test_view_store_answers_match_oracle():
+    table = make_paper_table()
+    plan = plan_views(table, k=3)
+    store = ViewStore(table, plan.selected)
+    oracle = compute_full_cube(table)
+    for cell, state in oracle.cells():
+        assert store.lookup(cell) == state
+    assert store.lookup((2, 0, None, None)) is None
+
+
+def test_view_store_answers_whole_cuboids():
+    table = make_paper_table()
+    store = ViewStore(table, [(1 << 4) - 1])  # base only: everything derived
+    oracle = compute_full_cube(table)
+    for mask in CuboidLattice(4):
+        assert store.answer_cuboid(mask) == oracle.cuboid(mask)
+
+
+def test_view_store_always_includes_base():
+    table = make_paper_table()
+    store = ViewStore(table, [0b0001])
+    assert (1 << 4) - 1 in store.masks
+    assert store.stored_cells() > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(table_strategy(max_rows=15, max_dims=4), st.integers(0, 4))
+def test_store_matches_oracle_for_any_selection(table, k):
+    plan = plan_views(table, k=k)
+    store = ViewStore(table, plan.selected)
+    oracle = compute_full_cube(table)
+    for cell, state in list(oracle.cells())[::3]:
+        assert store.lookup(cell)[0] == state[0]

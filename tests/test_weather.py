@@ -1,0 +1,74 @@
+"""Unit tests for the simulated weather dataset."""
+
+import numpy as np
+
+from repro.data.correlated import FunctionalDependency, verify_dependency
+from repro.data.weather import (
+    ORIGINAL_ROWS,
+    ORIGINAL_STATIONS,
+    WEATHER_ATTRIBUTES,
+    weather_table,
+)
+
+STATION, LONGITUDE, SOLAR, LATITUDE = 0, 1, 2, 3
+BRIGHTNESS = 8
+
+
+def test_schema_matches_published_attributes():
+    table = weather_table(500, seed=1)
+    assert table.schema.dimension_names == tuple(n for n, _ in WEATHER_ATTRIBUTES)
+    assert table.n_dims == 9
+    assert table.n_measures == 1
+
+
+def test_station_determines_location():
+    # The paper: "the Station Id will always determine the value of
+    # Longitude and Latitude."
+    table = weather_table(3000, seed=2)
+    assert verify_dependency(
+        table, FunctionalDependency((STATION,), (LONGITUDE, LATITUDE))
+    )
+
+
+def test_brightness_is_function_of_solar_altitude():
+    table = weather_table(3000, seed=2)
+    assert verify_dependency(table, FunctionalDependency((SOLAR,), (BRIGHTNESS,)))
+
+
+def test_station_count_scales_with_rows():
+    small = weather_table(1000, seed=1)
+    expected = round(ORIGINAL_STATIONS * 1000 / ORIGINAL_ROWS)
+    assert small.distinct_count(STATION) <= expected
+    assert small.distinct_count(STATION) >= expected // 2  # skew loses a few
+
+
+def test_explicit_station_count_respected():
+    table = weather_table(2000, n_stations=10, seed=1)
+    assert table.distinct_count(STATION) <= 10
+
+
+def test_domains_keep_published_sizes():
+    table = weather_table(5000, seed=1)
+    cards = dict(WEATHER_ATTRIBUTES)
+    for i, (name, _) in enumerate(WEATHER_ATTRIBUTES):
+        assert table.dim_codes[:, i].max() < cards[name]
+
+
+def test_station_activity_is_skewed():
+    table = weather_table(5000, seed=3)
+    _, counts = np.unique(table.dim_column(STATION), return_counts=True)
+    counts = np.sort(counts)[::-1]
+    # the busiest station reports far more than the median one
+    assert counts[0] > 4 * max(1, int(np.median(counts)))
+
+
+def test_reproducible_by_seed():
+    a = weather_table(500, seed=11)
+    b = weather_table(500, seed=11)
+    assert np.array_equal(a.dim_codes, b.dim_codes)
+
+
+def test_measures_look_like_temperatures():
+    table = weather_table(500, seed=1)
+    assert table.measures.min() >= -40.0
+    assert table.measures.max() <= 45.0
