@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-thorough bench examples figures report claims clean
+.PHONY: install test test-thorough lint ci bench examples figures report claims clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -12,6 +12,16 @@ test:
 
 test-thorough:
 	REPRO_HYPOTHESIS_PROFILE=thorough $(PYTHON) -m pytest tests/
+
+lint:
+	ruff check src tests benchmarks examples
+
+# what .github/workflows/ci.yml runs: the full test suite plus the linter
+# (lint is best-effort locally; CI fails on it)
+ci:
+	$(PYTHON) -m pytest tests/
+	@command -v ruff >/dev/null 2>&1 && ruff check src tests benchmarks examples \
+		|| echo "ruff not installed; skipping lint locally"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

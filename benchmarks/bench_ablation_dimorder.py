@@ -30,7 +30,7 @@ def table():
 def test_order_range_cubing(benchmark, policy):
     t = table()
     order = preferred_order(t, policy)
-    cube = run_once(benchmark, range_cubing, t, order=order)
+    cube = run_once(benchmark, range_cubing, t, dim_order=order)
     benchmark.extra_info.update(
         ablation="dim-order",
         order=policy or "as-is",
@@ -43,7 +43,7 @@ def test_order_range_cubing(benchmark, policy):
 def test_order_h_cubing(benchmark, policy):
     t = table()
     order = preferred_order(t, policy)
-    cube = run_once(benchmark, h_cubing, t, order=order)
+    cube = run_once(benchmark, h_cubing, t, dim_order=order)
     benchmark.extra_info.update(
         ablation="dim-order", order=policy or "as-is", cells=len(cube)
     )

@@ -30,7 +30,7 @@ def table():
 def test_iceberg_range_cubing(benchmark, min_support):
     t = table()
     order = preferred_order(t, "desc")
-    cube = run_once(benchmark, range_cubing, t, order=order, min_support=min_support)
+    cube = run_once(benchmark, range_cubing, t, dim_order=order, min_support=min_support)
     benchmark.extra_info.update(
         ablation="iceberg",
         min_support=min_support,
@@ -43,7 +43,7 @@ def test_iceberg_range_cubing(benchmark, min_support):
 def test_iceberg_buc(benchmark, min_support):
     t = table()
     order = preferred_order(t, "desc")
-    cube = run_once(benchmark, buc, t, order=order, min_support=min_support)
+    cube = run_once(benchmark, buc, t, dim_order=order, min_support=min_support)
     benchmark.extra_info.update(
         ablation="iceberg", min_support=min_support, cells=len(cube)
     )

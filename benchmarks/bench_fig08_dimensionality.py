@@ -32,7 +32,7 @@ def table_for(n_dims: int):
 def test_fig8_range_cubing(benchmark, n_dims):
     table = table_for(n_dims)
     order = preferred_order(table, "desc")
-    cube, stats = run_once(benchmark, range_cubing_detailed, table, order=order)
+    cube, stats = run_once(benchmark, range_cubing_detailed, table, dim_order=order)
     htree_nodes = HTree.build(table.reordered(order)).n_nodes()
     benchmark.extra_info.update(
         figure="8",
@@ -48,5 +48,5 @@ def test_fig8_range_cubing(benchmark, n_dims):
 def test_fig8_h_cubing(benchmark, n_dims):
     table = table_for(n_dims)
     order = preferred_order(table, "asc")
-    cube = run_once(benchmark, h_cubing, table, order=order)
+    cube = run_once(benchmark, h_cubing, table, dim_order=order)
     benchmark.extra_info.update(figure="8", dimensionality=n_dims, cells=len(cube))

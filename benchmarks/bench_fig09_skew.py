@@ -34,7 +34,7 @@ def table_for(theta: float):
 def test_fig9_range_cubing(benchmark, theta):
     table = table_for(theta)
     order = preferred_order(table, "desc")
-    cube, stats = run_once(benchmark, range_cubing_detailed, table, order=order)
+    cube, stats = run_once(benchmark, range_cubing_detailed, table, dim_order=order)
     htree_nodes = HTree.build(table.reordered(order)).n_nodes()
     benchmark.extra_info.update(
         figure="9",
@@ -50,5 +50,5 @@ def test_fig9_range_cubing(benchmark, theta):
 def test_fig9_h_cubing(benchmark, theta):
     table = table_for(theta)
     order = preferred_order(table, "asc")
-    cube = run_once(benchmark, h_cubing, table, order=order)
+    cube = run_once(benchmark, h_cubing, table, dim_order=order)
     benchmark.extra_info.update(figure="9", zipf=theta, cells=len(cube))

@@ -31,7 +31,7 @@ def table_for(cardinality: int):
 def test_fig10_range_cubing(benchmark, cardinality):
     table = table_for(cardinality)
     order = preferred_order(table, "desc")
-    cube, stats = run_once(benchmark, range_cubing_detailed, table, order=order)
+    cube, stats = run_once(benchmark, range_cubing_detailed, table, dim_order=order)
     htree_nodes = HTree.build(table.reordered(order)).n_nodes()
     benchmark.extra_info.update(
         figure="10",
@@ -47,5 +47,5 @@ def test_fig10_range_cubing(benchmark, cardinality):
 def test_fig10_h_cubing(benchmark, cardinality):
     table = table_for(cardinality)
     order = preferred_order(table, "asc")
-    cube = run_once(benchmark, h_cubing, table, order=order)
+    cube = run_once(benchmark, h_cubing, table, dim_order=order)
     benchmark.extra_info.update(figure="10", cardinality=cardinality, cells=len(cube))

@@ -35,7 +35,7 @@ def table_for(point):
 def test_fig11_range_cubing(benchmark, point):
     table = table_for(point)
     order = preferred_order(table, "desc")
-    cube, stats = run_once(benchmark, range_cubing_detailed, table, order=order)
+    cube, stats = run_once(benchmark, range_cubing_detailed, table, dim_order=order)
     htree_nodes = HTree.build(table.reordered(order)).n_nodes()
     benchmark.extra_info.update(
         figure="11",
@@ -52,7 +52,7 @@ def test_fig11_range_cubing(benchmark, point):
 def test_fig11_h_cubing(benchmark, point):
     table = table_for(point)
     order = preferred_order(table, "asc")
-    cube = run_once(benchmark, h_cubing, table, order=order)
+    cube = run_once(benchmark, h_cubing, table, dim_order=order)
     benchmark.extra_info.update(
         figure="11", n_rows=point[0], cardinality=point[1], cells=len(cube)
     )

@@ -30,7 +30,7 @@ def table_for(cardinality: int):
 @pytest.mark.parametrize("cardinality", PARAMS["cards"])
 def test_density_range_cubing(benchmark, cardinality):
     t = table_for(cardinality)
-    cube = run_once(benchmark, range_cubing, t, order=preferred_order(t, "desc"))
+    cube = run_once(benchmark, range_cubing, t, dim_order=preferred_order(t, "desc"))
     benchmark.extra_info.update(
         regime="density",
         cardinality=cardinality,

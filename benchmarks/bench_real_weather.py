@@ -20,7 +20,7 @@ N_ROWS = {"tiny": 2000, "small": 20_000}["small" if PRESET == "small" else "tiny
 def test_weather_range_cubing(benchmark):
     table = cached_weather(N_ROWS)
     order = preferred_order(table, "desc")
-    cube, stats = run_once(benchmark, range_cubing_detailed, table, order=order)
+    cube, stats = run_once(benchmark, range_cubing_detailed, table, dim_order=order)
     htree_nodes = HTree.build(table.reordered(order)).n_nodes()
     benchmark.extra_info.update(
         experiment="weather",
@@ -36,5 +36,5 @@ def test_weather_range_cubing(benchmark):
 def test_weather_h_cubing(benchmark):
     table = cached_weather(N_ROWS)
     order = preferred_order(table, "asc")
-    cube = run_once(benchmark, h_cubing, table, order=order)
+    cube = run_once(benchmark, h_cubing, table, dim_order=order)
     benchmark.extra_info.update(experiment="weather", n_rows=N_ROWS, cells=len(cube))

@@ -28,11 +28,27 @@ The packages:
 * :mod:`repro.data` — synthetic uniform/Zipf/correlated generators and the
   simulated weather dataset;
 * :mod:`repro.metrics`, :mod:`repro.harness` — the paper's evaluation
-  metrics and per-figure experiment drivers.
+  metrics and per-figure experiment drivers;
+* :mod:`repro.exec` — pluggable executors (serial / thread / process)
+  behind :func:`parallel_range_cubing`, the partition-parallel pipeline;
+* :mod:`repro.baselines.registry` — one dispatch surface over every
+  algorithm: ``get_algorithm("buc").run(table, min_support=4)``.
 """
 
+from repro.baselines.registry import (
+    CubeAlgorithm,
+    available_algorithms,
+    get_algorithm,
+)
 from repro.core.display import print_trie, trie_to_dot, trie_to_lines
 from repro.core.incremental import IncrementalRangeCuber, range_cubing_from_trie
+from repro.core.partitioned import (
+    build_partitioned,
+    merge_tries,
+    parallel_range_cubing,
+    parallel_range_cubing_detailed,
+    tree_merge_tries,
+)
 from repro.core.range_cube import Range, RangeCube
 from repro.core.range_cubing import range_cubing, range_cubing_detailed
 from repro.core.range_index import RangeCubeIndex
@@ -42,6 +58,14 @@ from repro.cube.cell import STAR, apex_cell, cell_str, make_cell
 from repro.cube.full_cube import MaterializedCube, compute_full_cube, full_cube_size
 from repro.cube.lattice import CuboidLattice
 from repro.cube.query import CubeQuery
+from repro.exec.executors import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_executors,
+    get_executor,
+)
 from repro.table.aggregates import (
     Aggregator,
     AvgAggregator,
@@ -62,8 +86,10 @@ __all__ = [
     "AvgAggregator",
     "BaseTable",
     "CountAggregator",
+    "CubeAlgorithm",
     "CubeQuery",
     "CuboidLattice",
+    "Executor",
     "IncrementalRangeCuber",
     "Dimension",
     "MaterializedCube",
@@ -71,6 +97,7 @@ __all__ = [
     "Measure",
     "MinAggregator",
     "MultiAggregator",
+    "ProcessExecutor",
     "Range",
     "RangeCube",
     "RangeCubeIndex",
@@ -78,18 +105,29 @@ __all__ = [
     "RangeTrieNode",
     "STAR",
     "Schema",
+    "SerialExecutor",
     "SumCountAggregator",
+    "ThreadExecutor",
     "apex_cell",
+    "available_algorithms",
+    "available_executors",
+    "build_partitioned",
     "cell_str",
     "compute_full_cube",
     "default_aggregator",
     "full_cube_size",
+    "get_algorithm",
+    "get_executor",
     "make_cell",
+    "merge_tries",
+    "parallel_range_cubing",
+    "parallel_range_cubing_detailed",
     "print_trie",
     "range_cubing",
     "range_cubing_detailed",
     "range_cubing_from_trie",
     "reduce_trie",
+    "tree_merge_tries",
     "trie_to_dot",
     "trie_to_lines",
 ]

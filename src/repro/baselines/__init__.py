@@ -38,23 +38,33 @@ from repro.baselines.htree import HTree
 from repro.baselines.multiway import multiway
 from repro.baselines.qc_tree import QCTree
 from repro.baselines.quotient import QuotientCube, quotient_cube
+from repro.baselines.registry import (
+    CubeAlgorithm,
+    available_algorithms,
+    get_algorithm,
+    register,
+)
 from repro.baselines.shell_fragments import ShellFragmentCube
 from repro.baselines.star_cubing import StarTree, star_cubing
 
 __all__ = [
     "CondensedCube",
+    "CubeAlgorithm",
     "Dwarf",
     "HTree",
     "QCTree",
     "QuotientCube",
     "ShellFragmentCube",
     "StarTree",
+    "available_algorithms",
     "buc",
     "closed_cubing",
     "condensed_cube",
+    "get_algorithm",
     "h_cubing",
     "h_cubing_detailed",
     "multiway",
     "quotient_cube",
+    "register",
     "star_cubing",
 ]

@@ -20,24 +20,28 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.compat import legacy_call_shim
 from repro.cube.cell import Cell, apex_cell
 from repro.cube.full_cube import MaterializedCube
 from repro.table.aggregates import Aggregator, default_aggregator
 from repro.table.base_table import BaseTable
 
 
+@legacy_call_shim("aggregator", "dim_order", "min_support")
 def buc(
     table: BaseTable,
+    *,
     aggregator: Aggregator | None = None,
-    order: Sequence[int] | None = None,
+    dim_order: Sequence[int] | None = None,
     min_support: int = 1,
 ) -> MaterializedCube:
     """Compute the (iceberg) cube of ``table`` bottom-up.
 
     Cells come back in the table's original dimension order regardless of
-    the internal ``order`` used for partitioning.
+    the internal ``dim_order`` used for partitioning.
     """
     agg = aggregator or default_aggregator(table.n_measures)
+    order = dim_order
     working = table if order is None else table.reordered(order)
     n = working.n_dims
     codes = working.dim_codes

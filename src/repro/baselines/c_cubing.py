@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.compat import legacy_call_shim
 from repro.cube.cell import Cell, apex_cell
 from repro.cube.full_cube import MaterializedCube
 from repro.table.aggregates import Aggregator, default_aggregator
@@ -55,8 +56,10 @@ def _merge_same(a: tuple, b: tuple) -> tuple:
     )
 
 
+@legacy_call_shim("aggregator", "min_support")
 def closed_cubing(
     table: BaseTable,
+    *,
     aggregator: Aggregator | None = None,
     min_support: int = 1,
 ) -> MaterializedCube:

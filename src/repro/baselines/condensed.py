@@ -27,6 +27,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.compat import legacy_call_shim
 from repro.cube.cell import Cell, apex_cell
 from repro.cube.full_cube import MaterializedCube
 from repro.table.aggregates import Aggregator, default_aggregator
@@ -97,19 +98,23 @@ class CondensedCube:
         return MaterializedCube(self.n_dims, self.aggregator, dict(self.expand()))
 
 
+@legacy_call_shim("aggregator", "dim_order")
 def condensed_cube(
     table: BaseTable,
+    *,
     aggregator: Aggregator | None = None,
-    order: Sequence[int] | None = None,
+    dim_order: Sequence[int] | None = None,
 ) -> CondensedCube:
     """Compute the BST-condensed cube of ``table`` (BUC + BST detection).
 
-    Note: unlike the other algorithms no ``order`` remapping is applied to
-    the *free* dimensions of the entries (they are positional); when
-    ``order`` is given the result is expressed in the permuted dimension
-    order and ``table.reordered(order)`` is the matching base table.
+    Note: unlike the other algorithms no ``dim_order`` remapping is applied
+    to the *free* dimensions of the entries (they are positional); when
+    ``dim_order`` is given the result is expressed in the permuted
+    dimension order and ``table.reordered(dim_order)`` is the matching
+    base table.
     """
     agg = aggregator or default_aggregator(table.n_measures)
+    order = dim_order
     working = table if order is None else table.reordered(order)
     n = working.n_dims
     codes = working.dim_codes

@@ -27,37 +27,45 @@ import time
 from typing import Sequence
 
 from repro.baselines.htree import HTree
+from repro.compat import legacy_call_shim
 from repro.cube.cell import Cell, apex_cell
 from repro.cube.full_cube import MaterializedCube
 from repro.table.aggregates import Aggregator, default_aggregator
 from repro.table.base_table import BaseTable
 
 
+@legacy_call_shim("aggregator", "dim_order", "min_support")
 def h_cubing(
     table: BaseTable,
+    *,
     aggregator: Aggregator | None = None,
-    order: Sequence[int] | None = None,
+    dim_order: Sequence[int] | None = None,
     min_support: int = 1,
 ) -> MaterializedCube:
     """Compute the (iceberg) cube of ``table`` with H-Cubing.
 
     Cells are returned in the table's original dimension order even when
-    ``order`` permutes the order the H-tree uses internally.
+    ``dim_order`` permutes the order the H-tree uses internally.
     """
-    cube, _ = h_cubing_detailed(table, aggregator, order, min_support)
+    cube, _ = h_cubing_detailed(
+        table, aggregator=aggregator, dim_order=dim_order, min_support=min_support
+    )
     return cube
 
 
+@legacy_call_shim("aggregator", "dim_order", "min_support")
 def h_cubing_detailed(
     table: BaseTable,
+    *,
     aggregator: Aggregator | None = None,
-    order: Sequence[int] | None = None,
+    dim_order: Sequence[int] | None = None,
     min_support: int = 1,
 ) -> tuple[MaterializedCube, dict[str, float]]:
     """Like :func:`h_cubing` but also returns harness statistics
     (H-tree node count — the denominator of the paper's node ratio — and
     the build/traversal time split)."""
     agg = aggregator or default_aggregator(table.n_measures)
+    order = dim_order
     working = table if order is None else table.reordered(order)
     n = working.n_dims
 

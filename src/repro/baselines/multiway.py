@@ -24,6 +24,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.compat import legacy_call_shim
 from repro.cube.cell import Cell
 from repro.cube.full_cube import MaterializedCube
 from repro.cube.lattice import CuboidLattice
@@ -39,8 +40,10 @@ from repro.table.base_table import BaseTable
 DEFAULT_MAX_CELLS = 20_000_000
 
 
+@legacy_call_shim("aggregator", "min_support", "max_cells")
 def multiway(
     table: BaseTable,
+    *,
     aggregator: Aggregator | None = None,
     min_support: int = 1,
     max_cells: int = DEFAULT_MAX_CELLS,

@@ -65,7 +65,7 @@ class QCTree:
     @classmethod
     def build(cls, table: BaseTable, aggregator: Aggregator | None = None) -> "QCTree":
         """Enumerate the quotient classes of ``table`` and index them."""
-        return cls.from_quotient(quotient_cube(table, aggregator))
+        return cls.from_quotient(quotient_cube(table, aggregator=aggregator))
 
     def insert(self, upper_bound: Cell, state: tuple) -> None:
         """Add one class, keyed by its (dimension-sorted) upper bound."""

@@ -27,6 +27,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.compat import legacy_call_shim
 from repro.cube.cell import Cell
 from repro.table.aggregates import Aggregator, default_aggregator
 from repro.table.base_table import BaseTable
@@ -75,8 +76,10 @@ class QuotientCube:
         return None if upper is None else self.classes[upper]
 
 
+@legacy_call_shim("aggregator", "min_support")
 def quotient_cube(
     table: BaseTable,
+    *,
     aggregator: Aggregator | None = None,
     min_support: int = 1,
 ) -> QuotientCube:

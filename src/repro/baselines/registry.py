@@ -1,0 +1,312 @@
+"""A unified registry of every cube-computation algorithm in the repo.
+
+Historically the harness, CLI and benchmarks each imported algorithms
+ad-hoc and special-cased their signatures.  The registry gives them one
+dispatch surface: a :class:`CubeAlgorithm` record per algorithm, all
+driven through the same keyword-only tuning parameters (``aggregator``,
+``dim_order``, ``min_support``) that the entrypoints themselves now share.
+
+>>> from repro.baselines.registry import get_algorithm, available_algorithms
+>>> algo = get_algorithm("range_cubing")          # or the "range" alias
+>>> cube = algo.run(table, min_support=4)         # doctest: +SKIP
+
+Every record also knows how to *expand* its result into a plain
+``{cell: state}`` mapping so results can be cross-checked against
+:func:`repro.cube.full_cube.compute_full_cube` — lossless algorithms
+(``algo.lossless``) expand to the complete cube, condensed ones
+(closed/quotient cubes) to a consistent subset.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.baselines.buc import buc
+from repro.baselines.c_cubing import closed_cubing
+from repro.baselines.condensed import condensed_cube
+from repro.baselines.dwarf import Dwarf
+from repro.baselines.hcubing import h_cubing, h_cubing_detailed
+from repro.baselines.multiway import multiway
+from repro.baselines.quotient import quotient_cube
+from repro.baselines.star_cubing import star_cubing
+from repro.core.partitioned import (
+    parallel_range_cubing,
+    parallel_range_cubing_detailed,
+)
+from repro.core.range_cubing import range_cubing, range_cubing_detailed
+from repro.table.base_table import BaseTable
+
+
+@dataclass(frozen=True)
+class CubeAlgorithm:
+    """One registered algorithm: a runner plus its dispatch metadata.
+
+    ``runner`` takes ``(table, *, aggregator=..., dim_order=...,
+    min_support=..., **extra)`` — the unified signature — and whatever
+    subset of those tuning parameters the algorithm supports
+    (``supports_dim_order`` / ``supports_min_support`` declare which).
+    ``order_policy`` is the dimension-order policy the paper's harness
+    uses for the algorithm (``"desc"``, ``"asc"`` or None).
+    ``expander`` turns the result into a ``{cell: state}`` dict;
+    ``lossless`` says whether that expansion covers *every* non-empty
+    cube cell or only a condensed subset.  ``detailed`` optionally
+    returns ``(result, stats)`` with per-run statistics.
+    """
+
+    name: str
+    runner: Callable[..., Any]
+    description: str
+    order_policy: str | None = None
+    supports_dim_order: bool = True
+    supports_min_support: bool = True
+    lossless: bool = True
+    expander: Callable[[Any], dict] | None = None
+    detailed: Callable[..., tuple[Any, dict]] | None = None
+    aliases: tuple[str, ...] = field(default=())
+
+    def _kwargs(self, aggregator, dim_order, min_support) -> dict:
+        kwargs: dict[str, Any] = {}
+        if aggregator is not None:
+            kwargs["aggregator"] = aggregator
+        if dim_order is not None:
+            if not self.supports_dim_order:
+                raise ValueError(f"{self.name} does not take a dimension order")
+            kwargs["dim_order"] = dim_order
+        if min_support != 1:
+            if not self.supports_min_support:
+                raise ValueError(f"{self.name} does not support iceberg thresholds")
+            kwargs["min_support"] = min_support
+        return kwargs
+
+    def run(
+        self,
+        table: BaseTable,
+        *,
+        aggregator=None,
+        dim_order=None,
+        min_support: int = 1,
+        **extra,
+    ) -> Any:
+        """Run the algorithm with the unified tuning parameters.
+
+        ``extra`` passes backend-specific options through (e.g.
+        ``executor=``/``n_partitions=`` for ``parallel_range_cubing``).
+        """
+        kwargs = self._kwargs(aggregator, dim_order, min_support)
+        kwargs.update(extra)
+        return self.runner(table, **kwargs)
+
+    def run_detailed(
+        self,
+        table: BaseTable,
+        *,
+        aggregator=None,
+        dim_order=None,
+        min_support: int = 1,
+        **extra,
+    ) -> tuple[Any, dict]:
+        """Run and return ``(result, stats)``.
+
+        Algorithms without a native detailed runner get wall-clock-only
+        stats (``total_seconds``), so the harness can time any of them
+        uniformly.
+        """
+        kwargs = self._kwargs(aggregator, dim_order, min_support)
+        kwargs.update(extra)
+        if self.detailed is not None:
+            return self.detailed(table, **kwargs)
+        start = time.perf_counter()
+        result = self.runner(table, **kwargs)
+        return result, {"total_seconds": time.perf_counter() - start}
+
+    def cells(self, result: Any) -> dict:
+        """Expand a result into a plain ``{cell: aggregate state}`` dict."""
+        if self.expander is None:
+            raise ValueError(f"{self.name} has no cell expansion")
+        return self.expander(result)
+
+
+def _expand_range_cube(cube) -> dict:
+    return dict(cube.expand())
+
+
+def _expand_materialized(cube) -> dict:
+    return cube.as_dict()
+
+
+def _expand_condensed(cube) -> dict:
+    return dict(cube.expand())
+
+
+def _expand_quotient(cube) -> dict:
+    # Class upper bounds are real (closed) cube cells; the other members
+    # of each class share the state but are not enumerated here.
+    return dict(cube.classes)
+
+
+def _expand_dwarf(dwarf) -> dict:
+    """Every cube cell stored in the dwarf, by walking the value/ALL DAG."""
+    n = dwarf.n_dims
+    out: dict = {}
+    if dwarf.root is None:
+        return out
+
+    def walk(position, level: int, prefix: tuple) -> None:
+        if level == n:
+            if position is not None:
+                out[prefix] = position
+            return
+        for value, below in position.cells.items():
+            walk(below, level + 1, prefix + (value,))
+        walk(position.all_cell, level + 1, prefix + (None,))
+
+    walk(dwarf.root, 0, ())
+    return out
+
+
+_REGISTRY: dict[str, CubeAlgorithm] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register(algorithm: CubeAlgorithm) -> CubeAlgorithm:
+    """Add an algorithm (and its aliases) to the registry."""
+    key = algorithm.name
+    if key in _REGISTRY or key in _ALIASES:
+        raise ValueError(f"algorithm {key!r} is already registered")
+    for alias in algorithm.aliases:
+        if alias in _REGISTRY or alias in _ALIASES:
+            raise ValueError(f"alias {alias!r} collides with an existing name")
+    _REGISTRY[key] = algorithm
+    for alias in algorithm.aliases:
+        _ALIASES[alias] = key
+    return algorithm
+
+
+def available_algorithms() -> tuple[str, ...]:
+    """Canonical names of every registered algorithm, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_algorithm(name: str) -> CubeAlgorithm:
+    """Look up an algorithm by canonical name or alias."""
+    key = name.strip().lower().replace("-", "_")
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: "
+            f"{', '.join(available_algorithms())}"
+        ) from None
+
+
+register(
+    CubeAlgorithm(
+        name="range_cubing",
+        runner=range_cubing,
+        detailed=range_cubing_detailed,
+        expander=_expand_range_cube,
+        description="The paper's algorithm: range trie + successive reductions",
+        order_policy="desc",
+        aliases=("range",),
+    )
+)
+register(
+    CubeAlgorithm(
+        name="parallel_range_cubing",
+        runner=parallel_range_cubing,
+        detailed=parallel_range_cubing_detailed,
+        expander=_expand_range_cube,
+        description="Range cubing over partition-parallel trie builds (repro.exec)",
+        order_policy="desc",
+        aliases=("parallel", "parallel_range"),
+    )
+)
+register(
+    CubeAlgorithm(
+        name="buc",
+        runner=buc,
+        expander=_expand_materialized,
+        description="Bottom-Up Computation (Beyer & Ramakrishnan, SIGMOD 1999)",
+        order_policy="desc",
+    )
+)
+register(
+    CubeAlgorithm(
+        name="star_cubing",
+        runner=star_cubing,
+        expander=_expand_materialized,
+        description="Star-tree cubing (Xin, Han, Li & Wah, VLDB 2003)",
+        order_policy="desc",
+        aliases=("star",),
+    )
+)
+register(
+    CubeAlgorithm(
+        name="multiway",
+        runner=multiway,
+        expander=_expand_materialized,
+        description="MultiWay dense-array cubing (Zhao et al., SIGMOD 1997)",
+        order_policy=None,
+        supports_dim_order=False,
+    )
+)
+register(
+    CubeAlgorithm(
+        name="hcubing",
+        runner=h_cubing,
+        detailed=h_cubing_detailed,
+        expander=_expand_materialized,
+        description="H-tree conditioning (Han, Pei, Dong & Wang, SIGMOD 2001)",
+        order_policy="asc",
+        aliases=("h_cubing",),
+    )
+)
+register(
+    CubeAlgorithm(
+        name="c_cubing",
+        runner=closed_cubing,
+        expander=_expand_materialized,
+        description="Closed cells only, via the closedness measure (C-Cubing)",
+        supports_dim_order=False,
+        lossless=False,
+        aliases=("closed", "closed_cubing"),
+    )
+)
+register(
+    CubeAlgorithm(
+        name="condensed",
+        runner=condensed_cube,
+        expander=_expand_condensed,
+        description="BST-condensed cube (Wang, Feng, Lu & Yu, ICDE 2002)",
+        # The entrypoint takes dim_order, but its entries stay in the
+        # permuted order (no remapping) — so the registry, whose contract
+        # is original-order results, does not forward one.
+        supports_dim_order=False,
+        supports_min_support=False,
+        aliases=("condensed_cube",),
+    )
+)
+register(
+    CubeAlgorithm(
+        name="quotient",
+        runner=quotient_cube,
+        expander=_expand_quotient,
+        description="Quotient-cube classes (Lakshmanan, Pei & Han, VLDB 2002)",
+        supports_dim_order=False,
+        lossless=False,
+        aliases=("quotient_cube",),
+    )
+)
+register(
+    CubeAlgorithm(
+        name="dwarf",
+        runner=lambda table, *, aggregator=None: Dwarf.build(table, aggregator),
+        expander=_expand_dwarf,
+        description="Dwarf prefix/suffix-coalesced cube store (SIGMOD 2002)",
+        supports_dim_order=False,
+        supports_min_support=False,
+    )
+)

@@ -33,6 +33,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.compat import legacy_call_shim
 from repro.cube.cell import Cell, apex_cell
 from repro.cube.full_cube import MaterializedCube
 from repro.table.aggregates import Aggregator, default_aggregator
@@ -115,14 +116,17 @@ def _star_tables(table: BaseTable, min_support: int) -> list[set[int]]:
     return keeps
 
 
+@legacy_call_shim("aggregator", "dim_order", "min_support")
 def star_cubing(
     table: BaseTable,
+    *,
     aggregator: Aggregator | None = None,
-    order: Sequence[int] | None = None,
+    dim_order: Sequence[int] | None = None,
     min_support: int = 1,
 ) -> MaterializedCube:
     """Compute the (iceberg) cube of ``table`` by star-cubing."""
     agg = aggregator or default_aggregator(table.n_measures)
+    order = dim_order
     working = table if order is None else table.reordered(order)
     n = working.n_dims
     tree = StarTree.build(working, agg, min_support)

@@ -2,14 +2,19 @@
 
     python -m repro generate zipf --rows 5000 --dims 5 --card 100 --out t.csv
     python -m repro cube t.csv --measures 1 --out cube.csv --min-support 4
+    python -m repro cube t.csv --algorithm parallel_range_cubing \\
+        --executor process --workers 4
+    python -m repro algorithms
     python -m repro stats t.csv --measures 1
     python -m repro query cube.csv --bind 0=3 --bind 2=7
     python -m repro experiment fig9 --preset tiny
     python -m repro report --preset tiny --out report.md
     python -m repro claims --preset tiny
 
-``cube`` writes the range cube in the paper's tuple notation (see
-:mod:`repro.data.io`); ``stats`` prints the table's shape plus the trie /
+``cube`` dispatches by name through the algorithm registry
+(:mod:`repro.baselines.registry`) and writes range cubes in the paper's
+tuple notation (see :mod:`repro.data.io`); ``algorithms`` lists every
+registered name; ``stats`` prints the table's shape plus the trie /
 H-tree node comparison; ``query`` answers point queries against a saved
 cube by dimension *codes*; ``experiment`` dispatches to the per-figure
 harness drivers.
@@ -19,18 +24,16 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Sequence
 
-from repro.baselines.buc import buc
-from repro.baselines.hcubing import h_cubing
 from repro.baselines.htree import HTree
-from repro.baselines.star_cubing import star_cubing
-from repro.core.range_cubing import range_cubing_detailed
+from repro.baselines.registry import available_algorithms, get_algorithm
+from repro.core.range_cube import RangeCube
 from repro.core.range_trie import RangeTrie
 from repro.data.io import read_range_cube_csv, read_table_csv, write_table_csv
 from repro.data.weather import weather_table
 from repro.data.synthetic import uniform_table, zipf_table
+from repro.exec.executors import available_executors
 from repro.harness.runner import preferred_order
 
 
@@ -48,30 +51,75 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_cube(args: argparse.Namespace) -> int:
     table = read_table_csv(args.table, n_measures=args.measures)
-    order = preferred_order(table, args.order) if args.order != "as-is" else None
-    start = time.perf_counter()
-    if args.algorithm == "range":
-        cube, stats = range_cubing_detailed(
-            table, order=order, min_support=args.min_support
+    record = get_algorithm(args.algorithm)
+    if args.order == "as-is" or not record.supports_dim_order:
+        order = None
+    else:
+        order = preferred_order(table, args.order)
+    extra: dict = {}
+    if record.name == "parallel_range_cubing":
+        extra = {
+            "executor": args.executor,
+            "workers": args.workers,
+            "n_partitions": args.partitions,
+        }
+    try:
+        result, stats = record.run_detailed(
+            table, dim_order=order, min_support=args.min_support, **extra
         )
-        seconds = time.perf_counter() - start
+    except ValueError as exc:  # e.g. "dwarf does not support iceberg thresholds"
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    seconds = stats["total_seconds"]
+    if isinstance(result, RangeCube):
+        cube = result
         print(
-            f"range cube: {cube.n_ranges:,} ranges"
+            f"{record.name}: {cube.n_ranges:,} ranges"
             + (f" for {cube.n_cells:,} cells" if args.min_support <= 1 else "")
-            + f" in {seconds:.2f}s ({stats['trie_nodes']:,} trie nodes)"
+            + f" in {seconds:.2f}s"
+            + (f" ({stats['trie_nodes']:,} trie nodes)" if "trie_nodes" in stats else "")
         )
+        if "build_s" in stats:
+            print(
+                "stages: "
+                + ", ".join(
+                    f"{name} {stats[f'{name}_s']:.2f}s"
+                    for name in ("partition", "build", "merge", "cube")
+                )
+                + f" ({stats['executor']} x{stats['workers']}, "
+                f"{int(stats['n_partitions'])} partitions)"
+            )
         if args.out:
             from repro.data.io import write_range_cube_csv
 
             write_range_cube_csv(cube, args.out, table.schema.dimension_names)
             print(f"wrote {args.out}")
     else:
-        algorithm = {"buc": buc, "hcubing": h_cubing, "star": star_cubing}[args.algorithm]
-        cube = algorithm(table, order=order, min_support=args.min_support)
-        seconds = time.perf_counter() - start
-        print(f"{args.algorithm}: {len(cube):,} cells in {seconds:.2f}s")
+        try:
+            size = f"{len(result):,} cells"
+        except TypeError:
+            size = "done"
+        print(f"{record.name}: {size} in {seconds:.2f}s")
         if args.out:
-            print("note: --out only writes range cubes; rerun with --algorithm range")
+            print(
+                "note: --out only writes range cubes; rerun with "
+                "--algorithm range_cubing"
+            )
+    return 0
+
+
+def _cmd_algorithms(args: argparse.Namespace) -> int:
+    for name in available_algorithms():
+        record = get_algorithm(name)
+        flags = []
+        if not record.supports_min_support:
+            flags.append("no iceberg")
+        if not record.supports_dim_order:
+            flags.append("no dim order")
+        if not record.lossless:
+            flags.append("condensed subset")
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        print(f"{name:24} {record.description}{suffix}")
     return 0
 
 
@@ -189,12 +237,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("table")
     p.add_argument("--measures", type=int, default=0, help="trailing measure columns")
     p.add_argument(
-        "--algorithm", default="range", choices=("range", "buc", "hcubing", "star")
+        "--algorithm",
+        default="range_cubing",
+        choices=(*available_algorithms(), "range", "star", "parallel"),
+        help="a registry name (see `repro algorithms`) or legacy alias",
     )
     p.add_argument("--order", default="desc", choices=("desc", "asc", "as-is"))
     p.add_argument("--min-support", type=int, default=1)
+    p.add_argument(
+        "--executor",
+        default="process",
+        choices=available_executors(),
+        help="parallel_range_cubing backend",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None, help="worker count (default: CPUs)"
+    )
+    p.add_argument(
+        "--partitions",
+        type=int,
+        default=None,
+        help="table partitions for parallel_range_cubing (default: workers)",
+    )
     p.add_argument("--out", help="write the (range) cube as CSV")
     p.set_defaults(func=_cmd_cube)
+
+    p = sub.add_parser("algorithms", help="list the registered cube algorithms")
+    p.set_defaults(func=_cmd_algorithms)
 
     p = sub.add_parser("stats", help="table shape + trie/H-tree comparison")
     p.add_argument("table")

@@ -1,0 +1,89 @@
+"""Backwards-compatibility shims for the unified algorithm signatures.
+
+Every cube-algorithm entrypoint now takes its tuning parameters as
+keyword-only arguments under one naming scheme — ``aggregator``,
+``dim_order``, ``min_support`` — so the registry
+(:mod:`repro.baselines.registry`) can drive any of them interchangeably.
+Older call styles (positional tuning arguments, the pre-rename ``order=``
+keyword) keep working through :func:`legacy_call_shim`, which folds them
+into the new keywords and emits a :class:`DeprecationWarning` pointing at
+the replacement.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import warnings
+from typing import Callable
+
+#: Old keyword name -> new keyword name.
+RENAMED_KEYWORDS = {"order": "dim_order"}
+
+
+def legacy_call_shim(*old_positional: str) -> Callable:
+    """Wrap a keyword-only entrypoint so legacy call styles still work.
+
+    ``old_positional`` lists, **in the old positional order and under the
+    new names**, the tuning parameters the function used to accept
+    positionally after the table.  The wrapped function must take the
+    table as its only positional parameter and everything else
+    keyword-only.
+
+    >>> @legacy_call_shim("aggregator", "dim_order", "min_support")
+    ... def cube(table, *, aggregator=None, dim_order=None, min_support=1):
+    ...     return (aggregator, dim_order, min_support)
+    >>> import warnings
+    >>> with warnings.catch_warnings(record=True):
+    ...     warnings.simplefilter("always")
+    ...     cube("t", None, (1, 0))       # old positional style
+    (None, (1, 0), 1)
+    """
+
+    def decorate(func: Callable) -> Callable:
+        keyword_only = {
+            name
+            for name, param in inspect.signature(func).parameters.items()
+            if param.kind is inspect.Parameter.KEYWORD_ONLY
+        }
+
+        @functools.wraps(func)
+        def wrapper(table, *legacy_args, **kwargs):
+            if legacy_args:
+                if len(legacy_args) > len(old_positional):
+                    raise TypeError(
+                        f"{func.__name__}() takes 1 positional argument but "
+                        f"{1 + len(legacy_args)} were given"
+                    )
+                warnings.warn(
+                    f"{func.__name__}(): passing tuning parameters positionally "
+                    f"is deprecated; use keyword arguments "
+                    f"({', '.join(old_positional[: len(legacy_args)])})",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                for name, value in zip(old_positional, legacy_args):
+                    if name in kwargs:
+                        raise TypeError(
+                            f"{func.__name__}() got multiple values for argument {name!r}"
+                        )
+                    kwargs[name] = value
+            for old_name, new_name in RENAMED_KEYWORDS.items():
+                if old_name in kwargs and old_name not in keyword_only:
+                    if new_name in kwargs:
+                        raise TypeError(
+                            f"{func.__name__}() got values for both {old_name!r} "
+                            f"and its replacement {new_name!r}"
+                        )
+                    warnings.warn(
+                        f"{func.__name__}(): keyword {old_name!r} was renamed to "
+                        f"{new_name!r}",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
+                    kwargs[new_name] = kwargs.pop(old_name)
+            return func(table, **kwargs)
+
+        return wrapper
+
+    return decorate

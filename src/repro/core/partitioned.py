@@ -1,27 +1,46 @@
-"""Partitioned range-trie construction: build per chunk, merge tries.
+"""Partitioned range cubing: build per partition in parallel, tree-merge.
 
 The range trie is canonical — the same tuple multiset always yields the
 same trie — and :func:`repro.core.reduction.merge_nodes` knows how to
 fuse two tries over the same dimensions while re-extracting shared
 values.  Together these give a divide-and-conquer loading path: split the
-fact table into chunks, build a trie per chunk (independently — e.g. on
-separate cores or machines), and merge.  The merged trie is *identical*
-to a monolithic load, so everything downstream (range cubing, incremental
+fact table into partitions, build a trie per partition (independently, on
+separate cores), and merge.  The merged trie is *identical* to a
+monolithic load, so everything downstream (range cubing, incremental
 maintenance, persistence) is unaffected; the property tests assert the
 structural equality outright.
 
-This is the data-partitioned parallelism classic cube papers (BUC,
-MultiWay) describe for their own structures, realized here for the range
-trie; the merge itself is sequential, but chunk builds — the dominant
-cost — are embarrassingly parallel.
+:func:`parallel_range_cubing` is the full pipeline, parameterized by a
+pluggable executor (:mod:`repro.exec`):
+
+1. **partition** — slice the table's encoded numpy code/measure arrays
+   row-wise (no Python-tuple conversion: partitions ship to workers as
+   arrays and decode there);
+2. **build** — construct one range trie per partition in the executor's
+   workers (:func:`build_trie_partition` is a module-level function so it
+   pickles by reference for :class:`~repro.exec.ProcessExecutor`);
+3. **merge** — fuse the per-partition tries with a log-depth pairwise
+   tree reduction (balanced merges keep intermediate tries small,
+   unlike a left fold whose accumulator grows monotonically);
+4. **cube** — run the range-cubing traversal (Algorithm 2) once on the
+   merged trie.
+
+Per-stage wall-clock and counters flow through
+:class:`repro.metrics.StageTimings` so the harness and
+``benchmarks/bench_partitioned.py`` can report the breakdown.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+import numpy as np
+
+from repro.core.range_cube import RangeCube
 from repro.core.range_trie import RangeTrie, RangeTrieNode
 from repro.core.reduction import merge_nodes
+from repro.exec.executors import Executor, resolve_executor
+from repro.metrics.timing import StageTimings
 from repro.table.aggregates import Aggregator, default_aggregator
 from repro.table.base_table import BaseTable
 
@@ -58,6 +77,28 @@ def merge_tries(tries: Sequence[RangeTrie]) -> RangeTrie:
     return merged
 
 
+def tree_merge_tries(tries: Sequence[RangeTrie]) -> RangeTrie:
+    """Merge tries pairwise, log-depth, instead of a left fold.
+
+    A left fold re-walks the ever-growing accumulator once per input; the
+    balanced tree merges tries of comparable size at every level, so the
+    total restructuring work is spread evenly and the intermediate tries
+    stay as small as the data allows.  The result is identical either way
+    (the trie is canonical).
+    """
+    if not tries:
+        raise ValueError("need at least one trie to merge")
+    level = list(tries)
+    while len(level) > 1:
+        merged = [
+            merge_tries(level[i : i + 2]) for i in range(0, len(level) - 1, 2)
+        ]
+        if len(level) % 2:
+            merged.append(level[-1])
+        level = merged
+    return level[0]
+
+
 def chunked(table: BaseTable, n_chunks: int) -> Iterable[BaseTable]:
     """Split a table row-wise into up to ``n_chunks`` non-empty chunks."""
     if n_chunks < 1:
@@ -71,17 +112,160 @@ def chunked(table: BaseTable, n_chunks: int) -> Iterable[BaseTable]:
         )
 
 
+def partition_payloads(
+    table: BaseTable, n_partitions: int, aggregator: Aggregator
+) -> list[tuple[np.ndarray, np.ndarray, Aggregator]]:
+    """Slice the table into pickle-cheap worker payloads.
+
+    Each payload is ``(dim_codes, measures, aggregator)`` — contiguous
+    numpy slices, *not* decoded Python rows, so shipping a partition to a
+    :class:`~repro.exec.ProcessExecutor` worker costs one array pickle.
+    """
+    if n_partitions < 1:
+        raise ValueError("n_partitions must be at least 1")
+    size = max(1, -(-table.n_rows // n_partitions))  # ceil division
+    return [
+        (
+            table.dim_codes[start : start + size],
+            table.measures[start : start + size],
+            aggregator,
+        )
+        for start in range(0, table.n_rows, size)
+    ]
+
+
+def build_trie_partition(
+    payload: tuple[np.ndarray, np.ndarray, Aggregator],
+) -> RangeTrie:
+    """Worker task: build the range trie of one partition (Algorithm 1).
+
+    Module-level so it pickles by reference; the payload decodes the numpy
+    code rows to tuples *inside* the worker, keeping the cross-process
+    traffic to the raw arrays.
+    """
+    dim_codes, measures, aggregator = payload
+    n_dims = dim_codes.shape[1]
+    trie = RangeTrie(n_dims, aggregator)
+    state_from_row = aggregator.state_from_row
+    dims = range(n_dims)
+    for row, meas in zip(dim_codes.tolist(), measures.tolist()):
+        pairs = [(d, row[d]) for d in dims]
+        trie._insert(row.__getitem__, pairs, state_from_row(meas))
+    return trie
+
+
 def build_partitioned(
     table: BaseTable,
     n_chunks: int = 4,
     aggregator: Aggregator | None = None,
+    executor: str | Executor | None = None,
 ) -> RangeTrie:
     """Build the range trie of ``table`` chunk-by-chunk and merge.
 
     Produces a trie structurally identical to ``RangeTrie.build(table)``.
+    With an ``executor`` (name or instance, see :mod:`repro.exec`) the
+    chunk builds run in parallel workers.
     """
     agg = aggregator or default_aggregator(table.n_measures)
     if table.n_rows == 0:
         return RangeTrie(table.n_dims, agg)
-    tries = [RangeTrie.build(chunk, agg) for chunk in chunked(table, n_chunks)]
-    return merge_tries(tries)
+    exec_obj, owned = resolve_executor(executor)
+    try:
+        tries = exec_obj.map(
+            build_trie_partition, partition_payloads(table, n_chunks, agg)
+        )
+    finally:
+        if owned:
+            exec_obj.close()
+    return tree_merge_tries(tries)
+
+
+def parallel_range_cubing(
+    table: BaseTable,
+    *,
+    executor: str | Executor | None = None,
+    n_partitions: int | None = None,
+    workers: int | None = None,
+    aggregator: Aggregator | None = None,
+    dim_order: Sequence[int] | None = None,
+    min_support: int = 1,
+) -> RangeCube:
+    """Compute the range cube via the parallel partitioned pipeline.
+
+    Equivalent to :func:`repro.core.range_cubing.range_cubing` — the
+    merged trie is canonical, so the resulting cube is identical — but the
+    per-partition trie builds run on ``executor`` (an executor name from
+    :func:`repro.exec.available_executors`, an :class:`~repro.exec.Executor`
+    instance, or None for serial).  ``n_partitions`` defaults to the
+    executor's worker count.
+    """
+    cube, _ = parallel_range_cubing_detailed(
+        table,
+        executor=executor,
+        n_partitions=n_partitions,
+        workers=workers,
+        aggregator=aggregator,
+        dim_order=dim_order,
+        min_support=min_support,
+    )
+    return cube
+
+
+def parallel_range_cubing_detailed(
+    table: BaseTable,
+    *,
+    executor: str | Executor | None = None,
+    n_partitions: int | None = None,
+    workers: int | None = None,
+    aggregator: Aggregator | None = None,
+    dim_order: Sequence[int] | None = None,
+    min_support: int = 1,
+) -> tuple[RangeCube, dict[str, float]]:
+    """Like :func:`parallel_range_cubing`, plus per-stage statistics.
+
+    The stats dict reports the stage breakdown (``partition_s``,
+    ``build_s``, ``merge_s``, ``cube_s``, ``total_seconds``) along with
+    ``n_partitions``, ``tries_merged``, ``trie_nodes`` and the executor
+    configuration — the numbers ``bench_partitioned.py`` and the harness
+    print.
+    """
+    # Imported here (not at module top) to avoid a cycle: range_cubing is
+    # the serial facade and sits above the trie machinery this module and
+    # it both use.
+    from repro.core.range_cubing import _remap_range, _traverse
+
+    agg = aggregator or default_aggregator(table.n_measures)
+    exec_obj, owned = resolve_executor(executor, workers)
+    parts = n_partitions if n_partitions is not None else max(1, exec_obj.workers)
+    if parts < 1:
+        raise ValueError("n_partitions must be at least 1")
+    working = table if dim_order is None else table.reordered(dim_order)
+
+    timings = StageTimings()
+    try:
+        with timings.stage("partition"):
+            payloads = partition_payloads(working, parts, agg)
+        with timings.stage("build"):
+            tries = exec_obj.map(build_trie_partition, payloads)
+        with timings.stage("merge"):
+            trie = (
+                tree_merge_tries(tries)
+                if tries
+                else RangeTrie(working.n_dims, agg)
+            )
+        with timings.stage("cube"):
+            ranges = _traverse(trie, agg, min_support)
+    finally:
+        if owned:
+            exec_obj.close()
+
+    if dim_order is not None:
+        ranges = [_remap_range(r, dim_order) for r in ranges]
+    timings.count("n_partitions", len(payloads))
+    timings.count("tries_merged", len(tries))
+    timings.count("trie_nodes", trie.n_nodes())
+    stats = timings.as_stats()
+    stats["executor"] = exec_obj.name
+    stats["workers"] = exec_obj.workers
+    stats["total_seconds"] = timings.total_seconds
+    return RangeCube(table.n_dims, agg, ranges), stats

@@ -23,6 +23,7 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
+from repro.compat import legacy_call_shim
 from repro.core.range_cube import Range, RangeCube
 from repro.core.range_trie import RangeTrie, RangeTrieNode
 from repro.core.reduction import reduce_trie
@@ -30,28 +31,34 @@ from repro.table.aggregates import Aggregator, default_aggregator
 from repro.table.base_table import BaseTable
 
 
+@legacy_call_shim("aggregator", "dim_order", "min_support")
 def range_cubing(
     table: BaseTable,
+    *,
     aggregator: Aggregator | None = None,
-    order: Sequence[int] | None = None,
+    dim_order: Sequence[int] | None = None,
     min_support: int = 1,
 ) -> RangeCube:
     """Compute the range cube of ``table``.
 
-    ``order`` optionally permutes the dimension order used by the trie
+    ``dim_order`` optionally permutes the dimension order used by the trie
     (e.g. ``table.schema.cardinality_descending_order()``, the paper's
     preferred order); the returned ranges are always expressed in the
     table's *original* dimension order.  ``min_support`` > 1 computes the
     iceberg range cube: only ranges whose count reaches the threshold.
     """
-    cube, _ = range_cubing_detailed(table, aggregator, order, min_support)
+    cube, _ = range_cubing_detailed(
+        table, aggregator=aggregator, dim_order=dim_order, min_support=min_support
+    )
     return cube
 
 
+@legacy_call_shim("aggregator", "dim_order", "min_support")
 def range_cubing_detailed(
     table: BaseTable,
+    *,
     aggregator: Aggregator | None = None,
-    order: Sequence[int] | None = None,
+    dim_order: Sequence[int] | None = None,
     min_support: int = 1,
 ) -> tuple[RangeCube, dict[str, float]]:
     """Like :func:`range_cubing` but also returns harness statistics.
@@ -60,6 +67,7 @@ def range_cubing_detailed(
     node-ratio ingredient) and the build/traversal split of the run time.
     """
     agg = aggregator or default_aggregator(table.n_measures)
+    order = dim_order
     working = table if order is None else table.reordered(order)
 
     t0 = time.perf_counter()

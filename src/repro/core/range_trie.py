@@ -59,6 +59,17 @@ class RangeTrieNode:
         self.children = children if children is not None else {}
         self.agg = agg
 
+    def __getstate__(self) -> tuple:
+        # Compact pickle support (``__slots__`` classes get no instance
+        # dict): tries cross the process boundary in the parallel
+        # partitioned engine, so worker-built sub-tries must ship back
+        # cheaply.  Depth is bounded by the dimension count, so the
+        # pickler's recursion over children is safe.
+        return (self.key, self.children, self.agg)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.key, self.children, self.agg = state
+
     @property
     def start_dim(self) -> int:
         return self.key[0][0]

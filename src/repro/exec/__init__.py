@@ -1,0 +1,30 @@
+"""Execution backends for the parallel partitioned cubing engine.
+
+See :mod:`repro.exec.executors` for the executor abstraction and
+:func:`repro.core.partitioned.parallel_range_cubing` for the pipeline
+that drives it.
+"""
+
+from repro.exec.executors import (
+    EXECUTORS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_executors,
+    default_workers,
+    get_executor,
+    resolve_executor,
+)
+
+__all__ = [
+    "EXECUTORS",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "available_executors",
+    "default_workers",
+    "get_executor",
+    "resolve_executor",
+]

@@ -1,0 +1,168 @@
+"""Pluggable executors: the parallelism backends of the cubing engine.
+
+An :class:`Executor` runs a batch of independent tasks — here, per-
+partition range-trie builds — and returns their results in input order.
+Three implementations cover the useful points of the design space:
+
+* :class:`SerialExecutor` — run in the calling thread.  Zero overhead,
+  fully deterministic; the baseline every parallel run is compared to.
+* :class:`ThreadExecutor` — a thread pool.  Threads share the process, so
+  tasks ship for free, but pure-Python trie construction holds the GIL;
+  use it when tasks release the GIL (numpy-heavy work, I/O) or to test
+  concurrency without process overhead.
+* :class:`ProcessExecutor` — a process pool.  Tasks and results cross a
+  pickle boundary, so task functions must be module-level and payloads
+  pickle-cheap (numpy arrays, not row tuples); in exchange, CPU-bound
+  builds scale with cores.
+
+Executors are context managers; :func:`get_executor` resolves a name from
+the CLI/registry into a fresh instance.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """Worker count used when none is requested: the visible CPU count."""
+    return max(1, os.cpu_count() or 1)
+
+
+class Executor:
+    """Run independent tasks, preserving input order in the results.
+
+    Subclasses implement :meth:`map`; ``close`` releases pooled resources
+    and is idempotent.  ``name`` identifies the backend in CLI flags and
+    stage metrics.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = workers if workers is not None else default_workers()
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+
+    def map(self, fn: Callable[[T], R], tasks: Iterable[T]) -> list[R]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialExecutor(Executor):
+    """Run every task inline, one after another."""
+
+    name = "serial"
+
+    def __init__(self, workers: int | None = None) -> None:
+        super().__init__(workers=1 if workers is None else workers)
+
+    def map(self, fn: Callable[[T], R], tasks: Iterable[T]) -> list[R]:
+        return [fn(task) for task in tasks]
+
+
+class _PoolExecutor(Executor):
+    """Shared plumbing for the two ``concurrent.futures``-backed executors."""
+
+    _pool_cls: type
+
+    def __init__(self, workers: int | None = None) -> None:
+        super().__init__(workers)
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self._pool_cls(max_workers=self.workers)
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], tasks: Iterable[T]) -> list[R]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if len(tasks) == 1:  # skip the round-trip for a lone task
+            return [fn(tasks[0])]
+        return list(self._ensure_pool().map(fn, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadExecutor(_PoolExecutor):
+    """A thread pool; cheap task shipping, GIL-bound for pure-Python work."""
+
+    name = "thread"
+    _pool_cls = ThreadPoolExecutor
+
+
+class ProcessExecutor(_PoolExecutor):
+    """A process pool; tasks/results are pickled, builds scale with cores."""
+
+    name = "process"
+    _pool_cls = ProcessPoolExecutor
+
+
+EXECUTORS: dict[str, type[Executor]] = {
+    SerialExecutor.name: SerialExecutor,
+    ThreadExecutor.name: ThreadExecutor,
+    ProcessExecutor.name: ProcessExecutor,
+}
+
+
+def available_executors() -> tuple[str, ...]:
+    """The executor names :func:`get_executor` accepts."""
+    return tuple(EXECUTORS)
+
+
+def get_executor(name: str | Executor | None, workers: int | None = None) -> Executor:
+    """Resolve ``name`` into an executor instance.
+
+    ``None`` means serial; an :class:`Executor` instance passes through
+    unchanged (``workers`` must then be None — the instance already fixed
+    its pool size).
+    """
+    if isinstance(name, Executor):
+        if workers is not None and workers != name.workers:
+            raise ValueError(
+                "cannot override workers on an existing executor instance"
+            )
+        return name
+    if name is None:
+        return SerialExecutor()
+    try:
+        cls = EXECUTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {name!r}; available: {', '.join(EXECUTORS)}"
+        ) from None
+    return cls(workers)
+
+
+def resolve_executor(
+    executor: str | Executor | None, workers: int | None = None
+) -> tuple[Executor, bool]:
+    """Like :func:`get_executor`, also reporting ownership.
+
+    Returns ``(executor, owned)`` where ``owned`` is True when this call
+    created the instance and the caller is responsible for closing it.
+    """
+    if isinstance(executor, Executor):
+        return get_executor(executor, workers), False
+    return get_executor(executor, workers), True

@@ -49,14 +49,14 @@ def dimension_order_ablation(table: BaseTable, algorithms=("range", "hcubing")) 
         order = preferred_order(table, policy)
         row: dict = {"order": policy or "as-is"}
         if "range" in algorithms:
-            cube, stats = range_cubing_detailed(table, order=order)
+            cube, stats = range_cubing_detailed(table, dim_order=order)
             row["range_seconds"] = stats["total_seconds"]
             row["range_tuples"] = cube.n_ranges
             row["trie_nodes"] = stats["trie_nodes"]
             row["full_cells"] = cube.n_cells
             row["tuple_ratio"] = cube.n_ranges / cube.n_cells
         if "hcubing" in algorithms:
-            _, stats = h_cubing_detailed(table, order=order)
+            _, stats = h_cubing_detailed(table, dim_order=order)
             row["hcubing_seconds"] = stats["total_seconds"]
             row["htree_nodes"] = stats["htree_nodes"]
         rows.append(row)
@@ -69,7 +69,7 @@ def iceberg_ablation(table: BaseTable, min_supports=(1, 2, 4, 8, 16)) -> list[di
     order = preferred_order(table, "desc")
     for min_support in min_supports:
         start = time.perf_counter()
-        cube = range_cubing(table, order=order, min_support=min_support)
+        cube = range_cubing(table, dim_order=order, min_support=min_support)
         seconds = time.perf_counter() - start
         rows.append(
             {

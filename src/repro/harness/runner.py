@@ -5,31 +5,39 @@ dimension orders": cardinality-descending for range cubing, BUC and
 star-cubing; cardinality-ascending for H-Cubing (maximal prefix sharing
 near the H-tree root).  :func:`measure` applies exactly that policy unless
 told otherwise.
+
+Dispatch goes through the algorithm registry
+(:mod:`repro.baselines.registry`): any registered name — canonical or
+alias — can be measured, including ``parallel_range_cubing`` with an
+executor/partition configuration, whose per-stage timings land in the
+metric row under ``parallel_range_*`` keys.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Iterable
 
-from repro.baselines.buc import buc
-from repro.baselines.hcubing import h_cubing_detailed
 from repro.baselines.htree import HTree
-from repro.baselines.multiway import multiway
-from repro.baselines.star_cubing import star_cubing
-from repro.core.range_cubing import range_cubing_detailed
+from repro.baselines.registry import available_algorithms, get_algorithm
 from repro.table.base_table import BaseTable
 
-#: order policy per algorithm: "desc" | "asc" | None (table order as-is)
-PREFERRED_ORDERS: dict[str, str | None] = {
-    "range": "desc",
-    "hcubing": "asc",
-    "buc": "desc",
-    "star": "desc",
-    "multiway": None,  # array cubing is order-insensitive
+#: Metric-key prefix per canonical registry name (legacy report columns).
+SHORT_NAMES: dict[str, str] = {
+    "range_cubing": "range",
+    "parallel_range_cubing": "parallel_range",
+    "star_cubing": "star",
 }
 
-ALGORITHMS = ("range", "hcubing", "buc", "star", "multiway")
+#: order policy per algorithm (short name): "desc" | "asc" | None (as-is)
+PREFERRED_ORDERS: dict[str, str | None] = {
+    SHORT_NAMES.get(name, name): get_algorithm(name).order_policy
+    for name in available_algorithms()
+}
+
+ALGORITHMS = ("range", "hcubing", "buc", "star", "multiway", "parallel_range")
+
+#: Per-stage keys the parallel engine reports, copied into the metric row.
+_PARALLEL_STAGE_KEYS = ("partition_s", "build_s", "merge_s", "cube_s")
 
 
 def preferred_order(table: BaseTable, policy: str | None) -> tuple[int, ...] | None:
@@ -49,6 +57,9 @@ def measure(
     algorithms: Iterable[str] = ("range", "hcubing"),
     min_support: int = 1,
     order_policies: dict[str, str | None] | None = None,
+    executor: str | None = None,
+    n_partitions: int | None = None,
+    workers: int | None = None,
 ) -> dict[str, float]:
     """Run the requested algorithms on ``table`` and collect metrics.
 
@@ -57,7 +68,9 @@ def measure(
     ``trie_nodes``, ``htree_nodes`` and ``node_ratio`` (percentages are
     left to the report layer).  Every timing covers the complete run —
     structure construction included — matching the paper's "total run
-    time" metric.
+    time" metric.  ``executor`` / ``n_partitions`` / ``workers``
+    configure ``parallel_range_cubing`` runs, whose stage breakdown is
+    reported as ``parallel_range_partition_s`` etc.
     """
     policies = dict(PREFERRED_ORDERS)
     if order_policies:
@@ -68,18 +81,42 @@ def measure(
         "min_support": min_support,
     }
     for name in algorithms:
-        order = preferred_order(table, policies.get(name))
-        if name == "range":
-            cube, stats = range_cubing_detailed(table, order=order, min_support=min_support)
-            row["range_seconds"] = stats["total_seconds"]
-            row["range_tuples"] = cube.n_ranges
+        try:
+            record = get_algorithm(name)
+        except KeyError as exc:
+            raise ValueError(str(exc)) from None
+        short = SHORT_NAMES.get(record.name, record.name)
+        policy = policies.get(short, record.order_policy)
+        order = preferred_order(table, policy) if record.supports_dim_order else None
+        extra: dict = {}
+        if record.name == "parallel_range_cubing":
+            extra = {
+                "executor": executor,
+                "n_partitions": n_partitions,
+                "workers": workers,
+            }
+        try:
+            result, stats = record.run_detailed(
+                table, dim_order=order, min_support=min_support, **extra
+            )
+        except ValueError:
+            if record.name == "multiway":
+                row["multiway_seconds"] = float("nan")  # space guard tripped
+                continue
+            raise
+        row[f"{short}_seconds"] = stats["total_seconds"]
+        if record.name == "range_cubing":
+            row["range_tuples"] = result.n_ranges
             row["trie_nodes"] = stats["trie_nodes"]
             if min_support <= 1:
-                row["full_cells"] = cube.n_cells
-        elif name == "hcubing":
-            cube, stats = h_cubing_detailed(table, order=order, min_support=min_support)
-            row["hcubing_seconds"] = stats["total_seconds"]
-            row["hcubing_cells"] = len(cube)
+                row["full_cells"] = result.n_cells
+        elif record.name == "parallel_range_cubing":
+            row["parallel_range_tuples"] = result.n_ranges
+            for key in _PARALLEL_STAGE_KEYS:
+                row[f"parallel_range_{key}"] = stats[key]
+            row["parallel_range_partitions"] = stats["n_partitions"]
+        elif record.name == "hcubing":
+            row["hcubing_cells"] = len(result)
             row["htree_nodes"] = stats["htree_nodes"]
             # The paper's node ratio compares the two structures under one
             # ("a specific") dimension order; build an H-tree in range
@@ -90,27 +127,11 @@ def measure(
             else:
                 working = table if range_order is None else table.reordered(range_order)
                 row["htree_nodes_same_order"] = HTree.build(working).n_nodes()
-        elif name == "buc":
-            start = time.perf_counter()
-            cube = buc(table, order=order, min_support=min_support)
-            row["buc_seconds"] = time.perf_counter() - start
-            row["buc_cells"] = len(cube)
-        elif name == "star":
-            start = time.perf_counter()
-            cube = star_cubing(table, order=order, min_support=min_support)
-            row["star_seconds"] = time.perf_counter() - start
-            row["star_cells"] = len(cube)
-        elif name == "multiway":
-            start = time.perf_counter()
-            try:
-                cube = multiway(table, min_support=min_support)
-            except ValueError:
-                row["multiway_seconds"] = float("nan")  # space guard tripped
-            else:
-                row["multiway_seconds"] = time.perf_counter() - start
-                row["multiway_cells"] = len(cube)
         else:
-            raise ValueError(f"unknown algorithm {name!r}")
+            try:
+                row[f"{short}_cells"] = len(result)
+            except TypeError:
+                pass
     if "range_tuples" in row and "full_cells" in row and row["full_cells"]:
         row["tuple_ratio"] = row["range_tuples"] / row["full_cells"]
     if "trie_nodes" in row and row.get("htree_nodes_same_order"):

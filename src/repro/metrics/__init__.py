@@ -6,6 +6,10 @@
   ("the smaller the better");
 * **node ratio** — nodes in the initial range trie over nodes in the
   H-tree, "an important indicator of the memory requirement".
+
+Beyond the paper, :class:`~repro.metrics.timing.StageTimings` breaks a
+pipeline's wall-clock into named stages — the parallel partitioned engine
+reports its partition/build/merge/cube split through it.
 """
 
 from repro.metrics.memory import (
@@ -21,10 +25,11 @@ from repro.metrics.ratios import (
     node_ratio,
     tuple_ratio,
 )
-from repro.metrics.timing import Timer, time_call
+from repro.metrics.timing import StageTimings, Timer, time_call
 
 __all__ = [
     "CompressionReport",
+    "StageTimings",
     "Timer",
     "compression_report",
     "htree_bytes",

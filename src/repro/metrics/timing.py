@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import time
-from typing import Any, Callable
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
 
 
 class Timer:
@@ -32,3 +33,51 @@ def time_call(fn: Callable[..., Any], *args, **kwargs) -> tuple[Any, float]:
     start = time.perf_counter()
     result = fn(*args, **kwargs)
     return result, time.perf_counter() - start
+
+
+class StageTimings:
+    """Accumulate wall-clock seconds per named pipeline stage.
+
+    The parallel cubing engine times its stages (``partition``, ``build``,
+    ``merge``, ``cube``) through one of these, so the harness and the
+    benchmarks can report where a run spent its time.  Stages can be
+    entered repeatedly; seconds accumulate.  Arbitrary scalar counters
+    (tries merged, nodes created, ...) ride along via :meth:`count`.
+
+    >>> t = StageTimings()
+    >>> with t.stage("build"):
+    ...     _ = sum(range(100))
+    >>> t.count("tries_merged", 4)
+    >>> stats = t.as_stats()
+    >>> stats["tries_merged"], stats["build_s"] >= 0.0
+    (4, True)
+    """
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self.counters: dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+    def count(self, name: str, value: float) -> None:
+        """Record (accumulate) a scalar counter next to the timings."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def as_stats(self, suffix: str = "_s") -> dict[str, float]:
+        """Flatten to one dict: ``<stage><suffix>`` timings plus counters."""
+        stats: dict[str, float] = {
+            f"{name}{suffix}": secs for name, secs in self.seconds.items()
+        }
+        stats.update(self.counters)
+        return stats

@@ -55,7 +55,7 @@ def test_order_parameter_is_transparent():
     table = make_paper_table()
     oracle = compute_full_cube(table).as_dict()
     for order in [(3, 2, 1, 0), (1, 0, 3, 2)]:
-        assert cubes_equal(buc(table, order=order).as_dict(), oracle)
+        assert cubes_equal(buc(table, dim_order=order).as_dict(), oracle)
 
 
 def test_all_cuboid_levels_present():

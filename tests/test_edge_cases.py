@@ -123,7 +123,7 @@ def test_mixed_type_raw_values_encode_cleanly():
 def test_order_must_be_permutation():
     table = make_encoded_table([(0, 1)])
     with pytest.raises(ValueError):
-        range_cubing(table, order=(0, 0))
+        range_cubing(table, dim_order=(0, 0))
 
 
 def test_very_wide_table_is_handled():

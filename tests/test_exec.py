@@ -1,0 +1,95 @@
+"""Unit tests for the pluggable executor abstraction (repro.exec)."""
+
+import pytest
+
+from repro.exec import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_executors,
+    default_workers,
+    get_executor,
+    resolve_executor,
+)
+
+EXECUTOR_CLASSES = (SerialExecutor, ThreadExecutor, ProcessExecutor)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError(f"task {x} failed")
+
+
+@pytest.mark.parametrize("cls", EXECUTOR_CLASSES)
+def test_map_preserves_input_order(cls):
+    with cls(workers=2) as ex:
+        assert ex.map(_square, range(20)) == [i * i for i in range(20)]
+
+
+@pytest.mark.parametrize("cls", EXECUTOR_CLASSES)
+def test_map_empty_and_singleton(cls):
+    with cls(workers=2) as ex:
+        assert ex.map(_square, []) == []
+        assert ex.map(_square, [7]) == [49]
+
+
+@pytest.mark.parametrize("cls", EXECUTOR_CLASSES)
+def test_task_errors_propagate(cls):
+    with cls(workers=2) as ex:
+        with pytest.raises(RuntimeError, match="failed"):
+            ex.map(_boom, [1, 2])
+
+
+def test_available_executors_lists_all_three():
+    assert available_executors() == ("serial", "thread", "process")
+
+
+def test_get_executor_by_name_and_default():
+    assert isinstance(get_executor(None), SerialExecutor)
+    assert isinstance(get_executor("serial"), SerialExecutor)
+    thread = get_executor("thread", workers=3)
+    assert isinstance(thread, ThreadExecutor) and thread.workers == 3
+    assert isinstance(get_executor("process"), ProcessExecutor)
+    with pytest.raises(ValueError, match="unknown executor"):
+        get_executor("gpu")
+
+
+def test_get_executor_passes_instances_through():
+    ex = SerialExecutor()
+    assert get_executor(ex) is ex
+    with pytest.raises(ValueError, match="cannot override"):
+        get_executor(ex, workers=5)
+
+
+def test_resolve_executor_reports_ownership():
+    mine = ThreadExecutor(workers=2)
+    resolved, owned = resolve_executor(mine)
+    assert resolved is mine and owned is False
+    created, owned = resolve_executor("serial")
+    assert isinstance(created, SerialExecutor) and owned is True
+
+
+def test_worker_count_validation_and_default():
+    assert default_workers() >= 1
+    assert SerialExecutor().workers == 1
+    assert ThreadExecutor().workers == default_workers()
+    with pytest.raises(ValueError):
+        ThreadExecutor(workers=0)
+
+
+def test_close_is_idempotent():
+    ex = ThreadExecutor(workers=2)
+    assert ex.map(_square, [1, 2]) == [1, 4]
+    ex.close()
+    ex.close()
+    # a closed pool lazily re-opens on the next map
+    assert ex.map(_square, [3, 4]) == [9, 16]
+
+
+def test_executor_base_is_abstract():
+    with pytest.raises(NotImplementedError):
+        Executor().map(_square, [1])

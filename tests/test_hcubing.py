@@ -48,7 +48,7 @@ def test_order_parameter_is_transparent():
     table = make_paper_table()
     oracle = compute_full_cube(table).as_dict()
     for order in [(3, 2, 1, 0), (2, 0, 3, 1)]:
-        assert cubes_equal(h_cubing(table, order=order).as_dict(), oracle)
+        assert cubes_equal(h_cubing(table, dim_order=order).as_dict(), oracle)
 
 
 def test_detailed_reports_htree_nodes():

@@ -50,10 +50,10 @@ def test_all_algorithms_agree_under_reordering(datasets, name):
     table = datasets[name]
     order = tuple(reversed(range(table.n_dims)))
     oracle = compute_full_cube(table).as_dict()
-    assert cubes_equal(dict(range_cubing(table, order=order).expand()), oracle)
-    assert cubes_equal(h_cubing(table, order=order).as_dict(), oracle)
-    assert cubes_equal(buc(table, order=order).as_dict(), oracle)
-    assert cubes_equal(star_cubing(table, order=order).as_dict(), oracle)
+    assert cubes_equal(dict(range_cubing(table, dim_order=order).expand()), oracle)
+    assert cubes_equal(h_cubing(table, dim_order=order).as_dict(), oracle)
+    assert cubes_equal(buc(table, dim_order=order).as_dict(), oracle)
+    assert cubes_equal(star_cubing(table, dim_order=order).as_dict(), oracle)
 
 
 @pytest.mark.parametrize("min_support", [2, 5, 20])
@@ -98,5 +98,5 @@ def test_weather_correlation_is_exploited(datasets):
     # The station -> (longitude, latitude) FD must show up as compression:
     # far fewer ranges than cells.
     table = datasets["weather"]
-    cube = range_cubing(table, order=tuple(range(table.n_dims)))
+    cube = range_cubing(table, dim_order=tuple(range(table.n_dims)))
     assert cube.tuple_ratio() < 0.5

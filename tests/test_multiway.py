@@ -27,7 +27,7 @@ def test_paper_example_matches_oracle():
 
 def test_count_only_aggregator():
     table = make_encoded_table([(0, 1), (0, 1), (1, 0)], n_measures=0)
-    cube = multiway(table, CountAggregator())
+    cube = multiway(table, aggregator=CountAggregator())
     assert cube.lookup((0, 1)) == (2,)
     assert cube.lookup((None, None)) == (3,)
 
@@ -35,7 +35,7 @@ def test_count_only_aggregator():
 def test_rich_aggregators_rejected():
     table = make_paper_table()
     with pytest.raises(ValueError):
-        multiway(table, AvgAggregator())
+        multiway(table, aggregator=AvgAggregator())
 
 
 def test_space_guard():

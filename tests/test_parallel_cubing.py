@@ -1,0 +1,169 @@
+"""Determinism tests for the parallel partitioned range-cubing engine.
+
+``parallel_range_cubing`` must produce exactly the cube of the serial
+algorithm — same set of ranges, identical finalized aggregates — for
+every executor backend and partition count, on uniform, Zipf-skewed and
+correlated data.  Measures are truncated to integers so aggregate states
+compare exactly regardless of summation order (float addition is not
+associative; the partitioned merge associates differently than the serial
+row-by-row insertion).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.partitioned import (
+    build_trie_partition,
+    parallel_range_cubing,
+    parallel_range_cubing_detailed,
+    partition_payloads,
+    tree_merge_tries,
+)
+from repro.core.range_cubing import range_cubing
+from repro.core.range_trie import RangeTrie
+from repro.data.correlated import FunctionalDependency, correlated_table
+from repro.data.synthetic import uniform_table, zipf_table
+from repro.table.aggregates import SumCountAggregator
+from repro.table.base_table import BaseTable
+from repro.table.schema import Schema
+
+from tests.conftest import make_paper_table
+from tests.test_range_trie import snapshot
+
+EXECUTORS = ("serial", "thread", "process")
+AGG = SumCountAggregator(0)
+
+
+def _integer_measures(table: BaseTable) -> BaseTable:
+    """Truncate measures to integer-valued floats: exact float sums."""
+    return BaseTable(table.schema, table.dim_codes, np.floor(table.measures * 100))
+
+
+def _generators():
+    yield "uniform", _integer_measures(uniform_table(300, 4, 8, seed=11))
+    yield "zipf", _integer_measures(zipf_table(300, 4, 12, theta=1.5, seed=12))
+    yield (
+        "correlated",
+        _integer_measures(
+            correlated_table(
+                300, 4, 8, [FunctionalDependency((0,), (1,))], seed=13
+            )
+        ),
+    )
+
+
+def _range_set(cube):
+    return {(r.specific, r.mask, r.state) for r in cube}
+
+
+def _finalized(cube):
+    return {
+        (r.specific, r.mask): tuple(sorted(cube.aggregator.finalize(r.state).items()))
+        for r in cube
+    }
+
+
+TABLES = dict(_generators())
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+@pytest.mark.parametrize("n_partitions", (1, 2, 4))
+@pytest.mark.parametrize("generator", sorted(TABLES))
+def test_matches_serial_range_cubing(executor, n_partitions, generator):
+    table = TABLES[generator]
+    serial = range_cubing(table, aggregator=AGG)
+    parallel = parallel_range_cubing(
+        table, executor=executor, n_partitions=n_partitions, aggregator=AGG
+    )
+    assert _range_set(parallel) == _range_set(serial)
+    assert _finalized(parallel) == _finalized(serial)
+
+
+@pytest.mark.parametrize("generator", sorted(TABLES))
+def test_byte_identical_across_executors(generator):
+    # Same partition count on every backend -> the very same merge
+    # sequence -> identical trie -> identical range order, byte for byte.
+    table = TABLES[generator]
+    dumps = [
+        pickle.dumps(
+            [
+                (r.specific, r.mask, r.state)
+                for r in parallel_range_cubing(
+                    table, executor=executor, n_partitions=4, aggregator=AGG
+                )
+            ]
+        )
+        for executor in EXECUTORS
+    ]
+    assert dumps[0] == dumps[1] == dumps[2]
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_dim_order_and_min_support(executor):
+    table = TABLES["zipf"]
+    order = (3, 1, 0, 2)
+    serial = range_cubing(table, dim_order=order, min_support=4)
+    parallel = parallel_range_cubing(
+        table, executor=executor, n_partitions=3, dim_order=order, min_support=4
+    )
+    assert _range_set(parallel) == _range_set(serial)
+
+
+def test_stage_stats_reported():
+    cube, stats = parallel_range_cubing_detailed(
+        make_paper_table(), executor="serial", n_partitions=2
+    )
+    for key in ("partition_s", "build_s", "merge_s", "cube_s", "total_seconds"):
+        assert stats[key] >= 0.0
+    assert stats["n_partitions"] == 2
+    assert stats["tries_merged"] == 2
+    assert stats["trie_nodes"] > 0
+    assert stats["executor"] == "serial"
+    assert stats["workers"] >= 1
+
+
+def test_empty_table():
+    schema = Schema.from_names(["a", "b"])
+    table = BaseTable(schema, np.zeros((0, 2), dtype=np.int64))
+    cube, stats = parallel_range_cubing_detailed(table, executor="serial")
+    assert cube.n_ranges == 0
+    assert stats["tries_merged"] == 0
+
+
+def test_invalid_partition_count():
+    with pytest.raises(ValueError):
+        parallel_range_cubing(make_paper_table(), n_partitions=0)
+
+
+def test_tree_merge_equals_monolithic():
+    table = _integer_measures(zipf_table(400, 4, 10, theta=1.2, seed=5))
+    monolithic = RangeTrie.build(table, AGG)
+    for n_parts in (1, 2, 3, 5, 8):
+        tries = [
+            build_trie_partition(p) for p in partition_payloads(table, n_parts, AGG)
+        ]
+        merged = tree_merge_tries(tries)
+        assert snapshot(merged.root) == snapshot(monolithic.root)
+        merged.check_invariants()
+    with pytest.raises(ValueError):
+        tree_merge_tries([])
+
+
+def test_trie_pickle_roundtrip():
+    trie = RangeTrie.build(make_paper_table(), AGG)
+    clone = pickle.loads(pickle.dumps(trie))
+    assert snapshot(clone.root) == snapshot(trie.root)
+    assert clone.n_dims == trie.n_dims
+    clone.check_invariants()
+
+
+def test_worker_task_builds_from_arrays():
+    table = make_paper_table()
+    (payload,) = partition_payloads(table, 1, AGG)
+    dim_codes, measures, agg = payload
+    assert isinstance(dim_codes, np.ndarray) and isinstance(measures, np.ndarray)
+    assert agg is AGG
+    trie = build_trie_partition(payload)
+    assert snapshot(trie.root) == snapshot(RangeTrie.build(table, AGG).root)

@@ -101,7 +101,7 @@ def test_order_parameter_is_transparent():
     table = make_paper_table()
     plain = compute_full_cube(table).as_dict()
     for order in [(3, 2, 1, 0), (1, 3, 0, 2), (0, 1, 2, 3)]:
-        cube = range_cubing(table, order=order)
+        cube = range_cubing(table, dim_order=order)
         assert cubes_equal(dict(cube.expand()), plain)
 
 
@@ -171,7 +171,7 @@ def test_iceberg_property(table):
 def test_any_dimension_order_gives_same_cube_contents(table):
     oracle = compute_full_cube(table).as_dict()
     order = tuple(reversed(range(table.n_dims)))
-    assert cubes_equal(dict(range_cubing(table, order=order).expand()), oracle)
+    assert cubes_equal(dict(range_cubing(table, dim_order=order).expand()), oracle)
 
 
 @settings(max_examples=30, deadline=None)

@@ -1,0 +1,109 @@
+"""Round-trip tests for the unified algorithm registry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import (
+    CubeAlgorithm,
+    available_algorithms,
+    get_algorithm,
+    register,
+)
+from repro.cube.full_cube import compute_full_cube
+from repro.data.synthetic import uniform_table
+from repro.table.base_table import BaseTable
+
+EXPECTED_NAMES = (
+    "range_cubing",
+    "parallel_range_cubing",
+    "buc",
+    "star_cubing",
+    "multiway",
+    "hcubing",
+    "c_cubing",
+    "condensed",
+    "quotient",
+    "dwarf",
+)
+
+
+def small_table() -> BaseTable:
+    table = uniform_table(80, 3, 5, seed=2)
+    # integer-valued measures: exact float sums across aggregation orders
+    return BaseTable(table.schema, table.dim_codes, np.floor(table.measures * 100))
+
+
+def test_every_expected_algorithm_is_registered():
+    assert set(EXPECTED_NAMES) <= set(available_algorithms())
+
+
+@pytest.mark.parametrize("name", EXPECTED_NAMES)
+def test_round_trip_matches_full_cube(name):
+    table = small_table()
+    record = get_algorithm(name)
+    result = record.run(table)
+    cells = record.cells(result)
+    full = compute_full_cube(table).as_dict()
+    if record.lossless:
+        assert cells == full
+    else:
+        # condensed representation: every stored cell is a real cube cell
+        # with the exact aggregate
+        assert cells
+        assert all(full.get(cell) == state for cell, state in cells.items())
+
+
+@pytest.mark.parametrize("name", ("range_cubing", "buc", "star_cubing", "hcubing"))
+def test_min_support_filters_cells(name):
+    table = small_table()
+    record = get_algorithm(name)
+    iceberg = record.cells(record.run(table, min_support=4))
+    full = compute_full_cube(table, min_support=4).as_dict()
+    assert iceberg == full
+
+
+def test_aliases_resolve_to_canonical_records():
+    assert get_algorithm("range") is get_algorithm("range_cubing")
+    assert get_algorithm("star") is get_algorithm("star_cubing")
+    assert get_algorithm("parallel") is get_algorithm("parallel_range_cubing")
+    assert get_algorithm("closed") is get_algorithm("c_cubing")
+    assert get_algorithm("Range-Cubing") is get_algorithm("range_cubing")
+
+
+def test_unknown_name_raises_with_available_list():
+    with pytest.raises(KeyError, match="range_cubing"):
+        get_algorithm("alien")
+
+
+def test_unsupported_parameters_raise():
+    table = small_table()
+    with pytest.raises(ValueError, match="dimension order"):
+        get_algorithm("multiway").run(table, dim_order=(2, 1, 0))
+    with pytest.raises(ValueError, match="iceberg"):
+        get_algorithm("dwarf").run(table, min_support=2)
+
+
+def test_run_detailed_times_any_algorithm():
+    table = small_table()
+    _, stats = get_algorithm("buc").run_detailed(table)
+    assert stats["total_seconds"] >= 0.0
+    _, stats = get_algorithm("range_cubing").run_detailed(table)
+    assert "trie_nodes" in stats  # native detailed runner used
+
+
+def test_register_rejects_duplicates():
+    with pytest.raises(ValueError, match="already registered"):
+        register(
+            CubeAlgorithm(
+                name="buc", runner=lambda table: None, description="dup"
+            )
+        )
+    with pytest.raises(ValueError, match="collides"):
+        register(
+            CubeAlgorithm(
+                name="fresh-name",
+                runner=lambda table: None,
+                description="alias clash",
+                aliases=("range",),
+            )
+        )

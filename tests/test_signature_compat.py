@@ -1,0 +1,124 @@
+"""Legacy call styles keep working (with DeprecationWarning) after the
+signature unification.
+
+Every entrypoint now takes its tuning parameters keyword-only as
+``aggregator`` / ``dim_order`` / ``min_support``; ``repro.compat``'s shim
+accepts the old positional style and the pre-rename ``order=`` keyword.
+"""
+
+import warnings
+
+import pytest
+
+from repro.baselines.buc import buc
+from repro.baselines.condensed import condensed_cube
+from repro.baselines.hcubing import h_cubing
+from repro.baselines.multiway import multiway
+from repro.baselines.star_cubing import star_cubing
+from repro.compat import legacy_call_shim
+from repro.core.range_cubing import range_cubing
+from repro.table.aggregates import SumCountAggregator
+
+from tests.conftest import make_paper_table
+
+AGG = SumCountAggregator(0)
+
+
+def _deprecated(fn, *args, **kwargs):
+    """Run fn asserting exactly one DeprecationWarning; return its result."""
+    with pytest.warns(DeprecationWarning):
+        return fn(*args, **kwargs)
+
+
+def test_range_cubing_legacy_positional_args():
+    table = make_paper_table()
+    modern = range_cubing(table, aggregator=AGG, dim_order=(3, 2, 1, 0), min_support=2)
+    legacy = _deprecated(range_cubing, table, AGG, (3, 2, 1, 0), 2)
+    assert {(r.specific, r.mask, r.state) for r in legacy} == {
+        (r.specific, r.mask, r.state) for r in modern
+    }
+
+
+def test_range_cubing_order_keyword_renamed():
+    table = make_paper_table()
+    modern = range_cubing(table, dim_order=(1, 0, 3, 2))
+    with pytest.warns(DeprecationWarning, match="renamed"):
+        legacy = range_cubing(table, order=(1, 0, 3, 2))
+    assert {(r.specific, r.mask) for r in legacy} == {
+        (r.specific, r.mask) for r in modern
+    }
+
+
+def test_baselines_accept_legacy_positional_args():
+    table = make_paper_table()
+    assert _deprecated(buc, table, AGG).as_dict() == buc(table, aggregator=AGG).as_dict()
+    assert (
+        _deprecated(star_cubing, table, AGG, (3, 2, 1, 0)).as_dict()
+        == star_cubing(table, aggregator=AGG, dim_order=(3, 2, 1, 0)).as_dict()
+    )
+    assert (
+        _deprecated(h_cubing, table, AGG, None, 2).as_dict()
+        == h_cubing(table, aggregator=AGG, min_support=2).as_dict()
+    )
+    assert (
+        _deprecated(multiway, table, AGG).as_dict()
+        == multiway(table, aggregator=AGG).as_dict()
+    )
+
+
+def test_baselines_accept_order_keyword():
+    table = make_paper_table()
+    with pytest.warns(DeprecationWarning, match="renamed"):
+        legacy = condensed_cube(table, order=(2, 0, 3, 1))
+    modern = condensed_cube(table, dim_order=(2, 0, 3, 1))
+    assert dict(legacy.expand()) == dict(modern.expand())
+
+
+def test_modern_calls_emit_no_warnings():
+    table = make_paper_table()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        range_cubing(table, aggregator=AGG, dim_order=(0, 1, 2, 3), min_support=1)
+        buc(table, min_support=2)
+        h_cubing(table, dim_order=(0, 1, 2, 3))
+
+
+def test_conflicting_positional_and_keyword_raises():
+    table = make_paper_table()
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError, match="multiple values"):
+            range_cubing(table, AGG, aggregator=AGG)
+
+
+def test_conflicting_order_and_dim_order_raises():
+    table = make_paper_table()
+    with pytest.raises(TypeError, match="replacement"):
+        range_cubing(table, order=(0, 1, 2, 3), dim_order=(0, 1, 2, 3))
+
+
+def test_too_many_positional_args_raises():
+    table = make_paper_table()
+    with pytest.raises(TypeError, match="positional argument"):
+        range_cubing(table, AGG, (0, 1, 2, 3), 1, "extra")
+
+
+def test_shim_maps_positionals_in_declared_order():
+    @legacy_call_shim("aggregator", "dim_order", "min_support")
+    def cube(table, *, aggregator=None, dim_order=None, min_support=1):
+        return (aggregator, dim_order, min_support)
+
+    with pytest.warns(DeprecationWarning, match="positionally"):
+        assert cube("t", "a", (1, 0)) == ("a", (1, 0), 1)
+    assert cube("t", dim_order=(1, 0)) == (None, (1, 0), 1)
+
+
+def test_shim_leaves_declared_order_keyword_alone():
+    # A function whose *new* signature legitimately declares ``order=``
+    # must not have it renamed out from under it.
+    @legacy_call_shim()
+    def ranked(table, *, order="asc"):
+        return order
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert ranked("t", order="desc") == "desc"

@@ -59,7 +59,7 @@ def test_spot_aggregates_against_base_scans(big_zipf):
 
 def test_weather_at_scale_compresses_hard():
     table = weather_table(6000, seed=31)
-    cube = range_cubing(table, order=tuple(range(table.n_dims)))
+    cube = range_cubing(table, dim_order=tuple(range(table.n_dims)))
     assert cube.tuple_ratio() < 0.25
     assert cube.n_cells == full_cube_size(table)
 
@@ -68,7 +68,7 @@ def test_injected_correlation_shows_in_marked_dims():
     table = correlated_table(
         3000, 5, 60, [FunctionalDependency((0,), (1,))], theta=1.0, seed=13
     )
-    cube = range_cubing(table, order=tuple(range(5)))
+    cube = range_cubing(table, dim_order=tuple(range(5)))
     # dimension 1 is implied by dimension 0, so ranges binding dim 0
     # should overwhelmingly carry dim 1 as a *marked* coordinate.
     binding_zero = [r for r in cube.ranges if r.specific[0] is not None]
