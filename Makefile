@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-thorough lint ci bench examples figures report claims clean
+.PHONY: install test test-thorough lint ci bench bench-smoke serve-demo examples figures report claims clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -25,6 +25,21 @@ ci:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# the CI smoke job: the serving bench (with its cached-path speedup floor)
+# plus one algorithm bench at the quick preset
+bench-smoke:
+	$(PYTHON) benchmarks/bench_serving.py --quick
+	REPRO_BENCH_PRESET=tiny $(PYTHON) -m pytest benchmarks/bench_point_queries.py --benchmark-only -q
+
+# end-to-end serving demo: generate a skewed table, serve it over HTTP on an
+# ephemeral port, and drive 4 concurrent clients (plus 2 append batches) at it
+serve-demo:
+	$(PYTHON) -c "from repro.data.synthetic import zipf_table; \
+		from repro.data.io import write_table_csv; \
+		write_table_csv(zipf_table(2000, 4, 20, 1.2, seed=7), '/tmp/repro_demo.csv')"
+	$(PYTHON) -m repro.cli workload /tmp/repro_demo.csv --measures 1 --serve \
+		--clients 4 --requests 200 --theta 1.1 --appends 2
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

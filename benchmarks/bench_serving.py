@@ -1,0 +1,189 @@
+"""Serving-path benchmarks: cached vs uncached queries, HTTP round trips.
+
+The serving layer's pitch is that a small LRU cache in front of the
+range-cube index absorbs the hot head of a Zipf-skewed query stream.
+This module measures that directly: the same skewed batch of point
+queries drained through
+
+* an engine with the cache disabled (every query reaches the index),
+* an engine with a warm cache (the head is a dict hit),
+* the JSON/HTTP front end (adds transport cost on top).
+
+Run under pytest-benchmark like the other bench modules, or standalone
+as a CI smoke check that also verifies the cached path is at least
+``MIN_SPEEDUP``x the uncached one::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick
+"""
+
+import time
+
+from repro.data.synthetic import zipf_probabilities
+from repro.serve import CubeServer, HTTPCubeClient, QueryEngine
+
+try:
+    from benchmarks.conftest import PRESET, cached_zipf, run_once
+except ModuleNotFoundError:  # executed as a script: put the repo root on the path
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    from benchmarks.conftest import PRESET, cached_zipf, run_once
+
+#: The acceptance floor for the cached:uncached throughput ratio.
+MIN_SPEEDUP = 5.0
+
+SCALES = {
+    "quick": {"n_rows": 1000, "n_dims": 5, "cardinality": 20, "n_queries": 2000},
+    "tiny": {"n_rows": 1500, "n_dims": 5, "cardinality": 25, "n_queries": 5000},
+    "small": {"n_rows": 5000, "n_dims": 5, "cardinality": 50, "n_queries": 20000},
+}
+PARAMS = SCALES["small" if PRESET == "small" else "tiny"]
+
+_CACHE: dict = {}
+
+
+def make_queries(table, n_queries: int, pool_size: int = 128, theta: float = 1.1):
+    """A Zipf-skewed batch of point-query requests over real base rows.
+
+    Cells come from actual tuples (projected to 1..3 bound dims) so the
+    uncached path does real index work instead of missing everywhere.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(11)
+    rows = table.dim_codes
+    pool = []
+    for i in range(pool_size):
+        row = rows[int(rng.integers(0, rows.shape[0]))]
+        n_bound = int(rng.integers(1, table.n_dims + 1))
+        bound = rng.choice(table.n_dims, size=n_bound, replace=False)
+        cell = [None] * table.n_dims
+        for d in bound:
+            cell[int(d)] = int(row[int(d)])
+        pool.append({"op": "point", "cell": cell})
+    popularity = zipf_probabilities(pool_size, theta)
+    picks = rng.choice(pool_size, size=n_queries, p=popularity)
+    return [pool[int(i)] for i in picks]
+
+
+def fixture():
+    if not _CACHE:
+        table = cached_zipf(
+            PARAMS["n_rows"], PARAMS["n_dims"], PARAMS["cardinality"], 1.2
+        )
+        _CACHE.update(
+            table=table, queries=make_queries(table, PARAMS["n_queries"])
+        )
+    return _CACHE
+
+
+def drain(engine: QueryEngine, queries) -> int:
+    hits = 0
+    for request in queries:
+        if engine.execute(request)["value"] is not None:
+            hits += 1
+    return hits
+
+
+def drain_http(client: HTTPCubeClient, queries) -> int:
+    hits = 0
+    for request in queries:
+        if client.query(request)["value"] is not None:
+            hits += 1
+    return hits
+
+
+def test_point_queries_uncached(benchmark):
+    f = fixture()
+    engine = QueryEngine.from_table(f["table"], cache_capacity=0)
+    engine.point([None] * f["table"].n_dims)  # build the index outside timing
+    hits = run_once(benchmark, drain, engine, f["queries"])
+    benchmark.extra_info.update(path="uncached", queries=len(f["queries"]), hits=hits)
+
+
+def test_point_queries_cached(benchmark):
+    f = fixture()
+    engine = QueryEngine.from_table(f["table"], cache_capacity=4096)
+    drain(engine, f["queries"])  # warm the cache
+    hits = run_once(benchmark, drain, engine, f["queries"])
+    stats = engine.cache.stats()
+    benchmark.extra_info.update(
+        path="cached", queries=len(f["queries"]), hits=hits,
+        hit_rate=round(stats.hit_rate, 4),
+    )
+
+
+def test_point_queries_http(benchmark):
+    f = fixture()
+    engine = QueryEngine.from_table(f["table"], cache_capacity=4096)
+    queries = f["queries"][: max(len(f["queries"]) // 10, 100)]
+    with CubeServer(engine, port=0) as server:
+        client = HTTPCubeClient(server.url)
+        drain_http(client, queries)  # warm cache + connection
+        hits = run_once(benchmark, drain_http, client, queries)
+        client.close()
+    benchmark.extra_info.update(path="http-cached", queries=len(queries), hits=hits)
+
+
+# ----------------------------------------------------------------------
+# standalone smoke mode (CI): print throughputs, enforce the speedup floor
+# ----------------------------------------------------------------------
+
+
+def _timed(fn, *args) -> tuple[int, float]:
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smallest scale (the CI smoke job)"
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=MIN_SPEEDUP,
+        help="fail unless cached/uncached throughput exceeds this ratio",
+    )
+    args = parser.parse_args(argv)
+    params = SCALES["quick"] if args.quick else PARAMS
+
+    table = cached_zipf(params["n_rows"], params["n_dims"], params["cardinality"], 1.2)
+    queries = make_queries(table, params["n_queries"])
+    print(
+        f"serving bench: {table.n_rows} rows x {table.n_dims} dims, "
+        f"{len(queries)} point queries (zipf-skewed over 128 distinct)"
+    )
+
+    uncached = QueryEngine.from_table(table, cache_capacity=0)
+    uncached.point([None] * table.n_dims)
+    _, cold_once = _timed(drain, uncached, queries)  # warm interpreter caches
+    hits, cold = _timed(drain, uncached, queries)
+
+    cached = QueryEngine.from_table(table, cache_capacity=4096)
+    drain(cached, queries)
+    _, warm = _timed(drain, cached, queries)
+    hit_rate = cached.cache.stats().hit_rate
+
+    n = len(queries)
+    speedup = cold / warm if warm else float("inf")
+    print(f"uncached: {n / cold:>12,.0f} queries/s  ({cold * 1e6 / n:.1f}us/query)")
+    print(
+        f"cached:   {n / warm:>12,.0f} queries/s  ({warm * 1e6 / n:.1f}us/query, "
+        f"{100 * hit_rate:.1f}% hit rate)"
+    )
+    print(f"speedup: {speedup:.1f}x (floor {args.min_speedup:g}x); {hits} non-empty")
+    if speedup < args.min_speedup:
+        print("FAIL: cached path below the speedup floor")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

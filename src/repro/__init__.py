@@ -32,7 +32,10 @@ The packages:
 * :mod:`repro.exec` — pluggable executors (serial / thread / process)
   behind :func:`parallel_range_cubing`, the partition-parallel pipeline;
 * :mod:`repro.baselines.registry` — one dispatch surface over every
-  algorithm: ``get_algorithm("buc").run(table, min_support=4)``.
+  algorithm: ``get_algorithm("buc").run(table, min_support=4)``;
+* :mod:`repro.serve` — the serving subsystem: a resident cube behind a
+  versioned result cache, a JSON/HTTP front end, incremental refresh and
+  a latency-instrumented workload driver.
 """
 
 from repro.baselines.registry import (
@@ -66,6 +69,16 @@ from repro.exec.executors import (
     available_executors,
     get_executor,
 )
+from repro.metrics.histogram import LatencyHistogram
+from repro.serve import (
+    CubeServer,
+    CubeStore,
+    HTTPCubeClient,
+    InProcessClient,
+    LRUCache,
+    QueryEngine,
+    WorkloadDriver,
+)
 from repro.table.aggregates import (
     Aggregator,
     AvgAggregator,
@@ -88,9 +101,15 @@ __all__ = [
     "CountAggregator",
     "CubeAlgorithm",
     "CubeQuery",
+    "CubeServer",
+    "CubeStore",
     "CuboidLattice",
     "Executor",
+    "HTTPCubeClient",
     "IncrementalRangeCuber",
+    "InProcessClient",
+    "LRUCache",
+    "LatencyHistogram",
     "Dimension",
     "MaterializedCube",
     "MaxAggregator",
@@ -98,6 +117,7 @@ __all__ = [
     "MinAggregator",
     "MultiAggregator",
     "ProcessExecutor",
+    "QueryEngine",
     "Range",
     "RangeCube",
     "RangeCubeIndex",
@@ -108,6 +128,7 @@ __all__ = [
     "SerialExecutor",
     "SumCountAggregator",
     "ThreadExecutor",
+    "WorkloadDriver",
     "apex_cell",
     "available_algorithms",
     "available_executors",

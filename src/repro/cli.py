@@ -7,6 +7,9 @@
     python -m repro algorithms
     python -m repro stats t.csv --measures 1
     python -m repro query cube.csv --bind 0=3 --bind 2=7
+    python -m repro serve t.csv --measures 1 --port 8642
+    python -m repro workload http://127.0.0.1:8642 --clients 4
+    python -m repro workload t.csv --measures 1 --serve --clients 4
     python -m repro experiment fig9 --preset tiny
     python -m repro report --preset tiny --out report.md
     python -m repro claims --preset tiny
@@ -18,6 +21,12 @@ registered name; ``stats`` prints the table's shape plus the trie /
 H-tree node comparison; ``query`` answers point queries against a saved
 cube by dimension *codes*; ``experiment`` dispatches to the per-figure
 harness drivers.
+
+``serve`` holds a cube resident behind the JSON/HTTP front end of
+:mod:`repro.serve`; ``workload`` drives a running server (or a table it
+serves itself with ``--serve``, or queries in-process) with a
+Zipf-skewed query mix and prints throughput, cache hit rate and
+p50/p95/p99 latency.
 """
 
 from __future__ import annotations
@@ -159,6 +168,84 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_engine(args: argparse.Namespace):
+    from repro.serve import QueryEngine
+
+    table = read_table_csv(args.table, n_measures=args.measures)
+    return QueryEngine.from_table(
+        table, min_support=args.min_support, cache_capacity=args.cache
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import CubeServer
+
+    engine = _build_engine(args)
+    server = CubeServer(engine, host=args.host, port=args.port, verbose=args.verbose)
+    stats = engine.stats()
+    print(
+        f"serving {stats['rows_absorbed']:,} rows as {stats['n_ranges']:,} ranges "
+        f"({stats['n_dims']} dims) on {server.url}"
+    )
+    print("endpoints: GET /healthz /stats, POST /query /append  (ctrl-c to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.serve import CubeServer, HTTPCubeClient, InProcessClient, WorkloadDriver
+    from repro.serve.workload import WorkloadMix
+
+    try:
+        mix = WorkloadMix.parse(args.mix) if args.mix else None
+        if mix is not None:
+            mix.normalized()  # surface zero/negative weights before any setup
+    except ValueError as exc:  # e.g. "unknown op 'nope' in mix"
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = None
+    if args.target.startswith(("http://", "https://")):
+        url = args.target
+        factory = lambda: HTTPCubeClient(url)  # noqa: E731
+        transport = f"HTTP -> {url}"
+    else:
+        args.table = args.target
+        engine = _build_engine(args)
+        if args.serve:
+            server = CubeServer(engine, port=0)
+            url = server.start()
+            factory = lambda: HTTPCubeClient(url)  # noqa: E731
+            transport = f"HTTP -> {url} (self-served)"
+        else:
+            factory = lambda: InProcessClient(engine)  # noqa: E731
+            transport = "in-process"
+    try:
+        driver = WorkloadDriver(
+            factory,
+            mix=mix,
+            theta=args.theta,
+            pool_size=args.pool,
+            seed=args.seed,
+            append_batches=args.appends,
+            append_rows=args.append_rows,
+        )
+        report = driver.run(clients=args.clients, requests_per_client=args.requests)
+    except ValueError as exc:  # e.g. "clients and requests_per_client must be positive"
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if server is not None:
+            server.stop()
+    print(f"transport: {transport}")
+    print(report.format())
+    return 1 if report.errors else 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.harness import (
         ablations,
@@ -279,6 +366,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind a dimension index to a value code (repeatable)",
     )
     p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("serve", help="serve a cube over JSON/HTTP")
+    p.add_argument("table", help="CSV base table to cube and hold resident")
+    p.add_argument("--measures", type=int, default=0, help="trailing measure columns")
+    p.add_argument("--min-support", type=int, default=1)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642, help="0 picks an ephemeral port")
+    p.add_argument("--cache", type=int, default=4096, help="result-cache entries (0 = off)")
+    p.add_argument("--verbose", action="store_true", help="log every request")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("workload", help="drive a serving workload, print latencies")
+    p.add_argument(
+        "target",
+        help="a running server's http://host:port, or a CSV table to serve",
+    )
+    p.add_argument("--measures", type=int, default=0, help="trailing measure columns")
+    p.add_argument("--min-support", type=int, default=1)
+    p.add_argument(
+        "--serve",
+        action="store_true",
+        help="serve a CSV target over a local HTTP server instead of in-process",
+    )
+    p.add_argument("--cache", type=int, default=4096, help="result-cache entries (0 = off)")
+    p.add_argument("--clients", type=int, default=4, help="concurrent clients")
+    p.add_argument("--requests", type=int, default=200, help="requests per client")
+    p.add_argument("--theta", type=float, default=1.1, help="zipf skew of query popularity")
+    p.add_argument("--pool", type=int, default=256, help="distinct queries in the mix")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--mix",
+        default=None,
+        help="op weights, e.g. point=0.7,rollup=0.15,drilldown=0.1,slice=0.05",
+    )
+    p.add_argument("--appends", type=int, default=0, help="append batches during the run")
+    p.add_argument("--append-rows", type=int, default=32, help="rows per append batch")
+    p.set_defaults(func=_cmd_workload)
 
     p = sub.add_parser("experiment", help="run a paper experiment driver")
     p.add_argument(

@@ -22,6 +22,7 @@ Lakshmanan et al., which is what preserves roll-up/drill-down semantics
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator
 
 from repro.cube.cell import Cell
@@ -113,6 +114,19 @@ class RangeCube:
         self.aggregator = aggregator
         self.ranges = ranges
         self._index = None
+        self._index_lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        # The lock is not picklable and the index is cheaper to rebuild
+        # than to ship; drop both.
+        state = self.__dict__.copy()
+        state["_index"] = None
+        del state["_index_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._index_lock = threading.Lock()
 
     # -- size ------------------------------------------------------------
 
@@ -200,25 +214,37 @@ class RangeCube:
         """Expand into a plain cell dictionary (for tests and small cubes)."""
         return MaterializedCube(self.n_dims, self.aggregator, dict(self.expand()))
 
+    def _ensure_index(self):
+        """The point-query index, built on first use.
+
+        Double-checked under a lock: the serving layer issues first
+        lookups from many threads at once, and an unguarded lazy build
+        would construct the index twice (or let a reader observe a
+        half-initialized attribute).  The fast path stays a single
+        attribute read.
+        """
+        index = self._index
+        if index is None:
+            with self._index_lock:
+                index = self._index
+                if index is None:
+                    from repro.core.range_index import RangeCubeIndex
+
+                    index = RangeCubeIndex(self)
+                    self._index = index
+        return index
+
     def lookup(self, cell: Cell):
         """Aggregate state of ``cell``, or None if the cell is empty.
 
         Delegates to a lazily built :class:`~repro.core.range_index.RangeCubeIndex`.
         """
-        if self._index is None:
-            from repro.core.range_index import RangeCubeIndex
-
-            self._index = RangeCubeIndex(self)
-        found = self._index.find(cell)
+        found = self._ensure_index().find(cell)
         return None if found is None else found.state
 
     def range_of(self, cell: Cell):
         """The unique range containing ``cell`` (None if the cell is empty)."""
-        if self._index is None:
-            from repro.core.range_index import RangeCubeIndex
-
-            self._index = RangeCubeIndex(self)
-        return self._index.find(cell)
+        return self._ensure_index().find(cell)
 
     def value(self, cell: Cell) -> dict[str, float] | None:
         state = self.lookup(cell)

@@ -13,8 +13,9 @@ subset of ``q``'s bound dimensions relaxed to ``*``.  The index therefore
 hashes ranges by their general endpoint and probes the ``2**m`` candidate
 generalizations of an ``m``-dimensional query cell, verifying each hit
 against the specific endpoint.  Typical analytical queries bind few
-dimensions, so the probe count stays small; a guard refuses pathologically
-wide query cells instead of silently exploding.
+dimensions, so the probe count stays small; wide query cells degrade
+gracefully to a linear scan of the ranges (which both paths answer
+identically) instead of enumerating an exponential probe set.
 """
 
 from __future__ import annotations
@@ -22,21 +23,40 @@ from __future__ import annotations
 from repro.core.range_cube import Range, RangeCube
 from repro.cube.cell import Cell, bound_dims
 
-#: Refuse to probe more than 2**MAX_PROBE_DIMS generalizations per lookup.
+#: Never probe more than 2**MAX_PROBE_DIMS generalizations per lookup;
+#: wider cells always take the linear-scan path.
 MAX_PROBE_DIMS = 24
+
+#: Prefer the scan once the probe count exceeds this multiple of the
+#: range count — hash probes are cheaper per step than ``Range.contains``,
+#: but not by more than this factor.
+_SCAN_COST_FACTOR = 4
 
 
 class RangeCubeIndex:
-    """Hash index from general endpoints to ranges."""
+    """Hash index from general endpoints to ranges.
+
+    ``scan_fallbacks`` counts the lookups answered by the linear scan
+    (wide cells, or probe sets larger than the cube itself) — useful for
+    spotting workloads that defeat the hash index.
+    """
 
     def __init__(self, cube: RangeCube) -> None:
         self.cube = cube
+        self.scan_fallbacks = 0
         self._by_general: dict[Cell, list[Range]] = {}
         for r in cube.ranges:
             self._by_general.setdefault(r.general, []).append(r)
 
     def __len__(self) -> int:
         return sum(len(v) for v in self._by_general.values())
+
+    def _scan(self, cell: Cell) -> Range | None:
+        self.scan_fallbacks += 1
+        for r in self.cube.ranges:
+            if r.contains(cell):
+                return r
+        return None
 
     def find(self, cell: Cell) -> Range | None:
         """The unique range containing ``cell`` (None if the cell is empty)."""
@@ -45,12 +65,10 @@ class RangeCubeIndex:
                 f"query cell has {len(cell)} dims, cube has {self.cube.n_dims}"
             )
         bound = bound_dims(cell)
-        if len(bound) > MAX_PROBE_DIMS:
-            # Fall back to a scan rather than enumerating 2**m subsets.
-            for r in self.cube.ranges:
-                if r.contains(cell):
-                    return r
-            return None
+        if len(bound) > MAX_PROBE_DIMS or (
+            1 << len(bound)
+        ) > _SCAN_COST_FACTOR * len(self.cube.ranges):
+            return self._scan(cell)
         base = list(cell)
         for subset in range(1 << len(bound)):
             candidate = base[:]

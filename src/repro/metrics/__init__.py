@@ -9,9 +9,12 @@
 
 Beyond the paper, :class:`~repro.metrics.timing.StageTimings` breaks a
 pipeline's wall-clock into named stages — the parallel partitioned engine
-reports its partition/build/merge/cube split through it.
+reports its partition/build/merge/cube split through it — and
+:class:`~repro.metrics.histogram.LatencyHistogram` collects per-request
+serving latencies into geometric buckets for p50/p95/p99 reporting.
 """
 
+from repro.metrics.histogram import LatencyHistogram
 from repro.metrics.memory import (
     htree_bytes,
     memory_report,
@@ -29,6 +32,7 @@ from repro.metrics.timing import StageTimings, Timer, time_call
 
 __all__ = [
     "CompressionReport",
+    "LatencyHistogram",
     "StageTimings",
     "Timer",
     "compression_report",

@@ -1,0 +1,65 @@
+"""``repro.serve`` — the concurrent cube-serving subsystem.
+
+Everything before this package computes a cube once and exits; this
+package keeps one resident and answers a stream of requests, which is
+the end state the related serving-oriented work (HaCube's
+materialize-then-maintain model, Gray et al.'s interactive OLAP framing)
+treats as the point of cube computation in the first place.  It leans
+directly on the paper's format-preserving property (Section 4): a range
+cube answers the same cell lookups as a plain cube, so the query, index
+and persistence layers built earlier slot underneath a server unchanged.
+
+The pieces, bottom up:
+
+* :class:`~repro.serve.cache.LRUCache` — thread-safe, size-bounded
+  result cache with hit/miss/eviction counters;
+* :class:`~repro.serve.store.CubeStore` — named cube persistence
+  (resident trie + schema) with atomic file replacement;
+* :class:`~repro.serve.engine.QueryEngine` — point/roll-up/drill-down/
+  slice queries over a versioned cube snapshot, with a serialized write
+  path that appends fact batches and swaps in a fresh cube atomically;
+* :class:`~repro.serve.http.CubeServer` — a stdlib threaded JSON/HTTP
+  front end over one engine;
+* :class:`~repro.serve.client.InProcessClient` /
+  :class:`~repro.serve.client.HTTPCubeClient` — the two transports
+  behind one client interface;
+* :class:`~repro.serve.workload.WorkloadDriver` — Zipf-skewed read-heavy
+  workloads over N concurrent clients, reported with throughput,
+  p50/p95/p99 latency and the observed cache hit rate.
+
+Quick start::
+
+    from repro.data.synthetic import zipf_table
+    from repro.serve import QueryEngine, CubeServer, InProcessClient
+
+    engine = QueryEngine.from_table(zipf_table(5000, 5, 50))
+    engine.point([0, None, None, None, None])   # finalized aggregates
+    with CubeServer(engine, port=0) as server:  # JSON over HTTP
+        ...                                     # POST {url}/query
+
+The CLI front ends: ``repro serve`` and ``repro workload``.
+"""
+
+from repro.serve.cache import CacheStats, LRUCache
+from repro.serve.client import HTTPCubeClient, InProcessClient, ServingClient
+from repro.serve.engine import CubeVersion, QueryEngine, ServeError
+from repro.serve.http import CubeServer
+from repro.serve.store import CubeStore, StoredCube
+from repro.serve.workload import WorkloadDriver, WorkloadMix, WorkloadReport
+
+__all__ = [
+    "CacheStats",
+    "CubeServer",
+    "CubeStore",
+    "CubeVersion",
+    "HTTPCubeClient",
+    "InProcessClient",
+    "LRUCache",
+    "QueryEngine",
+    "ServeError",
+    "ServingClient",
+    "StoredCube",
+    "WorkloadDriver",
+    "WorkloadMix",
+    "WorkloadReport",
+]

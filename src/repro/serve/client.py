@@ -1,0 +1,139 @@
+"""Clients for the serving layer: in-process and HTTP, one interface.
+
+The workload driver takes a *client factory* so the same driver measures
+both transports: :class:`InProcessClient` calls the engine directly
+(isolates engine + cache cost), :class:`HTTPCubeClient` goes through the
+JSON front end with a persistent connection per client (adds transport
+cost, exercises the threaded server).  Both raise :class:`ServeError`
+for requests the engine rejects, so callers handle errors uniformly.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Sequence
+from urllib.parse import urlsplit
+
+from repro.serve.engine import QueryEngine, ServeError
+
+
+class ServingClient:
+    """The protocol every serving client implements."""
+
+    def query(self, request: dict) -> dict:
+        """Execute one read request (``op``/``cell``/... as in the engine)."""
+        raise NotImplementedError
+
+    def append(self, rows: Sequence[Sequence[int]], measures=None) -> dict:
+        """Append a fact batch; returns ``{"version": N, "rows": n}``."""
+        raise NotImplementedError
+
+    def stats(self) -> dict:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # convenience ------------------------------------------------------
+
+    def point(self, cell: Sequence[int | None]) -> dict | None:
+        """Finalized aggregates of one cell (None when empty)."""
+        return self.query({"op": "point", "cell": list(cell)})["value"]
+
+
+class InProcessClient(ServingClient):
+    """Direct calls into a resident :class:`QueryEngine` (no transport)."""
+
+    def __init__(self, engine: QueryEngine) -> None:
+        self.engine = engine
+
+    def query(self, request: dict) -> dict:
+        return self.engine.execute(request)
+
+    def append(self, rows: Sequence[Sequence[int]], measures=None) -> dict:
+        version = self.engine.append(rows, measures)
+        return {"version": version, "rows": len(rows)}
+
+    def stats(self) -> dict:
+        return self.engine.stats()
+
+    def __repr__(self) -> str:
+        return f"InProcessClient({self.engine!r})"
+
+
+class HTTPCubeClient(ServingClient):
+    """JSON over a persistent HTTP connection to a :class:`CubeServer`.
+
+    Not thread-safe (one connection): give each workload client its own
+    instance — which is what the driver's factory does anyway.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme != "http" or not parts.hostname:
+            raise ValueError(f"expected an http://host:port URL, got {base_url!r}")
+        self.base_url = base_url.rstrip("/")
+        self._conn = http.client.HTTPConnection(
+            parts.hostname, parts.port or 80, timeout=timeout
+        )
+
+    def _connect(self) -> None:
+        if self._conn.sock is None:
+            self._conn.connect()
+            # Mirror the server: without TCP_NODELAY every small request
+            # pays the Nagle / delayed-ACK round trip (~40ms).
+            self._conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {} if body is None else {"Content-Type": "application/json"}
+        try:
+            self._connect()
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        except (ConnectionError, http.client.HTTPException):
+            # One reconnect: the server may have closed an idle keep-alive.
+            self._conn.close()
+            self._connect()
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        try:
+            decoded = json.loads(raw)
+        except json.JSONDecodeError:
+            raise ServeError(
+                f"non-JSON response ({response.status}) from {path}: {raw[:200]!r}"
+            ) from None
+        if response.status != 200:
+            raise ServeError(decoded.get("error", f"HTTP {response.status} from {path}"))
+        return decoded
+
+    def query(self, request: dict) -> dict:
+        return self._request("POST", "/query", request)
+
+    def append(self, rows: Sequence[Sequence[int]], measures=None) -> dict:
+        payload: dict = {"rows": [list(r) for r in rows]}
+        if measures is not None:
+            payload["measures"] = [list(m) for m in measures]
+        return self._request("POST", "/append", payload)
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __repr__(self) -> str:
+        return f"HTTPCubeClient({self.base_url!r})"

@@ -1,0 +1,383 @@
+"""The serving query engine: a resident cube behind a versioned cache.
+
+One :class:`QueryEngine` owns three pieces of state:
+
+* an :class:`~repro.core.incremental.IncrementalRangeCuber` — the write
+  path.  Fact batches are appended into its resident trie; only the
+  single writer (serialized by a lock) ever touches it.
+* a :class:`CubeVersion` — the read path: an immutable bundle of the
+  emitted :class:`~repro.core.range_cube.RangeCube`, its point-query
+  index and a :class:`~repro.cube.query.CubeQuery`, stamped with a
+  monotonically increasing version number.  Readers snapshot the current
+  bundle once per request and never look back, so a concurrent refresh
+  cannot tear a response: every answer comes entirely from the pre- or
+  the post-refresh cube.
+* an :class:`~repro.serve.cache.LRUCache` of finalized results.  Keys
+  embed the version number, so entries cached against an old cube can
+  never be returned for a new one even before the post-swap
+  ``invalidate_all`` (which exists to free the memory, not for
+  correctness).
+
+The JSON-facing surface is :meth:`QueryEngine.execute`, shared verbatim
+by the HTTP front end and the in-process client — a request is a plain
+dict (``{"op": "point", "cell": [0, None, 3]}``), a response is a plain
+dict, and every cell travels as a list with ``null`` for ``*``.
+Dimension codes are the integers of the encoded base table, exactly as
+in ``repro query --bind``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.core.incremental import IncrementalRangeCuber
+from repro.core.range_cube import RangeCube
+from repro.cube.cell import Cell
+from repro.cube.query import CubeQuery
+from repro.serve.cache import LRUCache
+from repro.table.aggregates import Aggregator, default_aggregator
+from repro.table.base_table import BaseTable
+from repro.table.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.store import CubeStore
+
+
+class ServeError(ValueError):
+    """A malformed or unanswerable request (HTTP layer maps this to 400)."""
+
+
+class CubeVersion:
+    """One immutable generation of the served cube.
+
+    Readers hold a reference for the duration of a request; the engine
+    swaps in a fresh instance on refresh and never mutates an old one.
+    """
+
+    __slots__ = ("version", "cube", "schema", "query")
+
+    def __init__(self, version: int, cube: RangeCube, schema: Schema) -> None:
+        self.version = version
+        self.cube = cube
+        self.schema = schema
+        self.query = CubeQuery(cube, schema, table=None)
+
+
+class QueryEngine:
+    """Point/roll-up/drill-down/slice queries over a refreshable cube."""
+
+    #: Ops accepted by :meth:`execute`.
+    OPS = ("point", "rollup", "drilldown", "slice")
+
+    def __init__(
+        self,
+        cuber: IncrementalRangeCuber,
+        schema: Schema,
+        *,
+        min_support: int = 1,
+        cache_capacity: int = 1024,
+        store: "CubeStore | None" = None,
+        name: str | None = None,
+        initial_version: int = 0,
+    ) -> None:
+        if schema.n_dims != cuber.trie.n_dims:
+            raise ValueError(
+                f"schema has {schema.n_dims} dims, cuber has {cuber.trie.n_dims}"
+            )
+        if store is not None and name is None:
+            raise ValueError("a write-through store needs a cube name")
+        self._cuber = cuber
+        self._min_support = min_support
+        self._store = store
+        self._name = name
+        self._write_lock = threading.Lock()
+        self._max_codes = [
+            (c or 0) - 1 if c is not None else -1 for c in schema.cardinalities
+        ]
+        self._measure_names = schema.measure_names
+        self._dimension_names = schema.dimension_names
+        # A plain attribute assignment swaps versions atomically.
+        self._version = CubeVersion(
+            initial_version, cuber.cube(min_support), self._current_schema()
+        )
+        self.cache = LRUCache(cache_capacity)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_table(
+        cls,
+        table: BaseTable,
+        *,
+        aggregator: Aggregator | None = None,
+        min_support: int = 1,
+        cache_capacity: int = 1024,
+    ) -> "QueryEngine":
+        """Build the resident trie from ``table`` and serve its cube."""
+        agg = aggregator or default_aggregator(table.n_measures)
+        cuber = IncrementalRangeCuber(table.n_dims, agg)
+        cuber.insert_table(table)
+        return cls(
+            cuber,
+            table.schema,
+            min_support=min_support,
+            cache_capacity=cache_capacity,
+        )
+
+    def _current_schema(self) -> Schema:
+        """The latest schema, cardinalities grown to cover appended codes."""
+        base = Schema.from_names(self._dimension_names, self._measure_names)
+        dims = tuple(
+            d.with_cardinality(max(self._max_codes[i] + 1, 0))
+            for i, d in enumerate(base.dimensions)
+        )
+        return Schema(dims, base.measures)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        return self._version.version
+
+    def snapshot(self) -> CubeVersion:
+        """The current cube generation (stable for the caller's lifetime)."""
+        return self._version
+
+    def _resolve_dim(self, snap: CubeVersion, dim) -> int:
+        if isinstance(dim, bool) or not isinstance(dim, (int, str)):
+            raise ServeError(f"dim must be an index or a name, got {dim!r}")
+        if isinstance(dim, str):
+            try:
+                return snap.schema.dimension_index(dim)
+            except KeyError:
+                raise ServeError(f"no dimension named {dim!r}") from None
+        if not 0 <= dim < snap.schema.n_dims:
+            raise ServeError(f"dimension index {dim} out of range")
+        return dim
+
+    def _normalize_cell(self, snap: CubeVersion, request: Mapping) -> Cell:
+        """The query cell from a request's ``cell`` list or ``bindings`` map."""
+        n = snap.schema.n_dims
+        if request.get("cell") is not None:
+            raw = request["cell"]
+            if not isinstance(raw, (list, tuple)) or len(raw) != n:
+                raise ServeError(f"cell must be a list of {n} entries")
+            cell = []
+            for v in raw:
+                if v is None:
+                    cell.append(None)
+                elif isinstance(v, int) and not isinstance(v, bool) and v >= 0:
+                    cell.append(v)
+                else:
+                    raise ServeError(f"cell entries are codes or null, got {v!r}")
+            return tuple(cell)
+        if request.get("bindings") is not None:
+            bindings = request["bindings"]
+            if not isinstance(bindings, Mapping):
+                raise ServeError("bindings must be a {dimension: code} mapping")
+            cell: list = [None] * n
+            for key, value in bindings.items():
+                if isinstance(key, str) and key.isdigit():
+                    key = int(key)  # JSON object keys arrive as strings
+                dim = self._resolve_dim(snap, key)
+                if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                    raise ServeError(f"binding for {key!r} must be a code, got {value!r}")
+                cell[dim] = value
+            return tuple(cell)
+        raise ServeError("request needs a 'cell' list or a 'bindings' mapping")
+
+    @staticmethod
+    def _pair(cell: Cell, value) -> dict:
+        return {"cell": list(cell), "value": value}
+
+    def _answer(self, snap: CubeVersion, op: str, request: Mapping) -> dict:
+        query = snap.query
+        if op == "point":
+            cell = self._normalize_cell(snap, request)
+            state = snap.cube.lookup(cell)
+            value = None if state is None else snap.cube.aggregator.finalize(state)
+            return {"op": op, "version": snap.version, **self._pair(cell, value)}
+        if op == "rollup":
+            cell = self._normalize_cell(snap, request)
+            dim = self._resolve_dim(snap, request.get("dim"))
+            if cell[dim] is None:
+                raise ServeError(f"dimension {dim} is already * in the query cell")
+            up, value = query.roll_up(cell, snap.schema.dimensions[dim].name)
+            return {"op": op, "version": snap.version, "dim": dim, **self._pair(up, value)}
+        if op == "drilldown":
+            cell = self._normalize_cell(snap, request)
+            dim = self._resolve_dim(snap, request.get("dim"))
+            if cell[dim] is not None:
+                raise ServeError(f"dimension {dim} is already bound in the query cell")
+            children = query.drill_down(cell, snap.schema.dimensions[dim].name)
+            return {
+                "op": op,
+                "version": snap.version,
+                "dim": dim,
+                "children": [self._pair(c, v) for c, v in children],
+            }
+        if op == "slice":
+            cell = self._normalize_cell(snap, request)
+            children = query.slice(cell)
+            return {
+                "op": op,
+                "version": snap.version,
+                "children": [self._pair(c, v) for c, v in children],
+            }
+        raise ServeError(f"unknown op {op!r}; supported: {', '.join(self.OPS)}")
+
+    def _cache_key(self, snap: CubeVersion, op: str, request: Mapping):
+        """The cache key for a request, built without full validation.
+
+        The hot path must not pay the per-entry validation loop on every
+        repeat request, so the key uses the raw ``cell`` list (or the
+        canonicalized bindings) plus the raw ``dim``.  A malformed
+        request therefore simply misses and fails validation in
+        :meth:`_answer`; the only laxity is that equality-compatible
+        spellings of a code (``1.0``, ``True``) can hit an entry cached
+        for the int — they denote the same cell.
+        """
+        raw = request.get("cell")
+        if isinstance(raw, (list, tuple)):
+            cell = tuple(raw)
+        else:
+            cell = self._normalize_cell(snap, request)
+        if op in ("rollup", "drilldown"):
+            return (snap.version, op, cell, request.get("dim"))
+        return (snap.version, op, cell)
+
+    def execute(self, request: Mapping) -> dict:
+        """Answer one JSON-shaped request, through the result cache.
+
+        The response carries ``"cached": True`` when it was served from
+        the LRU cache (same cube version, same canonical query).
+        """
+        if not isinstance(request, Mapping):
+            raise ServeError("request must be a JSON object")
+        op = request.get("op", "point")
+        if op not in self.OPS:
+            raise ServeError(f"unknown op {op!r}; supported: {', '.join(self.OPS)}")
+        snap = self._version
+        key = self._cache_key(snap, op, request)
+        try:
+            hit = self.cache.get(key)
+        except TypeError:  # unhashable entries in the raw cell
+            self._normalize_cell(snap, request)  # raises the precise ServeError
+            raise
+        if hit is not None:
+            return hit
+        response = self._answer(snap, op, request)
+        # The cached entry is pre-marked and returned by reference on
+        # hits, so it must never be mutated by callers (the HTTP layer
+        # serializes it, the clients treat responses as read-only).
+        self.cache.put(key, dict(response, cached=True))
+        return dict(response, cached=False)
+
+    # convenience wrappers for in-process use -------------------------------
+
+    def point(self, cell: Sequence[int | None]) -> dict | None:
+        """Finalized aggregates of one cell, None when the cell is empty."""
+        return self.execute({"op": "point", "cell": list(cell)})["value"]
+
+    def stats(self) -> dict:
+        """A JSON-able snapshot of the engine (the ``/stats`` endpoint)."""
+        snap = self._version
+        cache = self.cache.stats()
+        return {
+            "version": snap.version,
+            "n_dims": snap.schema.n_dims,
+            "n_measures": len(self._measure_names),
+            "dimension_names": list(self._dimension_names),
+            "cardinalities": list(snap.schema.cardinalities),
+            "n_ranges": snap.cube.n_ranges,
+            "rows_absorbed": self._cuber.n_rows_absorbed,
+            "trie_nodes": self._cuber.trie_nodes,
+            "min_support": self._min_support,
+            "cache": {
+                "capacity": cache.capacity,
+                "size": cache.size,
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "evictions": cache.evictions,
+                "invalidations": cache.invalidations,
+                "hit_rate": cache.hit_rate,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def _validate_rows(self, rows, measures):
+        n = self._cuber.trie.n_dims
+        n_meas = len(self._measure_names)
+        if not rows:
+            raise ServeError("append needs at least one row")
+        if measures is None:
+            measures = [[0.0] * n_meas] * len(rows) if n_meas else [()] * len(rows)
+        if len(measures) != len(rows):
+            raise ServeError(f"{len(rows)} rows but {len(measures)} measure rows")
+        clean_rows = []
+        clean_measures = []
+        for row, meas in zip(rows, measures):
+            if len(row) != n:
+                raise ServeError(f"row {list(row)!r} has {len(row)} dims, cube has {n}")
+            if any(not isinstance(v, int) or isinstance(v, bool) or v < 0 for v in row):
+                raise ServeError(f"row {list(row)!r} must contain non-negative codes")
+            if len(meas) != n_meas:
+                raise ServeError(
+                    f"measure row {list(meas)!r} has {len(meas)} values, expected {n_meas}"
+                )
+            clean_rows.append(tuple(int(v) for v in row))
+            clean_measures.append(tuple(float(v) for v in meas))
+        return clean_rows, clean_measures
+
+    def append(self, rows: Sequence[Sequence[int]], measures=None) -> int:
+        """Absorb a batch of encoded fact rows and refresh the served cube.
+
+        Returns the new version number.  The refresh is atomic from the
+        readers' point of view: they keep answering from the old
+        :class:`CubeVersion` until the single attribute swap, after which
+        every new request sees the new cube and the cache entries of the
+        old version can no longer be returned (the version is part of the
+        cache key); ``invalidate_all`` then reclaims their memory.
+        """
+        clean_rows, clean_measures = self._validate_rows(rows, measures)
+        with self._write_lock:
+            for row, meas in zip(clean_rows, clean_measures):
+                self._cuber.insert_row(row, meas)
+                for d, v in enumerate(row):
+                    if v > self._max_codes[d]:
+                        self._max_codes[d] = v
+            new = CubeVersion(
+                self._version.version + 1,
+                self._cuber.cube(self._min_support),
+                self._current_schema(),
+            )
+            self._version = new  # the atomic swap
+            self.cache.invalidate_all()
+            if self._store is not None:
+                self._store.save(
+                    self._name,
+                    self._cuber,
+                    new.schema,
+                    min_support=self._min_support,
+                    engine_version=new.version,
+                )
+        return new.version
+
+    def append_table(self, table: BaseTable) -> int:
+        """Absorb a whole :class:`BaseTable` batch (same arity)."""
+        return self.append(table.dim_rows(), table.measure_rows())
+
+    def __repr__(self) -> str:
+        snap = self._version
+        return (
+            f"QueryEngine(v{snap.version}, {snap.cube.n_ranges} ranges, "
+            f"{self._cuber.n_rows_absorbed} rows absorbed)"
+        )

@@ -1,0 +1,173 @@
+"""A stdlib JSON/HTTP front end over one :class:`QueryEngine`.
+
+Endpoints (all bodies are JSON):
+
+* ``GET /healthz``   — liveness: ``{"status": "ok", "version": N}``
+* ``GET /stats``     — the engine's stats snapshot (cache counters etc.)
+* ``POST /query``    — one read request, e.g. ``{"op": "point", "cell": [0, null]}``
+* ``POST /append``   — ``{"rows": [[...], ...], "measures": [[...], ...]}``
+
+The server is a :class:`http.server.ThreadingHTTPServer`: each request
+runs on its own thread, which is exactly the concurrency the engine is
+built for (lock-free snapshot reads, one serialized writer).  Malformed
+requests come back as ``400 {"error": ...}``; unexpected failures as
+``500``.  :class:`CubeServer` wraps the lifecycle — ``start()`` serves
+on a background thread (tests, the workload driver's ``--serve`` mode),
+``serve_forever()`` blocks (the ``repro serve`` CLI).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.engine import QueryEngine, ServeError
+
+#: Refuse request bodies beyond this size (a serving layer should not
+#: buffer arbitrarily large appends in one request).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the engine attached to the server."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+    # Small JSON requests over keep-alive connections hit the Nagle /
+    # delayed-ACK interaction (~40ms per round trip) unless disabled.
+    disable_nagle_algorithm = True
+
+    @property
+    def engine(self) -> QueryEngine:
+        return self.server.engine  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        if getattr(self.server, "verbose", False):  # pragma: no cover - manual runs
+            super().log_message(format, *args)
+
+    def _respond(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServeError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServeError("request body must be a JSON object")
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ServeError("request body must be a JSON object")
+        return payload
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._respond(200, {"status": "ok", "version": self.engine.version})
+        elif self.path == "/stats":
+            self._respond(200, self.engine.stats())
+        else:
+            self._respond(404, {"error": f"no such endpoint: GET {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if self.path == "/query":
+                self._respond(200, self.engine.execute(self._read_json()))
+            elif self.path == "/append":
+                payload = self._read_json()
+                rows = payload.get("rows")
+                if not isinstance(rows, list):
+                    raise ServeError("append needs a 'rows' list")
+                version = self.engine.append(rows, payload.get("measures"))
+                self._respond(200, {"version": version, "rows": len(rows)})
+            else:
+                self._respond(404, {"error": f"no such endpoint: POST {self.path}"})
+        except ServeError as exc:
+            self._respond(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - the server must not die
+            self._respond(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+
+class CubeServer:
+    """Lifecycle wrapper: an engine bound to a listening HTTP socket.
+
+    >>> server = CubeServer(engine, port=0)          # doctest: +SKIP
+    >>> url = server.start()                         # doctest: +SKIP
+    >>> ...                                          # doctest: +SKIP
+    >>> server.stop()                                # doctest: +SKIP
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port``).
+    Also usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        self.engine = engine
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.engine = engine  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> str:
+        """Serve on a daemon thread; returns the base URL."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self.url
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI path)."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        """Shut down the listener and release the socket (idempotent).
+
+        ``shutdown`` only applies to a background ``start()`` — it blocks
+        until the ``serve_forever`` loop acknowledges, which never happens
+        if that loop never ran.
+        """
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "CubeServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        return f"CubeServer({self.url}, engine={self.engine!r})"

@@ -1,0 +1,326 @@
+"""A latency-instrumented workload driver for the serving layer.
+
+The driver models the traffic a resident cube actually sees: a fixed
+population of distinct OLAP queries (the *pool*) hit with Zipf-skewed
+popularity — a hot head that the result cache should absorb and a long
+tail that reaches the index — issued by N concurrent clients, optionally
+while a writer appends fact batches and forces cube refreshes.
+
+Concurrency reuses the executor abstraction from :mod:`repro.exec`: each
+client is one task on a :class:`~repro.exec.executors.ThreadExecutor`
+(serving clients are I/O-ish and share the engine, so threads are the
+right backend).  Every client records its latencies into its own
+:class:`~repro.metrics.histogram.LatencyHistogram`; the driver merges
+them into one report with throughput, p50/p95/p99 and the observed cache
+hit rate (counted from the ``cached`` flag on each response, so it works
+over HTTP as well as in-process).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.data.synthetic import zipf_probabilities
+from repro.exec.executors import Executor, ThreadExecutor
+from repro.metrics.histogram import LatencyHistogram
+from repro.serve.client import ServingClient
+from repro.serve.engine import ServeError
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Relative weights of the query operations (normalized at use)."""
+
+    point: float = 0.70
+    rollup: float = 0.15
+    drilldown: float = 0.10
+    slice: float = 0.05
+
+    def normalized(self) -> dict[str, float]:
+        weights = {
+            "point": self.point,
+            "rollup": self.rollup,
+            "drilldown": self.drilldown,
+            "slice": self.slice,
+        }
+        total = sum(weights.values())
+        if total <= 0 or any(w < 0 for w in weights.values()):
+            raise ValueError(f"mix weights must be non-negative and sum > 0: {weights}")
+        return {op: w / total for op, w in weights.items()}
+
+    @classmethod
+    def parse(cls, text: str) -> "WorkloadMix":
+        """``"point=0.7,rollup=0.2,slice=0.1"`` → a mix (absent ops are 0)."""
+        weights = dict.fromkeys(("point", "rollup", "drilldown", "slice"), 0.0)
+        for item in text.split(","):
+            op, _, value = item.partition("=")
+            op = op.strip()
+            if op not in weights:
+                raise ValueError(f"unknown op {op!r} in mix {text!r}")
+            weights[op] = float(value)
+        return cls(**weights)
+
+
+@dataclass
+class WorkloadReport:
+    """Everything one driver run measured."""
+
+    clients: int
+    requests_per_client: int
+    total_requests: int
+    wall_seconds: float
+    latency: LatencyHistogram
+    op_counts: dict[str, int]
+    cached_responses: int
+    errors: int
+    appends: int
+    start_version: int
+    end_version: int
+    pool_size: int
+    theta: float
+    engine_stats: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per wall-clock second."""
+        return self.total_requests / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of responses served from the result cache."""
+        return self.cached_responses / self.total_requests if self.total_requests else 0.0
+
+    def format(self) -> str:
+        """The human-readable report the CLI prints."""
+        ms = {k: v * 1000 for k, v in self.latency.summary().items()}
+        mix = "  ".join(f"{op} {n}" for op, n in sorted(self.op_counts.items()))
+        lines = [
+            f"workload: {self.clients} clients x {self.requests_per_client} requests "
+            f"= {self.total_requests} total "
+            f"({self.pool_size} distinct queries, zipf theta {self.theta:g})",
+            f"ops: {mix}",
+            f"throughput: {self.throughput:,.0f} req/s over {self.wall_seconds:.3f}s wall",
+            f"latency: p50 {ms['p50_s']:.3f}ms  p95 {ms['p95_s']:.3f}ms  "
+            f"p99 {ms['p99_s']:.3f}ms  max {ms['max_s']:.3f}ms  mean {ms['mean_s']:.3f}ms",
+            f"cache: {100 * self.hit_rate:.1f}% hit rate "
+            f"({self.cached_responses} of {self.total_requests} responses cached)",
+        ]
+        if self.appends:
+            lines.append(
+                f"writes: {self.appends} append batches "
+                f"(cube version {self.start_version} -> {self.end_version})"
+            )
+        if self.errors:
+            lines.append(f"errors: {self.errors}")
+        return "\n".join(lines)
+
+
+class WorkloadDriver:
+    """Generate a skewed query mix and drive N concurrent clients.
+
+    ``client_factory`` builds one :class:`~repro.serve.client.ServingClient`
+    per concurrent client (plus one probe the driver uses for metadata),
+    so the same driver measures the in-process and the HTTP transports.
+    """
+
+    def __init__(
+        self,
+        client_factory: Callable[[], ServingClient],
+        *,
+        mix: WorkloadMix | None = None,
+        theta: float = 1.1,
+        pool_size: int = 256,
+        max_bound_dims: int = 3,
+        seed: int = 0,
+        append_batches: int = 0,
+        append_rows: int = 32,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be positive")
+        self.client_factory = client_factory
+        self.mix = mix or WorkloadMix()
+        self.theta = theta
+        self.pool_size = pool_size
+        self.max_bound_dims = max_bound_dims
+        self.seed = seed
+        self.append_batches = append_batches
+        self.append_rows = append_rows
+
+    # -- request generation ---------------------------------------------
+
+    def _build_pool(self, stats: dict, rng: np.random.Generator) -> list[dict]:
+        """``pool_size`` distinct requests matched to the cube's shape."""
+        n_dims = stats["n_dims"]
+        cards = [max(int(c), 1) for c in stats["cardinalities"]]
+        weights = self.mix.normalized()
+        ops = list(weights)
+        probs = np.array([weights[op] for op in ops])
+        pool: list[dict] = []
+        max_bound = min(self.max_bound_dims, n_dims)
+        for _ in range(self.pool_size):
+            op = ops[int(rng.choice(len(ops), p=probs))]
+            if op == "slice":
+                # Leave exactly one dimension free so the slice stays
+                # one-level (and its response size bounded).
+                n_bound = max(n_dims - 1, 0)
+            elif op == "rollup":
+                n_bound = int(rng.integers(1, max_bound + 1))
+            elif op == "drilldown":
+                n_bound = int(rng.integers(0, max(max_bound, 1)))
+            else:
+                n_bound = int(rng.integers(1, max_bound + 1))
+            bound = rng.choice(n_dims, size=min(n_bound, n_dims), replace=False)
+            cell: list[int | None] = [None] * n_dims
+            for d in bound:
+                cell[int(d)] = int(rng.integers(0, cards[int(d)]))
+            request: dict = {"op": op, "cell": cell}
+            if op == "rollup":
+                request["dim"] = int(rng.choice(bound))
+            elif op == "drilldown":
+                free = [d for d in range(n_dims) if cell[d] is None]
+                request["dim"] = int(rng.choice(free))
+            pool.append(request)
+        return pool
+
+    def _client_run(self, task: tuple[list[dict], np.ndarray]) -> dict:
+        """One client's life: replay its request sequence, record latencies."""
+        pool, sequence = task
+        histogram = LatencyHistogram()
+        op_counts: dict[str, int] = {}
+        cached = 0
+        errors = 0
+        with self.client_factory() as client:
+            for index in sequence:
+                request = pool[int(index)]
+                start = time.perf_counter()
+                try:
+                    response = client.query(request)
+                except ServeError:
+                    errors += 1
+                    continue
+                histogram.record(time.perf_counter() - start)
+                op_counts[request["op"]] = op_counts.get(request["op"], 0) + 1
+                if response.get("cached"):
+                    cached += 1
+        return {
+            "histogram": histogram,
+            "op_counts": op_counts,
+            "cached": cached,
+            "errors": errors,
+        }
+
+    def _writer_run(self, stats: dict, stop: threading.Event) -> int:
+        """Append ``append_batches`` batches, spaced across the read run."""
+        rng = np.random.default_rng(self.seed + 104729)
+        n_dims = stats["n_dims"]
+        cards = [max(int(c), 1) for c in stats["cardinalities"]]
+        n_measures = stats["n_measures"]
+        done = 0
+        with self.client_factory() as client:
+            for _ in range(self.append_batches):
+                rows = [
+                    [int(rng.integers(0, cards[d])) for d in range(n_dims)]
+                    for _ in range(self.append_rows)
+                ]
+                measures = (
+                    [
+                        [float(v) for v in rng.uniform(1.0, 100.0, size=n_measures)]
+                        for _ in range(self.append_rows)
+                    ]
+                    if n_measures
+                    else None
+                )
+                client.append(rows, measures)
+                done += 1
+                if stop.wait(0.005):  # yield to readers between batches
+                    break
+        return done
+
+    # -- the run ---------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        clients: int = 4,
+        requests_per_client: int = 200,
+        executor: Executor | None = None,
+    ) -> WorkloadReport:
+        """Drive the workload and return the merged report."""
+        if clients < 1 or requests_per_client < 1:
+            raise ValueError("clients and requests_per_client must be positive")
+        probe = self.client_factory()
+        try:
+            stats = probe.stats()
+            rng = np.random.default_rng(self.seed)
+            pool = self._build_pool(stats, rng)
+            popularity = zipf_probabilities(len(pool), self.theta)
+            tasks = [
+                (
+                    pool,
+                    np.random.default_rng(self.seed + 1 + i).choice(
+                        len(pool), size=requests_per_client, p=popularity
+                    ),
+                )
+                for i in range(clients)
+            ]
+            stop = threading.Event()
+            appends_done = 0
+            writer: threading.Thread | None = None
+            writer_result: list[int] = []
+            if self.append_batches:
+                writer = threading.Thread(
+                    target=lambda: writer_result.append(self._writer_run(stats, stop)),
+                    name="workload-writer",
+                    daemon=True,
+                )
+            own_executor = executor is None
+            pool_executor = executor or ThreadExecutor(workers=clients)
+            start_version = stats["version"]
+            start = time.perf_counter()
+            try:
+                if writer is not None:
+                    writer.start()
+                results = pool_executor.map(self._client_run, tasks)
+            finally:
+                stop.set()
+                if writer is not None:
+                    writer.join(timeout=30)
+                    appends_done = writer_result[0] if writer_result else 0
+                if own_executor:
+                    pool_executor.close()
+            wall = time.perf_counter() - start
+            end_stats = probe.stats()
+        finally:
+            probe.close()
+
+        latency = LatencyHistogram()
+        op_counts: dict[str, int] = {}
+        cached = 0
+        errors = 0
+        for result in results:
+            latency.merge(result["histogram"])
+            for op, n in result["op_counts"].items():
+                op_counts[op] = op_counts.get(op, 0) + n
+            cached += result["cached"]
+            errors += result["errors"]
+        return WorkloadReport(
+            clients=clients,
+            requests_per_client=requests_per_client,
+            total_requests=clients * requests_per_client,
+            wall_seconds=wall,
+            latency=latency,
+            op_counts=op_counts,
+            cached_responses=cached,
+            errors=errors,
+            appends=appends_done,
+            start_version=start_version,
+            end_version=end_stats["version"],
+            pool_size=len(pool),
+            theta=self.theta,
+            engine_stats=end_stats,
+        )

@@ -8,6 +8,7 @@ from repro.baselines.htree import HTree
 from repro.core.range_cubing import range_cubing
 from repro.core.range_trie import RangeTrie
 from repro.cube.full_cube import full_cube_size
+from repro.metrics.histogram import LatencyHistogram
 from repro.metrics.ratios import (
     compression_report,
     node_ratio,
@@ -70,3 +71,81 @@ def test_time_call_returns_result_and_seconds():
     result, seconds = time_call(sum, [1, 2, 3])
     assert result == 6
     assert seconds >= 0
+
+
+def test_latency_histogram_counts_and_mean():
+    h = LatencyHistogram()
+    for s in (0.001, 0.002, 0.003, 0.010):
+        h.record(s)
+    assert h.count == 4
+    assert h.mean == pytest.approx(0.004)
+    assert h.min == 0.001 and h.max == 0.010
+
+
+def test_latency_histogram_percentiles_bracket_the_samples():
+    h = LatencyHistogram()
+    samples = [i / 1000 for i in range(1, 101)]  # 1ms..100ms uniform
+    for s in samples:
+        h.record(s)
+    # Geometric buckets with growth 1.25: within ~12% of the exact value.
+    assert h.percentile(50) == pytest.approx(0.050, rel=0.13)
+    assert h.percentile(95) == pytest.approx(0.095, rel=0.13)
+    assert h.percentile(99) == pytest.approx(0.099, rel=0.13)
+    assert h.percentile(0) == pytest.approx(h.min, rel=0.13)
+    assert h.percentile(100) == pytest.approx(h.max, rel=0.13)
+    assert h.percentile(100) <= h.max  # clamped: never overstates the extreme
+    assert h.percentile(50) <= h.percentile(95) <= h.percentile(99)
+
+
+def test_latency_histogram_merge_equals_combined_recording():
+    a, b, combined = LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+    for i, s in enumerate(x / 997 for x in range(1, 60)):
+        (a if i % 2 else b).record(s)
+        combined.record(s)
+    a.merge(b)
+    assert a.count == combined.count
+    assert a.mean == pytest.approx(combined.mean)
+    assert (a.min, a.max) == (combined.min, combined.max)
+    for p in (50, 90, 95, 99):
+        assert a.percentile(p) == combined.percentile(p)
+
+
+def test_latency_histogram_merge_rejects_different_layouts():
+    a = LatencyHistogram()
+    b = LatencyHistogram(growth=1.5)
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_latency_histogram_summary_and_empty_behaviour():
+    h = LatencyHistogram()
+    assert h.percentile(99) == 0.0
+    assert h.mean == 0.0
+    assert h.summary() == {
+        "count": 0, "mean_s": 0.0, "p50_s": 0.0, "p95_s": 0.0,
+        "p99_s": 0.0, "max_s": 0.0,
+    }
+    h.record(0.005)
+    summary = h.summary()
+    assert summary["count"] == 1
+    assert summary["p50_s"] == summary["p99_s"] == 0.005  # clamped to max
+
+
+def test_latency_histogram_validates_inputs():
+    with pytest.raises(ValueError):
+        LatencyHistogram(min_latency=0)
+    with pytest.raises(ValueError):
+        LatencyHistogram(growth=1.0)
+    h = LatencyHistogram()
+    with pytest.raises(ValueError):
+        h.record(-0.001)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_latency_histogram_tiny_samples_land_in_bucket_zero():
+    h = LatencyHistogram(min_latency=1e-6)
+    h.record(0.0)
+    h.record(1e-9)
+    assert h.count == 2
+    assert h.percentile(99) == h.max  # clamped: never overstates the extreme

@@ -13,6 +13,8 @@ PACKAGES = [
     "repro.data",
     "repro.metrics",
     "repro.harness",
+    "repro.exec",
+    "repro.serve",
 ]
 
 

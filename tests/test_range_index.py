@@ -70,6 +70,98 @@ def test_scan_fallback_for_wide_cells(monkeypatch):
     found = index.find((0, 0, 0, 0))
     assert found is not None and found.contains((0, 0, 0, 0))
     assert index.find((2, 0, 1, 1)) is None
+    assert index.scan_fallbacks == 2
+
+
+def _wide_table(n_dims: int):
+    """A tiny table whose dimensionality exceeds MAX_PROBE_DIMS."""
+    rows = [
+        tuple(i % 2 for i in range(n_dims)),
+        tuple((i + 1) % 2 for i in range(n_dims)),
+        tuple(0 for _ in range(n_dims)),
+    ]
+    return make_encoded_table(rows)
+
+
+def test_boundary_at_max_probe_dims():
+    """Cells binding MAX_PROBE_DIMS and more degrade to the scan, not an error."""
+    from repro.core.range_index import MAX_PROBE_DIMS
+
+    n_dims = MAX_PROBE_DIMS + 2
+    table = _wide_table(n_dims)
+    cube = range_cubing(table)
+    index = RangeCubeIndex(cube)
+    row = table.dim_rows()[0]
+    for n_bound in (MAX_PROBE_DIMS - 1, MAX_PROBE_DIMS, MAX_PROBE_DIMS + 1, n_dims):
+        cell = tuple(row[i] if i < n_bound else None for i in range(n_dims))
+        found = index.find(cell)
+        assert found is not None and found.contains(cell)
+    assert index.scan_fallbacks > 0
+    # A wide cell no tuple matches resolves to None, still without probing.
+    ghost = tuple(5 for _ in range(n_dims))
+    assert index.find(ghost) is None
+
+
+def test_adaptive_scan_when_probes_exceed_ranges():
+    """Even narrow-by-MAX_PROBE_DIMS cells scan once 2**m dwarfs the cube."""
+    table = make_encoded_table([(0, 1, 0, 1, 0, 1, 0, 1)])
+    cube = range_cubing(table)  # a single-row cube has very few ranges
+    index = RangeCubeIndex(cube)
+    cell = table.dim_rows()[0]
+    assert (1 << 8) > 4 * cube.n_ranges
+    found = index.find(cell)
+    assert found is not None and found.contains(cell)
+    assert index.scan_fallbacks == 1
+
+
+def test_scan_and_probe_paths_agree(monkeypatch):
+    import repro.core.range_index as range_index_module
+
+    table = make_paper_table()
+    cube = range_cubing(table)
+    probed = RangeCubeIndex(cube)
+    scanned = RangeCubeIndex(cube)
+    monkeypatch.setattr(range_index_module, "MAX_PROBE_DIMS", 0)
+    oracle = compute_full_cube(table)
+    for cell, _ in oracle.cells():
+        monkeypatch.setattr(range_index_module, "MAX_PROBE_DIMS", 24)
+        via_probe = probed.find(cell)
+        monkeypatch.setattr(range_index_module, "MAX_PROBE_DIMS", 0)
+        assert scanned.find(cell) is via_probe
+
+
+def test_concurrent_first_lookup_builds_index_once(monkeypatch):
+    """The lazy index build is guarded: N racing readers construct it once."""
+    import threading
+
+    import repro.core.range_index as range_index_module
+
+    table = make_paper_table()
+    cube = range_cubing(table)
+    builds = []
+    real_index = RangeCubeIndex
+
+    class CountingIndex(real_index):
+        def __init__(self, cube):
+            builds.append(threading.get_ident())
+            super().__init__(cube)
+
+    monkeypatch.setattr(range_index_module, "RangeCubeIndex", CountingIndex)
+    n_threads = 12
+    barrier = threading.Barrier(n_threads)
+    results = []
+
+    def reader():
+        barrier.wait()
+        results.append(cube.lookup((0, None, None, None)))
+
+    threads = [threading.Thread(target=reader) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(builds) == 1
+    assert len(results) == n_threads and len(set(map(id, results))) == 1
 
 
 @settings(max_examples=30, deadline=None)

@@ -1,0 +1,167 @@
+"""Concurrency tests: readers racing a writer must never see torn state.
+
+The engine's contract is that a refresh is one atomic version swap:
+every response is computed entirely from the pre-refresh or entirely
+from the post-refresh cube, and the cache (whose keys embed the version)
+can never serve an old answer for a new version.  These tests hammer
+that contract with real threads.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import InProcessClient, QueryEngine
+
+from tests.conftest import make_encoded_table
+
+
+def _table(n_rows=150, n_dims=4, cardinality=5, seed=11):
+    rng = np.random.default_rng(seed)
+    rows = [tuple(int(v) for v in rng.integers(0, cardinality, size=n_dims))
+            for _ in range(n_rows)]
+    return make_encoded_table(rows)
+
+
+def _batch(n_rows=40, n_dims=4, cardinality=5, seed=12):
+    rng = np.random.default_rng(seed)
+    rows = [[int(v) for v in rng.integers(0, cardinality, size=n_dims)]
+            for _ in range(n_rows)]
+    measures = [[float(v)] for v in rng.uniform(1.0, 100.0, size=n_rows)]
+    return rows, measures
+
+
+def _oracle_values(engine: QueryEngine, cells) -> dict:
+    return {cell: engine.point(cell) for cell in cells}
+
+
+def test_no_torn_reads_across_refresh():
+    """Every response during an append matches the pre- OR post-cube oracle."""
+    table = _table()
+    rows, measures = _batch()
+
+    # Two reference engines give the exact pre- and post-refresh answers.
+    cells = []
+    rng = np.random.default_rng(13)
+    base_rows = table.dim_rows()
+    for _ in range(24):
+        row = base_rows[int(rng.integers(0, len(base_rows)))]
+        n_bound = int(rng.integers(1, table.n_dims + 1))
+        bound = rng.choice(table.n_dims, size=n_bound, replace=False)
+        cells.append(tuple(
+            int(row[d]) if d in set(int(b) for b in bound) else None
+            for d in range(table.n_dims)
+        ))
+    pre_oracle = _oracle_values(QueryEngine.from_table(table), cells)
+    post_engine = QueryEngine.from_table(table)
+    post_engine.append(rows, measures)
+    post_oracle = _oracle_values(post_engine, cells)
+    # The batch must actually change something, or the test proves nothing.
+    assert any(pre_oracle[c] != post_oracle[c] for c in cells)
+
+    engine = QueryEngine.from_table(table)
+    n_readers = 6
+    rounds = 150
+    start_barrier = threading.Barrier(n_readers + 1)
+    torn: list = []
+
+    def reader(seed: int) -> None:
+        local_rng = np.random.default_rng(seed)
+        client = InProcessClient(engine)
+        start_barrier.wait()
+        for _ in range(rounds):
+            cell = cells[int(local_rng.integers(0, len(cells)))]
+            response = client.query({"op": "point", "cell": list(cell)})
+            value, version = response["value"], response["version"]
+            if version == 0:
+                ok = value == pre_oracle[cell]
+            else:
+                ok = value == post_oracle[cell]
+            if not ok:
+                torn.append((cell, version, value))
+
+    def writer() -> None:
+        start_barrier.wait()
+        engine.append(rows, measures)
+
+    threads = [threading.Thread(target=reader, args=(100 + i,))
+               for i in range(n_readers)]
+    threads.append(threading.Thread(target=writer))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert torn == []
+    assert engine.version == 1
+    # After the swap every reader sees the post-refresh cube.
+    for cell in cells:
+        assert engine.point(cell) == post_oracle[cell]
+
+
+def test_cache_never_serves_stale_values_across_versions():
+    """A hot cached entry must flip to the new answer right after a refresh."""
+    table = _table(n_rows=60)
+    engine = QueryEngine.from_table(table)
+    cell = tuple(int(v) for v in table.dim_rows()[0])
+    request = {"op": "point", "cell": list(cell)}
+    old = engine.execute(request)
+    assert engine.execute(request)["cached"] is True  # hot in the cache
+    engine.append([list(cell)], [[1234.5]])
+    fresh = engine.execute(request)
+    assert fresh["version"] == 1 and fresh["cached"] is False
+    assert fresh["value"] != old["value"]
+
+
+def test_many_appends_under_read_load_stay_sequential():
+    """Concurrent appenders serialize: versions count up with no gaps."""
+    table = _table(n_rows=80)
+    engine = QueryEngine.from_table(table)
+    n_writers, batches_each = 4, 3
+    versions: list[int] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(n_writers)
+
+    def writer(seed: int) -> None:
+        rows, measures = _batch(n_rows=5, seed=seed)
+        barrier.wait()
+        for _ in range(batches_each):
+            v = engine.append(rows, measures)
+            with lock:
+                versions.append(v)
+
+    threads = [threading.Thread(target=writer, args=(50 + i,))
+               for i in range(n_writers)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert sorted(versions) == list(range(1, n_writers * batches_each + 1))
+    assert engine.version == n_writers * batches_each
+    stats = engine.stats()
+    assert stats["rows_absorbed"] == 80 + n_writers * batches_each * 5
+
+
+@pytest.mark.parametrize("capacity", [0, 8])
+def test_readers_agree_under_cache_churn(capacity):
+    """With and without a cache, concurrent identical queries agree."""
+    table = _table(n_rows=50)
+    engine = QueryEngine.from_table(table, cache_capacity=capacity)
+    cell = tuple(int(v) for v in table.dim_rows()[0])
+    expected = engine.point(cell)
+    results: list = []
+    barrier = threading.Barrier(8)
+
+    def reader() -> None:
+        barrier.wait()
+        for _ in range(50):
+            results.append(engine.point(cell))
+
+    threads = [threading.Thread(target=reader) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert all(value == expected for value in results)

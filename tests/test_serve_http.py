@@ -1,0 +1,146 @@
+"""End-to-end tests for the JSON/HTTP serving front end."""
+
+import json
+import threading
+
+import pytest
+
+from repro.serve import CubeServer, HTTPCubeClient, QueryEngine
+from repro.serve.engine import ServeError
+
+from tests.conftest import make_paper_table
+
+
+@pytest.fixture
+def served():
+    engine = QueryEngine.from_table(make_paper_table())
+    with CubeServer(engine, port=0) as server:
+        client = HTTPCubeClient(server.url)
+        yield engine, server, client
+        client.close()
+
+
+def test_healthz_and_stats(served):
+    engine, _, client = served
+    assert client.healthz() == {"status": "ok", "version": 0}
+    stats = client.stats()
+    assert stats["version"] == 0 and stats["n_ranges"] == engine.stats()["n_ranges"]
+
+
+def test_query_matches_in_process_response(served):
+    engine, _, client = served
+    for request in (
+        {"op": "point", "cell": [0, None, None, None]},
+        {"op": "rollup", "cell": [0, 0, None, None], "dim": "city"},
+        {"op": "drilldown", "cell": [0, None, None, None], "dim": 2},
+        {"op": "slice", "cell": [None, 0, 0, None]},
+        {"op": "point", "bindings": {"store": 0, "date": 1}},
+    ):
+        over_http = client.query(request)
+        direct = engine.execute(request)
+        # JSON round-trips tuples to lists; normalize the oracle the same way.
+        expected = json.loads(json.dumps(direct))
+        over_http.pop("cached")
+        expected.pop("cached")
+        assert over_http == expected
+
+
+def test_append_over_http_refreshes_the_cube(served):
+    engine, _, client = served
+    before = client.point((0, 0, 0, 0))
+    result = client.append([[0, 0, 0, 0]], [[900.0]])
+    assert result == {"version": 1, "rows": 1}
+    assert engine.version == 1
+    after = client.point((0, 0, 0, 0))
+    assert after != before
+
+
+def test_bad_requests_return_400_as_serve_error(served):
+    _, _, client = served
+    for request in (
+        {"op": "cube"},
+        {"op": "point", "cell": [0]},
+        {"op": "point", "cell": [0, None, None, -1]},
+    ):
+        with pytest.raises(ServeError):
+            client.query(request)
+    with pytest.raises(ServeError):
+        client.append([[0, 0]], None)  # wrong arity
+    with pytest.raises(ServeError):
+        client.append("nope", None)  # rows must be a list
+
+
+def test_unknown_endpoints_and_malformed_bodies(served):
+    _, server, client = served
+    with pytest.raises(ServeError, match="no such endpoint"):
+        client._request("GET", "/nope")
+    with pytest.raises(ServeError, match="no such endpoint"):
+        client._request("POST", "/nope", {})
+    # A raw non-JSON body comes back 400, not a server crash.
+    import http.client
+
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+    try:
+        conn.request(
+            "POST", "/query", body=b"not json",
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        assert response.status == 400 and "invalid JSON" in payload["error"]
+    finally:
+        conn.close()
+
+
+def test_concurrent_http_clients(served):
+    engine, server, _ = served
+    n_clients, n_requests = 4, 25
+    errors: list[Exception] = []
+    cached_counts: list[int] = []
+    barrier = threading.Barrier(n_clients)
+    expected = json.loads(json.dumps(engine.point((0, None, None, None))))
+    request = {"op": "point", "cell": [0, None, None, None]}
+
+    def worker():
+        try:
+            cached = 0
+            with HTTPCubeClient(server.url) as client:
+                barrier.wait()
+                for _ in range(n_requests):
+                    response = client.query(request)
+                    assert response["value"] == expected
+                    cached += bool(response["cached"])
+            cached_counts.append(cached)
+        except Exception as exc:  # pragma: no cover - only on failure
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(n_clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    # Only the very first request per client can race the initial miss.
+    assert sum(cached_counts) >= n_clients * (n_requests - 1)
+
+
+def test_stop_without_start_does_not_hang():
+    engine = QueryEngine.from_table(make_paper_table())
+    server = CubeServer(engine, port=0)
+    server.stop()  # never started: must not deadlock
+
+
+def test_double_start_rejected():
+    engine = QueryEngine.from_table(make_paper_table())
+    server = CubeServer(engine, port=0)
+    try:
+        server.start()
+        with pytest.raises(RuntimeError):
+            server.start()
+    finally:
+        server.stop()
+
+
+def test_client_rejects_non_http_urls():
+    with pytest.raises(ValueError):
+        HTTPCubeClient("ftp://example.com")

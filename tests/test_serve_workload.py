@@ -1,0 +1,130 @@
+"""Unit tests for the workload driver, mix and report."""
+
+import numpy as np
+import pytest
+
+from repro.serve import InProcessClient, QueryEngine, WorkloadDriver
+from repro.serve.workload import WorkloadMix, WorkloadReport
+from repro.metrics.histogram import LatencyHistogram
+
+from tests.conftest import make_encoded_table, make_paper_table
+
+
+def _zipf_table(n_rows=200, n_dims=4, cardinality=6, seed=3):
+    rng = np.random.default_rng(seed)
+    rows = [tuple(int(v) for v in rng.integers(0, cardinality, size=n_dims))
+            for _ in range(n_rows)]
+    return make_encoded_table(rows)
+
+
+def test_mix_normalizes_to_one():
+    mix = WorkloadMix(point=7, rollup=2, drilldown=1, slice=0)
+    weights = mix.normalized()
+    assert sum(weights.values()) == pytest.approx(1.0)
+    assert weights["point"] == pytest.approx(0.7)
+    assert weights["slice"] == 0.0
+
+
+def test_mix_parse_round_trip():
+    mix = WorkloadMix.parse("point=0.5,slice=0.5")
+    assert mix.point == 0.5 and mix.slice == 0.5
+    assert mix.rollup == 0.0 and mix.drilldown == 0.0
+    with pytest.raises(ValueError):
+        WorkloadMix.parse("nope=1.0")
+    with pytest.raises(ValueError):
+        WorkloadMix(point=0, rollup=0, drilldown=0, slice=0).normalized()
+    with pytest.raises(ValueError):
+        WorkloadMix(point=-1).normalized()
+
+
+def test_driver_run_in_process():
+    engine = QueryEngine.from_table(_zipf_table())
+    driver = WorkloadDriver(
+        lambda: InProcessClient(engine), pool_size=32, seed=7
+    )
+    report = driver.run(clients=3, requests_per_client=40)
+    assert report.total_requests == 120
+    assert sum(report.op_counts.values()) + report.errors == 120
+    assert report.errors == 0  # the pool is valid by construction
+    assert report.latency.count == 120
+    assert report.throughput > 0 and report.wall_seconds > 0
+    assert 0.0 <= report.hit_rate <= 1.0
+    assert report.cached_responses > 0  # zipf head repeats within 120 requests
+    p = report.latency
+    assert p.percentile(50) <= p.percentile(95) <= p.percentile(99) <= p.max
+    assert report.start_version == 0 and report.end_version == 0
+    assert report.engine_stats["version"] == 0
+
+
+def test_driver_respects_mix():
+    engine = QueryEngine.from_table(_zipf_table())
+    driver = WorkloadDriver(
+        lambda: InProcessClient(engine),
+        mix=WorkloadMix(point=1, rollup=0, drilldown=0, slice=0),
+        pool_size=16,
+        seed=1,
+    )
+    report = driver.run(clients=2, requests_per_client=30)
+    assert set(report.op_counts) == {"point"}
+    assert report.op_counts["point"] == 60
+
+
+def test_driver_pool_is_deterministic():
+    engine = QueryEngine.from_table(_zipf_table())
+    stats = engine.stats()
+    driver = WorkloadDriver(lambda: InProcessClient(engine), pool_size=24, seed=5)
+    pool_a = driver._build_pool(stats, np.random.default_rng(5))
+    pool_b = driver._build_pool(stats, np.random.default_rng(5))
+    assert pool_a == pool_b
+    assert len(pool_a) == 24
+    n_dims = stats["n_dims"]
+    for request in pool_a:
+        assert len(request["cell"]) == n_dims
+        if request["op"] == "slice":
+            assert request["cell"].count(None) == 1
+        elif request["op"] == "rollup":
+            assert request["cell"][request["dim"]] is not None
+        elif request["op"] == "drilldown":
+            assert request["cell"][request["dim"]] is None
+
+
+def test_driver_with_writer_appends_and_bumps_version():
+    engine = QueryEngine.from_table(_zipf_table(n_rows=120))
+    driver = WorkloadDriver(
+        lambda: InProcessClient(engine), pool_size=16, seed=2,
+        append_batches=2, append_rows=8,
+    )
+    report = driver.run(clients=2, requests_per_client=50)
+    assert report.appends >= 1  # the writer may be cut short by the readers ending
+    assert report.end_version == report.appends
+    assert report.end_version > report.start_version == 0
+    assert "writes:" in report.format()
+
+
+def test_driver_validates_arguments():
+    engine = QueryEngine.from_table(make_paper_table())
+    with pytest.raises(ValueError):
+        WorkloadDriver(lambda: InProcessClient(engine), pool_size=0)
+    driver = WorkloadDriver(lambda: InProcessClient(engine))
+    with pytest.raises(ValueError):
+        driver.run(clients=0)
+    with pytest.raises(ValueError):
+        driver.run(clients=1, requests_per_client=0)
+
+
+def test_report_format_mentions_the_headlines():
+    latency = LatencyHistogram()
+    for ms in (1, 2, 3, 40):
+        latency.record(ms / 1000)
+    report = WorkloadReport(
+        clients=2, requests_per_client=2, total_requests=4, wall_seconds=0.5,
+        latency=latency, op_counts={"point": 3, "slice": 1}, cached_responses=2,
+        errors=1, appends=0, start_version=0, end_version=0, pool_size=8, theta=1.1,
+    )
+    text = report.format()
+    assert "throughput: 8 req/s" in text
+    assert "p50" in text and "p95" in text and "p99" in text
+    assert "50.0% hit rate" in text
+    assert "errors: 1" in text
+    assert "writes:" not in text
+    assert report.hit_rate == 0.5
