@@ -30,6 +30,7 @@ bench:
 # plus one algorithm bench at the quick preset
 bench-smoke:
 	$(PYTHON) benchmarks/bench_serving.py --quick
+	$(PYTHON) benchmarks/bench_bulk_build.py --quick
 	REPRO_BENCH_PRESET=tiny $(PYTHON) -m pytest benchmarks/bench_point_queries.py --benchmark-only -q
 
 # end-to-end serving demo: generate a skewed table, serve it over HTTP on an

@@ -1,0 +1,273 @@
+"""Trie construction benchmark: tuple-at-a-time Algorithm 1 vs bulk sort.
+
+``RangeTrie.bulk_build`` replaces N single-tuple insertions with one
+``np.lexsort`` over the encoded dimension matrix, a recursive partition
+of contiguous row ranges driven by precomputed change counts, and ONE
+``ufunc.reduceat`` batch-aggregation pass over the duplicate-row groups.
+This module measures the payoff at Figure 11-style scalability sizes on
+the paper's motivating workload (Section 1: "real world datasets tend to
+be correlated"): Zipf-skewed dimensions with injected functional
+dependencies.  Correlation is where the sort-based path shines — shared
+and implied values collapse into few distinct rows, whose aggregation
+happens inside numpy instead of one Python merge per tuple.  An i.i.d.
+zipf point (every row distinct — the builder's worst case) is reported
+alongside for transparency; the acceptance floor applies to the
+correlated series.
+
+Run under pytest-benchmark like the other bench modules, or standalone
+as a CI smoke check that re-verifies bulk == incremental tries and then
+enforces a ``MIN_SPEEDUP``x floor at the largest point::
+
+    PYTHONPATH=src python benchmarks/bench_bulk_build.py --quick
+
+The standalone mode writes its full series to ``BENCH_bulk_build.json``
+(committed at the repo root; see ``docs/performance.md``).
+"""
+
+import json
+import time
+
+from repro.core.incremental import IncrementalRangeCuber
+from repro.core.range_trie import RangeTrie
+from repro.data.correlated import FunctionalDependency, correlated_table
+from repro.table.aggregates import SumCountAggregator
+
+try:
+    from benchmarks.conftest import PRESET, cached_zipf, run_once
+except ModuleNotFoundError:  # executed as a script: put the repo root on the path
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    from benchmarks.conftest import PRESET, cached_zipf, run_once
+
+#: Acceptance floor for the tuple:bulk build-time ratio at the largest point.
+MIN_SPEEDUP = 3.0
+
+#: Figure 11's shape at reduced scale: zipf theta 1.5, 8 dims, plus the
+#: paper's Section 1 correlation: two functional dependencies (a store
+#: determines its city-like attributes, a station its coordinates).
+N_DIMS = 8
+THETA = 1.5
+FDS = (
+    FunctionalDependency((0,), (1, 2)),
+    FunctionalDependency((4,), (5, 6, 7)),
+)
+
+#: (n_rows, cardinality) series per preset; the CI smoke job runs "quick"
+#: and enforces the floor at its 100k-row point.
+POINTS = {
+    "quick": [(10_000, 50), (100_000, 100)],
+    "tiny": [(10_000, 50), (30_000, 100), (100_000, 100)],
+    "small": [(30_000, 100), (100_000, 100), (300_000, 200)],
+}
+PARAMS = POINTS["small" if PRESET == "small" else "tiny"]
+
+_TABLES: dict = {}
+
+
+def corr_table(n_rows: int, cardinality: int):
+    key = (n_rows, cardinality)
+    if key not in _TABLES:
+        _TABLES[key] = correlated_table(
+            n_rows, N_DIMS, cardinality, FDS, theta=THETA, seed=7
+        )
+    return _TABLES[key]
+
+
+def build_tuple(table):
+    return RangeTrie.build(table, SumCountAggregator(0))
+
+
+def build_bulk(table):
+    return RangeTrie.bulk_build(table, SumCountAggregator(0))
+
+
+def tries_equal(a: RangeTrie, b: RangeTrie, tol: float = 1e-6) -> bool:
+    """Structural equality with float tolerance on the summed states."""
+
+    def states(x, y):
+        return len(x) == len(y) and all(
+            abs(p - q) <= tol * max(1.0, abs(p), abs(q)) for p, q in zip(x, y)
+        )
+
+    def nodes(x, y):
+        return (
+            x.key == y.key
+            and states(x.agg, y.agg)
+            and x.children.keys() == y.children.keys()
+            and all(nodes(c, y.children[v]) for v, c in x.children.items())
+        )
+
+    return a.n_dims == b.n_dims and nodes(a.root, b.root)
+
+
+def test_build_tuple(benchmark):
+    n_rows, card = PARAMS[0]
+    table = corr_table(n_rows, card)
+    trie = run_once(benchmark, build_tuple, table)
+    benchmark.extra_info.update(
+        strategy="tuple", n_rows=n_rows, trie_nodes=trie.n_nodes()
+    )
+
+
+def test_build_bulk(benchmark):
+    n_rows, card = PARAMS[0]
+    table = corr_table(n_rows, card)
+    trie = run_once(benchmark, build_bulk, table)
+    benchmark.extra_info.update(
+        strategy="bulk", n_rows=n_rows, trie_nodes=trie.n_nodes()
+    )
+
+
+def test_build_bulk_largest(benchmark):
+    n_rows, card = PARAMS[-1]
+    table = corr_table(n_rows, card)
+    trie = run_once(benchmark, build_bulk, table)
+    benchmark.extra_info.update(
+        strategy="bulk", n_rows=n_rows, trie_nodes=trie.n_nodes()
+    )
+
+
+def test_build_bulk_iid_zipf(benchmark):
+    # Worst case: independent dimensions, nearly every row distinct.
+    n_rows, card = PARAMS[0]
+    table = cached_zipf(n_rows, N_DIMS, card, THETA)
+    trie = run_once(benchmark, build_bulk, table)
+    benchmark.extra_info.update(
+        strategy="bulk-iid", n_rows=n_rows, trie_nodes=trie.n_nodes()
+    )
+
+
+# ----------------------------------------------------------------------
+# standalone smoke mode (CI): verify equality, print series, enforce floor
+# ----------------------------------------------------------------------
+
+
+def _timed(fn, *args) -> tuple:
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start
+
+
+def verify_equivalence(points) -> None:
+    """Bulk == incremental (streaming Algorithm 1) on the smallest point.
+
+    The trie is canonical, so node-by-node equality against per-row
+    insertion is the correctness oracle; timing a wrong answer fast would
+    be meaningless, hence the check runs before any measurement.
+    """
+    n_rows, card = points[0]
+    table = corr_table(n_rows, card)
+    cuber = IncrementalRangeCuber(table.n_dims, SumCountAggregator(0))
+    cuber.insert_table(table, build_strategy="tuple")
+    if not tries_equal(build_bulk(table), cuber.trie):
+        raise AssertionError(
+            "bulk-built trie differs from incrementally built trie "
+            f"({n_rows} rows x {N_DIMS} dims) — refusing to time a wrong result"
+        )
+    print(f"equivalence: bulk == incremental trie at {n_rows:,} rows OK")
+
+
+def measure_point(table) -> dict:
+    """Best-of-3 bulk (milliseconds-long) vs once-timed tuple (seconds)."""
+    trie, tuple_s = _timed(build_tuple, table)
+    timings: dict = {}
+    bulk_s = float("inf")
+    for _ in range(3):
+        t: dict = {}
+        start = time.perf_counter()
+        RangeTrie.bulk_build(table, SumCountAggregator(0), timings=t)
+        elapsed = time.perf_counter() - start
+        if elapsed < bulk_s:
+            bulk_s, timings = elapsed, t
+    return {
+        "n_rows": table.n_rows,
+        "trie_nodes": trie.n_nodes(),
+        "tuple_seconds": round(tuple_s, 4),
+        "bulk_seconds": round(bulk_s, 4),
+        "speedup": round(tuple_s / bulk_s if bulk_s else float("inf"), 2),
+        **{k: round(v, 4) for k, v in timings.items()},
+    }
+
+
+def print_point(label: str, p: dict) -> None:
+    print(
+        f"{label:>12} {p['n_rows']:>9,} rows: tuple {p['tuple_seconds']:7.3f}s   "
+        f"bulk {p['bulk_seconds']:7.3f}s (sort {p['sort_seconds']:.3f} "
+        f"group {p['group_seconds']:.3f} agg {p['aggregate_seconds']:.3f})   "
+        f"speedup {p['speedup']:5.1f}x"
+    )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smallest scale (the CI smoke job)"
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=MIN_SPEEDUP,
+        help="fail unless bulk beats tuple by this factor at the largest point",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="write the series as JSON (default: no file in --quick mode, "
+        "BENCH_bulk_build.json otherwise)",
+    )
+    args = parser.parse_args(argv)
+    points = POINTS["quick"] if args.quick else PARAMS
+    out_path = args.out if args.out else (None if args.quick else "BENCH_bulk_build.json")
+
+    print(
+        f"bulk-build bench: zipf theta {THETA}, {N_DIMS} dims, "
+        f"{len(FDS)} functional dependencies"
+    )
+    verify_equivalence(points)
+
+    series = []
+    for n_rows, card in points:
+        point = {"cardinality": card, **measure_point(corr_table(n_rows, card))}
+        series.append(point)
+        print_point("correlated", point)
+
+    # Worst-case reference (not floored): independent dims, ~all rows distinct.
+    n_rows, card = points[0]
+    iid = {"cardinality": card, **measure_point(cached_zipf(n_rows, N_DIMS, card, THETA))}
+    print_point("iid-zipf", iid)
+
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(
+                {
+                    "benchmark": "bulk_build",
+                    "n_dims": N_DIMS,
+                    "theta": THETA,
+                    "dependencies": [[list(f.source_dims), list(f.target_dims)] for f in FDS],
+                    "min_speedup_floor": args.min_speedup,
+                    "points": series,
+                    "iid_reference": iid,
+                },
+                fh,
+                indent=2,
+            )
+            fh.write("\n")
+        print(f"wrote {out_path}")
+
+    final = series[-1]
+    print(
+        f"floor: {final['speedup']:.1f}x at {final['n_rows']:,} rows "
+        f"(need >= {args.min_speedup:g}x)"
+    )
+    if final["speedup"] < args.min_speedup:
+        print("FAIL: bulk build below the speedup floor")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -72,6 +72,8 @@ def _cmd_cube(args: argparse.Namespace) -> int:
             "workers": args.workers,
             "n_partitions": args.partitions,
         }
+    elif record.name == "range_cubing":
+        extra = {"build_strategy": args.build}
     try:
         result, stats = record.run_detailed(
             table, dim_order=order, min_support=args.min_support, **extra
@@ -97,6 +99,14 @@ def _cmd_cube(args: argparse.Namespace) -> int:
                 )
                 + f" ({stats['executor']} x{stats['workers']}, "
                 f"{int(stats['n_partitions'])} partitions)"
+            )
+        if "sort_seconds" in stats:
+            print(
+                f"build ({stats['build_strategy']}): "
+                f"sort {stats['sort_seconds']:.2f}s, "
+                f"group {stats['group_seconds']:.2f}s, "
+                f"aggregate {stats['aggregate_seconds']:.2f}s; "
+                f"traverse {stats['traverse_seconds']:.2f}s"
             )
         if args.out:
             from repro.data.io import write_range_cube_csv
@@ -141,12 +151,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"distinct tuples: {table.distinct_tuple_count():,} "
           f"(density {table.density():.3g})")
     working = table.reordered(preferred_order(table, "desc"))
-    trie = RangeTrie.build(working)
+    trie = RangeTrie.bulk_build(working)
+    census = trie.stats()
     htree = HTree.build(working)
-    print(f"range trie: {trie.n_nodes():,} nodes "
-          f"({trie.n_interior():,} interior, depth {trie.max_depth()})")
+    print(f"range trie: {census.nodes:,} nodes "
+          f"({census.interior:,} interior, depth {census.max_depth})")
     print(f"H-tree:     {htree.n_nodes():,} nodes "
-          f"(node ratio {100 * trie.n_nodes() / htree.n_nodes():.1f}%)")
+          f"(node ratio {100 * census.nodes / htree.n_nodes():.1f}%)")
     return 0
 
 
@@ -345,6 +356,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="table partitions for parallel_range_cubing (default: workers)",
+    )
+    p.add_argument(
+        "--build",
+        default="bulk",
+        choices=("bulk", "tuple"),
+        help="range_cubing trie construction: vectorized bulk sort or tuple-at-a-time",
     )
     p.add_argument("--out", help="write the (range) cube as CSV")
     p.set_defaults(func=_cmd_cube)

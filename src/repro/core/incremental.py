@@ -13,17 +13,34 @@ This addresses the maintenance question the original leaves open: the
 expensive part of range cubing (trie construction over the full history)
 is amortized across loads, and only the traversal (proportional to the
 *output*, not the input) is paid per refresh.
+
+Batch absorption rides the same canonicality: a large batch is built
+into its own trie with the vectorized sort-based bulk builder
+(:meth:`~repro.core.range_trie.RangeTrie.bulk_build_arrays`) and fused
+into the resident trie with the canonical merge of
+:func:`repro.core.partitioned.merge_tries` — identical, node for node, to
+having inserted the batch row by row.  Small batches (and the streaming
+:meth:`IncrementalRangeCuber.insert_row` path) keep using Algorithm 1
+directly, where the bulk path's sort/merge setup would cost more than it
+saves.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.range_cube import RangeCube
 from repro.core.range_cubing import _traverse
 from repro.core.range_trie import RangeTrie
 from repro.table.aggregates import Aggregator, default_aggregator
 from repro.table.base_table import BaseTable
+
+#: Batches with at least this many rows absorb through the bulk builder
+#: plus a canonical trie merge; smaller ones insert tuple-at-a-time
+#: (the lexsort + merge setup only pays for itself on real batches).
+BULK_ABSORB_THRESHOLD = 64
 
 
 def range_cubing_from_trie(
@@ -54,18 +71,89 @@ class IncrementalRangeCuber:
         self.trie = RangeTrie(n_dims, self.aggregator)
         self.n_rows_absorbed = 0
 
-    def insert_table(self, table: BaseTable) -> None:
-        """Absorb every row of ``table`` (schema must match in arity)."""
+    def insert_table(self, table: BaseTable, *, build_strategy: str = "auto") -> None:
+        """Absorb every row of ``table`` (schema must match in arity).
+
+        ``build_strategy``: ``"auto"`` (the default) bulk-builds batches of
+        at least :data:`BULK_ABSORB_THRESHOLD` rows and streams smaller
+        ones; ``"bulk"`` / ``"tuple"`` force one path.  The resident trie
+        is canonical either way.
+        """
         if table.n_dims != self.trie.n_dims:
             raise ValueError(
                 f"table has {table.n_dims} dims, cuber expects {self.trie.n_dims}"
             )
-        state_from_row = self.aggregator.state_from_row
-        dims = range(table.n_dims)
-        for row, measures in zip(table.dim_rows(), table.measure_rows()):
-            pairs = [(d, row[d]) for d in dims]
-            self.trie._insert(row.__getitem__, pairs, state_from_row(measures))
+        if build_strategy not in ("auto", "bulk", "tuple"):
+            raise ValueError(
+                f"unknown build_strategy {build_strategy!r}; "
+                "expected 'auto', 'bulk' or 'tuple'"
+            )
+        if table.n_rows == 0:
+            return
+        if build_strategy == "bulk" or (
+            build_strategy == "auto" and table.n_rows >= BULK_ABSORB_THRESHOLD
+        ):
+            self._absorb_arrays(table.dim_codes, table.measures)
+        else:
+            state_from_row = self.aggregator.state_from_row
+            dims = range(table.n_dims)
+            for row, measures in zip(table.dim_rows(), table.measure_rows()):
+                pairs = [(d, row[d]) for d in dims]
+                self.trie._insert(row.__getitem__, pairs, state_from_row(measures))
         self.n_rows_absorbed += table.n_rows
+
+    def insert_batch(
+        self,
+        rows: Sequence[Sequence[int]],
+        measures: Sequence[Sequence[float]] | None = None,
+        *,
+        build_strategy: str = "auto",
+    ) -> None:
+        """Absorb a batch of encoded fact rows (the serving append path).
+
+        Same strategy selection as :meth:`insert_table`; ``measures``
+        defaults to zero measure columns (COUNT-only aggregators).
+        """
+        n_rows = len(rows)
+        if n_rows == 0:
+            return
+        if build_strategy not in ("auto", "bulk", "tuple"):
+            raise ValueError(
+                f"unknown build_strategy {build_strategy!r}; "
+                "expected 'auto', 'bulk' or 'tuple'"
+            )
+        if build_strategy == "tuple" or (
+            build_strategy == "auto" and n_rows < BULK_ABSORB_THRESHOLD
+        ):
+            if measures is None:
+                measures = [()] * n_rows
+            for row, meas in zip(rows, measures):
+                self.insert_row(row, meas)
+            return
+        codes = np.asarray(rows, dtype=np.int64).reshape(n_rows, self.trie.n_dims)
+        if measures is None:
+            meas = np.zeros((n_rows, 0), dtype=np.float64)
+        else:
+            meas = np.asarray(measures, dtype=np.float64).reshape(n_rows, -1)
+        self._absorb_arrays(codes, meas)
+        self.n_rows_absorbed += n_rows
+
+    def _absorb_arrays(self, dim_codes: np.ndarray, measures: np.ndarray) -> None:
+        """Bulk-build the batch's trie and fuse it into the resident one.
+
+        The merge consumes both inputs (the result shares their untouched
+        sub-tries), which is exactly the resident-trie lifecycle: the old
+        trie reference is dropped on assignment.
+        """
+        from repro.core.partitioned import merge_tries
+
+        batch = RangeTrie.bulk_build_arrays(
+            self.trie.n_dims, dim_codes, measures, self.aggregator
+        )
+        if self.trie.root.agg is None:
+            self.trie = batch
+        else:
+            self.trie = merge_tries([self.trie, batch])
 
     def insert_row(self, row: Sequence[int], measures: Sequence[float] = ()) -> None:
         """Absorb a single encoded fact row."""

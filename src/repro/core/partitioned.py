@@ -17,7 +17,9 @@ pluggable executor (:mod:`repro.exec`):
    row-wise (no Python-tuple conversion: partitions ship to workers as
    arrays and decode there);
 2. **build** — construct one range trie per partition in the executor's
-   workers (:func:`build_trie_partition` is a module-level function so it
+   workers via the vectorized sort-based bulk builder
+   (:meth:`~repro.core.range_trie.RangeTrie.bulk_build_arrays`;
+   :func:`build_trie_partition` is a module-level function so it
    pickles by reference for :class:`~repro.exec.ProcessExecutor`);
 3. **merge** — fuse the per-partition tries with a log-depth pairwise
    tree reduction (balanced merges keep intermediate tries small,
@@ -137,21 +139,16 @@ def partition_payloads(
 def build_trie_partition(
     payload: tuple[np.ndarray, np.ndarray, Aggregator],
 ) -> RangeTrie:
-    """Worker task: build the range trie of one partition (Algorithm 1).
+    """Worker task: build the range trie of one partition.
 
-    Module-level so it pickles by reference; the payload decodes the numpy
-    code rows to tuples *inside* the worker, keeping the cross-process
-    traffic to the raw arrays.
+    Module-level so it pickles by reference; the partition's raw numpy
+    slices feed the vectorized bulk builder directly *inside* the worker,
+    keeping the cross-process traffic to the bare arrays.
     """
     dim_codes, measures, aggregator = payload
-    n_dims = dim_codes.shape[1]
-    trie = RangeTrie(n_dims, aggregator)
-    state_from_row = aggregator.state_from_row
-    dims = range(n_dims)
-    for row, meas in zip(dim_codes.tolist(), measures.tolist()):
-        pairs = [(d, row[d]) for d in dims]
-        trie._insert(row.__getitem__, pairs, state_from_row(meas))
-    return trie
+    return RangeTrie.bulk_build_arrays(
+        dim_codes.shape[1], dim_codes, measures, aggregator
+    )
 
 
 def build_partitioned(
@@ -232,7 +229,7 @@ def parallel_range_cubing_detailed(
     # Imported here (not at module top) to avoid a cycle: range_cubing is
     # the serial facade and sits above the trie machinery this module and
     # it both use.
-    from repro.core.range_cubing import _remap_range, _traverse
+    from repro.core.range_cubing import _remap_ranges, _traverse
 
     agg = aggregator or default_aggregator(table.n_measures)
     exec_obj, owned = resolve_executor(executor, workers)
@@ -260,7 +257,7 @@ def parallel_range_cubing_detailed(
             exec_obj.close()
 
     if dim_order is not None:
-        ranges = [_remap_range(r, dim_order) for r in ranges]
+        ranges = _remap_ranges(ranges, dim_order)
     timings.count("n_partitions", len(payloads))
     timings.count("tries_merged", len(tries))
     timings.count("trie_nodes", trie.n_nodes())

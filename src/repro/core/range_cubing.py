@@ -31,6 +31,10 @@ from repro.table.aggregates import Aggregator, default_aggregator
 from repro.table.base_table import BaseTable
 
 
+#: Trie construction strategies accepted by ``build_strategy=``.
+BUILD_STRATEGIES = ("bulk", "tuple")
+
+
 @legacy_call_shim("aggregator", "dim_order", "min_support")
 def range_cubing(
     table: BaseTable,
@@ -38,6 +42,7 @@ def range_cubing(
     aggregator: Aggregator | None = None,
     dim_order: Sequence[int] | None = None,
     min_support: int = 1,
+    build_strategy: str = "bulk",
 ) -> RangeCube:
     """Compute the range cube of ``table``.
 
@@ -46,9 +51,17 @@ def range_cubing(
     preferred order); the returned ranges are always expressed in the
     table's *original* dimension order.  ``min_support`` > 1 computes the
     iceberg range cube: only ranges whose count reaches the threshold.
+    ``build_strategy`` selects the trie construction: ``"bulk"`` (the
+    default, :meth:`RangeTrie.bulk_build`'s vectorized sort-based path) or
+    ``"tuple"`` (Algorithm 1's tuple-at-a-time insertion) — the trie is
+    canonical, so both produce the same cube.
     """
     cube, _ = range_cubing_detailed(
-        table, aggregator=aggregator, dim_order=dim_order, min_support=min_support
+        table,
+        aggregator=aggregator,
+        dim_order=dim_order,
+        min_support=min_support,
+        build_strategy=build_strategy,
     )
     return cube
 
@@ -60,31 +73,47 @@ def range_cubing_detailed(
     aggregator: Aggregator | None = None,
     dim_order: Sequence[int] | None = None,
     min_support: int = 1,
+    build_strategy: str = "bulk",
 ) -> tuple[RangeCube, dict[str, float]]:
     """Like :func:`range_cubing` but also returns harness statistics.
 
     The stats dict carries the initial trie's node counts (the paper's
-    node-ratio ingredient) and the build/traversal split of the run time.
+    node-ratio ingredient) and the build/traversal split of the run time;
+    with the bulk strategy the build phase is further broken down into
+    ``sort_seconds`` / ``group_seconds`` / ``aggregate_seconds``.
     """
+    if build_strategy not in BUILD_STRATEGIES:
+        raise ValueError(
+            f"unknown build_strategy {build_strategy!r}; "
+            f"expected one of {BUILD_STRATEGIES}"
+        )
     agg = aggregator or default_aggregator(table.n_measures)
     order = dim_order
     working = table if order is None else table.reordered(order)
 
+    phases: dict[str, float] = {}
     t0 = time.perf_counter()
-    trie = RangeTrie.build(working, agg)
+    if build_strategy == "bulk":
+        trie = RangeTrie.bulk_build(working, agg, timings=phases)
+    else:
+        trie = RangeTrie.build(working, agg)
     t1 = time.perf_counter()
     ranges = _traverse(trie, agg, min_support)
     t2 = time.perf_counter()
 
     if order is not None:
-        ranges = [_remap_range(r, order) for r in ranges]
+        ranges = _remap_ranges(ranges, order)
+    census = trie.stats()
     stats = {
-        "trie_nodes": trie.n_nodes(),
-        "trie_interior": trie.n_interior(),
-        "trie_leaves": trie.n_leaves(),
+        "trie_nodes": census.nodes,
+        "trie_interior": census.interior,
+        "trie_leaves": census.leaves,
+        "trie_depth": census.max_depth,
+        "build_strategy": build_strategy,
         "build_seconds": t1 - t0,
         "traverse_seconds": t2 - t1,
         "total_seconds": t2 - t0,
+        **phases,
     }
     return RangeCube(table.n_dims, agg, ranges), stats
 
@@ -136,13 +165,36 @@ def _cube(
         node = reduce_trie(node, merge)
 
 
-def _remap_range(r: Range, order: Sequence[int]) -> Range:
-    """Translate a range from permuted dimension space back to the original."""
-    n = len(r.specific)
-    specific = [None] * n
-    mask = 0
+def _remap_ranges(ranges: Sequence[Range], order: Sequence[int]) -> list[Range]:
+    """Translate ranges from permuted dimension space back to the original.
+
+    The inverse permutation (and the per-bit mask translation) is computed
+    once for the whole cube rather than once per range.
+    """
+    n = len(order)
+    # gather[old_dim] = new_dim: position to read each original dim from.
+    gather = [0] * n
+    mask_for_bit = [0] * n  # new_dim bit -> old_dim bit
     for new_dim, old_dim in enumerate(order):
-        specific[old_dim] = r.specific[new_dim]
-        if r.mask >> new_dim & 1:
-            mask |= 1 << old_dim
-    return Range(tuple(specific), mask, r.state)
+        gather[old_dim] = new_dim
+        mask_for_bit[new_dim] = 1 << old_dim
+    out = []
+    for r in ranges:
+        spec = r.specific
+        remaining = r.mask
+        mask = 0
+        while remaining:
+            low = remaining & -remaining
+            mask |= mask_for_bit[low.bit_length() - 1]
+            remaining ^= low
+        out.append(Range(tuple(spec[g] for g in gather), mask, r.state))
+    return out
+
+
+def _remap_range(r: Range, order: Sequence[int]) -> Range:
+    """Translate one range back to the original dimension order.
+
+    Kept for callers remapping a single range; batch callers use
+    :func:`_remap_ranges`, which hoists the permutation setup.
+    """
+    return _remap_ranges([r], order)[0]

@@ -24,12 +24,30 @@ incoming tuple:
 
 The resulting trie is invariant to tuple insertion order (tested by
 property tests), which also makes it a canonical form for the reduction
-step of range cubing.
+step of range cubing — and that canonical form admits a second, much
+faster construction: :meth:`RangeTrie.bulk_build` lexsorts the table's
+dense dimension-code matrix once and materializes Definition 4 directly
+by recursive range partitioning.  Every subtree is a contiguous row
+range of the sorted matrix: the dimensions constant across the range
+*are* the node's key (the common-value factoring Algorithm 1 discovers
+incrementally), and the remaining rows group by the start dimension's
+already-sorted codes.  Duplicate rows collapse into adjacent groups
+whose aggregate states come from ONE pass of the segment-reduce batch
+kernels of :mod:`repro.table.aggregates` (``ufunc.reduceat``); interior
+nodes merge children's states instead of paying one
+:meth:`~repro.table.aggregates.Aggregator.merge` call per tuple.  Both
+constructions yield the identical canonical trie (property-tested node
+by node), so ``bulk_build`` is the default batch path and Algorithm 1
+remains the streaming path.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Sequence
+import time
+from bisect import bisect_left
+from typing import Callable, Iterator, NamedTuple, Sequence
+
+import numpy as np
 
 from repro.table.aggregates import Aggregator, default_aggregator
 from repro.table.base_table import BaseTable
@@ -42,6 +60,15 @@ def merge_key(a: Key, b: Sequence[tuple[int, int]]) -> Key:
     """Merge two dimension-disjoint keys, keeping dimension order."""
     merged = sorted((*a, *b))
     return tuple(merged)
+
+
+class TrieStats(NamedTuple):
+    """A single-pass census of a trie (the empty-key root excluded)."""
+
+    nodes: int
+    interior: int
+    leaves: int
+    max_depth: int
 
 
 class RangeTrieNode:
@@ -123,14 +150,76 @@ class RangeTrie:
             trie._insert(row.__getitem__, pairs, state_from_row(measures))
         return trie
 
+    @classmethod
+    def bulk_build(
+        cls,
+        table: BaseTable,
+        aggregator: Aggregator | None = None,
+        *,
+        timings: dict | None = None,
+    ) -> "RangeTrie":
+        """Sort-based bulk construction: the same canonical trie as
+        :meth:`build`, built from the table's dense code matrix in one
+        ``np.lexsort`` plus a recursive vectorized partition (see the
+        module docstring).
+
+        ``timings``, when given, receives the per-phase breakdown
+        (``sort_seconds``, ``group_seconds``, ``aggregate_seconds``).
+        """
+        agg = aggregator or default_aggregator(table.n_measures)
+        return cls.bulk_build_arrays(
+            table.n_dims, table.dim_codes, table.measures, agg, timings=timings
+        )
+
+    @classmethod
+    def bulk_build_arrays(
+        cls,
+        n_dims: int,
+        dim_codes: np.ndarray,
+        measures: np.ndarray,
+        aggregator: Aggregator,
+        *,
+        timings: dict | None = None,
+    ) -> "RangeTrie":
+        """:meth:`bulk_build` over raw encoded arrays (no table wrapper).
+
+        This is the entry point the partitioned and incremental engines
+        use: partitions ship across process boundaries as bare numpy
+        slices, and append batches arrive as freshly assembled arrays.
+        """
+        trie = cls(n_dims, aggregator)
+        n_rows = dim_codes.shape[0]
+        if timings is not None:
+            timings.update(sort_seconds=0.0, group_seconds=0.0, aggregate_seconds=0.0)
+        if n_rows == 0:
+            return trie
+        t0 = time.perf_counter()
+        # np.lexsort keys run last-to-first: reverse the columns so
+        # dimension 0 is the primary sort key (the trie's start dim).
+        order = np.lexsort(dim_codes.T[::-1])
+        codes = dim_codes[order]
+        meas = measures[order]
+        t1 = time.perf_counter()
+        builder = _BulkBuilder(codes, meas, aggregator, timed=timings is not None)
+        builder.build_into(trie.root)
+        t2 = time.perf_counter()
+        if timings is not None:
+            timings["sort_seconds"] = t1 - t0
+            timings["aggregate_seconds"] = builder.aggregate_seconds
+            timings["group_seconds"] = (t2 - t1) - builder.aggregate_seconds
+        return trie
+
     def insert_assignment(self, pairs: Sequence[tuple[int, int]], state) -> None:
         """Insert one pre-aggregated tuple given as sorted (dim, value) pairs.
 
         Used by the reference (rebuild-based) trie reduction and by tests;
         ``pairs`` must cover every dimension of the trie exactly once.
         """
+        pairs = list(pairs)
+        if any(pairs[i][0] >= pairs[i + 1][0] for i in range(len(pairs) - 1)):
+            pairs.sort()  # callers usually pass dimension-sorted pairs already
         values = dict(pairs)
-        self._insert(values.__getitem__, sorted(pairs), state)
+        self._insert(values.__getitem__, pairs, state)
 
     def _insert(
         self,
@@ -195,30 +284,43 @@ class RangeTrie:
         """Aggregate state over the whole table (the apex cell's value)."""
         return self.root.agg
 
-    def n_nodes(self) -> int:
-        """Number of nodes excluding the (empty-key) root.
+    def stats(self) -> TrieStats:
+        """Node, interior and leaf counts plus max depth, in ONE walk.
 
-        This is the paper's *node count* metric: the number of recursive
-        calls of range cubing equals the number of interior nodes, and the
-        node ratio against the H-tree indicates memory demand.
+        The node count is the paper's metric (recursive calls of range
+        cubing = interior nodes; the node ratio against the H-tree
+        indicates memory demand), and the harness reports all four
+        numbers — collecting them in a single pass avoids re-iterating
+        the trie once per counter.
         """
-        return sum(1 for _ in self.iter_nodes())
+        nodes = interior = leaves = max_depth = 0
+        stack = [(child, 1) for child in self.root.children.values()]
+        while stack:
+            node, depth = stack.pop()
+            nodes += 1
+            if node.children:
+                interior += 1
+                next_depth = depth + 1
+                stack.extend((c, next_depth) for c in node.children.values())
+            else:
+                leaves += 1
+                if depth > max_depth:
+                    max_depth = depth
+        return TrieStats(nodes, interior, leaves, max_depth)
+
+    def n_nodes(self) -> int:
+        """Number of nodes excluding the (empty-key) root."""
+        return self.stats().nodes
 
     def n_leaves(self) -> int:
-        return sum(1 for n in self.iter_nodes() if n.is_leaf)
+        return self.stats().leaves
 
     def n_interior(self) -> int:
-        return sum(1 for n in self.iter_nodes() if not n.is_leaf)
+        return self.stats().interior
 
     def max_depth(self) -> int:
         """Longest root-to-leaf path length (paper: bounded by n_dims)."""
-
-        def depth(node: RangeTrieNode) -> int:
-            if node.is_leaf:
-                return 0
-            return 1 + max(depth(c) for c in node.children.values())
-
-        return depth(self.root)
+        return self.stats().max_depth
 
     def iter_nodes(self) -> Iterator[RangeTrieNode]:
         """All non-root nodes, depth-first."""
@@ -299,3 +401,157 @@ class RangeTrie:
             assert len(starts) == 1, f"root children disagree on start dim: {starts}"
             for child in root.children.values():
                 walk(child, set(), -1)
+
+
+# ---------------------------------------------------------------------------
+# sort-based bulk construction
+# ---------------------------------------------------------------------------
+
+
+class _BulkBuilder:
+    """Recursive construction over a lexsorted code matrix.
+
+    All the heavy lifting happens in a handful of whole-table vectorized
+    passes up front; the recursion itself touches only precomputed plain
+    Python lists (per-node numpy calls on tiny sub-blocks would cost more
+    than they save — the trie has roughly one node per distinct row):
+
+    * duplicate rows are collapsed into *groups* (identical rows are
+      adjacent after the lexsort), and ONE ``reduce_segments`` call — the
+      segment-reduce batch kernel, ``np.add.reduceat`` and friends for
+      the built-in aggregators — produces every group's state in one
+      shot.  Leaf states are these group states verbatim; interior states
+      merge their children's while the recursion unwinds.
+    * per dimension, a cumulative change count over the group rows
+      answers "is this dimension constant on group range [a, b)?" with
+      two list lookups — the vectorized constant-dimension detection
+      whose survivors form the node's key (Algorithm 1's common-value
+      factoring).
+    * per dimension, the sorted positions where consecutive groups differ
+      give the partition boundaries of any range via two bisects — the
+      lexsort guarantees the smallest varying free dimension's value
+      groups are contiguous.
+    """
+
+    __slots__ = (
+        "agg", "merge", "n_dims", "rows", "base_states",
+        "csum", "breaks", "aggregate_seconds",
+    )
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        measures: np.ndarray,
+        aggregator: Aggregator,
+        timed: bool = False,
+    ) -> None:
+        self.agg = aggregator
+        self.merge = aggregator.merge
+        self.n_dims = codes.shape[1]
+        n_rows = codes.shape[0]
+        # Duplicate-row groups: identical rows are adjacent once sorted.
+        change = codes[1:] != codes[:-1]
+        starts = np.flatnonzero(change.any(axis=1)) + 1 if self.n_dims else []
+        starts = np.concatenate((np.zeros(1, dtype=np.intp), starts))
+        t0 = time.perf_counter()
+        self.base_states = aggregator.reduce_segments(measures, starts)
+        self.aggregate_seconds = time.perf_counter() - t0 if timed else 0.0
+        # Everything the recursion reads, as plain Python lists.
+        reps = codes[starts]
+        self.rows: list[list[int]] = reps.tolist()
+        gchange = reps[1:] != reps[:-1]
+        csum = np.zeros((len(starts), self.n_dims), dtype=np.int64)
+        np.cumsum(gchange, axis=0, out=csum[1:])
+        self.csum = [col.tolist() for col in csum.T]
+        self.breaks = [
+            np.flatnonzero(gchange[:, d]).tolist() for d in range(self.n_dims)
+        ]
+
+    def build_into(self, root: RangeTrieNode) -> None:
+        """Populate ``root`` (empty key, by convention) from all rows.
+
+        The recursion is a closure over local bindings of the precomputed
+        lists: with one node per distinct row, attribute lookups and
+        helper calls on the per-node path are the actual cost, so leaves
+        are constructed inline in their parent's partition loop.
+        """
+        if self.n_dims == 0:
+            # No dimensions: every tuple collapses into the root.
+            root.agg = self.base_states[0]
+            return
+        rows = self.rows
+        base_states = self.base_states
+        csum = self.csum
+        all_breaks = self.breaks
+        merge = self.merge
+        node = RangeTrieNode
+
+        def build(a: int, b: int, part: int, dims: list[int]) -> RangeTrieNode:
+            """The node for sorted row groups ``[a, b)``.
+
+            ``part`` is the dimension the caller partitioned on — constant
+            on the range by construction, so the key is never empty —
+            and ``dims`` the free dimensions after it.  ``b - a >= 2``
+            (single groups become leaves inline below).
+            """
+            row = rows[a]
+            const = [(part, row[part])]
+            varying = []
+            top = b - 1
+            for d in dims:
+                counts = csum[d]
+                if counts[top] - counts[a]:
+                    varying.append(d)
+                else:
+                    const.append((d, row[d]))
+            # Partition on the smallest varying dimension (two distinct
+            # group rows differ somewhere, so ``varying`` is non-empty).
+            p = varying[0]
+            rest = varying[1:]
+            breaks = all_breaks[p]
+            i = bisect_left(breaks, a)
+            children: dict[int, RangeTrieNode] = {}
+            state = None
+            lo = a
+            for pos in breaks[i : bisect_left(breaks, top, i)]:
+                hi = pos + 1
+                if hi - lo == 1:
+                    r = rows[lo]
+                    child = node(
+                        ((p, r[p]), *[(d, r[d]) for d in rest]), {}, base_states[lo]
+                    )
+                else:
+                    child = build(lo, hi, p, rest)
+                children[rows[lo][p]] = child
+                state = child.agg if state is None else merge(state, child.agg)
+                lo = hi
+            if b - lo == 1:
+                r = rows[lo]
+                child = node(
+                    ((p, r[p]), *[(d, r[d]) for d in rest]), {}, base_states[lo]
+                )
+            else:
+                child = build(lo, b, p, rest)
+            children[rows[lo][p]] = child
+            state = child.agg if state is None else merge(state, child.agg)
+            return node(tuple(const), children, state)
+
+        # Root children partition on dimension 0's value — even a
+        # globally constant dimension 0 yields (one) root child, exactly
+        # as Algorithm 1 branches the root on the first key pair.
+        dims = list(range(1, self.n_dims))
+        total = None
+        breaks0 = all_breaks[0]
+        g = len(rows)
+        bounds = [0, *[pos + 1 for pos in breaks0[: bisect_left(breaks0, g - 1)]], g]
+        for a, b in zip(bounds, bounds[1:]):
+            if b - a == 1:
+                r = rows[a]
+                child = node(
+                    ((0, r[0]), *[(d, r[d]) for d in dims]), {}, base_states[a]
+                )
+            else:
+                child = build(a, b, 0, dims)
+            root.children[child.start_value] = child
+            total = child.agg if total is None else merge(total, child.agg)
+        root.agg = total

@@ -349,8 +349,10 @@ class QueryEngine:
         """
         clean_rows, clean_measures = self._validate_rows(rows, measures)
         with self._write_lock:
-            for row, meas in zip(clean_rows, clean_measures):
-                self._cuber.insert_row(row, meas)
+            # Large batches bulk-build a trie of their own and merge
+            # canonically; small ones stream through Algorithm 1.
+            self._cuber.insert_batch(clean_rows, clean_measures)
+            for row in clean_rows:
                 for d, v in enumerate(row):
                     if v > self._max_codes[d]:
                         self._max_codes[d] = v

@@ -14,11 +14,30 @@ cell from ``(m+1)``-dimensional cells) requires states that merge.
 The tuple count is always tracked as the first component of every state:
 the count of a node bounds the count of every cell beneath it, which is what
 enables the Apriori (iceberg) pruning the paper describes in Section 1.
+
+Besides the scalar algebra, every aggregator also exposes two *batch
+kernels* consumed by the sort-based bulk trie builder
+(:meth:`repro.core.range_trie.RangeTrie.bulk_build`):
+
+* :meth:`Aggregator.states_from_block` — per-row states for a whole
+  measures block at once;
+* :meth:`Aggregator.reduce_segments` — one merged state per contiguous
+  row segment, vectorized with ``ufunc.reduceat`` (``np.add.reduceat``,
+  ``np.minimum.reduceat``, ``np.maximum.reduceat``) for the distributive
+  functions, so a trie node's state is computed from its row range in one
+  shot instead of N pairwise :meth:`Aggregator.merge` calls.
+
+Subclasses that redefine the scalar algebra (``state_from_row``/``merge``)
+without providing matching batch kernels — e.g. the top-k average state of
+:mod:`repro.core.complex_measures` — automatically fall back to an exact
+per-row loop, so the batch entry points are always safe to call.
 """
 
 from __future__ import annotations
 
 from typing import Any, Sequence
+
+import numpy as np
 
 
 class AggregateFunction:
@@ -40,6 +59,36 @@ class AggregateFunction:
     def finalize(self, state: Any) -> float:
         raise NotImplementedError
 
+    # batch kernels ----------------------------------------------------
+
+    def initial_block(self, column: np.ndarray) -> list:
+        """Vectorized :meth:`initial` over one measure column.
+
+        Returns plain-python states (the scalar and the batch paths must
+        produce interchangeable state values, e.g. for JSON persistence).
+        """
+        return [self.initial(v) for v in column.tolist()]
+
+    def reduce_segments(self, column: np.ndarray, starts: np.ndarray) -> list:
+        """One merged state per contiguous segment of ``column``.
+
+        ``starts`` holds the ascending segment start offsets with
+        ``starts[0] == 0``; segment ``i`` covers
+        ``column[starts[i]:starts[i + 1]]`` and the last segment runs to
+        the end of the column (exactly ``ufunc.reduceat`` semantics,
+        which the distributive subclasses use verbatim).  The default is
+        an exact per-row loop.
+        """
+        values = column.tolist()
+        bounds = [int(s) for s in starts] + [len(values)]
+        out = []
+        for lo, hi in zip(bounds, bounds[1:]):
+            state = self.initial(values[lo])
+            for value in values[lo + 1 : hi]:
+                state = self.merge(state, self.initial(value))
+            out.append(state)
+        return out
+
 
 class SumFunction(AggregateFunction):
     name = "sum"
@@ -52,6 +101,12 @@ class SumFunction(AggregateFunction):
 
     def finalize(self, state: float) -> float:
         return state
+
+    def initial_block(self, column: np.ndarray) -> list:
+        return column.tolist()
+
+    def reduce_segments(self, column: np.ndarray, starts: np.ndarray) -> list:
+        return np.add.reduceat(column, starts).tolist()
 
 
 class MinFunction(AggregateFunction):
@@ -66,6 +121,12 @@ class MinFunction(AggregateFunction):
     def finalize(self, state: float) -> float:
         return state
 
+    def initial_block(self, column: np.ndarray) -> list:
+        return column.tolist()
+
+    def reduce_segments(self, column: np.ndarray, starts: np.ndarray) -> list:
+        return np.minimum.reduceat(column, starts).tolist()
+
 
 class MaxFunction(AggregateFunction):
     name = "max"
@@ -78,6 +139,12 @@ class MaxFunction(AggregateFunction):
 
     def finalize(self, state: float) -> float:
         return state
+
+    def initial_block(self, column: np.ndarray) -> list:
+        return column.tolist()
+
+    def reduce_segments(self, column: np.ndarray, starts: np.ndarray) -> list:
+        return np.maximum.reduceat(column, starts).tolist()
 
 
 class AvgFunction(AggregateFunction):
@@ -93,6 +160,15 @@ class AvgFunction(AggregateFunction):
 
     def finalize(self, state: tuple[float, int]) -> float:
         return state[0] / state[1]
+
+    def initial_block(self, column: np.ndarray) -> list:
+        return [(v, 1) for v in column.tolist()]
+
+    def reduce_segments(self, column: np.ndarray, starts: np.ndarray) -> list:
+        starts = np.asarray(starts, dtype=np.intp)
+        sums = np.add.reduceat(column, starts).tolist()
+        counts = np.diff(starts, append=len(column)).tolist()
+        return list(zip(sums, counts))
 
 
 class Aggregator:
@@ -117,6 +193,58 @@ class Aggregator:
 
     def count(self, state: tuple) -> int:
         return state[0]
+
+    # batch kernels ----------------------------------------------------
+
+    def _scalar_algebra_overridden(self) -> bool:
+        """True when a subclass redefined the per-row algebra.
+
+        Such a subclass's states need not match what the specs-driven
+        batch kernels would produce, so the batch entry points must fall
+        back to the (always-correct) per-row path unless the subclass
+        also overrides them.
+        """
+        cls = type(self)
+        return (
+            cls.state_from_row is not Aggregator.state_from_row
+            or cls.merge is not Aggregator.merge
+        )
+
+    def states_from_block(self, measures: np.ndarray) -> list[tuple]:
+        """Per-row states for a whole measures block (rows x measures)."""
+        measures = np.asarray(measures, dtype=np.float64)
+        if self._scalar_algebra_overridden():
+            return [self.state_from_row(row) for row in measures.tolist()]
+        if not self.specs:
+            return [(1,)] * measures.shape[0]
+        columns = [f.initial_block(measures[:, i]) for f, i in self.specs]
+        return [(1, *values) for values in zip(*columns)]
+
+    def reduce_segments(self, measures: np.ndarray, starts: np.ndarray) -> list[tuple]:
+        """One merged state per contiguous row segment of ``measures``.
+
+        Segment semantics follow :meth:`AggregateFunction.reduce_segments`
+        (ascending ``starts`` beginning at 0; the last segment runs to the
+        end of the block).  The block must be non-empty.
+        """
+        starts = np.asarray(starts, dtype=np.intp)
+        counts = np.diff(starts, append=len(measures)).tolist()
+        if self._scalar_algebra_overridden():
+            states = self.states_from_block(measures)
+            out = []
+            pos = 0
+            for n in counts:
+                state = states[pos]
+                for other in states[pos + 1 : pos + n]:
+                    state = self.merge(state, other)
+                out.append(state)
+                pos += n
+            return out
+        if not self.specs:
+            return [(n,) for n in counts]
+        measures = np.asarray(measures, dtype=np.float64)
+        columns = [f.reduce_segments(measures[:, i], starts) for f, i in self.specs]
+        return [(n, *values) for n, values in zip(counts, zip(*columns))]
 
     def result_names(self) -> tuple[str, ...]:
         return ("count",) + tuple(f.name for f, _ in self.specs)
@@ -143,6 +271,13 @@ class CountAggregator(Aggregator):
     def finalize(self, state: tuple) -> dict[str, float]:
         return {"count": state[0]}
 
+    def states_from_block(self, measures: np.ndarray) -> list[tuple]:
+        return [(1,)] * len(measures)
+
+    def reduce_segments(self, measures: np.ndarray, starts: np.ndarray) -> list[tuple]:
+        starts = np.asarray(starts, dtype=np.intp)
+        return [(n,) for n in np.diff(starts, append=len(measures)).tolist()]
+
 
 class SumCountAggregator(Aggregator):
     """COUNT(*) plus SUM over one measure column — the default.
@@ -163,6 +298,17 @@ class SumCountAggregator(Aggregator):
 
     def finalize(self, state: tuple) -> dict[str, float]:
         return {"count": state[0], "sum": state[1]}
+
+    def states_from_block(self, measures: np.ndarray) -> list[tuple]:
+        column = np.asarray(measures, dtype=np.float64)[:, self.measure_index]
+        return [(1, value) for value in column.tolist()]
+
+    def reduce_segments(self, measures: np.ndarray, starts: np.ndarray) -> list[tuple]:
+        starts = np.asarray(starts, dtype=np.intp)
+        column = np.asarray(measures, dtype=np.float64)[:, self.measure_index]
+        counts = np.diff(starts, append=len(column)).tolist()
+        sums = np.add.reduceat(column, starts).tolist()
+        return list(zip(counts, sums))
 
 
 class SumAggregator(SumCountAggregator):

@@ -1,0 +1,381 @@
+"""Bulk (sort-based) trie construction vs tuple-at-a-time Algorithm 1.
+
+The range trie is canonical — the same tuple multiset always produces the
+same trie regardless of insertion order — so ``RangeTrie.bulk_build`` has
+an airtight oracle: node-by-node structural equality against
+``RangeTrie.build``.  Aggregate states are compared with float tolerance
+(the bulk path sums each segment with ``np.add.reduceat``, a different
+addition order than pairwise merging).
+
+Also covers the batch aggregation kernels, the single-pass ``stats()``
+walk, the bulk absorption paths of the incremental cuber and the serving
+engine, and the ``build_strategy`` plumbing of ``range_cubing``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.complex_measures import TopKAvgAggregator
+from repro.core.incremental import BULK_ABSORB_THRESHOLD, IncrementalRangeCuber
+from repro.core.range_cubing import range_cubing, range_cubing_detailed
+from repro.core.range_trie import RangeTrie, TrieStats
+from repro.serve.engine import QueryEngine
+from repro.table.aggregates import (
+    Aggregator,
+    AvgAggregator,
+    CountAggregator,
+    MaxAggregator,
+    MaxFunction,
+    MinAggregator,
+    MultiAggregator,
+    SumCountAggregator,
+    SumFunction,
+)
+from repro.table.base_table import BaseTable
+from repro.table.schema import Schema
+
+from .conftest import make_encoded_table, make_paper_table, table_strategy
+
+
+def states_equal(a, b, tol: float = 1e-9) -> bool:
+    """Float-tolerant, *recursive* state comparison.
+
+    Unlike :func:`tests.conftest.states_equal` this descends into nested
+    tuples (AVG's ``(sum, count)`` pair, top-k lists), since the bulk path
+    sums segments in a different order than pairwise merging.
+    """
+    if isinstance(a, tuple) or isinstance(b, tuple):
+        return (
+            isinstance(a, tuple)
+            and isinstance(b, tuple)
+            and len(a) == len(b)
+            and all(states_equal(x, y, tol) for x, y in zip(a, b))
+        )
+    if isinstance(a, float) or isinstance(b, float):
+        return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+    return a == b
+
+
+def tries_equal(a: RangeTrie, b: RangeTrie) -> bool:
+    """Node-by-node equality: keys, children, states (float-tolerant)."""
+
+    def node_equal(x, y) -> bool:
+        if x.key != y.key:
+            return False
+        if (x.agg is None) != (y.agg is None):
+            return False
+        if x.agg is not None and not states_equal(x.agg, y.agg):
+            return False
+        if x.children.keys() != y.children.keys():
+            return False
+        return all(node_equal(c, y.children[v]) for v, c in x.children.items())
+
+    return a.n_dims == b.n_dims and node_equal(a.root, b.root)
+
+
+def assert_tries_equal(a: RangeTrie, b: RangeTrie) -> None:
+    a.check_invariants()
+    b.check_invariants()
+    assert tries_equal(a, b)
+
+
+def random_table(seed: int, n_rows: int = 120, n_dims: int = 4, card: int = 6):
+    """A skewed random table with correlated columns (dup-friendly)."""
+    rng = np.random.default_rng(seed)
+    codes = rng.zipf(1.4, size=(n_rows, n_dims)).clip(max=card) - 1
+    codes[:, -1] = codes[:, 0]  # perfectly correlated pair -> shared keys
+    measures = rng.uniform(0.0, 100.0, size=(n_rows, 1)).round(3)
+    return make_encoded_table(codes, n_measures=1, measures=measures)
+
+
+# ---------------------------------------------------------------------------
+# bulk_build == build
+# ---------------------------------------------------------------------------
+
+
+def test_bulk_build_matches_paper_trie():
+    table = make_paper_table()
+    assert_tries_equal(RangeTrie.bulk_build(table), RangeTrie.build(table))
+
+
+@settings(max_examples=60, deadline=None)
+@given(table_strategy())
+def test_bulk_build_matches_tuple_build(table):
+    assert_tries_equal(RangeTrie.bulk_build(table), RangeTrie.build(table))
+
+
+@pytest.mark.parametrize(
+    "make_agg",
+    [
+        CountAggregator,
+        SumCountAggregator,
+        MinAggregator,
+        MaxAggregator,
+        AvgAggregator,
+        lambda: MultiAggregator([(SumFunction(), 0), (MaxFunction(), 0)]),
+        lambda: TopKAvgAggregator(k=3),
+    ],
+    ids=["count", "sumcount", "min", "max", "avg", "multi", "topk-avg"],
+)
+def test_bulk_build_matches_for_every_aggregator(make_agg):
+    table = random_table(seed=7)
+    agg = make_agg()
+    assert_tries_equal(
+        RangeTrie.bulk_build(table, agg), RangeTrie.build(table, agg)
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_bulk_build_matches_on_skewed_duplicated_tables(seed):
+    table = random_table(seed, n_rows=200, n_dims=5, card=4)
+    assert_tries_equal(RangeTrie.bulk_build(table), RangeTrie.build(table))
+
+
+def test_bulk_build_edge_cases():
+    # Empty table.
+    schema = Schema.from_names(["a", "b"])
+    empty = BaseTable(schema, np.zeros((0, 2), dtype=np.int64))
+    trie = RangeTrie.bulk_build(empty)
+    assert trie.root.children == {} and trie.root.agg is None
+    # Single row; all-identical rows; globally constant first dimension.
+    for codes in ([[3, 1, 2]], [[1, 2]] * 5, [[0, 1], [0, 2], [0, 1]]):
+        table = make_encoded_table(codes)
+        assert_tries_equal(RangeTrie.bulk_build(table), RangeTrie.build(table))
+
+
+def test_bulk_build_timings_populated():
+    timings: dict[str, float] = {}
+    RangeTrie.bulk_build(random_table(seed=3), timings=timings)
+    assert set(timings) == {"sort_seconds", "group_seconds", "aggregate_seconds"}
+    assert all(v >= 0.0 for v in timings.values())
+
+
+# ---------------------------------------------------------------------------
+# batch aggregation kernels
+# ---------------------------------------------------------------------------
+
+
+def test_reduce_segments_matches_pairwise_merge():
+    rng = np.random.default_rng(11)
+    measures = rng.uniform(-5, 5, size=(20, 2))
+    starts = np.array([0, 4, 5, 11], dtype=np.intp)
+    bounds = [*starts.tolist(), len(measures)]
+    for agg in (
+        CountAggregator(),
+        SumCountAggregator(1),
+        MinAggregator(0),
+        MaxAggregator(1),
+        AvgAggregator(0),
+        MultiAggregator([(SumFunction(), 0), (MaxFunction(), 1)]),
+        TopKAvgAggregator(k=2),
+    ):
+        got = agg.reduce_segments(measures, starts)
+        rows = [agg.state_from_row(row) for row in measures.tolist()]
+        for state, lo, hi in zip(got, bounds, bounds[1:]):
+            want = rows[lo]
+            for other in rows[lo + 1 : hi]:
+                want = agg.merge(want, other)
+            assert states_equal(state, want)
+
+
+def test_states_from_block_matches_state_from_row():
+    measures = np.array([[1.5, 2.0], [3.0, -1.0], [0.0, 7.25]])
+    for agg in (
+        CountAggregator(),
+        SumCountAggregator(0),
+        AvgAggregator(1),
+        TopKAvgAggregator(k=2),
+    ):
+        got = agg.states_from_block(measures)
+        assert got == [agg.state_from_row(row) for row in measures.tolist()]
+
+
+def test_batch_kernels_emit_plain_python_scalars():
+    # np.float64 leaking into states would break JSON cube persistence.
+    measures = np.array([[1.0], [2.0], [3.0]])
+    starts = np.array([0, 2], dtype=np.intp)
+
+    def flat(value):
+        if isinstance(value, tuple):
+            for v in value:
+                yield from flat(v)
+        else:
+            yield value
+
+    for agg in (SumCountAggregator(0), MinAggregator(0), AvgAggregator(0)):
+        for state in agg.states_from_block(measures) + agg.reduce_segments(
+            measures, starts
+        ):
+            assert all(type(v) in (int, float) for v in flat(state)), state
+
+
+# ---------------------------------------------------------------------------
+# single-pass stats()
+# ---------------------------------------------------------------------------
+
+
+def walked_stats(trie: RangeTrie) -> TrieStats:
+    """Reference census via the public node iterator (the old way)."""
+    nodes = leaves = 0
+    for node in trie.iter_nodes():
+        nodes += 1
+        leaves += not node.children
+    def depth(node):
+        return 1 + max((depth(c) for c in node.children.values()), default=0)
+    max_depth = 0 if not trie.root.children else max(
+        depth(c) for c in trie.root.children.values()
+    )
+    return TrieStats(nodes, nodes - leaves, leaves, max_depth)
+
+
+@settings(max_examples=30, deadline=None)
+@given(table_strategy())
+def test_stats_matches_separate_walks(table):
+    trie = RangeTrie.build(table)
+    census = trie.stats()
+    assert census == walked_stats(trie)
+    assert (trie.n_nodes(), trie.n_interior(), trie.n_leaves(), trie.max_depth()) == (
+        census.nodes,
+        census.interior,
+        census.leaves,
+        census.max_depth,
+    )
+
+
+def test_stats_empty_trie():
+    assert RangeTrie(3, CountAggregator()).stats() == TrieStats(0, 0, 0, 0)
+
+
+# ---------------------------------------------------------------------------
+# range_cubing build_strategy plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_range_cubing_bulk_equals_tuple_cube():
+    table = random_table(seed=5)
+    for min_support in (1, 3):
+        bulk = range_cubing(table, min_support=min_support, build_strategy="bulk")
+        tup = range_cubing(table, min_support=min_support, build_strategy="tuple")
+        assert bulk.n_dims == tup.n_dims and len(bulk.ranges) == len(tup.ranges)
+        by_key = {(r.specific, r.mask): r for r in tup.ranges}
+        for r in bulk.ranges:
+            assert states_equal(r.state, by_key[(r.specific, r.mask)].state)
+
+
+def test_range_cubing_detailed_reports_build_phases():
+    table = random_table(seed=9, n_rows=80)
+    _, stats = range_cubing_detailed(table, build_strategy="bulk")
+    assert stats["build_strategy"] == "bulk"
+    for key in ("sort_seconds", "group_seconds", "aggregate_seconds"):
+        assert stats[key] >= 0.0
+    _, stats = range_cubing_detailed(table, build_strategy="tuple")
+    assert stats["build_strategy"] == "tuple"
+    assert "sort_seconds" not in stats
+
+
+def test_range_cubing_rejects_unknown_build_strategy():
+    table = make_paper_table()
+    with pytest.raises(ValueError, match="build_strategy"):
+        range_cubing(table, build_strategy="magic")
+
+
+# ---------------------------------------------------------------------------
+# incremental bulk absorption
+# ---------------------------------------------------------------------------
+
+
+def test_insert_table_bulk_equals_streaming():
+    table = random_table(seed=13, n_rows=BULK_ABSORB_THRESHOLD + 40)
+    agg = SumCountAggregator(0)
+    bulk = IncrementalRangeCuber(table.n_dims, agg)
+    bulk.insert_table(table, build_strategy="bulk")
+    streamed = IncrementalRangeCuber(table.n_dims, agg)
+    streamed.insert_table(table, build_strategy="tuple")
+    assert bulk.n_rows_absorbed == streamed.n_rows_absorbed == table.n_rows
+    assert_tries_equal(bulk.trie, streamed.trie)
+
+
+def test_bulk_absorption_into_resident_trie():
+    # Second batch merges into a non-empty resident trie.
+    first = random_table(seed=17, n_rows=90)
+    second = random_table(seed=19, n_rows=90)
+    agg = SumCountAggregator(0)
+    cuber = IncrementalRangeCuber(first.n_dims, agg)
+    cuber.insert_table(first)   # auto -> bulk (>= threshold)
+    cuber.insert_table(second)
+    both = make_encoded_table(
+        np.vstack([first.dim_codes, second.dim_codes]),
+        measures=np.vstack([first.measures, second.measures]),
+    )
+    assert_tries_equal(cuber.trie, RangeTrie.build(both, agg))
+
+
+def test_insert_batch_bulk_equals_per_row():
+    rng = np.random.default_rng(23)
+    rows = [tuple(int(v) for v in r) for r in rng.integers(0, 4, size=(100, 3))]
+    measures = [(float(i),) for i in range(len(rows))]
+    bulk = IncrementalRangeCuber(3, SumCountAggregator(0))
+    bulk.insert_batch(rows, measures, build_strategy="bulk")
+    loop = IncrementalRangeCuber(3, SumCountAggregator(0))
+    loop.insert_batch(rows, measures, build_strategy="tuple")
+    assert bulk.n_rows_absorbed == loop.n_rows_absorbed == len(rows)
+    assert_tries_equal(bulk.trie, loop.trie)
+
+
+def test_insert_batch_small_batch_streams():
+    cuber = IncrementalRangeCuber(2, CountAggregator())
+    cuber.insert_batch([(0, 1), (0, 1), (1, 0)])  # < threshold -> per-row
+    assert cuber.n_rows_absorbed == 3
+    assert cuber.trie.total_agg == (3,)
+
+
+def test_insert_paths_reject_unknown_strategy():
+    cuber = IncrementalRangeCuber(2, CountAggregator())
+    with pytest.raises(ValueError, match="build_strategy"):
+        cuber.insert_batch([(0, 1)], build_strategy="magic")
+    with pytest.raises(ValueError, match="build_strategy"):
+        cuber.insert_table(make_encoded_table([[0, 1]]), build_strategy="magic")
+
+
+def test_engine_append_large_batch_equals_recompute():
+    base = random_table(seed=29, n_rows=50, n_dims=3)
+    cuber = IncrementalRangeCuber(base.n_dims, SumCountAggregator(0))
+    cuber.insert_table(base)
+    engine = QueryEngine(cuber, base.schema)
+    extra_codes = np.random.default_rng(31).integers(0, 6, size=(100, 3))
+    extra_meas = [(float(i % 7),) for i in range(100)]
+    engine.append([tuple(int(v) for v in r) for r in extra_codes], extra_meas)
+    combined = make_encoded_table(
+        np.vstack([base.dim_codes, extra_codes]),
+        measures=np.vstack([base.measures, np.asarray(extra_meas)]),
+    )
+    expected = range_cubing(combined, aggregator=SumCountAggregator(0))
+    got = engine.snapshot().cube
+    assert {(r.specific, r.mask) for r in got.ranges} == {
+        (r.specific, r.mask) for r in expected.ranges
+    }
+
+
+# ---------------------------------------------------------------------------
+# micro-fix regressions
+# ---------------------------------------------------------------------------
+
+
+def test_insert_assignment_accepts_unsorted_pairs():
+    trie = RangeTrie(3, CountAggregator())
+    trie.insert_assignment([(2, 1), (0, 4)], (1,))
+    trie.insert_assignment([(0, 4), (2, 1)], (1,))
+    trie.check_invariants()
+    assert trie.total_agg == (2,)
+
+
+def test_fallback_guard_detects_overridden_algebra():
+    assert not Aggregator()._scalar_algebra_overridden()
+    assert not MinAggregator()._scalar_algebra_overridden()  # specs-driven
+    # These redefine the scalar algebra; SumCountAggregator also ships
+    # matching batch kernels, TopKAvg relies on the per-row fallback.
+    assert SumCountAggregator()._scalar_algebra_overridden()
+    assert TopKAvgAggregator(k=2)._scalar_algebra_overridden()
