@@ -26,11 +26,12 @@ ci:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# the CI smoke job: the serving bench (with its cached-path speedup floor)
-# plus one algorithm bench at the quick preset
+# the CI smoke job: the serving bench (with its cached-path speedup floor),
+# one algorithm bench at the quick preset, and a live /metrics scrape gate
 bench-smoke:
 	$(PYTHON) benchmarks/bench_serving.py --quick
 	$(PYTHON) benchmarks/bench_bulk_build.py --quick
+	$(PYTHON) benchmarks/smoke_metrics.py
 	REPRO_BENCH_PRESET=tiny $(PYTHON) -m pytest benchmarks/bench_point_queries.py --benchmark-only -q
 
 # end-to-end serving demo: generate a skewed table, serve it over HTTP on an

@@ -191,6 +191,57 @@ def measure_point(table) -> dict:
     }
 
 
+def measure_obs_overhead(table, rounds: int = 3) -> dict:
+    """Instrumented cubing run, telemetry on vs off, interleaved best-of-N.
+
+    ``range_cubing_detailed`` is the instrumented path this benchmark's
+    bulk builder feeds (build/traverse spans, phase histograms).  The
+    rounds interleave enabled/disabled so drift hits both sides equally;
+    minima discard scheduler noise, and the collector is paused during
+    the timed runs — traversal allocates millions of short-lived ranges,
+    so GC pauses land on random rounds and would otherwise dwarf the
+    microseconds of telemetry being measured.
+    """
+    import gc
+
+    from repro.core.range_cubing import range_cubing_detailed
+    from repro.obs import is_enabled, set_enabled
+
+    was_enabled = is_enabled()
+    gc_was_enabled = gc.isenabled()
+    ratios = []
+    enabled_s = disabled_s = float("inf")
+
+    def run(enabled: bool) -> float:
+        set_enabled(enabled)
+        gc.collect()
+        _, elapsed = _timed(range_cubing_detailed, table)
+        return elapsed
+
+    try:
+        range_cubing_detailed(table)  # warm caches outside the comparison
+        gc.disable()
+        for _ in range(rounds):
+            # ABBA within each round: linear machine drift contributes
+            # equally to both sides and cancels in the ratio.
+            off_a, on_a, on_b, off_b = run(False), run(True), run(True), run(False)
+            ratios.append((on_a + on_b) / (off_a + off_b))
+            enabled_s = min(enabled_s, on_a, on_b)
+            disabled_s = min(disabled_s, off_a, off_b)
+    finally:
+        set_enabled(was_enabled)
+        if gc_was_enabled:
+            gc.enable()
+    # Scheduler noise is one-sided (contention only ever adds time) while
+    # real instrumentation cost shows up in every round, so the smallest
+    # per-round ratio is the robust estimate of the systematic overhead.
+    return {
+        "enabled_seconds": round(enabled_s, 4),
+        "disabled_seconds": round(disabled_s, 4),
+        "overhead": round(min(ratios) - 1, 4),
+    }
+
+
 def print_point(label: str, p: dict) -> None:
     print(
         f"{label:>12} {p['n_rows']:>9,} rows: tuple {p['tuple_seconds']:7.3f}s   "
@@ -216,6 +267,11 @@ def main(argv=None) -> int:
         help="write the series as JSON (default: no file in --quick mode, "
         "BENCH_bulk_build.json otherwise)",
     )
+    parser.add_argument(
+        "--max-obs-overhead", type=float, default=0.05,
+        help="fail if telemetry adds more than this fraction to an "
+        "instrumented cubing run at the largest point",
+    )
     args = parser.parse_args(argv)
     points = POINTS["quick"] if args.quick else PARAMS
     out_path = args.out if args.out else (None if args.quick else "BENCH_bulk_build.json")
@@ -237,6 +293,14 @@ def main(argv=None) -> int:
     iid = {"cardinality": card, **measure_point(cached_zipf(n_rows, N_DIMS, card, THETA))}
     print_point("iid-zipf", iid)
 
+    obs = measure_obs_overhead(corr_table(*points[-1]))
+    print(
+        f"telemetry overhead at {points[-1][0]:,} rows: "
+        f"{max(obs['overhead'], 0) * 100:.1f}% "
+        f"(on {obs['enabled_seconds']:.3f}s / off {obs['disabled_seconds']:.3f}s, "
+        f"cap {args.max_obs_overhead * 100:g}%)"
+    )
+
     if out_path:
         with open(out_path, "w") as fh:
             json.dump(
@@ -248,6 +312,7 @@ def main(argv=None) -> int:
                     "min_speedup_floor": args.min_speedup,
                     "points": series,
                     "iid_reference": iid,
+                    "obs_overhead": obs,
                 },
                 fh,
                 indent=2,
@@ -262,6 +327,9 @@ def main(argv=None) -> int:
     )
     if final["speedup"] < args.min_speedup:
         print("FAIL: bulk build below the speedup floor")
+        return 1
+    if obs["overhead"] > args.max_obs_overhead:
+        print("FAIL: telemetry overhead above the cap")
         return 1
     print("OK")
     return 0

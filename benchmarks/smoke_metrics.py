@@ -1,0 +1,108 @@
+"""CI smoke gate for the telemetry subsystem: scrape a live ``/metrics``.
+
+Starts a real server over a small synthetic cube, drives one request of
+every supported op (plus an append) through the HTTP client, then
+fetches ``/metrics`` raw and re-parses it with the strict Prometheus
+text parser.  The gate fails when
+
+* the exposition text does not parse (format regression),
+* any family registered in the process-wide registry is missing from
+  the scrape (the renderer must emit HELP/TYPE even for empty metrics,
+  so "registered but absent" always means a rendering bug), or
+* any of the serving-path families the dashboards depend on is absent.
+
+``GET /trace`` is fetched alongside and sanity-checked for the request
+spans the drive must have produced::
+
+    PYTHONPATH=src python benchmarks/smoke_metrics.py
+"""
+
+from urllib.request import urlopen
+
+from repro.data.synthetic import zipf_table
+from repro.obs import get_registry, parse_prometheus_text
+from repro.serve import CubeServer, HTTPCubeClient, QueryEngine
+
+#: Families the serving dashboards assume; a rename must update both.
+REQUIRED_FAMILIES = (
+    "repro_requests_total",
+    "repro_request_seconds",
+    "repro_cache_hits_total",
+    "repro_cache_misses_total",
+    "repro_cache_entries",
+    "repro_appends_total",
+    "repro_append_rows_total",
+    "repro_append_seconds",
+    "repro_cube_refreshes_total",
+    "repro_cube_version",
+    "repro_http_requests_total",
+)
+
+
+def drive(client: HTTPCubeClient, n_dims: int) -> None:
+    """One request per op (each twice: a miss, then a cache hit) + append."""
+    cell = [0] + [None] * (n_dims - 1)
+    for _ in range(2):
+        client.query({"op": "point", "cell": cell})
+        client.query({"op": "rollup", "cell": cell, "dim": 0})
+        client.query({"op": "drilldown", "cell": cell, "dim": 1})
+        client.query({"op": "slice", "bindings": {"0": 0}})
+    client.append([[0] * n_dims], None)
+
+
+def main() -> int:
+    table = zipf_table(500, 4, 10, 1.2, seed=3)
+    engine = QueryEngine.from_table(table)
+    with CubeServer(engine, port=0) as server:
+        client = HTTPCubeClient(server.url)
+        try:
+            drive(client, table.n_dims)
+        finally:
+            client.close()
+        with urlopen(server.url + "/metrics", timeout=10) as response:
+            content_type = response.headers.get("Content-Type", "")
+            text = response.read().decode("utf-8")
+        with urlopen(server.url + "/trace", timeout=10) as response:
+            import json
+
+            spans = json.loads(response.read())["spans"]
+
+    families = parse_prometheus_text(text)  # raises on malformed exposition
+    print(f"scraped {len(families)} families ({len(text.splitlines())} lines, "
+          f"Content-Type: {content_type})")
+
+    registered = set(get_registry().names())
+    missing = sorted(registered - set(families))
+    if missing:
+        print(f"FAIL: registered metrics absent from /metrics: {missing}")
+        return 1
+    required_missing = [f for f in REQUIRED_FAMILIES if f not in families]
+    if required_missing:
+        print(f"FAIL: required serving families missing: {required_missing}")
+        return 1
+
+    request_samples = families["repro_requests_total"]["samples"]
+    ops = {labels.get("op") for _, labels, _ in request_samples}
+    expected_ops = {"point", "rollup", "drilldown", "slice"}
+    if not expected_ops <= ops:
+        print(f"FAIL: ops missing from repro_requests_total: {expected_ops - ops}")
+        return 1
+
+    request_spans = [s for s in spans if s["name"] == "serve.request"]
+    if not request_spans:
+        print("FAIL: /trace has no serve.request spans after the drive")
+        return 1
+    if not any(s["attributes"].get("cache_hit") for s in request_spans):
+        print("FAIL: no serve.request span recorded a cache hit")
+        return 1
+
+    print(f"all {len(registered)} registered families exposed; "
+          f"{len(request_spans)} request spans traced")
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -35,7 +35,10 @@ The packages:
   algorithm: ``get_algorithm("buc").run(table, min_support=4)``;
 * :mod:`repro.serve` — the serving subsystem: a resident cube behind a
   versioned result cache, a JSON/HTTP front end, incremental refresh and
-  a latency-instrumented workload driver.
+  a latency-instrumented workload driver;
+* :mod:`repro.obs` — the telemetry subsystem: a process-wide metric
+  registry, hierarchical tracing spans, a sampled slow-query log, and
+  the Prometheus ``/metrics`` exposition behind ``repro obs``.
 """
 
 from repro.baselines.registry import (

@@ -10,6 +10,9 @@
     python -m repro serve t.csv --measures 1 --port 8642
     python -m repro workload http://127.0.0.1:8642 --clients 4
     python -m repro workload t.csv --measures 1 --serve --clients 4
+    python -m repro cube t.csv --measures 1 --trace-out spans.json
+    python -m repro obs http://127.0.0.1:8642
+    python -m repro obs http://127.0.0.1:8642 --trace --out spans.json
     python -m repro experiment fig9 --preset tiny
     python -m repro report --preset tiny --out report.md
     python -m repro claims --preset tiny
@@ -27,6 +30,11 @@ harness drivers.
 serves itself with ``--serve``, or queries in-process) with a
 Zipf-skewed query mix and prints throughput, cache hit rate and
 p50/p95/p99 latency.
+
+``cube --trace-out`` saves the build's tracing spans as Chrome
+trace-event JSON (open in Perfetto / ``chrome://tracing``); ``obs``
+fetches a running server's ``/metrics`` (or ``--trace`` / ``--slowlog``)
+— see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -74,13 +82,24 @@ def _cmd_cube(args: argparse.Namespace) -> int:
         }
     elif record.name == "range_cubing":
         extra = {"build_strategy": args.build}
+    from repro.obs import get_tracer
+
+    tracer = get_tracer()
     try:
-        result, stats = record.run_detailed(
-            table, dim_order=order, min_support=args.min_support, **extra
-        )
+        # The CLI-level span wraps the whole run so every algorithm —
+        # instrumented internally or not — shows up in --trace-out.
+        with tracer.span(
+            "cli.cube", algorithm=record.name, rows=table.n_rows, dims=table.n_dims
+        ):
+            result, stats = record.run_detailed(
+                table, dim_order=order, min_support=args.min_support, **extra
+            )
     except ValueError as exc:  # e.g. "dwarf does not support iceberg thresholds"
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.trace_out:
+        n_spans = tracer.export_chrome_file(args.trace_out)
+        print(f"wrote {n_spans} spans to {args.trace_out} (open in Perfetto)")
     seconds = stats["total_seconds"]
     if isinstance(result, RangeCube):
         cube = result
@@ -198,7 +217,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"serving {stats['rows_absorbed']:,} rows as {stats['n_ranges']:,} ranges "
         f"({stats['n_dims']} dims) on {server.url}"
     )
-    print("endpoints: GET /healthz /stats, POST /query /append  (ctrl-c to stop)")
+    print(
+        "endpoints: GET /healthz /stats /metrics /trace /slowlog, "
+        "POST /query /append  (ctrl-c to stop)"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -255,6 +277,39 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     print(f"transport: {transport}")
     print(report.format())
     return 1 if report.errors else 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    if args.trace and args.slowlog:
+        print("error: choose one of --trace / --slowlog", file=sys.stderr)
+        return 2
+    if args.trace:
+        path = "/trace?format=chrome" if args.chrome else "/trace"
+        if args.limit is not None:
+            path += ("&" if "?" in path else "?") + f"limit={args.limit}"
+    elif args.slowlog:
+        path = "/slowlog"
+    else:
+        path = "/metrics"
+    url = args.server.rstrip("/") + path
+    try:
+        with urlopen(url, timeout=args.timeout) as response:
+            body = response.read().decode("utf-8")
+    except (URLError, OSError, TimeoutError) as exc:
+        print(f"error: could not fetch {url}: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(body)
+            if not body.endswith("\n"):
+                fh.write("\n")
+        print(f"wrote {args.out}")
+    else:
+        print(body, end="" if body.endswith("\n") else "\n")
+    return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -364,6 +419,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="range_cubing trie construction: vectorized bulk sort or tuple-at-a-time",
     )
     p.add_argument("--out", help="write the (range) cube as CSV")
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write the build's tracing spans as Chrome trace-event JSON",
+    )
     p.set_defaults(func=_cmd_cube)
 
     p = sub.add_parser("algorithms", help="list the registered cube algorithms")
@@ -420,6 +481,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--appends", type=int, default=0, help="append batches during the run")
     p.add_argument("--append-rows", type=int, default=32, help="rows per append batch")
     p.set_defaults(func=_cmd_workload)
+
+    p = sub.add_parser("obs", help="fetch telemetry from a running server")
+    p.add_argument("server", help="base URL, e.g. http://127.0.0.1:8642")
+    p.add_argument(
+        "--trace", action="store_true", help="fetch /trace instead of /metrics"
+    )
+    p.add_argument(
+        "--chrome",
+        action="store_true",
+        help="with --trace: Chrome trace-event JSON (open in Perfetto)",
+    )
+    p.add_argument(
+        "--slowlog", action="store_true", help="fetch /slowlog instead of /metrics"
+    )
+    p.add_argument("--limit", type=int, default=None, help="keep only the newest N spans")
+    p.add_argument("--timeout", type=float, default=5.0, help="request timeout seconds")
+    p.add_argument("--out", default=None, help="write the response to a file")
+    p.set_defaults(func=_cmd_obs)
 
     p = sub.add_parser("experiment", help="run a paper experiment driver")
     p.add_argument(

@@ -34,8 +34,22 @@ import numpy as np
 from repro.core.range_cube import RangeCube
 from repro.core.range_cubing import _traverse
 from repro.core.range_trie import RangeTrie
+from repro.obs import get_registry, get_tracer
 from repro.table.aggregates import Aggregator, default_aggregator
 from repro.table.base_table import BaseTable
+
+_TRACER = get_tracer()
+_REGISTRY = get_registry()
+_ABSORB_BATCHES = _REGISTRY.counter(
+    "repro_absorb_batches_total",
+    "Fact batches absorbed into resident tries, by construction path.",
+    ("path",),
+)
+_ABSORB_ROWS = _REGISTRY.counter(
+    "repro_absorb_rows_total",
+    "Fact rows absorbed into resident tries, by construction path.",
+    ("path",),
+)
 
 #: Batches with at least this many rows absorb through the bulk builder
 #: plus a canonical trie merge; smaller ones insert tuple-at-a-time
@@ -90,16 +104,21 @@ class IncrementalRangeCuber:
             )
         if table.n_rows == 0:
             return
-        if build_strategy == "bulk" or (
+        bulk = build_strategy == "bulk" or (
             build_strategy == "auto" and table.n_rows >= BULK_ABSORB_THRESHOLD
-        ):
-            self._absorb_arrays(table.dim_codes, table.measures)
-        else:
-            state_from_row = self.aggregator.state_from_row
-            dims = range(table.n_dims)
-            for row, measures in zip(table.dim_rows(), table.measure_rows()):
-                pairs = [(d, row[d]) for d in dims]
-                self.trie._insert(row.__getitem__, pairs, state_from_row(measures))
+        )
+        path = "bulk" if bulk else "tuple"
+        with _TRACER.span("absorb_batch", rows=table.n_rows, path=path):
+            if bulk:
+                self._absorb_arrays(table.dim_codes, table.measures)
+            else:
+                state_from_row = self.aggregator.state_from_row
+                dims = range(table.n_dims)
+                for row, measures in zip(table.dim_rows(), table.measure_rows()):
+                    pairs = [(d, row[d]) for d in dims]
+                    self.trie._insert(row.__getitem__, pairs, state_from_row(measures))
+        _ABSORB_BATCHES.inc(path=path)
+        _ABSORB_ROWS.inc(table.n_rows, path=path)
         self.n_rows_absorbed += table.n_rows
 
     def insert_batch(
@@ -127,15 +146,21 @@ class IncrementalRangeCuber:
         ):
             if measures is None:
                 measures = [()] * n_rows
-            for row, meas in zip(rows, measures):
-                self.insert_row(row, meas)
+            with _TRACER.span("absorb_batch", rows=n_rows, path="tuple"):
+                for row, meas in zip(rows, measures):
+                    self.insert_row(row, meas)
+            _ABSORB_BATCHES.inc(path="tuple")
+            _ABSORB_ROWS.inc(n_rows, path="tuple")
             return
-        codes = np.asarray(rows, dtype=np.int64).reshape(n_rows, self.trie.n_dims)
-        if measures is None:
-            meas = np.zeros((n_rows, 0), dtype=np.float64)
-        else:
-            meas = np.asarray(measures, dtype=np.float64).reshape(n_rows, -1)
-        self._absorb_arrays(codes, meas)
+        with _TRACER.span("absorb_batch", rows=n_rows, path="bulk"):
+            codes = np.asarray(rows, dtype=np.int64).reshape(n_rows, self.trie.n_dims)
+            if measures is None:
+                meas = np.zeros((n_rows, 0), dtype=np.float64)
+            else:
+                meas = np.asarray(measures, dtype=np.float64).reshape(n_rows, -1)
+            self._absorb_arrays(codes, meas)
+        _ABSORB_BATCHES.inc(path="bulk")
+        _ABSORB_ROWS.inc(n_rows, path="bulk")
         self.n_rows_absorbed += n_rows
 
     def _absorb_arrays(self, dim_codes: np.ndarray, measures: np.ndarray) -> None:

@@ -42,9 +42,23 @@ from repro.core.range_cube import RangeCube
 from repro.core.range_trie import RangeTrie, RangeTrieNode
 from repro.core.reduction import merge_nodes
 from repro.exec.executors import Executor, resolve_executor
+from repro.metrics.histogram import LatencyHistogram
 from repro.metrics.timing import StageTimings
+from repro.obs import get_registry, get_tracer
 from repro.table.aggregates import Aggregator, default_aggregator
 from repro.table.base_table import BaseTable
+
+_TRACER = get_tracer()
+_REGISTRY = get_registry()
+_PARTITIONS = _REGISTRY.counter(
+    "repro_partitions_built_total",
+    "Per-partition trie builds completed by the parallel engine.",
+)
+_PARTITION_SECONDS = _REGISTRY.histogram(
+    "repro_partition_build_seconds",
+    "Per-partition trie build wall-clock seconds (folded from workers).",
+    ("executor",),
+)
 
 
 def merge_tries(tries: Sequence[RangeTrie]) -> RangeTrie:
@@ -151,6 +165,36 @@ def build_trie_partition(
     )
 
 
+def build_trie_partition_timed(
+    payload: tuple[np.ndarray, np.ndarray, Aggregator],
+) -> tuple[RangeTrie, dict]:
+    """Worker task: build one partition's trie *and* report its timing.
+
+    Span objects never cross the pickle boundary — the worker measures
+    wall-clock start and duration (plus a one-sample latency histogram in
+    :meth:`LatencyHistogram.to_dict` form) and ships a plain dict; the
+    parent synthesizes a child span per partition and folds the
+    histograms into the ``repro_partition_build_seconds`` metric via
+    histogram ``merge``.  Timing the build inside the worker keeps
+    executor queueing/pickling overhead out of the reported number.
+    """
+    import time
+
+    start_wall = time.time()
+    start = time.perf_counter()
+    trie = build_trie_partition(payload)
+    duration = time.perf_counter() - start
+    histogram = LatencyHistogram()
+    histogram.record(duration)
+    return trie, {
+        "start_wall": start_wall,
+        "duration": duration,
+        "rows": int(payload[0].shape[0]),
+        "trie_nodes": trie.n_nodes(),
+        "histogram": histogram.to_dict(),
+    }
+
+
 def build_partitioned(
     table: BaseTable,
     n_chunks: int = 4,
@@ -240,18 +284,44 @@ def parallel_range_cubing_detailed(
 
     timings = StageTimings()
     try:
-        with timings.stage("partition"):
-            payloads = partition_payloads(working, parts, agg)
-        with timings.stage("build"):
-            tries = exec_obj.map(build_trie_partition, payloads)
-        with timings.stage("merge"):
-            trie = (
-                tree_merge_tries(tries)
-                if tries
-                else RangeTrie(working.n_dims, agg)
-            )
-        with timings.stage("cube"):
-            ranges = _traverse(trie, agg, min_support)
+        with _TRACER.span(
+            "parallel_range_cubing",
+            rows=table.n_rows,
+            dims=table.n_dims,
+            executor=exec_obj.name,
+            workers=exec_obj.workers,
+            n_partitions=parts,
+        ):
+            with timings.stage("partition"), _TRACER.span("partition"):
+                payloads = partition_payloads(working, parts, agg)
+            with timings.stage("build"), _TRACER.span("build") as build_span:
+                results = exec_obj.map(build_trie_partition_timed, payloads)
+                tries = [trie for trie, _ in results]
+            for index, (_, info) in enumerate(results):
+                _TRACER.record_span(
+                    "partition_build",
+                    start_wall=info["start_wall"],
+                    duration=info["duration"],
+                    parent=build_span,
+                    attributes={
+                        "partition": index,
+                        "rows": info["rows"],
+                        "trie_nodes": info["trie_nodes"],
+                    },
+                )
+                _PARTITION_SECONDS.merge(
+                    LatencyHistogram.from_dict(info["histogram"]),
+                    executor=exec_obj.name,
+                )
+            _PARTITIONS.inc(len(results))
+            with timings.stage("merge"), _TRACER.span("merge"):
+                trie = (
+                    tree_merge_tries(tries)
+                    if tries
+                    else RangeTrie(working.n_dims, agg)
+                )
+            with timings.stage("cube"), _TRACER.span("cube"):
+                ranges = _traverse(trie, agg, min_support)
     finally:
         if owned:
             exec_obj.close()

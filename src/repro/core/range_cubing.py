@@ -27,12 +27,48 @@ from repro.compat import legacy_call_shim
 from repro.core.range_cube import Range, RangeCube
 from repro.core.range_trie import RangeTrie, RangeTrieNode
 from repro.core.reduction import reduce_trie
+from repro.obs import get_registry, get_tracer
 from repro.table.aggregates import Aggregator, default_aggregator
 from repro.table.base_table import BaseTable
 
 
 #: Trie construction strategies accepted by ``build_strategy=``.
 BUILD_STRATEGIES = ("bulk", "tuple")
+
+_TRACER = get_tracer()
+_REGISTRY = get_registry()
+_BUILDS = _REGISTRY.counter(
+    "repro_builds_total", "Cube builds completed, by trie construction strategy.",
+    ("strategy",),
+)
+_BUILD_ROWS = _REGISTRY.counter(
+    "repro_build_rows_total", "Base-table rows consumed by cube builds."
+)
+_PHASE_SECONDS = _REGISTRY.histogram(
+    "repro_build_phase_seconds",
+    "Wall-clock seconds per cube-build phase (build/traverse and the bulk "
+    "builder's sort/group/aggregate split).",
+    ("phase",),
+)
+
+
+def _record_bulk_phases(phases: dict, build_start_wall: float, parent) -> None:
+    """Synthesize sort/group/aggregate child spans from the phase seconds.
+
+    The bulk builder runs its phases back to back, so laying them out
+    sequentially from the build span's start reconstructs the timeline
+    without threading span objects into the vectorized kernels.
+    """
+    offset = build_start_wall
+    for phase in ("sort", "group", "aggregate"):
+        seconds = phases.get(f"{phase}_seconds")
+        if seconds is None:
+            continue
+        _TRACER.record_span(
+            phase, start_wall=offset, duration=seconds, parent=parent
+        )
+        _PHASE_SECONDS.observe(seconds, phase=phase)
+        offset += seconds
 
 
 @legacy_call_shim("aggregator", "dim_order", "min_support")
@@ -92,18 +128,36 @@ def range_cubing_detailed(
     working = table if order is None else table.reordered(order)
 
     phases: dict[str, float] = {}
-    t0 = time.perf_counter()
-    if build_strategy == "bulk":
-        trie = RangeTrie.bulk_build(working, agg, timings=phases)
-    else:
-        trie = RangeTrie.build(working, agg)
-    t1 = time.perf_counter()
-    ranges = _traverse(trie, agg, min_support)
-    t2 = time.perf_counter()
+    with _TRACER.span(
+        "range_cubing",
+        strategy=build_strategy,
+        rows=table.n_rows,
+        dims=table.n_dims,
+        min_support=min_support,
+    ) as root:
+        t0 = time.perf_counter()
+        with _TRACER.span("build") as build_span:
+            if build_strategy == "bulk":
+                trie = RangeTrie.bulk_build(working, agg, timings=phases)
+            else:
+                trie = RangeTrie.build(working, agg)
+        _record_bulk_phases(phases, build_span.start_wall, build_span)
+        t1 = time.perf_counter()
+        with _TRACER.span("traverse"):
+            ranges = _traverse(trie, agg, min_support)
+        t2 = time.perf_counter()
 
-    if order is not None:
-        ranges = _remap_ranges(ranges, order)
-    census = trie.stats()
+        if order is not None:
+            with _TRACER.span("remap"):
+                ranges = _remap_ranges(ranges, order)
+        with _TRACER.span("stats"):
+            census = trie.stats()
+        root.set_attribute("trie_nodes", census.nodes)
+        root.set_attribute("n_ranges", len(ranges))
+    _BUILDS.inc(strategy=build_strategy)
+    _BUILD_ROWS.inc(table.n_rows)
+    _PHASE_SECONDS.observe(t1 - t0, phase="build")
+    _PHASE_SECONDS.observe(t2 - t1, phase="traverse")
     stats = {
         "trie_nodes": census.nodes,
         "trie_interior": census.interior,

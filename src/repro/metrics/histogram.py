@@ -66,6 +66,35 @@ class LatencyHistogram:
         self.min = min(self.min, other.min)
         self.max = max(self.max, other.max)
 
+    def to_dict(self) -> dict:
+        """A JSON-able snapshot that :meth:`from_dict` round-trips exactly.
+
+        This is the cross-process folding format: a worker serializes its
+        histogram, the parent rebuilds it and :meth:`merge`\\ s — and the
+        benchmarks persist raw histograms into their ``BENCH_*.json``
+        artifacts through the same dict.
+        """
+        return {
+            "min_latency": self.min_latency,
+            "growth": self.growth,
+            "buckets": {str(index): n for index, n in sorted(self._buckets.items())},
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencyHistogram":
+        """Rebuild a histogram from :meth:`to_dict` output."""
+        hist = cls(data["min_latency"], data["growth"])
+        hist._buckets = {int(index): int(n) for index, n in data["buckets"].items()}
+        hist.count = int(data["count"])
+        hist.total = float(data["total"])
+        hist.min = math.inf if data.get("min") is None else float(data["min"])
+        hist.max = float(data["max"])
+        return hist
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

@@ -1,0 +1,116 @@
+"""``repro.obs`` — the unified telemetry subsystem.
+
+Before this package, every layer reported itself differently: the cubing
+paths returned ad-hoc stats dicts, the serving engine kept private cache
+counters, and latency histograms lived inside the workload driver.
+``repro.obs`` is the instrumentation spine they all share — the numbers
+every performance or scaling change is judged by flow through here.
+
+Three pieces, all dependency-free:
+
+* :mod:`~repro.obs.metrics` — a process-wide :class:`MetricRegistry` of
+  named counters, gauges and geometric-bucket histograms with label
+  support, thread-safe recording, ``to_dict``/``merge`` for cross-worker
+  folding, and a Prometheus text renderer (``GET /metrics``);
+* :mod:`~repro.obs.tracing` — hierarchical :class:`Span`\\ s (trace /
+  span / parent ids, wall + perf-counter timing, attributes) recorded
+  into a bounded :class:`TraceBuffer` with JSON (``GET /trace``) and
+  Chrome trace-event exporters (``repro cube --trace-out``, opens in
+  Perfetto);
+* :mod:`~repro.obs.slowlog` — a sampled, bounded :class:`SlowQueryLog`
+  the serving engine feeds (``GET /slowlog``).
+
+The process-wide singletons are :func:`get_registry` and
+:func:`get_tracer`; instrumented modules create their metric handles at
+import time (registration is get-or-create, hence idempotent) and open
+spans around their phases.  :func:`set_enabled` is the global kill
+switch: disabled, spans become shared no-ops and the serving engine
+skips its per-request metric block, which is how the benchmarks measure
+instrumentation overhead honestly (``bench_bulk_build.py`` enforces a
+<= 5% ceiling).
+
+See ``docs/observability.md`` for the metric name catalog, how to
+scrape ``/metrics``, and how to open a trace in Perfetto.
+"""
+
+from repro.obs.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    BoundSeries,
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricRegistry,
+    parse_prometheus_text,
+)
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.tracing import (
+    NOOP_SPAN,
+    OBS_STATE,
+    Span,
+    TraceBuffer,
+    Tracer,
+)
+
+#: The process-wide registry every instrumented module records into.
+REGISTRY = MetricRegistry()
+
+#: The process-wide tracer (one bounded buffer of recent spans).
+TRACER = Tracer()
+
+
+def get_registry() -> MetricRegistry:
+    """The process-wide metric registry."""
+    return REGISTRY
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer."""
+    return TRACER
+
+
+def is_enabled() -> bool:
+    """Whether spans and per-request metrics are being recorded."""
+    return OBS_STATE.enabled
+
+
+def set_enabled(enabled: bool) -> None:
+    """Turn instrumentation on or off process-wide.
+
+    Disabled, :meth:`Tracer.span` returns a shared no-op span and the
+    serving request path skips its metric block; metric *registration*
+    and direct recording calls still work (the registry itself is never
+    switched off).
+    """
+    OBS_STATE.enabled = bool(enabled)
+
+
+def reset() -> None:
+    """Clear all recorded metric values and buffered spans (tests)."""
+    REGISTRY.reset()
+    TRACER.buffer.clear()
+
+
+__all__ = [
+    "BoundSeries",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricRegistry",
+    "NOOP_SPAN",
+    "OBS_STATE",
+    "PROMETHEUS_CONTENT_TYPE",
+    "REGISTRY",
+    "SlowQueryLog",
+    "Span",
+    "TRACER",
+    "TraceBuffer",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "is_enabled",
+    "parse_prometheus_text",
+    "reset",
+    "set_enabled",
+]

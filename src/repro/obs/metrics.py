@@ -1,0 +1,555 @@
+"""A process-wide metric registry with a Prometheus-text exposition.
+
+Every layer of the system used to report itself differently — ad-hoc
+stats dicts from the cubing paths, private cache counters in the serving
+engine, a latency histogram inside the workload driver.  This module is
+the one vocabulary they all speak now: named **counters**, **gauges**
+and **histograms** with optional labels, registered once in a
+process-wide :class:`MetricRegistry` and scraped as Prometheus text
+(exposition format 0.0.4) from ``GET /metrics`` on a running server.
+
+Design constraints, in order:
+
+* **dependency-free** — stdlib only; the histogram type reuses
+  :class:`~repro.metrics.histogram.LatencyHistogram`'s geometric buckets
+  (sparse, merge in O(buckets)) instead of prometheus_client's fixed
+  bucket lists;
+* **thread-safe recording** — every mutation takes the metric's lock;
+  the lock guards a couple of dict/float operations, so contention is
+  nanoseconds and exact counts survive concurrent recording (asserted by
+  the test suite);
+* **cross-worker folding** — :meth:`MetricRegistry.to_dict` /
+  :meth:`MetricRegistry.merge` round-trip the whole registry through
+  plain JSON-able dicts, so per-worker registries (or per-worker
+  histograms, via :meth:`LatencyHistogram.to_dict`) fold into the
+  parent's after a parallel stage;
+* **hot-path cheap** — ``metric.labels(op="point")`` returns a bound
+  series handle callers can cache, skipping label resolution per event.
+
+The metric name catalog lives in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.metrics.histogram import LatencyHistogram
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Content type a ``/metrics`` response should declare.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_number(value: float) -> str:
+    """Prometheus sample values: integral floats render without a dot."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class Metric:
+    """Shared machinery: one named family holding label-keyed series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        for label in self.labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self._lock = threading.Lock()
+        self._series: dict[tuple, object] = {}
+
+    # -- series resolution ------------------------------------------------
+
+    def _key(self, labels: Mapping[str, object]) -> tuple:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes labels {list(self.labelnames)}, got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _new_value(self) -> object:
+        return 0.0
+
+    def _get_series(self, key: tuple) -> object:
+        with self._lock:
+            value = self._series.get(key)
+            if value is None:
+                value = self._series[key] = self._new_value()
+            return value
+
+    def labels(self, **labels: object) -> "BoundSeries":
+        """A bound handle for one label combination (cacheable by callers)."""
+        return BoundSeries(self, self._key(labels))
+
+    # -- snapshots --------------------------------------------------------
+
+    def series(self) -> list[tuple[tuple, object]]:
+        """A consistent ``(label_values, value)`` snapshot, sorted."""
+        with self._lock:
+            return sorted(self._series.items())
+
+    def value(self, **labels: object) -> float:
+        """The current scalar value of one series (0.0 when unrecorded)."""
+        with self._lock:
+            value = self._series.get(self._key(labels))
+        if isinstance(value, LatencyHistogram):
+            return value.count
+        return float(value) if value is not None else 0.0
+
+    def reset(self) -> None:
+        """Drop every recorded series (tests; the family stays registered)."""
+        with self._lock:
+            self._series.clear()
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot: the cross-worker folding format."""
+        out = []
+        for key, value in self.series():
+            entry: dict = {"labels": list(key)}
+            if isinstance(value, LatencyHistogram):
+                entry["histogram"] = value.to_dict()
+            else:
+                entry["value"] = value
+            out.append(entry)
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "series": out,
+        }
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, {len(self._series)} series)"
+
+
+class BoundSeries:
+    """One (metric, label-values) pair, pre-resolved for hot paths."""
+
+    __slots__ = ("_metric", "_key")
+
+    def __init__(self, metric: Metric, key: tuple) -> None:
+        self._metric = metric
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._metric._inc_key(self._key, amount)
+
+    def set(self, value: float) -> None:
+        self._metric._set_key(self._key, value)
+
+    def observe(self, value: float) -> None:
+        self._metric._observe_key(self._key, value)
+
+    def merge(self, histogram: LatencyHistogram) -> None:
+        self._metric._merge_key(self._key, histogram)
+
+
+class Counter(Metric):
+    """A monotonically increasing count (rendered with a ``_total`` name)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (>= 0) to the labeled series."""
+        self._inc_key(self._key(labels), amount)
+
+    def _inc_key(self, key: tuple, amount: float) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def _set_key(self, key: tuple, value: float) -> None:
+        raise TypeError("counters cannot be set; use inc()")
+
+    def _observe_key(self, key: tuple, value: float) -> None:
+        raise TypeError(f"{self.name} is a counter, not a histogram")
+
+    def _merge_key(self, key: tuple, histogram: LatencyHistogram) -> None:
+        raise TypeError(f"{self.name} is a counter, not a histogram")
+
+
+class Gauge(Metric):
+    """A value that can go up and down (sizes, versions, capacities)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        self._set_key(self._key(labels), value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        self._inc_key(self._key(labels), amount)
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self._inc_key(self._key(labels), -amount)
+
+    def _inc_key(self, key: tuple, amount: float) -> None:
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def _set_key(self, key: tuple, value: float) -> None:
+        with self._lock:
+            self._series[key] = float(value)
+
+    def _observe_key(self, key: tuple, value: float) -> None:
+        raise TypeError(f"{self.name} is a gauge, not a histogram")
+
+    def _merge_key(self, key: tuple, histogram: LatencyHistogram) -> None:
+        raise TypeError(f"{self.name} is a gauge, not a histogram")
+
+
+class Histogram(Metric):
+    """Geometric-bucket value distribution, one per label combination.
+
+    Each series is a :class:`LatencyHistogram`, so observation is O(1),
+    the footprint is a sparse dict of non-empty buckets, and two series
+    with the same layout merge bucket-wise — which is how per-worker
+    timings fold into the parent registry after a parallel stage.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        *,
+        min_value: float = 1e-6,
+        growth: float = 1.25,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self.min_value = min_value
+        self.growth = growth
+
+    def _new_value(self) -> LatencyHistogram:
+        return LatencyHistogram(self.min_value, self.growth)
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one sample into the labeled series."""
+        self._observe_key(self._key(labels), value)
+
+    def merge(self, histogram: LatencyHistogram, **labels: object) -> None:
+        """Fold a whole pre-recorded histogram (e.g. a worker's) in."""
+        self._merge_key(self._key(labels), histogram)
+
+    def percentile(self, p: float, **labels: object) -> float:
+        with self._lock:
+            series = self._series.get(self._key(labels))
+        return series.percentile(p) if series is not None else 0.0
+
+    def _observe_key(self, key: tuple, value: float) -> None:
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = self._new_value()
+            series.record(value)
+
+    def _merge_key(self, key: tuple, histogram: LatencyHistogram) -> None:
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = LatencyHistogram(
+                    histogram.min_latency, histogram.growth
+                )
+            series.merge(histogram)
+
+    def _inc_key(self, key: tuple, amount: float) -> None:
+        raise TypeError(f"{self.name} is a histogram; use observe()")
+
+    def _set_key(self, key: tuple, value: float) -> None:
+        raise TypeError(f"{self.name} is a histogram; use observe()")
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricRegistry:
+    """Named metrics, get-or-create, rendered as Prometheus text.
+
+    One process-wide instance (:func:`repro.obs.get_registry`) backs the
+    whole system; modules create their handles at import time and the
+    get-or-create contract makes re-registration idempotent — asking for
+    an existing name with a matching kind and label set returns the same
+    object, a mismatch raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Metric] = {}
+        self._collectors: list[Callable[[], None]] = []
+
+    # -- registration -----------------------------------------------------
+
+    def _get_or_create(self, cls: type, name: str, help: str, labelnames, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}{existing.labelnames}"
+                    )
+                return existing
+            metric = cls(name, help, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str, labelnames: Sequence[str] = ()) -> Counter:
+        """Get or create a counter."""
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str, labelnames: Sequence[str] = ()) -> Gauge:
+        """Get or create a gauge."""
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        *,
+        min_value: float = 1e-6,
+        growth: float = 1.25,
+    ) -> Histogram:
+        """Get or create a geometric-bucket histogram."""
+        return self._get_or_create(
+            Histogram, name, help, labelnames, min_value=min_value, growth=growth
+        )
+
+    def register_collector(self, collect: Callable[[], None]) -> None:
+        """Run ``collect()`` before every snapshot/render.
+
+        Collectors bridge state that lives elsewhere (cache sizes, cube
+        versions) onto gauges at scrape time instead of on every update.
+        A collector that raises ``LookupError`` is dropped — the idiom
+        for weakref-bound collectors whose owner has been collected.
+        """
+        with self._lock:
+            self._collectors.append(collect)
+
+    def _run_collectors(self) -> None:
+        with self._lock:
+            collectors = list(self._collectors)
+        dead = []
+        for collect in collectors:
+            try:
+                collect()
+            except LookupError:
+                dead.append(collect)
+        if dead:
+            with self._lock:
+                self._collectors = [c for c in self._collectors if c not in dead]
+
+    # -- introspection ----------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Registered family names, sorted."""
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str) -> Metric:
+        """The registered metric, or KeyError."""
+        with self._lock:
+            return self._metrics[name]
+
+    def metrics(self) -> list[Metric]:
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def reset(self) -> None:
+        """Drop all recorded values (families stay registered) — tests."""
+        for metric in self.metrics():
+            metric.reset()
+
+    # -- folding ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The whole registry as a JSON-able dict (collectors included)."""
+        self._run_collectors()
+        return {"metrics": [m.to_dict() for m in self.metrics()]}
+
+    def merge(self, snapshot: Mapping) -> None:
+        """Fold a :meth:`to_dict` snapshot (e.g. a worker's) into this one.
+
+        Counters and gauges add; histograms merge bucket-wise.  Families
+        absent here are created with the snapshot's kind and labels.
+        """
+        for m in snapshot.get("metrics", ()):
+            cls = _KINDS.get(m.get("kind"))
+            if cls is None:
+                raise ValueError(f"unknown metric kind in snapshot: {m.get('kind')!r}")
+            metric = self._get_or_create(
+                cls, m["name"], m.get("help", ""), tuple(m.get("labelnames", ()))
+            )
+            for entry in m.get("series", ()):
+                key = tuple(entry["labels"])
+                if "histogram" in entry:
+                    metric._merge_key(key, LatencyHistogram.from_dict(entry["histogram"]))
+                else:
+                    metric._inc_key(key, entry["value"])
+
+    # -- exposition -------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format 0.0.4.
+
+        Every registered family renders its ``# HELP`` / ``# TYPE``
+        header even with no samples yet, so a scrape can verify that the
+        full catalog is present (the CI exposition gate does exactly
+        that).
+        """
+        self._run_collectors()
+        lines: list[str] = []
+        for metric in self.metrics():
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for key, value in metric.series():
+                if isinstance(value, LatencyHistogram):
+                    lines.extend(self._render_histogram(metric, key, value))
+                else:
+                    lines.append(
+                        f"{metric.name}{self._label_str(metric.labelnames, key)} "
+                        f"{_format_number(value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _label_str(names: tuple, values: tuple, extra: str = "") -> str:
+        pairs = [
+            f'{name}="{_escape_label_value(value)}"'
+            for name, value in zip(names, values)
+        ]
+        if extra:
+            pairs.append(extra)
+        return "{" + ",".join(pairs) + "}" if pairs else ""
+
+    @classmethod
+    def _render_histogram(
+        cls, metric: Metric, key: tuple, hist: LatencyHistogram
+    ) -> Iterable[str]:
+        """Cumulative ``_bucket``/``_sum``/``_count`` samples for one series.
+
+        The geometric buckets are sparse, so only non-empty buckets (plus
+        ``+Inf``) are emitted; ``le`` is each bucket's upper bound
+        ``min_value * growth**i``.
+        """
+        cumulative = 0
+        for index in sorted(hist._buckets):
+            cumulative += hist._buckets[index]
+            le = hist.min_latency * hist.growth**index
+            bucket_labels = cls._label_str(metric.labelnames, key, f'le="{le:.9g}"')
+            yield f"{metric.name}_bucket{bucket_labels} {cumulative}"
+        inf_labels = cls._label_str(metric.labelnames, key, 'le="+Inf"')
+        yield f"{metric.name}_bucket{inf_labels} {hist.count}"
+        labels = cls._label_str(metric.labelnames, key)
+        yield f"{metric.name}_sum{labels} {_format_number(hist.total)}"
+        yield f"{metric.name}_count{labels} {hist.count}"
+
+    def __repr__(self) -> str:
+        return f"MetricRegistry({len(self._metrics)} metrics)"
+
+
+# ----------------------------------------------------------------------
+# exposition-format validation (tests and the CI scrape gate)
+# ----------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict]:
+    """Parse (and thereby validate) Prometheus text exposition.
+
+    Returns ``{family_name: {"type": ..., "help": ..., "samples":
+    [(sample_name, labels_dict, value), ...]}}``.  Histogram component
+    samples (``_bucket``/``_sum``/``_count``) attach to their family.
+    Raises :class:`ValueError` with the offending line on any malformed
+    input — the CI gate scrapes a live server through this.
+    """
+    families: dict[str, dict] = {}
+    typed: dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: malformed comment {line!r}")
+            _, keyword, name = parts[:3]
+            rest = parts[3] if len(parts) > 3 else ""
+            if not _NAME_RE.match(name):
+                raise ValueError(f"line {lineno}: invalid metric name {name!r}")
+            family = families.setdefault(
+                name, {"type": "untyped", "help": "", "samples": []}
+            )
+            if keyword == "TYPE":
+                if rest not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    raise ValueError(f"line {lineno}: unknown type {rest!r}")
+                family["type"] = rest
+                typed[name] = rest
+            else:
+                family["help"] = rest
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name = match.group("name")
+        raw_value = match.group("value")
+        try:
+            value = float(raw_value.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            raise ValueError(f"line {lineno}: bad value {raw_value!r}") from None
+        labels: dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            consumed = 0
+            for pair in _LABEL_PAIR_RE.finditer(raw_labels):
+                labels[pair.group(1)] = pair.group(2)
+                consumed = pair.end()
+            remainder = raw_labels[consumed:].strip().strip(",")
+            if remainder:
+                raise ValueError(f"line {lineno}: malformed labels {raw_labels!r}")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            stem = name[: -len(suffix)] if name.endswith(suffix) else None
+            if stem and typed.get(stem) == "histogram":
+                base = stem
+                break
+        family = families.setdefault(
+            base, {"type": "untyped", "help": "", "samples": []}
+        )
+        family["samples"].append((name, labels, value))
+    return families

@@ -1,0 +1,91 @@
+"""A sampled slow-query log for the serving engine.
+
+Percentile histograms say *that* the tail is slow; the slow-query log
+says *which queries* live in it.  Every request whose latency crosses
+the threshold is counted, and every ``sample``-th such request is kept
+(with its request shape and attributes) in a bounded ring — sampling is
+deterministic (a counter, not a coin flip) so tests and replays are
+reproducible, and the ring bounds memory no matter how bad the tail
+gets.  The engine exposes the entries through ``GET /slowlog`` and the
+count through the ``repro_slow_queries_total`` counter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+
+class SlowQueryLog:
+    """Bounded ring of the slowest requests, threshold-gated and sampled.
+
+    >>> log = SlowQueryLog(threshold=0.01, capacity=8)
+    >>> log.record(0.5, {"op": "slice"}, op="slice")
+    True
+    >>> log.record(0.001, {"op": "point"}, op="point")
+    False
+    >>> len(log.entries())
+    1
+    """
+
+    def __init__(
+        self, threshold: float = 0.1, capacity: int = 128, sample: int = 1
+    ) -> None:
+        if threshold < 0:
+            raise ValueError("threshold cannot be negative")
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if sample < 1:
+            raise ValueError("sample must be at least 1 (1 = keep every slow query)")
+        self.threshold = threshold
+        self.capacity = capacity
+        self.sample = sample
+        self._lock = threading.Lock()
+        self._entries: deque[dict] = deque(maxlen=capacity)
+        self._seen = 0
+
+    def record(self, duration: float, request, **attributes: object) -> bool:
+        """Consider one finished request; True when it counted as slow.
+
+        Only every ``sample``-th slow request is retained in the ring
+        (all of them count toward the return value and the caller's
+        counter).
+        """
+        if duration < self.threshold:
+            return False
+        with self._lock:
+            self._seen += 1
+            if (self._seen - 1) % self.sample == 0:
+                self._entries.append(
+                    {
+                        "time": time.time(),
+                        "duration_s": duration,
+                        # Copied here (only for retained entries) so the
+                        # entry stays stable if the caller reuses dicts.
+                        "request": dict(request) if isinstance(request, dict) else request,
+                        **attributes,
+                    }
+                )
+        return True
+
+    @property
+    def seen(self) -> int:
+        """Slow queries observed (including sampled-out ones)."""
+        return self._seen
+
+    def entries(self) -> list[dict]:
+        """Retained entries, oldest first (a snapshot)."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._seen = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SlowQueryLog(>{self.threshold * 1000:g}ms, "
+            f"{len(self._entries)}/{self.capacity} kept, {self._seen} seen)"
+        )

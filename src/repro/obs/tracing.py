@@ -1,0 +1,319 @@
+"""Hierarchical tracing: spans, a bounded buffer, JSON/Chrome exporters.
+
+A :class:`Span` is a context manager around one unit of work — a cube
+build phase, a served request, a per-worker partition build.  Spans
+carry a trace id (shared by everything under one root), a span id, the
+parent's span id, a wall-clock start (``time.time``, so spans from
+different processes on one machine line up) and a ``perf_counter``-based
+duration, plus free-form attributes.  Finished spans land in a bounded
+in-memory :class:`TraceBuffer`; nothing is written or shipped unless a
+caller exports — ``GET /trace`` on the HTTP server returns the recent
+spans as JSON, ``repro cube --trace-out`` writes the Chrome trace-event
+form that ``chrome://tracing`` and Perfetto open directly.
+
+Parenting is implicit: each thread keeps a stack of open spans, so
+``tracer.span("traverse")`` under an open ``range_cubing`` span becomes
+its child with no plumbing.  Work that ran elsewhere (a process-pool
+worker) reports plain timing dicts back, and the parent *synthesizes*
+child spans from them with :meth:`Tracer.record_span` — span recording
+never crosses a pickle boundary.
+
+Tracing honors the global kill switch (:func:`repro.obs.set_enabled`):
+when disabled, :meth:`Tracer.span` hands out a shared no-op span and
+records nothing, so instrumented code needs no conditionals.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Mapping
+
+
+class _ObsState:
+    """The process-wide on/off switch, read as one attribute on hot paths."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+#: Shared by the tracer and the instrumented hot paths (serving checks it
+#: once per request before paying for any span or metric work).
+OBS_STATE = _ObsState()
+
+
+class Span:
+    """One timed unit of work; records itself into the buffer on exit."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_wall",
+        "duration",
+        "attributes",
+        "thread_id",
+        "_tracer",
+        "_start_perf",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: str | None,
+        attributes: dict,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attributes = attributes
+        self.start_wall = 0.0
+        self.duration = 0.0
+        self.thread_id = 0
+        self._start_perf = 0.0
+
+    def set_attribute(self, key: str, value: object) -> None:
+        """Attach one attribute (JSON-able values keep exporters happy)."""
+        self.attributes[key] = value
+
+    def __enter__(self) -> "Span":
+        self.start_wall = time.time()
+        self.thread_id = threading.get_ident()
+        self._tracer._push(self)
+        self._start_perf = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = time.perf_counter() - self._start_perf
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start_wall,
+            "duration": self.duration,
+            "thread": self.thread_id,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.duration * 1000:.3f}ms)"
+
+
+class _NoopSpan:
+    """Handed out when tracing is disabled; absorbs the span protocol."""
+
+    __slots__ = ()
+    name = trace_id = span_id = parent_id = ""
+    start_wall = duration = 0.0
+    attributes: dict = {}
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class TraceBuffer:
+    """The most recent ``capacity`` finished spans, oldest first."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def add(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def spans(self, limit: int | None = None) -> list[Span]:
+        """A snapshot, oldest first; ``limit`` keeps only the newest N."""
+        with self._lock:
+            out = list(self._spans)
+        return out if limit is None or limit >= len(out) else out[-limit:]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def export_json(self, limit: int | None = None) -> list[dict]:
+        """Recent spans as plain dicts (the ``GET /trace`` body)."""
+        return [span.to_dict() for span in self.spans(limit)]
+
+    def export_chrome(self, limit: int | None = None) -> dict:
+        """Chrome trace-event JSON (open in chrome://tracing or Perfetto).
+
+        Spans become complete (``"ph": "X"``) events on a wall-clock
+        microsecond timebase, one track per thread.
+        """
+        events = []
+        for span in self.spans(limit):
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": span.start_wall * 1e6,
+                    "dur": span.duration * 1e6,
+                    "pid": os.getpid(),
+                    "tid": span.thread_id,
+                    "args": {
+                        "trace_id": span.trace_id,
+                        "span_id": span.span_id,
+                        "parent_id": span.parent_id,
+                        **span.attributes,
+                    },
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def __repr__(self) -> str:
+        return f"TraceBuffer({len(self._spans)}/{self.capacity} spans)"
+
+
+class Tracer:
+    """Creates spans, tracks the per-thread open-span stack, owns a buffer."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.buffer = TraceBuffer(capacity)
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        # Trace ids are a per-process random prefix plus a counter:
+        # globally unique enough to correlate multi-process traces, far
+        # cheaper than a uuid4 per root span (every served request roots
+        # its own trace, so this sits on the hot path).
+        self._trace_prefix = os.urandom(4).hex()
+        self._trace_ids = itertools.count(1)
+
+    # -- the per-thread stack --------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # exited out of order; drop it and everything above
+            del stack[stack.index(span) :]
+        self.buffer.add(span)
+
+    # -- span creation ---------------------------------------------------
+
+    def _next_span_id(self) -> str:
+        return f"{next(self._ids):012x}"
+
+    def _next_trace_id(self) -> str:
+        return f"{self._trace_prefix}{next(self._trace_ids):08x}"
+
+    def span(self, name: str, **attributes: object) -> Span | _NoopSpan:
+        """Open a child of this thread's current span (or a new root).
+
+        Use as a context manager::
+
+            with tracer.span("build", rows=table.n_rows) as sp:
+                ...
+                sp.set_attribute("trie_nodes", trie.n_nodes())
+        """
+        if not OBS_STATE.enabled:
+            return NOOP_SPAN
+        parent = self.current()
+        if parent is None:
+            trace_id = self._next_trace_id()
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        return Span(self, name, trace_id, self._next_span_id(), parent_id, attributes)
+
+    def record_span(
+        self,
+        name: str,
+        *,
+        start_wall: float,
+        duration: float,
+        attributes: Mapping | None = None,
+        parent: Span | _NoopSpan | None = None,
+    ) -> None:
+        """Synthesize an already-finished span directly into the buffer.
+
+        This is how work measured elsewhere becomes part of the trace: a
+        process-pool worker returns ``{start_wall, duration, ...}`` and
+        the parent records it as a child of its own stage span; the bulk
+        builder's sort/group/aggregate phase seconds become sequential
+        children of the build span.  ``parent=None`` parents under this
+        thread's current span.
+        """
+        if not OBS_STATE.enabled:
+            return
+        if parent is None or isinstance(parent, _NoopSpan):
+            parent = self.current()
+        if parent is None:
+            trace_id, parent_id = self._next_trace_id(), None
+        else:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        span = Span(
+            self,
+            name,
+            trace_id,
+            self._next_span_id(),
+            parent_id,
+            dict(attributes or {}),
+        )
+        span.start_wall = start_wall
+        span.duration = duration
+        span.thread_id = threading.get_ident()
+        self.buffer.add(span)
+
+    # -- export convenience ----------------------------------------------
+
+    def export_chrome_file(self, path: str, limit: int | None = None) -> int:
+        """Write the buffer as a Chrome trace JSON file; returns #events."""
+        trace = self.buffer.export_chrome(limit)
+        with open(path, "w") as fh:
+            json.dump(trace, fh, indent=1, default=str)
+            fh.write("\n")
+        return len(trace["traceEvents"])
+
+    def __repr__(self) -> str:
+        return f"Tracer({self.buffer!r})"

@@ -19,7 +19,9 @@ The pieces, bottom up:
   slice queries over a versioned cube snapshot, with a serialized write
   path that appends fact batches and swaps in a fresh cube atomically;
 * :class:`~repro.serve.http.CubeServer` — a stdlib threaded JSON/HTTP
-  front end over one engine;
+  front end over one engine, with telemetry endpoints (``GET /metrics``
+  Prometheus text, ``GET /trace`` spans, ``GET /slowlog`` — see
+  :mod:`repro.obs` and ``docs/observability.md``);
 * :class:`~repro.serve.client.InProcessClient` /
   :class:`~repro.serve.client.HTTPCubeClient` — the two transports
   behind one client interface;

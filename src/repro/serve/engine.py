@@ -29,12 +29,15 @@ in ``repro query --bind``.
 from __future__ import annotations
 
 import threading
+import time
+import weakref
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.core.incremental import IncrementalRangeCuber
 from repro.core.range_cube import RangeCube
 from repro.cube.cell import Cell
 from repro.cube.query import CubeQuery
+from repro.obs import OBS_STATE, SlowQueryLog, get_registry, get_tracer
 from repro.serve.cache import LRUCache
 from repro.table.aggregates import Aggregator, default_aggregator
 from repro.table.base_table import BaseTable
@@ -42,6 +45,83 @@ from repro.table.schema import Schema
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serve.store import CubeStore
+
+_TRACER = get_tracer()
+_REGISTRY = get_registry()
+_REQUESTS = _REGISTRY.counter(
+    "repro_requests_total", "Read requests answered, by operation.", ("op",)
+)
+_REQUEST_ERRORS = _REGISTRY.counter(
+    "repro_request_errors_total", "Read requests rejected as malformed, by operation.",
+    ("op",),
+)
+_REQUEST_SECONDS = _REGISTRY.histogram(
+    "repro_request_seconds", "Read-request latency in seconds, by operation.", ("op",)
+)
+_CACHE_HITS = _REGISTRY.counter(
+    "repro_cache_hits_total", "Requests answered from the result cache."
+)
+_CACHE_MISSES = _REGISTRY.counter(
+    "repro_cache_misses_total", "Requests that had to reach the cube index."
+)
+_APPENDS = _REGISTRY.counter(
+    "repro_appends_total", "Fact batches appended through the serving write path."
+)
+_APPEND_ROWS = _REGISTRY.counter(
+    "repro_append_rows_total", "Fact rows appended through the serving write path."
+)
+_APPEND_SECONDS = _REGISTRY.histogram(
+    "repro_append_seconds", "Append (absorb + refresh + swap) seconds per batch."
+)
+_REFRESHES = _REGISTRY.counter(
+    "repro_cube_refreshes_total", "Cube version swaps (one per successful append)."
+)
+_SLOW_QUERIES = _REGISTRY.counter(
+    "repro_slow_queries_total", "Requests slower than the slow-query threshold."
+)
+_CACHE_ENTRIES = _REGISTRY.gauge(
+    "repro_cache_entries", "Result-cache entries currently held.", ("engine",)
+)
+_CACHE_CAPACITY = _REGISTRY.gauge(
+    "repro_cache_capacity", "Result-cache capacity.", ("engine",)
+)
+_CACHE_EVICTIONS = _REGISTRY.gauge(
+    "repro_cache_evictions", "Result-cache LRU evictions so far.", ("engine",)
+)
+_CACHE_INVALIDATIONS = _REGISTRY.gauge(
+    "repro_cache_invalidations", "Result-cache full invalidations (cube refreshes).",
+    ("engine",),
+)
+_CUBE_VERSION = _REGISTRY.gauge(
+    "repro_cube_version", "Version number of the served cube.", ("engine",)
+)
+_ROWS_RESIDENT = _REGISTRY.gauge(
+    "repro_rows_resident", "Fact rows absorbed into the resident trie.", ("engine",)
+)
+
+
+def _register_engine_collector(engine: "QueryEngine") -> None:
+    """Bridge one engine's internal counters onto gauges at scrape time.
+
+    The collector holds only a weakref; once the engine is gone it raises
+    ``LookupError``, which the registry treats as "drop this collector".
+    """
+    ref = weakref.ref(engine)
+    label = engine._name or "default"
+
+    def collect() -> None:
+        live = ref()
+        if live is None:
+            raise LookupError("engine collected")
+        cache = live.cache.stats()
+        _CACHE_ENTRIES.set(cache.size, engine=label)
+        _CACHE_CAPACITY.set(cache.capacity, engine=label)
+        _CACHE_EVICTIONS.set(cache.evictions, engine=label)
+        _CACHE_INVALIDATIONS.set(cache.invalidations, engine=label)
+        _CUBE_VERSION.set(live.version, engine=label)
+        _ROWS_RESIDENT.set(live._cuber.n_rows_absorbed, engine=label)
+
+    _REGISTRY.register_collector(collect)
 
 
 class ServeError(ValueError):
@@ -80,6 +160,9 @@ class QueryEngine:
         store: "CubeStore | None" = None,
         name: str | None = None,
         initial_version: int = 0,
+        slow_query_threshold: float = 0.050,
+        slow_log_capacity: int = 128,
+        slow_log_sample: int = 1,
     ) -> None:
         if schema.n_dims != cuber.trie.n_dims:
             raise ValueError(
@@ -102,6 +185,22 @@ class QueryEngine:
             initial_version, cuber.cube(min_support), self._current_schema()
         )
         self.cache = LRUCache(cache_capacity)
+        #: Requests slower than ``slow_query_threshold`` seconds are
+        #: counted and (every ``slow_log_sample``-th one) retained here.
+        self.slow_log = SlowQueryLog(
+            slow_query_threshold, slow_log_capacity, slow_log_sample
+        )
+        # Label resolution costs a dict + tuple per call; the read path
+        # instead uses these pre-bound per-op series handles.
+        self._op_series = {
+            op: (
+                _REQUESTS.labels(op=op),
+                _REQUEST_SECONDS.labels(op=op),
+                _REQUEST_ERRORS.labels(op=op),
+            )
+            for op in (*self.OPS, "invalid")
+        }
+        _register_engine_collector(self)
 
     # ------------------------------------------------------------------
     # construction
@@ -255,8 +354,44 @@ class QueryEngine:
         """Answer one JSON-shaped request, through the result cache.
 
         The response carries ``"cached": True`` when it was served from
-        the LRU cache (same cube version, same canonical query).
+        the LRU cache (same cube version, same canonical query).  Each
+        request is timed into the ``repro_request_seconds`` histogram,
+        counted by op, traced as a ``serve.request`` span (with
+        ``cache_hit`` / ``version`` attributes) and, past the slow-query
+        threshold, logged — unless observability is globally disabled
+        (:func:`repro.obs.set_enabled`), in which case this is a single
+        extra branch on the hot path.
         """
+        if not OBS_STATE.enabled:
+            return self._execute(request)
+        # ``type(...) is dict`` dodges typing.Mapping's slow instancecheck
+        # for the overwhelmingly common case (JSON-decoded requests).
+        if type(request) is dict or isinstance(request, Mapping):
+            op = request.get("op", "point")
+        else:
+            op = "invalid"
+        series = self._op_series.get(op) or self._op_series["invalid"]
+        start = time.perf_counter()
+        with _TRACER.span("serve.request", op=str(op)) as span:
+            try:
+                response = self._execute(request)
+            except ServeError:
+                span.set_attribute("error", True)
+                series[2].inc()
+                raise
+            cached = bool(response.get("cached"))
+            span.set_attribute("cache_hit", cached)
+            span.set_attribute("version", response.get("version"))
+        elapsed = time.perf_counter() - start
+        series[0].inc()
+        series[1].observe(elapsed)
+        (_CACHE_HITS if cached else _CACHE_MISSES).inc()
+        if self.slow_log.record(elapsed, request, op=op, cache_hit=cached):
+            _SLOW_QUERIES.inc()
+        return response
+
+    def _execute(self, request: Mapping) -> dict:
+        """The uninstrumented request path (see :meth:`execute`)."""
         if not isinstance(request, Mapping):
             raise ServeError("request must be a JSON object")
         op = request.get("op", "point")
@@ -307,6 +442,11 @@ class QueryEngine:
                 "invalidations": cache.invalidations,
                 "hit_rate": cache.hit_rate,
             },
+            "slow_log": {
+                "threshold_s": self.slow_log.threshold,
+                "seen": self.slow_log.seen,
+                "kept": len(self.slow_log.entries()),
+            },
         }
 
     # ------------------------------------------------------------------
@@ -348,29 +488,37 @@ class QueryEngine:
         cache key); ``invalidate_all`` then reclaims their memory.
         """
         clean_rows, clean_measures = self._validate_rows(rows, measures)
-        with self._write_lock:
-            # Large batches bulk-build a trie of their own and merge
-            # canonically; small ones stream through Algorithm 1.
-            self._cuber.insert_batch(clean_rows, clean_measures)
-            for row in clean_rows:
-                for d, v in enumerate(row):
-                    if v > self._max_codes[d]:
-                        self._max_codes[d] = v
-            new = CubeVersion(
-                self._version.version + 1,
-                self._cuber.cube(self._min_support),
-                self._current_schema(),
-            )
-            self._version = new  # the atomic swap
-            self.cache.invalidate_all()
-            if self._store is not None:
-                self._store.save(
-                    self._name,
-                    self._cuber,
-                    new.schema,
-                    min_support=self._min_support,
-                    engine_version=new.version,
-                )
+        start = time.perf_counter()
+        with _TRACER.span("serve.append", rows=len(clean_rows)) as span:
+            with self._write_lock:
+                # Large batches bulk-build a trie of their own and merge
+                # canonically; small ones stream through Algorithm 1.
+                self._cuber.insert_batch(clean_rows, clean_measures)
+                for row in clean_rows:
+                    for d, v in enumerate(row):
+                        if v > self._max_codes[d]:
+                            self._max_codes[d] = v
+                with _TRACER.span("serve.refresh"):
+                    new = CubeVersion(
+                        self._version.version + 1,
+                        self._cuber.cube(self._min_support),
+                        self._current_schema(),
+                    )
+                self._version = new  # the atomic swap
+                self.cache.invalidate_all()
+                if self._store is not None:
+                    self._store.save(
+                        self._name,
+                        self._cuber,
+                        new.schema,
+                        min_support=self._min_support,
+                        engine_version=new.version,
+                    )
+            span.set_attribute("version", new.version)
+        _APPENDS.inc()
+        _APPEND_ROWS.inc(len(clean_rows))
+        _APPEND_SECONDS.observe(time.perf_counter() - start)
+        _REFRESHES.inc()
         return new.version
 
     def append_table(self, table: BaseTable) -> int:

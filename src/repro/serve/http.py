@@ -1,11 +1,20 @@
 """A stdlib JSON/HTTP front end over one :class:`QueryEngine`.
 
-Endpoints (all bodies are JSON):
+Endpoints (bodies are JSON unless noted):
 
 * ``GET /healthz``   — liveness: ``{"status": "ok", "version": N}``
 * ``GET /stats``     — the engine's stats snapshot (cache counters etc.)
+* ``GET /metrics``   — the process-wide registry as Prometheus text
+  (exposition format 0.0.4; point a Prometheus scrape job at it)
+* ``GET /trace``     — recent spans as JSON (``?limit=N`` keeps the
+  newest N; ``?format=chrome`` returns Chrome trace-event JSON)
+* ``GET /slowlog``   — the engine's sampled slow-query entries
 * ``POST /query``    — one read request, e.g. ``{"op": "point", "cell": [0, null]}``
 * ``POST /append``   — ``{"rows": [[...], ...], "measures": [[...], ...]}``
+
+Unknown paths return a structured ``404 {"error": ...}`` body, matching
+the POST error idiom.  See ``docs/observability.md`` for the metric
+catalog and how to open a trace in Perfetto.
 
 The server is a :class:`http.server.ThreadingHTTPServer`: each request
 runs on its own thread, which is exactly the concurrency the engine is
@@ -21,12 +30,27 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs
 
+from repro.obs import PROMETHEUS_CONTENT_TYPE, get_registry, get_tracer
 from repro.serve.engine import QueryEngine, ServeError
 
 #: Refuse request bodies beyond this size (a serving layer should not
 #: buffer arbitrarily large appends in one request).
 MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_TRACER = get_tracer()
+_HTTP_REQUESTS = get_registry().counter(
+    "repro_http_requests_total",
+    "HTTP requests handled, by method, endpoint and status.",
+    ("method", "path", "status"),
+)
+
+#: Paths counted under their own label; everything else folds into
+#: "other" so bad clients cannot explode the label cardinality.
+_KNOWN_PATHS = frozenset(
+    {"/healthz", "/stats", "/metrics", "/trace", "/slowlog", "/query", "/append"}
+)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -47,9 +71,19 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _respond(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        self._respond_bytes(
+            status, json.dumps(payload).encode("utf-8"), "application/json"
+        )
+
+    def _respond_bytes(self, status: int, body: bytes, content_type: str) -> None:
+        path = self.path.partition("?")[0]
+        _HTTP_REQUESTS.inc(
+            method=self.command,
+            path=path if path in _KNOWN_PATHS else "other",
+            status=status,
+        )
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -70,12 +104,29 @@ class _Handler(BaseHTTPRequestHandler):
         return payload
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path == "/healthz":
+        path, _, raw_query = self.path.partition("?")
+        if path == "/healthz":
             self._respond(200, {"status": "ok", "version": self.engine.version})
-        elif self.path == "/stats":
+        elif path == "/stats":
             self._respond(200, self.engine.stats())
+        elif path == "/metrics":
+            text = get_registry().render_prometheus()
+            self._respond_bytes(200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE)
+        elif path == "/trace":
+            query = parse_qs(raw_query)
+            try:
+                limit = int(query["limit"][0]) if "limit" in query else None
+            except ValueError:
+                self._respond(400, {"error": "limit must be an integer"})
+                return
+            if query.get("format", [""])[0] == "chrome":
+                self._respond(200, _TRACER.buffer.export_chrome(limit))
+            else:
+                self._respond(200, {"spans": _TRACER.buffer.export_json(limit)})
+        elif path == "/slowlog":
+            self._respond(200, {"slow_queries": self.engine.slow_log.entries()})
         else:
-            self._respond(404, {"error": f"no such endpoint: GET {self.path}"})
+            self._respond(404, {"error": f"no such endpoint: GET {path}"})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         try:

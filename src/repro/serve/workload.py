@@ -28,8 +28,18 @@ import numpy as np
 from repro.data.synthetic import zipf_probabilities
 from repro.exec.executors import Executor, ThreadExecutor
 from repro.metrics.histogram import LatencyHistogram
+from repro.obs import get_registry
 from repro.serve.client import ServingClient
 from repro.serve.engine import ServeError
+
+#: Per-operation latency, folded from every client's private histograms
+#: after a run (clients record lock-free; the registry sees one merge per
+#: op per run, so driver concurrency never contends on the metric lock).
+_WORKLOAD_SECONDS = get_registry().histogram(
+    "repro_workload_latency_seconds",
+    "Workload-driver request latency in seconds, by operation.",
+    ("op",),
+)
 
 
 @dataclass(frozen=True)
@@ -84,6 +94,7 @@ class WorkloadReport:
     pool_size: int
     theta: float
     engine_stats: dict = field(default_factory=dict)
+    op_latency: dict[str, LatencyHistogram] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -107,9 +118,18 @@ class WorkloadReport:
             f"throughput: {self.throughput:,.0f} req/s over {self.wall_seconds:.3f}s wall",
             f"latency: p50 {ms['p50_s']:.3f}ms  p95 {ms['p95_s']:.3f}ms  "
             f"p99 {ms['p99_s']:.3f}ms  max {ms['max_s']:.3f}ms  mean {ms['mean_s']:.3f}ms",
-            f"cache: {100 * self.hit_rate:.1f}% hit rate "
-            f"({self.cached_responses} of {self.total_requests} responses cached)",
         ]
+        for op in sorted(self.op_latency):
+            h = self.op_latency[op]
+            lines.append(
+                f"  {op:>9}: p50 {h.percentile(50) * 1000:.3f}ms  "
+                f"p95 {h.percentile(95) * 1000:.3f}ms  "
+                f"p99 {h.percentile(99) * 1000:.3f}ms  ({h.count} requests)"
+            )
+        lines.append(
+            f"cache: {100 * self.hit_rate:.1f}% hit rate "
+            f"({self.cached_responses} of {self.total_requests} responses cached)"
+        )
         if self.appends:
             lines.append(
                 f"writes: {self.appends} append batches "
@@ -188,27 +208,37 @@ class WorkloadDriver:
         return pool
 
     def _client_run(self, task: tuple[list[dict], np.ndarray]) -> dict:
-        """One client's life: replay its request sequence, record latencies."""
+        """One client's life: replay its request sequence, record latencies.
+
+        Latencies go into one private histogram *per operation type*, so
+        the merged report can show that a slice query and a cached point
+        lookup live in different regimes instead of one blended p99.
+        """
         pool, sequence = task
-        histogram = LatencyHistogram()
+        histograms: dict[str, LatencyHistogram] = {}
         op_counts: dict[str, int] = {}
         cached = 0
         errors = 0
         with self.client_factory() as client:
             for index in sequence:
                 request = pool[int(index)]
+                op = request["op"]
                 start = time.perf_counter()
                 try:
                     response = client.query(request)
                 except ServeError:
                     errors += 1
                     continue
-                histogram.record(time.perf_counter() - start)
-                op_counts[request["op"]] = op_counts.get(request["op"], 0) + 1
+                elapsed = time.perf_counter() - start
+                histogram = histograms.get(op)
+                if histogram is None:
+                    histogram = histograms[op] = LatencyHistogram()
+                histogram.record(elapsed)
+                op_counts[op] = op_counts.get(op, 0) + 1
                 if response.get("cached"):
                     cached += 1
         return {
-            "histogram": histogram,
+            "histograms": histograms,
             "op_counts": op_counts,
             "cached": cached,
             "errors": errors,
@@ -299,15 +329,23 @@ class WorkloadDriver:
             probe.close()
 
         latency = LatencyHistogram()
+        op_latency: dict[str, LatencyHistogram] = {}
         op_counts: dict[str, int] = {}
         cached = 0
         errors = 0
         for result in results:
-            latency.merge(result["histogram"])
+            for op, histogram in result["histograms"].items():
+                latency.merge(histogram)
+                merged = op_latency.get(op)
+                if merged is None:
+                    merged = op_latency[op] = LatencyHistogram()
+                merged.merge(histogram)
             for op, n in result["op_counts"].items():
                 op_counts[op] = op_counts.get(op, 0) + n
             cached += result["cached"]
             errors += result["errors"]
+        for op, histogram in op_latency.items():
+            _WORKLOAD_SECONDS.merge(histogram, op=op)
         return WorkloadReport(
             clients=clients,
             requests_per_client=requests_per_client,
@@ -323,4 +361,5 @@ class WorkloadDriver:
             pool_size=len(pool),
             theta=self.theta,
             engine_stats=end_stats,
+            op_latency=op_latency,
         )

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.harness",
     "repro.exec",
     "repro.serve",
+    "repro.obs",
 ]
 
 

@@ -92,6 +92,74 @@ def test_unknown_endpoints_and_malformed_bodies(served):
         conn.close()
 
 
+def _raw_get(server, path):
+    import http.client
+
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, response.headers.get("Content-Type", ""), response.read()
+    finally:
+        conn.close()
+
+
+def test_unknown_get_returns_structured_404_json(served):
+    _, server, _ = served
+    status, content_type, body = _raw_get(server, "/definitely-not-an-endpoint")
+    assert status == 404
+    assert content_type.startswith("application/json")
+    payload = json.loads(body)
+    assert payload == {"error": "no such endpoint: GET /definitely-not-an-endpoint"}
+
+
+def test_metrics_endpoint_serves_prometheus_text(served):
+    from repro.obs import parse_prometheus_text
+
+    _, server, client = served
+    client.query({"op": "point", "cell": [0, None, None, None]})
+    status, content_type, body = _raw_get(server, "/metrics")
+    assert status == 200
+    assert content_type.startswith("text/plain")
+    assert "version=0.0.4" in content_type
+    families = parse_prometheus_text(body.decode("utf-8"))  # raises if malformed
+    for family in ("repro_requests_total", "repro_request_seconds",
+                   "repro_cache_entries", "repro_http_requests_total"):
+        assert family in families
+
+
+def test_trace_endpoint_spans_and_chrome_format(served):
+    _, server, client = served
+    client.query({"op": "point", "cell": [0, None, None, None]})
+    status, content_type, body = _raw_get(server, "/trace")
+    assert status == 200 and content_type.startswith("application/json")
+    spans = json.loads(body)["spans"]
+    assert any(s["name"] == "serve.request" for s in spans)
+
+    status, _, body = _raw_get(server, "/trace?format=chrome&limit=10")
+    assert status == 200
+    trace = json.loads(body)
+    assert len(trace["traceEvents"]) <= 10
+    assert all(e["ph"] == "X" for e in trace["traceEvents"])
+
+    status, _, body = _raw_get(server, "/trace?limit=nope")
+    assert status == 400 and "limit" in json.loads(body)["error"]
+
+
+def test_slowlog_endpoint(served):
+    engine, server, client = served
+    engine.slow_log.threshold = 0.0  # everything is "slow"
+    try:
+        client.query({"op": "point", "cell": [0, None, None, None]})
+    finally:
+        engine.slow_log.threshold = 10.0
+    status, _, body = _raw_get(server, "/slowlog")
+    assert status == 200
+    entries = json.loads(body)["slow_queries"]
+    assert entries and entries[-1]["op"] == "point"
+    assert entries[-1]["duration_s"] >= 0
+
+
 def test_concurrent_http_clients(served):
     engine, server, _ = served
     n_clients, n_requests = 4, 25
