@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-thorough lint ci bench bench-smoke serve-demo examples figures report claims clean
+.PHONY: install test test-thorough lint ci bench bench-smoke query-bench serve-demo examples figures report claims clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -27,12 +27,20 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # the CI smoke job: the serving bench (with its cached-path speedup floor),
-# one algorithm bench at the quick preset, and a live /metrics scrape gate
+# the build and batched-query benches (each with a speedup floor), and a
+# live /metrics scrape gate
 bench-smoke:
 	$(PYTHON) benchmarks/bench_serving.py --quick
 	$(PYTHON) benchmarks/bench_bulk_build.py --quick
+	$(PYTHON) benchmarks/bench_point_queries.py --quick
 	$(PYTHON) benchmarks/smoke_metrics.py
 	REPRO_BENCH_PRESET=tiny $(PYTHON) -m pytest benchmarks/bench_point_queries.py --benchmark-only -q
+
+# the batched point-query bench at full scale: verifies hash / columnar /
+# scan identity, enforces the batched speedup floor and refreshes
+# BENCH_point_queries.json
+query-bench:
+	$(PYTHON) benchmarks/bench_point_queries.py
 
 # end-to-end serving demo: generate a skewed table, serve it over HTTP on an
 # ephemeral port, and drive 4 concurrent clients (plus 2 append batches) at it

@@ -6,20 +6,44 @@ plain cube would: this measures answering a fixed batch of point queries
 
 * the expanded cube (a plain dict — the baseline),
 * the range cube through its general-endpoint hash index,
+* the range cube through the columnar store's batched lookup,
 * the Dwarf DAG (O(n_dims) hops per query),
 * the QC-tree over quotient classes.
 
 Construction costs are benchmarked separately so the storage/latency
 trade-off is visible.
+
+Run under pytest-benchmark like the other bench modules, or standalone
+as a CI smoke check that re-verifies all three lookup strategies (hash
+probe, columnar ``find_batch``, linear scan) answer identically and then
+enforces a ``MIN_SPEEDUP``x floor for batched columnar lookups over the
+per-cell hash path at the largest correlated point::
+
+    PYTHONPATH=src python benchmarks/bench_point_queries.py --quick
+
+The standalone mode writes its series to ``BENCH_point_queries.json``
+(committed at the repo root; see ``docs/performance.md``).
 """
+
+import json
+import random
+import time
 
 from repro.baselines.dwarf import Dwarf
 from repro.baselines.qc_tree import QCTree
 from repro.core.range_cubing import range_cubing
 from repro.core.range_index import RangeCubeIndex
 from repro.cube.full_cube import compute_full_cube
+from repro.data.correlated import FunctionalDependency, correlated_table
 
-from benchmarks.conftest import PRESET, cached_zipf, run_once
+try:
+    from benchmarks.conftest import PRESET, cached_zipf, run_once
+except ModuleNotFoundError:  # executed as a script: put the repo root on the path
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    from benchmarks.conftest import PRESET, cached_zipf, run_once
 
 SCALES = {
     "tiny": {"n_rows": 400, "n_dims": 4, "cardinality": 20},
@@ -27,7 +51,34 @@ SCALES = {
 }
 PARAMS = SCALES["small" if PRESET == "small" else "tiny"]
 
+#: Acceptance floor: batched columnar lookups must beat the per-cell
+#: hash index by this factor at the largest correlated point.
+MIN_SPEEDUP = 5.0
+
+#: The correlated workload of bench_bulk_build: zipf theta 1.5, 8 dims,
+#: a store determining city-like attributes and a station its coordinates.
+N_DIMS = 8
+THETA = 1.5
+FDS = (
+    FunctionalDependency((0,), (1, 2)),
+    FunctionalDependency((4,), (5, 6, 7)),
+)
+
+#: (n_rows, cardinality) series per preset; the CI smoke job runs "quick"
+#: and enforces the floor at its 100k-row point.
+POINTS = {
+    "quick": [(10_000, 50), (100_000, 100)],
+    "tiny": [(10_000, 50), (30_000, 100), (100_000, 100)],
+    "small": [(30_000, 100), (100_000, 100), (300_000, 200)],
+}
+QUERY_PARAMS = POINTS["small" if PRESET == "small" else "tiny"]
+
+#: Queries per measured batch and how many of them are misses.
+BATCH_QUERIES = 4096
+GHOST_SHARE = 0.05
+
 _CACHE: dict = {}
+_TABLES: dict = {}
 
 
 def fixture():
@@ -53,6 +104,10 @@ def _drain(structure, queries):
     return hits
 
 
+def _drain_batch(index, queries):
+    return sum(1 for r in index.find_batch(queries) if r is not None)
+
+
 def test_queries_expanded_dict(benchmark):
     f = fixture()
     hits = run_once(benchmark, _drain, f["oracle"], f["queries"])
@@ -67,6 +122,19 @@ def test_queries_range_cube_index(benchmark):
     benchmark.extra_info.update(
         structure="range-index", queries=len(f["queries"]), hits=hits,
         index_entries=len(RangeCubeIndex(cube)),
+    )
+
+
+def test_queries_range_cube_batched(benchmark):
+    """The columnar store's grouped find_batch over the same query set."""
+    f = fixture()
+    cube = range_cubing(f["table"])
+    index = RangeCubeIndex(cube, strategy="columnar")
+    index.find_batch(f["queries"][:64])  # warm the store and cuboid maps
+    hits = run_once(benchmark, _drain_batch, index, f["queries"])
+    benchmark.extra_info.update(
+        structure="columnar-batched", queries=len(f["queries"]), hits=hits,
+        store_kib=round(index._store.nbytes() / 1024, 1),
     )
 
 
@@ -100,3 +168,186 @@ def test_build_qc_tree(benchmark):
     f = fixture()
     tree = run_once(benchmark, QCTree.build, f["table"])
     benchmark.extra_info.update(structure="qc-tree", nodes=tree.n_nodes())
+
+
+# ----------------------------------------------------------------------
+# standalone smoke mode (CI): verify strategy identity, enforce the floor
+# ----------------------------------------------------------------------
+
+
+def corr_table(n_rows: int, cardinality: int):
+    key = (n_rows, cardinality)
+    if key not in _TABLES:
+        _TABLES[key] = correlated_table(
+            n_rows, N_DIMS, cardinality, FDS, theta=THETA, seed=7
+        )
+    return _TABLES[key]
+
+
+def make_queries(table, n_queries: int = BATCH_QUERIES, seed: int = 0):
+    """An analytical query mix over ``table``'s domain.
+
+    A pool of bound-dimension masks (1–4 of the 8 dims, the widths the
+    hash index is designed for) applied to real rows, plus a ghost share
+    probing values outside every dimension's domain, plus the apex.
+    """
+    rng = random.Random(seed)
+    n_dims = table.n_dims
+    rows = [tuple(int(v) for v in row) for row in table.dim_rows()[:2000]]
+    out_of_domain = tuple(int(table.dim_codes[:, d].max()) + 1 for d in range(n_dims))
+    masks = []
+    while len(masks) < 16:
+        dims = rng.sample(range(n_dims), rng.randint(1, 4))
+        mask = sum(1 << d for d in dims)
+        if mask not in masks:
+            masks.append(mask)
+    queries = [tuple([None] * n_dims)]
+    while len(queries) < n_queries:
+        mask = masks[len(queries) % len(masks)]
+        row = rows[rng.randrange(len(rows))]
+        cell = [row[d] if mask >> d & 1 else None for d in range(n_dims)]
+        if rng.random() < GHOST_SHARE:
+            bound = [d for d in range(n_dims) if mask >> d & 1]
+            cell[rng.choice(bound)] = out_of_domain[rng.choice(bound)]
+        queries.append(tuple(cell))
+    return queries
+
+
+def verify_strategies(cube, queries, scan_sample: int = 150) -> int:
+    """All three lookup strategies answer identically, cell for cell.
+
+    The hash probe and the batched columnar path are compared on every
+    query; the linear scan — the ground-truth definition, but O(ranges)
+    per cell — on a sample.  Timing a wrong answer fast would be
+    meaningless, so this runs before any measurement.
+    """
+    hash_index = RangeCubeIndex(cube, strategy="hash")
+    columnar = RangeCubeIndex(cube, strategy="columnar")
+    batched = columnar.find_batch(queries)
+    for cell, via_batch in zip(queries, batched):
+        if hash_index.find(cell) is not via_batch:
+            raise AssertionError(f"hash and columnar disagree on {cell}")
+    step = max(1, len(queries) // scan_sample)
+    for cell, via_batch in list(zip(queries, batched))[::step]:
+        found = next((r for r in cube.ranges if r.contains(cell)), None)
+        if found is not via_batch:
+            raise AssertionError(f"linear scan and columnar disagree on {cell}")
+    return sum(1 for r in batched if r is not None)
+
+
+def _best_of(fn, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_point(table, queries) -> dict:
+    """Per-cell hash vs batched columnar over the same warm query batch."""
+    build_start = time.perf_counter()
+    cube = range_cubing(table)
+    build_s = time.perf_counter() - build_start
+    hits = verify_strategies(cube, queries)
+    hash_index = RangeCubeIndex(cube, strategy="hash")
+    columnar = RangeCubeIndex(cube, strategy="columnar")
+    columnar.find_batch(queries)  # warm: postings built, cuboid maps memoized
+    hash_s = _best_of(lambda: [hash_index.find(c) for c in queries])
+    batch_s = _best_of(lambda: columnar.find_batch(queries))
+    per_query_us = batch_s / len(queries) * 1e6
+    return {
+        "n_rows": table.n_rows,
+        "n_ranges": cube.n_ranges,
+        "queries": len(queries),
+        "hits": hits,
+        "cube_build_seconds": round(build_s, 4),
+        "hash_seconds": round(hash_s, 4),
+        "batched_seconds": round(batch_s, 4),
+        "batched_us_per_query": round(per_query_us, 3),
+        "speedup": round(hash_s / batch_s if batch_s else float("inf"), 2),
+        "store_kib": round(columnar._store.nbytes() / 1024, 1),
+    }
+
+
+def print_point(p: dict) -> None:
+    print(
+        f"{p['n_rows']:>9,} rows ({p['n_ranges']:,} ranges): "
+        f"hash {p['hash_seconds'] * 1e3:8.2f}ms   "
+        f"batched {p['batched_seconds'] * 1e3:7.2f}ms "
+        f"({p['batched_us_per_query']:.2f}us/q)   speedup {p['speedup']:5.1f}x"
+    )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smallest scale (the CI smoke job)"
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=MIN_SPEEDUP,
+        help="fail unless batched columnar beats per-cell hash by this "
+        "factor at the largest point",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="write the series as JSON (default: no file in --quick mode, "
+        "BENCH_point_queries.json otherwise)",
+    )
+    args = parser.parse_args(argv)
+    points = POINTS["quick"] if args.quick else QUERY_PARAMS
+    out_path = args.out if args.out else (
+        None if args.quick else "BENCH_point_queries.json"
+    )
+
+    print(
+        f"point-query bench: zipf theta {THETA}, {N_DIMS} dims, "
+        f"{len(FDS)} functional dependencies, "
+        f"{BATCH_QUERIES:,} queries per batch ({GHOST_SHARE:.0%} ghosts)"
+    )
+    series = []
+    for n_rows, card in points:
+        table = corr_table(n_rows, card)
+        point = {"cardinality": card, **measure_point(table, make_queries(table))}
+        series.append(point)
+        print_point(point)
+
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(
+                {
+                    "benchmark": "point_queries",
+                    "n_dims": N_DIMS,
+                    "theta": THETA,
+                    "dependencies": [
+                        [list(f.source_dims), list(f.target_dims)] for f in FDS
+                    ],
+                    "queries_per_batch": BATCH_QUERIES,
+                    "ghost_share": GHOST_SHARE,
+                    "min_speedup_floor": args.min_speedup,
+                    "points": series,
+                },
+                fh,
+                indent=2,
+            )
+            fh.write("\n")
+        print(f"wrote {out_path}")
+
+    final = series[-1]
+    print(
+        f"floor: {final['speedup']:.1f}x at {final['n_rows']:,} rows "
+        f"(need >= {args.min_speedup:g}x)"
+    )
+    if final["speedup"] < args.min_speedup:
+        print("FAIL: batched columnar lookups below the speedup floor")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -36,6 +36,8 @@ REQUIRED_FAMILIES = (
     "repro_cube_refreshes_total",
     "repro_cube_version",
     "repro_http_requests_total",
+    "repro_query_batches_total",
+    "repro_query_batch_items_total",
 )
 
 
@@ -47,6 +49,7 @@ def drive(client: HTTPCubeClient, n_dims: int) -> None:
         client.query({"op": "rollup", "cell": cell, "dim": 0})
         client.query({"op": "drilldown", "cell": cell, "dim": 1})
         client.query({"op": "slice", "bindings": {"0": 0}})
+        client.query_batch([{"op": "point", "cell": cell}, {"op": "bogus"}])
     client.append([[0] * n_dims], None)
 
 

@@ -266,6 +266,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
             seed=args.seed,
             append_batches=args.appends,
             append_rows=args.append_rows,
+            batch_size=args.batch,
         )
         report = driver.run(clients=args.clients, requests_per_client=args.requests)
     except ValueError as exc:  # e.g. "clients and requests_per_client must be positive"
@@ -480,6 +481,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--appends", type=int, default=0, help="append batches during the run")
     p.add_argument("--append-rows", type=int, default=32, help="rows per append batch")
+    p.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        help="requests per query_batch round trip (1 = request-at-a-time)",
+    )
     p.set_defaults(func=_cmd_workload)
 
     p = sub.add_parser("obs", help="fetch telemetry from a running server")

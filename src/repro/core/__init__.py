@@ -9,6 +9,8 @@
 * :mod:`repro.core.range_cube` — the compressed, semantics-preserving cube
   of Section 4 (ranges, range tuples, expansion);
 * :mod:`repro.core.range_index` — a point-query index over a range cube;
+* :mod:`repro.core.columnar` — the cube frozen into numpy columns and
+  inverted postings, backing batched lookups and slice/dice selection;
 * :mod:`repro.core.semantics` — the roll-up order between ranges
   (Theorem 1's semantics preservation, Figure 5's structure);
 * :mod:`repro.core.incremental` — resident-trie incremental maintenance;
@@ -19,6 +21,7 @@
 * :mod:`repro.core.serialize` — JSON persistence for tries and cubers.
 """
 
+from repro.core.columnar import ColumnarRangeStore
 from repro.core.complex_measures import TopKAvgAggregator, avg_iceberg_range_cubing
 from repro.core.display import print_trie, trie_to_dot, trie_to_lines
 from repro.core.incremental import IncrementalRangeCuber, range_cubing_from_trie
@@ -38,6 +41,7 @@ from repro.core.semantics import (
 )
 
 __all__ = [
+    "ColumnarRangeStore",
     "IncrementalRangeCuber",
     "TopKAvgAggregator",
     "avg_iceberg_range_cubing",

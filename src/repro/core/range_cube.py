@@ -114,19 +114,24 @@ class RangeCube:
         self.aggregator = aggregator
         self.ranges = ranges
         self._index = None
-        self._index_lock = threading.Lock()
+        self._columnar = None
+        # Reentrant: building the index under the lock may itself call
+        # to_columnar() (the columnar strategy shares the store).
+        self._index_lock = threading.RLock()
 
     def __getstate__(self) -> dict:
-        # The lock is not picklable and the index is cheaper to rebuild
-        # than to ship; drop both.
+        # The lock is not picklable and the derived read structures are
+        # cheaper to rebuild than to ship; drop them.
         state = self.__dict__.copy()
         state["_index"] = None
+        state["_columnar"] = None
         del state["_index_lock"]
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
-        self._index_lock = threading.Lock()
+        self.__dict__.setdefault("_columnar", None)
+        self._index_lock = threading.RLock()
 
     # -- size ------------------------------------------------------------
 
@@ -169,8 +174,14 @@ class RangeCube:
         dimensions are all in ``mask`` and ``mask`` is covered by fixed
         plus marked dimensions — in that case it contributes the single
         cell that binds ``mask``'s dimensions to the specific endpoint.
-        Cost is one pass over the ranges, independent of cube size.
+        Cost is one pass over the ranges, independent of cube size —
+        and for cubes past the columnar threshold, one memoized
+        mask-filtered column selection (see
+        :class:`~repro.core.columnar.ColumnarRangeStore`).
         """
+        columnar = self.columnar_if_worthwhile()
+        if columnar is not None:
+            return columnar.cuboid(mask)
         out: dict[Cell, tuple] = {}
         n = self.n_dims
         for r in self.ranges:
@@ -190,7 +201,15 @@ class RangeCube:
         return out
 
     def cuboid_sizes(self) -> dict[int, int]:
-        """Cells per cuboid mask, computed range-by-range (no expansion)."""
+        """Cells per cuboid mask, computed range-by-range (no expansion).
+
+        Large cubes answer from the columnar store's memoized census
+        (one ``np.unique`` over the mask columns), so repeated calls are
+        free after the first.
+        """
+        columnar = self.columnar_if_worthwhile()
+        if columnar is not None:
+            return columnar.cuboid_sizes()
         sizes: dict[int, int] = {}
         for r in self.ranges:
             fixed = 0
@@ -213,6 +232,36 @@ class RangeCube:
     def to_materialized(self) -> MaterializedCube:
         """Expand into a plain cell dictionary (for tests and small cubes)."""
         return MaterializedCube(self.n_dims, self.aggregator, dict(self.expand()))
+
+    def to_columnar(self):
+        """The frozen columnar read layout, built once and cached.
+
+        See :class:`~repro.core.columnar.ColumnarRangeStore`: numpy
+        specific/mask columns plus per-dimension inverted postings,
+        which back :meth:`lookup_batch`, the large-cube :meth:`cuboid`
+        path and the point-query index above its size threshold.
+        Double-checked under the index lock for the same reason as
+        :meth:`_ensure_index`.
+        """
+        store = self._columnar
+        if store is None:
+            with self._index_lock:
+                store = self._columnar
+                if store is None:
+                    from repro.core.columnar import ColumnarRangeStore
+
+                    store = ColumnarRangeStore(self)
+                    self._columnar = store
+        return store
+
+    def columnar_if_worthwhile(self):
+        """The columnar store when built already or worth building."""
+        store = self._columnar
+        if store is not None:
+            return store
+        from repro.core.columnar import prefers_columnar
+
+        return self.to_columnar() if prefers_columnar(self) else None
 
     def _ensure_index(self):
         """The point-query index, built on first use.
@@ -241,6 +290,16 @@ class RangeCube:
         """
         found = self._ensure_index().find(cell)
         return None if found is None else found.state
+
+    def lookup_batch(self, cells) -> list:
+        """Aggregate states for a whole batch of cells (None marks empties).
+
+        Resolves the batch in one :meth:`RangeCubeIndex.find_batch` call
+        — above the columnar threshold that is a grouped postings /
+        cuboid-map resolution instead of per-cell hash probing.
+        """
+        found = self._ensure_index().find_batch(cells)
+        return [None if r is None else r.state for r in found]
 
     def range_of(self, cell: Cell):
         """The unique range containing ``cell`` (None if the cell is empty)."""

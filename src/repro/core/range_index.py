@@ -9,19 +9,34 @@ query cell, the unique range that contains it.
 A cell ``q`` belongs to range ``r`` exactly when ``q`` is obtained from
 ``r``'s general endpoint by binding some subset of ``r``'s *marked*
 dimensions — equivalently, ``r``'s general endpoint is ``q`` with some
-subset of ``q``'s bound dimensions relaxed to ``*``.  The index therefore
-hashes ranges by their general endpoint and probes the ``2**m`` candidate
-generalizations of an ``m``-dimensional query cell, verifying each hit
-against the specific endpoint.  Typical analytical queries bind few
-dimensions, so the probe count stays small; wide query cells degrade
-gracefully to a linear scan of the ranges (which both paths answer
-identically) instead of enumerating an exponential probe set.
+subset of ``q``'s bound dimensions relaxed to ``*``.  Two strategies
+answer that membership question:
+
+* ``"hash"`` — hash ranges by their general endpoint and probe the
+  ``2**m`` candidate generalizations of an ``m``-dimensional query cell,
+  verifying each hit against the specific endpoint.  Typical analytical
+  queries bind few dimensions, so the probe count stays small; wide
+  query cells degrade gracefully to a linear scan of the ranges (which
+  both paths answer identically) instead of enumerating an exponential
+  probe set.
+* ``"columnar"`` — delegate to the cube's frozen
+  :class:`~repro.core.columnar.ColumnarRangeStore`: inverted-postings
+  intersection with one vectorized containment check per lookup, and
+  memoized cuboid maps for :meth:`RangeCubeIndex.find_batch`.
+
+The default (``"auto"``) picks columnar once the cube passes
+:data:`~repro.core.columnar.COLUMNAR_THRESHOLD` ranges and hash below
+it, where building numpy columns costs more than it saves.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
+from repro.core.columnar import prefers_columnar
 from repro.core.range_cube import Range, RangeCube
 from repro.cube.cell import Cell, bound_dims
+from repro.obs import get_registry
 
 #: Never probe more than 2**MAX_PROBE_DIMS generalizations per lookup;
 #: wider cells always take the linear-scan path.
@@ -32,42 +47,67 @@ MAX_PROBE_DIMS = 24
 #: but not by more than this factor.
 _SCAN_COST_FACTOR = 4
 
+_SCAN_FALLBACKS = get_registry().counter(
+    "repro_query_scan_fallbacks_total",
+    "Point lookups answered by a linear scan over all ranges.",
+)
+
 
 class RangeCubeIndex:
-    """Hash index from general endpoints to ranges.
+    """Point-query index: hash probing or columnar postings, per ``strategy``.
 
     ``scan_fallbacks`` counts the lookups answered by the linear scan
     (wide cells, or probe sets larger than the cube itself) — useful for
-    spotting workloads that defeat the hash index.
+    spotting workloads that defeat the hash index; each one also lands
+    in the ``repro_query_scan_fallbacks_total`` counter.
     """
 
-    def __init__(self, cube: RangeCube) -> None:
+    def __init__(self, cube: RangeCube, strategy: str = "auto") -> None:
+        if strategy not in ("auto", "hash", "columnar"):
+            raise ValueError(
+                f"unknown strategy {strategy!r}; use 'auto', 'hash' or 'columnar'"
+            )
         self.cube = cube
         self.scan_fallbacks = 0
+        self._n_ranges = len(cube.ranges)
+        if strategy == "auto":
+            strategy = "columnar" if prefers_columnar(cube) else "hash"
+        self.strategy = strategy
+        self._store = cube.to_columnar() if strategy == "columnar" else None
+        # The general-endpoint hash map only exists on the hash path;
+        # building it for a columnar cube would double the index memory
+        # for a structure no lookup touches.
         self._by_general: dict[Cell, list[Range]] = {}
-        for r in cube.ranges:
-            self._by_general.setdefault(r.general, []).append(r)
+        if self._store is None:
+            for r in cube.ranges:
+                self._by_general.setdefault(r.general, []).append(r)
 
     def __len__(self) -> int:
-        return sum(len(v) for v in self._by_general.values())
+        return self._n_ranges
 
     def _scan(self, cell: Cell) -> Range | None:
         self.scan_fallbacks += 1
+        _SCAN_FALLBACKS.inc()
         for r in self.cube.ranges:
             if r.contains(cell):
                 return r
         return None
 
-    def find(self, cell: Cell) -> Range | None:
-        """The unique range containing ``cell`` (None if the cell is empty)."""
+    def _check_arity(self, cell: Cell) -> None:
         if len(cell) != self.cube.n_dims:
             raise ValueError(
                 f"query cell has {len(cell)} dims, cube has {self.cube.n_dims}"
             )
+
+    def find(self, cell: Cell) -> Range | None:
+        """The unique range containing ``cell`` (None if the cell is empty)."""
+        self._check_arity(cell)
+        if self._store is not None:
+            return self._store.find(cell)
         bound = bound_dims(cell)
         if len(bound) > MAX_PROBE_DIMS or (
             1 << len(bound)
-        ) > _SCAN_COST_FACTOR * len(self.cube.ranges):
+        ) > _SCAN_COST_FACTOR * self._n_ranges:
             return self._scan(cell)
         base = list(cell)
         for subset in range(1 << len(bound)):
@@ -79,3 +119,17 @@ class RangeCubeIndex:
                 if r.contains(cell):
                     return r
         return None
+
+    def find_batch(self, cells: Sequence[Cell]) -> list[Range | None]:
+        """The containing range per query cell (None marks empty cells).
+
+        On the columnar path the batch is grouped by bound-dimension
+        mask and resolved through memoized cuboid maps — the amortized
+        cost is one dict probe per cell.  The hash path simply loops
+        :meth:`find`, so both strategies answer identically.
+        """
+        for cell in cells:
+            self._check_arity(cell)
+        if self._store is not None:
+            return self._store.find_batch(cells)
+        return [self.find(cell) for cell in cells]

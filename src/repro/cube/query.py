@@ -39,6 +39,18 @@ class CubeQuery:
             raise ValueError("raw-value queries need a table with an encoder")
         return self.table.encoder.encoders[dim].encode_existing(value)
 
+    def _lookup_states(self, cells: list[Cell]) -> list:
+        """States for many cells at once, batched when the cube supports it."""
+        batch = getattr(self.cube, "lookup_batch", None)
+        if batch is not None:
+            return batch(cells)
+        return [self.cube.lookup(cell) for cell in cells]
+
+    def _columnar_store(self):
+        """The cube's columnar store when one is (worth) having, else None."""
+        getter = getattr(self.cube, "columnar_if_worthwhile", None)
+        return getter() if getter is not None else None
+
     def cell_for(self, bindings: Mapping[str, Hashable]) -> Cell:
         """Build the query cell for ``{dimension name: value}`` bindings."""
         encoded: dict[int, int] = {}
@@ -87,13 +99,12 @@ class CubeQuery:
             if card is None:
                 raise ValueError("drill-down needs either a table or known cardinality")
             candidates = range(card)
-        out = []
-        for value in candidates:
-            child = drill_down(cell, dim, value)
-            state = self.cube.lookup(child)
-            if state is not None:
-                out.append((child, self.cube.aggregator.finalize(state)))
-        return out
+        children = [drill_down(cell, dim, value) for value in candidates]
+        return [
+            (child, self.cube.aggregator.finalize(state))
+            for child, state in zip(children, self._lookup_states(children))
+            if state is not None
+        ]
 
     def dice(
         self,
@@ -107,6 +118,11 @@ class CubeQuery:
         distributive/algebraic aggregators this library uses, because the
         diced cells partition the matching tuples.  Returns None when no
         combination is non-empty.
+
+        Over a range cube with a columnar store, the whole dice is one
+        mask-filtered column selection plus one vectorized state merge
+        (:meth:`~repro.core.columnar.ColumnarRangeStore.dice_ids`) —
+        the value-combination cross product is never enumerated.
         """
         dims: list[int] = []
         value_lists: list[list[int]] = []
@@ -121,8 +137,16 @@ class CubeQuery:
                     encoded.append(self._encode(dim, value))
                 except KeyError:
                     continue  # value never occurs: contributes nothing
-            value_lists.append(encoded)
+            # Dedupe: predicates are value *sets*, and a repeated value
+            # must not double-count its cells on any path.
+            value_lists.append(list(dict.fromkeys(encoded)))
         cell = list(base_cell if base_cell is not None else [None] * self.schema.n_dims)
+        store = self._columnar_store()
+        if store is not None:
+            base = {d: v for d, v in enumerate(cell) if v is not None}
+            value_sets = {d: set(vs) for d, vs in zip(dims, value_lists)}
+            total = store.merge_states(store.dice_ids(value_sets, base))
+            return None if total is None else self.cube.aggregator.finalize(total)
         total = None
         merge = self.cube.aggregator.merge
 

@@ -26,6 +26,22 @@ class ServingClient:
         """Execute one read request (``op``/``cell``/... as in the engine)."""
         raise NotImplementedError
 
+    def query_batch(self, requests: Sequence[dict]) -> list[dict]:
+        """Execute many read requests in one round trip, responses in order.
+
+        Mirrors :meth:`QueryEngine.execute_batch`: per-item failures are
+        ``{"error": ...}`` entries, not exceptions.  The default loops
+        :meth:`query`; both concrete clients override it with the real
+        batch path.
+        """
+        out = []
+        for request in requests:
+            try:
+                out.append(self.query(request))
+            except ServeError as exc:
+                out.append({"error": str(exc)})
+        return out
+
     def append(self, rows: Sequence[Sequence[int]], measures=None) -> dict:
         """Append a fact batch; returns ``{"version": N, "rows": n}``."""
         raise NotImplementedError
@@ -57,6 +73,9 @@ class InProcessClient(ServingClient):
 
     def query(self, request: dict) -> dict:
         return self.engine.execute(request)
+
+    def query_batch(self, requests: Sequence[dict]) -> list[dict]:
+        return self.engine.execute_batch(list(requests))
 
     def append(self, rows: Sequence[Sequence[int]], measures=None) -> dict:
         version = self.engine.append(rows, measures)
@@ -119,6 +138,10 @@ class HTTPCubeClient(ServingClient):
 
     def query(self, request: dict) -> dict:
         return self._request("POST", "/query", request)
+
+    def query_batch(self, requests: Sequence[dict]) -> list[dict]:
+        response = self._request("POST", "/query/batch", {"requests": list(requests)})
+        return response["results"]
 
     def append(self, rows: Sequence[Sequence[int]], measures=None) -> dict:
         payload: dict = {"rows": [list(r) for r in rows]}

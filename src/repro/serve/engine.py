@@ -79,6 +79,18 @@ _REFRESHES = _REGISTRY.counter(
 _SLOW_QUERIES = _REGISTRY.counter(
     "repro_slow_queries_total", "Requests slower than the slow-query threshold."
 )
+_BATCHES = _REGISTRY.counter(
+    "repro_query_batches_total", "Batch read requests answered (POST /query/batch)."
+)
+_BATCH_ITEMS = _REGISTRY.counter(
+    "repro_query_batch_items_total", "Individual requests answered inside batches."
+)
+_BATCH_SIZE = _REGISTRY.histogram(
+    "repro_request_batch_size", "Requests per batch read call."
+)
+_BATCH_SECONDS = _REGISTRY.histogram(
+    "repro_batch_seconds", "Batch read-request latency in seconds (whole batch)."
+)
 _CACHE_ENTRIES = _REGISTRY.gauge(
     "repro_cache_entries", "Result-cache entries currently held.", ("engine",)
 )
@@ -412,6 +424,107 @@ class QueryEngine:
         # serializes it, the clients treat responses as read-only).
         self.cache.put(key, dict(response, cached=True))
         return dict(response, cached=False)
+
+    # batch read path ---------------------------------------------------
+
+    #: Refuse batches beyond this size (a single request must not pin a
+    #: worker thread for an unbounded amount of index work).
+    MAX_BATCH = 10_000
+
+    def execute_batch(self, requests: Sequence[Mapping]) -> list[dict]:
+        """Answer a whole batch of read requests in one call, in order.
+
+        The batch shares one cube snapshot, so every response carries
+        the same ``version`` even if a refresh lands mid-batch.  Point
+        requests that miss the result cache are resolved together
+        through :meth:`RangeCube.lookup_batch` — above the columnar
+        threshold that is one grouped postings/cuboid-map resolution
+        instead of per-cell probing — and empty cells come back with an
+        explicit ``"value": null``.  A malformed *item* yields an
+        ``{"error": ...}`` entry at its position instead of failing the
+        whole batch; only a malformed batch envelope raises
+        :class:`ServeError`.
+        """
+        if not isinstance(requests, (list, tuple)):
+            raise ServeError("batch body needs a 'requests' list")
+        if len(requests) > self.MAX_BATCH:
+            raise ServeError(
+                f"batch of {len(requests)} exceeds the {self.MAX_BATCH}-request cap"
+            )
+        if not OBS_STATE.enabled:
+            return self._execute_batch(requests)
+        start = time.perf_counter()
+        with _TRACER.span("serve.batch", requests=len(requests)) as span:
+            responses = self._execute_batch(requests)
+            cached = sum(1 for r in responses if r.get("cached"))
+            errors = sum(1 for r in responses if "error" in r)
+            span.set_attribute("cache_hits", cached)
+            span.set_attribute("errors", errors)
+        elapsed = time.perf_counter() - start
+        _BATCHES.inc()
+        _BATCH_ITEMS.inc(len(requests))
+        _BATCH_SIZE.observe(len(requests))
+        _BATCH_SECONDS.observe(elapsed)
+        if cached:
+            _CACHE_HITS.inc(cached)
+        if len(responses) > cached:
+            _CACHE_MISSES.inc(len(responses) - cached)
+        if self.slow_log.record(
+            elapsed, {"batch": len(requests)}, op="batch", cache_hit=False
+        ):
+            _SLOW_QUERIES.inc()
+        return responses
+
+    def _execute_batch(self, requests: Sequence[Mapping]) -> list[dict]:
+        """The uninstrumented batch path (see :meth:`execute_batch`)."""
+        snap = self._version
+        responses: list = [None] * len(requests)
+        # (position, cell, cache key) of point requests that missed the
+        # cache — resolved together at the end through the batched index.
+        point_misses: list[tuple[int, Cell, object]] = []
+        for i, request in enumerate(requests):
+            try:
+                if not isinstance(request, Mapping):
+                    raise ServeError("each batch item must be a JSON object")
+                op = request.get("op", "point")
+                if op not in self.OPS:
+                    raise ServeError(
+                        f"unknown op {op!r}; supported: {', '.join(self.OPS)}"
+                    )
+                key = self._cache_key(snap, op, request)
+                try:
+                    hit = self.cache.get(key)
+                except TypeError:  # unhashable entries in the raw cell
+                    self._normalize_cell(snap, request)  # raises the precise error
+                    raise
+                if hit is not None:
+                    responses[i] = hit
+                elif op == "point":
+                    cell = self._normalize_cell(snap, request)
+                    point_misses.append((i, cell, key))
+                else:
+                    response = self._answer(snap, op, request)
+                    self.cache.put(key, dict(response, cached=True))
+                    responses[i] = dict(response, cached=False)
+            except ServeError as exc:
+                responses[i] = {
+                    "op": request.get("op", "point") if isinstance(request, Mapping) else "invalid",
+                    "version": snap.version,
+                    "error": str(exc),
+                }
+        if point_misses:
+            states = snap.cube.lookup_batch([cell for _, cell, _ in point_misses])
+            finalize = snap.cube.aggregator.finalize
+            for (i, cell, key), state in zip(point_misses, states):
+                response = {
+                    "op": "point",
+                    "version": snap.version,
+                    "cell": list(cell),
+                    "value": None if state is None else finalize(state),
+                }
+                self.cache.put(key, dict(response, cached=True))
+                responses[i] = dict(response, cached=False)
+        return responses
 
     # convenience wrappers for in-process use -------------------------------
 

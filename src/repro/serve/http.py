@@ -10,6 +10,9 @@ Endpoints (bodies are JSON unless noted):
   newest N; ``?format=chrome`` returns Chrome trace-event JSON)
 * ``GET /slowlog``   — the engine's sampled slow-query entries
 * ``POST /query``    — one read request, e.g. ``{"op": "point", "cell": [0, null]}``
+* ``POST /query/batch`` — ``{"requests": [...]}``: many read requests
+  answered in order against one cube snapshot; per-item errors come
+  back as ``{"error": ...}`` entries, empty cells as explicit nulls
 * ``POST /append``   — ``{"rows": [[...], ...], "measures": [[...], ...]}``
 
 Unknown paths return a structured ``404 {"error": ...}`` body, matching
@@ -49,7 +52,16 @@ _HTTP_REQUESTS = get_registry().counter(
 #: Paths counted under their own label; everything else folds into
 #: "other" so bad clients cannot explode the label cardinality.
 _KNOWN_PATHS = frozenset(
-    {"/healthz", "/stats", "/metrics", "/trace", "/slowlog", "/query", "/append"}
+    {
+        "/healthz",
+        "/stats",
+        "/metrics",
+        "/trace",
+        "/slowlog",
+        "/query",
+        "/query/batch",
+        "/append",
+    }
 )
 
 
@@ -132,6 +144,15 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if self.path == "/query":
                 self._respond(200, self.engine.execute(self._read_json()))
+            elif self.path == "/query/batch":
+                payload = self._read_json()
+                requests = payload.get("requests")
+                if not isinstance(requests, list):
+                    raise ServeError("batch body needs a 'requests' list")
+                results = self.engine.execute_batch(requests)
+                self._respond(
+                    200, {"results": results, "count": len(results)}
+                )
             elif self.path == "/append":
                 payload = self._read_json()
                 rows = payload.get("rows")

@@ -1,0 +1,354 @@
+"""Tests for the columnar range store: postings, batched lookups, cuboids.
+
+The load-bearing guarantee is *strategy identity*: ``find_batch`` over
+the columnar store, the hash-probe index and a plain linear scan must
+return the same containing range for every query cell — the seeded
+property test below drives all three over random correlated tables,
+including all-``*`` and fully-bound cells.  The rest are unit tests for
+the memoized cuboid structures, the vectorized state merge, the dice
+kernel and the observability counters.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, seed, settings
+
+from repro.core.columnar import (
+    COLUMNAR_THRESHOLD,
+    MAX_COLUMNAR_DIMS,
+    STAR_CODE,
+    ColumnarRangeStore,
+    prefers_columnar,
+)
+from repro.core.range_cubing import range_cubing
+from repro.core.range_index import RangeCubeIndex
+from repro.cube.full_cube import compute_full_cube
+from repro.data.correlated import FunctionalDependency, correlated_table
+from repro.obs import get_registry
+
+from tests.conftest import (
+    cubes_equal,
+    make_encoded_table,
+    make_paper_table,
+    states_equal,
+    table_strategy,
+)
+
+
+def _scan(cube, cell):
+    for r in cube.ranges:
+        if r.contains(cell):
+            return r
+    return None
+
+
+def _query_cells(table, cube, rng):
+    """A query mix: real cells at every mask width, ghosts, apex, full rows."""
+    n_dims = table.schema.n_dims
+    rows = [tuple(int(v) for v in row) for row in table.dim_rows()]
+    cells = [tuple([None] * n_dims)]  # the apex (all-*) cell
+    cells.extend(rows[:10])  # fully-bound cells
+    for _ in range(60):
+        row = rng.choice(rows)
+        keep = rng.sample(range(n_dims), rng.randint(1, n_dims))
+        cells.append(tuple(v if d in keep else None for d, v in enumerate(row)))
+    for _ in range(15):  # ghost cells: values outside every domain
+        keep = rng.sample(range(n_dims), rng.randint(1, n_dims))
+        cells.append(tuple(999 if d in keep else None for d in range(n_dims)))
+    return cells
+
+
+@pytest.mark.parametrize("rng_seed", [0, 1, 7])
+def test_strategies_identical_on_correlated_tables(rng_seed):
+    """find_batch == hash probe == linear scan, cell for cell."""
+    table = correlated_table(
+        400,
+        5,
+        8,
+        [FunctionalDependency((0,), (1, 2))],
+        theta=1.2,
+        seed=rng_seed,
+    )
+    cube = range_cubing(table)
+    store = ColumnarRangeStore(cube)
+    hash_index = RangeCubeIndex(cube, strategy="hash")
+    cells = _query_cells(table, cube, random.Random(rng_seed))
+    batched = store.find_batch(cells)
+    for cell, via_batch in zip(cells, batched):
+        assert store.find(cell) is via_batch
+        assert hash_index.find(cell) is via_batch
+        assert _scan(cube, cell) is via_batch
+
+
+@seed(20260807)
+@settings(max_examples=25, deadline=None)
+@given(table_strategy(max_rows=18, max_dims=4))
+def test_property_batched_lookup_matches_oracle(table):
+    """Every oracle cell resolves identically through all three strategies."""
+    cube = range_cubing(table)
+    store = ColumnarRangeStore(cube)
+    hash_index = RangeCubeIndex(cube, strategy="hash")
+    oracle = compute_full_cube(table)
+    cells = [cell for cell, _ in oracle.cells()]
+    n_dims = table.schema.n_dims
+    cells.append(tuple([None] * n_dims))  # apex, in case the oracle order hides it
+    cells.append(tuple([99] * n_dims))  # a fully-bound ghost
+    batched = store.find_batch(cells)
+    for cell, via_batch in zip(cells, batched):
+        assert hash_index.find(cell) is via_batch
+        assert _scan(cube, cell) is via_batch
+    for cell, state in oracle.cells():
+        found = store.find(cell)
+        assert found is not None and states_equal(found.state, state)
+
+
+def test_apex_and_empty_cube_edges():
+    table = make_paper_table()
+    cube = range_cubing(table)
+    store = ColumnarRangeStore(cube)
+    apex = (None, None, None, None)
+    assert store.find(apex) is _scan(cube, apex)
+    assert store.find_batch([apex]) == [_scan(cube, apex)]
+    # A miss on a value no posting holds short-circuits to None.
+    assert store.find((99, None, None, None)) is None
+
+
+def test_cuboid_and_sizes_match_python_path():
+    table = correlated_table(
+        200, 4, 6, [FunctionalDependency((0,), (1,))], theta=1.0, seed=3
+    )
+    cube = range_cubing(table)
+    store = ColumnarRangeStore(cube)
+    sizes = store.cuboid_sizes()
+    by_loop: dict[int, int] = {}
+    for mask in range(1 << table.schema.n_dims):
+        cuboid = store.cuboid(mask)
+        # Disjointness: every cell appears once, states come straight
+        # from the owning range.
+        assert len(cuboid) == len(store.cuboid_map(mask))
+        by_loop[mask] = len(cuboid)
+        assert cubes_equal(cuboid, _cuboid_by_scan(cube, mask))
+    assert sizes == {m: n for m, n in by_loop.items() if n}
+
+
+def _cuboid_by_scan(cube, mask: int):
+    """The cuboid as the paper defines it: one projected cell per range
+    whose fixed dims fit inside the mask and whose bound dims cover it."""
+    out = {}
+    for r in cube.ranges:
+        bound = 0
+        for d, v in enumerate(r.specific):
+            if v is not None:
+                bound |= 1 << d
+        marked = r.mask & bound
+        fixed = bound & ~marked
+        if (fixed & ~mask) or (mask & ~bound):
+            continue
+        cell = tuple(
+            r.specific[d] if mask >> d & 1 else None for d in range(cube.n_dims)
+        )
+        out[cell] = r.state
+    return out
+
+
+def test_memoization_reused_across_entry_points():
+    table = correlated_table(150, 4, 5, [], theta=1.0, seed=5)
+    cube = range_cubing(table)
+    store = ColumnarRangeStore(cube)
+    assert store.memo_stats()["cuboid_map_masks"] == 0
+    first = store.cuboid(0b0011)
+    stats = store.memo_stats()
+    assert stats["cuboid_map_masks"] == 1 and stats["cuboid_id_masks"] == 1
+    # The same mask through cuboid_map and find_batch reuses the memo.
+    cmap = store.cuboid_map(0b0011)
+    assert store.memo_stats()["cuboid_map_masks"] == 1
+    assert len(first) == len(cmap)
+    row = tuple(int(v) for v in table.dim_rows()[0])
+    cell = (row[0], row[1], None, None)
+    store.find_batch([cell] * 8)
+    assert store.memo_stats()["cuboid_map_masks"] == 1
+    # cuboid_sizes is computed once and then served from the cache.
+    sizes = store.cuboid_sizes()
+    assert store.memo_stats()["sizes_cached"]
+    assert store.cuboid_sizes() == sizes
+
+
+def test_merge_states_fast_path_matches_exact_merge():
+    from functools import reduce
+
+    table = correlated_table(300, 4, 6, [], theta=1.3, seed=9, n_measures=2)
+    cube = range_cubing(table)
+    store = ColumnarRangeStore(cube)
+    assert store._fast_columns is not None
+    rng = np.random.default_rng(0)
+    for size in (1, 3, 17, len(store)):
+        ids = rng.choice(len(store), size=min(size, len(store)), replace=False)
+        fast = store.merge_states(ids)
+        exact = reduce(
+            cube.aggregator.merge, (store.states[int(i)] for i in ids)
+        )
+        assert states_equal(fast, exact)
+    assert store.merge_states(np.empty(0, dtype=np.int64)) is None
+
+
+def test_dice_ids_matches_predicate_scan():
+    table = correlated_table(
+        250, 4, 6, [FunctionalDependency((0,), (2,))], theta=1.0, seed=11
+    )
+    cube = range_cubing(table)
+    store = ColumnarRangeStore(cube)
+    rows = table.dim_rows()
+    base = {0: int(rows[0][0])}
+    value_sets = {1: {0, 1, 2}, 3: {0, 1}}
+    ids = store.dice_ids(value_sets, base)
+    mask = 0b1011
+    expected = [
+        rid
+        for rid, cell in (
+            (i, c) for c, i in store.cuboid_map(mask).items()
+        )
+        if cell[0] == base[0]
+        and cell[1] in value_sets[1]
+        and cell[3] in value_sets[3]
+    ]
+    assert sorted(int(i) for i in ids) == sorted(expected)
+    # An empty predicate set yields no ids.
+    assert store.dice_ids({1: set()}, None).size == 0
+
+
+def test_prefers_columnar_threshold_and_dim_cap():
+    small = range_cubing(make_paper_table())
+    assert not prefers_columnar(small)
+    assert small.n_ranges < COLUMNAR_THRESHOLD
+
+    class FakeCube:
+        ranges = [None] * COLUMNAR_THRESHOLD
+        n_dims = MAX_COLUMNAR_DIMS + 1
+
+    assert not prefers_columnar(FakeCube())
+    FakeCube.n_dims = MAX_COLUMNAR_DIMS
+    assert prefers_columnar(FakeCube())
+
+
+def test_store_rejects_too_many_dims():
+    cube = range_cubing(make_encoded_table([(0, 1)]))
+    cube.n_dims = MAX_COLUMNAR_DIMS + 1  # simulate a too-wide cube
+    with pytest.raises(ValueError):
+        ColumnarRangeStore(cube)
+
+
+def test_index_len_is_precomputed_and_constant_time():
+    """Satellite: __len__ returns the stored count, not a per-call sum."""
+    table = make_paper_table()
+    cube = range_cubing(table)
+    index = RangeCubeIndex(cube)
+    assert len(index) == cube.n_ranges == index._n_ranges
+    # Mutating the list afterwards does not change the frozen count —
+    # proof the value was captured at construction.
+    cube.ranges.append(cube.ranges[0])
+    try:
+        assert len(index) == index._n_ranges
+    finally:
+        cube.ranges.pop()
+
+
+def test_scan_fallbacks_feed_obs_counter(monkeypatch):
+    """Satellite: linear-scan fallbacks land in the process-wide counter."""
+    import repro.core.range_index as range_index_module
+
+    counter = get_registry().counter(
+        "repro_query_scan_fallbacks_total",
+        "Point lookups answered by a linear scan over all ranges.",
+    )
+    before = counter.value()
+    table = make_paper_table()
+    cube = range_cubing(table)
+    index = RangeCubeIndex(cube, strategy="hash")
+    monkeypatch.setattr(range_index_module, "MAX_PROBE_DIMS", 0)
+    index.find((0, 0, 0, 0))
+    index.find((2, 0, 1, 1))
+    assert index.scan_fallbacks == 2
+    assert counter.value() == before + 2
+
+
+def test_index_columnar_strategy_delegates_and_skips_hash_map():
+    table = correlated_table(100, 4, 5, [], theta=1.0, seed=2)
+    cube = range_cubing(table)
+    columnar = RangeCubeIndex(cube, strategy="columnar")
+    hashed = RangeCubeIndex(cube, strategy="hash")
+    assert columnar.strategy == "columnar" and columnar._store is not None
+    assert columnar._by_general == {} and hashed._by_general
+    cells = [tuple(int(v) for v in table.dim_rows()[0])]
+    cells.append((None,) * 4)
+    assert columnar.find_batch(cells) == hashed.find_batch(cells)
+    with pytest.raises(ValueError):
+        RangeCubeIndex(cube, strategy="bogus")
+    with pytest.raises(ValueError):
+        columnar.find_batch([(0, 0)])
+
+
+def test_cube_lookup_batch_and_lazy_columnar():
+    table = correlated_table(80, 4, 5, [], theta=1.0, seed=4)
+    cube = range_cubing(table)
+    assert cube._columnar is None
+    store = cube.to_columnar()
+    assert cube.to_columnar() is store  # cached
+    cells = [tuple(int(v) for v in r) for r in table.dim_rows()[:5]]
+    cells.append((99, None, None, None))
+    states = cube.lookup_batch(cells)
+    for cell, state in zip(cells, states):
+        expected = _scan(cube, cell)
+        if expected is None:
+            assert state is None
+        else:
+            assert states_equal(state, expected.state)
+
+
+def test_lazy_lookup_above_threshold_does_not_deadlock():
+    """Regression: cube.lookup() on a big cube builds the index under the
+    cube lock, and the columnar strategy re-enters it via to_columnar();
+    a non-reentrant lock deadlocked here."""
+    import threading
+
+    table = correlated_table(3000, 4, 30, [], theta=1.2, seed=1)
+    cube = range_cubing(table)
+    assert prefers_columnar(cube)
+    result = []
+    cell = tuple(int(v) for v in table.dim_rows()[0])
+    worker = threading.Thread(target=lambda: result.append(cube.lookup(cell)))
+    worker.daemon = True
+    worker.start()
+    worker.join(timeout=30)
+    assert not worker.is_alive(), "lazy index build deadlocked"
+    assert result and result[0] is not None
+    assert cube._columnar is not None
+    assert cube._index._store is cube._columnar
+
+
+def test_pickle_roundtrip_drops_columnar_cache():
+    import pickle
+
+    cube = range_cubing(make_paper_table())
+    cube.to_columnar()
+    clone = pickle.loads(pickle.dumps(cube))
+    assert clone._columnar is None
+    assert clone.lookup((0, None, None, None)) == cube.lookup((0, None, None, None))
+
+
+def test_star_code_and_postings_shape():
+    cube = range_cubing(make_paper_table())
+    store = ColumnarRangeStore(cube)
+    assert STAR_CODE == -1
+    for d in range(store.n_dims):
+        total = sum(len(ids) for ids in store.postings[d].values())
+        assert total == len(store)  # every range posted exactly once per dim
+        for ids in store.postings[d].values():
+            assert ids.dtype == np.int32
+            assert np.all(np.diff(ids) > 0)  # sorted, unique
+        assert len(store.star_ids(d)) == len(
+            store.postings[d].get(STAR_CODE, ())
+        )

@@ -1,0 +1,180 @@
+"""Round-trip tests for the batch read path: engine, HTTP and clients.
+
+The batch contract: responses come back *in request order*; point
+requests on empty cells return an explicit ``"value": null`` (a miss is
+an answer, not an error); a malformed item becomes an ``{"error": ...}``
+entry at its position without failing the batch; and the whole batch is
+answered against one cube snapshot, interacting with the versioned
+result cache exactly like the single-request path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import CubeServer, HTTPCubeClient, InProcessClient, QueryEngine
+from repro.serve.engine import ServeError
+
+from tests.conftest import make_paper_table
+
+#: (S3, *, *, *) exists; (S3, C1, *, *) is empty — S3 never sells in C1.
+EXISTING = [2, None, None, None]
+EMPTY = [2, 0, None, None]
+
+
+@pytest.fixture
+def engine() -> QueryEngine:
+    return QueryEngine.from_table(make_paper_table())
+
+
+@pytest.fixture
+def served(engine):
+    with CubeServer(engine, port=0) as server:
+        with HTTPCubeClient(server.url) as client:
+            yield engine, client
+
+
+def test_batch_order_misses_and_errors(engine):
+    requests = [
+        {"op": "point", "cell": EXISTING},
+        {"op": "point", "cell": EMPTY},  # empty cell -> explicit null
+        {"op": "point", "cell": [0, 0]},  # wrong arity -> per-item error
+        {"op": "rollup", "cell": [0, 0, None, None], "dim": "city"},
+        {"op": "nope"},  # unknown op -> per-item error
+        {"op": "point", "cell": EXISTING},  # duplicate: served from cache
+    ]
+    responses = engine.execute_batch(requests)
+    assert len(responses) == len(requests)
+    assert responses[0]["value"] == engine.execute(requests[0])["value"]
+    assert responses[1]["value"] is None and "error" not in responses[1]
+    assert "error" in responses[2] and responses[2]["version"] == engine.version
+    assert responses[3]["cell"] == [0, None, None, None]
+    assert "unknown op" in responses[4]["error"]
+    assert responses[5]["value"] == responses[0]["value"]
+    # Each response records the shared snapshot version.
+    assert {r["version"] for r in responses} == {engine.version}
+
+
+def test_batch_matches_single_request_path(engine):
+    requests = [
+        {"op": "point", "cell": [0, None, None, None]},
+        {"op": "point", "bindings": {"store": 0, "city": 0}},
+        {"op": "slice", "cell": [None, 0, 0, None]},
+        {"op": "drilldown", "cell": [0, 0, None, None], "dim": "product"},
+    ]
+    batched = engine.execute_batch(requests)
+    for request, via_batch in zip(requests, batched):
+        single = engine.execute(request)
+        single.pop("cached", None)
+        via_batch = dict(via_batch)
+        via_batch.pop("cached", None)
+        assert via_batch == single
+
+
+def test_batch_envelope_validation(engine):
+    with pytest.raises(ServeError):
+        engine.execute_batch({"op": "point"})  # not a list
+    too_many = [{"op": "point", "cell": EXISTING}] * (engine.MAX_BATCH + 1)
+    with pytest.raises(ServeError):
+        engine.execute_batch(too_many)
+    assert engine.execute_batch([]) == []
+
+
+def test_batch_cache_interaction_with_refresh(engine):
+    request = {"op": "point", "cell": EXISTING}
+    first = engine.execute_batch([request])[0]
+    assert first["cached"] is False
+    second = engine.execute_batch([request])[0]
+    assert second["cached"] is True and second["value"] == first["value"]
+    v0 = engine.version
+
+    # An append swaps in a new version: the old cache entry no longer
+    # applies, and the batch answers from the fresh snapshot.
+    engine.append([[2, 0, 0, 0]], [[50.0]])
+    assert engine.version == v0 + 1
+    after = engine.execute_batch([request, {"op": "point", "cell": EMPTY}])
+    assert after[0]["cached"] is False and after[0]["version"] == v0 + 1
+    assert after[0]["value"]["count"] == first["value"]["count"] + 1
+    # The formerly-empty cell now has the appended row.
+    assert after[1]["value"] is not None and after[1]["value"]["count"] == 1
+
+
+def test_http_batch_roundtrip(served):
+    engine, client = served
+    requests = [
+        {"op": "point", "cell": EXISTING},
+        {"op": "point", "cell": EMPTY},
+        {"op": "bogus"},
+        {"op": "rollup", "cell": [0, 0, None, None], "dim": "city"},
+    ]
+    results = client.query_batch(requests)
+    assert len(results) == len(requests)
+    direct = engine.execute_batch(requests)
+    for via_http, via_engine in zip(results, direct):
+        via_engine = dict(via_engine)
+        # Cache flags differ (the HTTP batch ran second), values must not.
+        via_http = {k: v for k, v in via_http.items() if k != "cached"}
+        via_engine.pop("cached", None)
+        assert via_http == via_engine
+    assert results[1]["value"] is None
+    assert "error" in results[2]
+
+
+def test_http_batch_envelope_errors(served):
+    _, client = served
+    with pytest.raises(ServeError):
+        client._request("POST", "/query/batch", {"requests": "nope"})
+    with pytest.raises(ServeError):
+        client._request("POST", "/query/batch", {})
+    response = client._request("POST", "/query/batch", {"requests": []})
+    assert response == {"results": [], "count": 0}
+
+
+def test_inprocess_client_and_default_loop_agree(engine):
+    requests = [
+        {"op": "point", "cell": EXISTING},
+        {"op": "point", "cell": [9, 9]},  # malformed -> error entry
+        {"op": "point", "cell": EMPTY},
+    ]
+    via_batch = InProcessClient(engine).query_batch(requests)
+
+    from repro.serve.client import ServingClient
+
+    # The protocol's default implementation loops query(); it must agree
+    # with the real batch path item for item.
+    looped = ServingClient.query_batch(InProcessClient(engine), requests)
+    assert [r.get("value") for r in via_batch] == [r.get("value") for r in looped]
+    assert "error" in via_batch[1] and "error" in looped[1]
+
+
+def test_workload_driver_batched_mode(engine):
+    from repro.serve import InProcessClient, WorkloadDriver
+
+    driver = WorkloadDriver(
+        lambda: InProcessClient(engine), pool_size=16, seed=5, batch_size=8
+    )
+    report = driver.run(clients=2, requests_per_client=40)
+    assert report.batch_size == 8
+    assert report.total_requests == 80
+    assert sum(report.op_counts.values()) + report.errors == 80
+    assert report.errors == 0
+    # Latency is recorded per batch round trip, not per request.
+    assert report.latency.count == 80 // 8
+    assert "batches of 8" in report.format()
+    with pytest.raises(ValueError):
+        WorkloadDriver(lambda: InProcessClient(engine), batch_size=0)
+
+
+def test_batch_metrics_and_span(engine):
+    from repro.obs import get_registry, get_tracer
+
+    registry = get_registry()
+    batches = registry.counter("repro_query_batches_total", "x")
+    items = registry.counter("repro_query_batch_items_total", "x")
+    b0, i0 = batches.value(), items.value()
+    engine.execute_batch([{"op": "point", "cell": EXISTING}] * 3)
+    assert batches.value() == b0 + 1
+    assert items.value() == i0 + 3
+    spans = get_tracer().buffer.export_json()
+    batch_spans = [s for s in spans if s["name"] == "serve.batch"]
+    assert batch_spans and batch_spans[-1]["attributes"]["requests"] == 3
