@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-thorough lint ci bench bench-smoke query-bench serve-demo examples figures report claims clean
+.PHONY: install test test-thorough lint ci bench bench-smoke query-bench shard-bench serve-demo examples figures report claims clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -33,6 +33,7 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_serving.py --quick
 	$(PYTHON) benchmarks/bench_bulk_build.py --quick
 	$(PYTHON) benchmarks/bench_point_queries.py --quick
+	$(PYTHON) benchmarks/bench_sharded.py --quick
 	$(PYTHON) benchmarks/smoke_metrics.py
 	REPRO_BENCH_PRESET=tiny $(PYTHON) -m pytest benchmarks/bench_point_queries.py --benchmark-only -q
 
@@ -41,6 +42,12 @@ bench-smoke:
 # BENCH_point_queries.json
 query-bench:
 	$(PYTHON) benchmarks/bench_point_queries.py
+
+# the sharded-service bench at full scale: verifies sharded == single
+# identity, enforces the 4-shard routed-batch speedup floor and
+# refreshes BENCH_sharded.json
+shard-bench:
+	$(PYTHON) benchmarks/bench_sharded.py
 
 # end-to-end serving demo: generate a skewed table, serve it over HTTP on an
 # ephemeral port, and drive 4 concurrent clients (plus 2 append batches) at it

@@ -21,7 +21,7 @@ from urllib.request import urlopen
 
 from repro.data.synthetic import zipf_table
 from repro.obs import get_registry, parse_prometheus_text
-from repro.serve import CubeServer, HTTPCubeClient, QueryEngine
+from repro.serve import CubeServer, HTTPCubeClient, QueryEngine, ShardRouter
 
 #: Families the serving dashboards assume; a rename must update both.
 REQUIRED_FAMILIES = (
@@ -38,6 +38,13 @@ REQUIRED_FAMILIES = (
     "repro_http_requests_total",
     "repro_query_batches_total",
     "repro_query_batch_items_total",
+    # the sharded tier (drive_sharded must have populated these)
+    "repro_shard_requests_total",
+    "repro_shard_scatter_seconds",
+    "repro_shard_fanout",
+    "repro_shard_lag_seconds",
+    "repro_shard_live",
+    "repro_shard_version",
 )
 
 
@@ -53,8 +60,23 @@ def drive(client: HTTPCubeClient, n_dims: int) -> None:
     client.append([[0] * n_dims], None)
 
 
+def drive_sharded(table) -> None:
+    """One scatter and one append through a 2-shard router.
+
+    Populates every ``repro_shard_*`` family in the process-wide
+    registry so the scrape below can assert them alongside the
+    single-engine families.
+    """
+    from repro.serve import QueryRequest
+
+    with ShardRouter.from_table(table, n_shards=2) as router:
+        router.execute(QueryRequest(op="point", cell=[None] * table.n_dims))
+        router.append([[0] * table.n_dims], None)
+
+
 def main() -> int:
     table = zipf_table(500, 4, 10, 1.2, seed=3)
+    drive_sharded(table)
     engine = QueryEngine.from_table(table)
     with CubeServer(engine, port=0) as server:
         client = HTTPCubeClient(server.url)

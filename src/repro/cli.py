@@ -199,9 +199,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _build_engine(args: argparse.Namespace):
-    from repro.serve import QueryEngine
+    """The serving engine for ``args``: single resident, or a shard router."""
+    from repro.serve import QueryEngine, ShardRouter
 
     table = read_table_csv(args.table, n_measures=args.measures)
+    shards = getattr(args, "shards", 0)
+    if shards and shards > 1:
+        return ShardRouter.from_table(
+            table,
+            n_shards=shards,
+            shard_dim=getattr(args, "shard_dim", 0),
+            min_support=args.min_support,
+            cache_capacity=args.cache,
+            timeout=getattr(args, "shard_timeout", 30.0),
+        )
     return QueryEngine.from_table(
         table, min_support=args.min_support, cache_capacity=args.cache
     )
@@ -213,9 +224,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     engine = _build_engine(args)
     server = CubeServer(engine, host=args.host, port=args.port, verbose=args.verbose)
     stats = engine.stats()
+    tier = (
+        f"{stats['n_shards']} shards (dim {stats['shard_dim']})"
+        if stats.get("sharded")
+        else "single engine"
+    )
     print(
         f"serving {stats['rows_absorbed']:,} rows as {stats['n_ranges']:,} ranges "
-        f"({stats['n_dims']} dims) on {server.url}"
+        f"({stats['n_dims']} dims, {tier}) on {server.url}"
     )
     print(
         "endpoints: GET /healthz /stats /metrics /trace /slowlog, "
@@ -227,6 +243,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("\nshutting down")
     finally:
         server.stop()
+        if hasattr(engine, "close"):
+            engine.close()
     return 0
 
 
@@ -242,6 +260,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     server = None
+    engine = None
     if args.target.startswith(("http://", "https://")):
         url = args.target
         factory = lambda: HTTPCubeClient(url)  # noqa: E731
@@ -267,6 +286,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
             append_batches=args.appends,
             append_rows=args.append_rows,
             batch_size=args.batch,
+            bind_dim=getattr(args, "bind_dim", None),
         )
         report = driver.run(clients=args.clients, requests_per_client=args.requests)
     except ValueError as exc:  # e.g. "clients and requests_per_client must be positive"
@@ -275,6 +295,8 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     finally:
         if server is not None:
             server.stop()
+        if engine is not None and hasattr(engine, "close"):
+            engine.close()
     print(f"transport: {transport}")
     print(report.format())
     return 1 if report.errors else 0
@@ -453,6 +475,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8642, help="0 picks an ephemeral port")
     p.add_argument("--cache", type=int, default=4096, help="result-cache entries (0 = off)")
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="serve the cube sharded over N worker processes (0/1 = single engine)",
+    )
+    p.add_argument(
+        "--shard-dim",
+        type=int,
+        default=0,
+        dest="shard_dim",
+        help="dimension whose value routes each row/query to its shard",
+    )
+    p.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=30.0,
+        dest="shard_timeout",
+        help="seconds before a silent shard turns into a structured timeout",
+    )
     p.add_argument("--verbose", action="store_true", help="log every request")
     p.set_defaults(func=_cmd_serve)
 
@@ -486,6 +528,33 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="requests per query_batch round trip (1 = request-at-a-time)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="serve a CSV target sharded over N worker processes",
+    )
+    p.add_argument(
+        "--shard-dim",
+        type=int,
+        default=0,
+        dest="shard_dim",
+        help="dimension whose value routes each row/query to its shard",
+    )
+    p.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=30.0,
+        dest="shard_timeout",
+        help="seconds before a silent shard turns into a structured timeout",
+    )
+    p.add_argument(
+        "--bind-dim",
+        type=int,
+        default=None,
+        dest="bind_dim",
+        help="pin this dimension in every pooled query (shard-key-bound traffic)",
     )
     p.set_defaults(func=_cmd_workload)
 

@@ -150,6 +150,32 @@ def partition_payloads(
     ]
 
 
+def shard_partition_payloads(
+    table: BaseTable, n_shards: int, shard_dim: int = 0
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Value-routed shard slices: row ``r`` goes to ``r[shard_dim] % n_shards``.
+
+    Unlike :func:`partition_payloads` (contiguous row ranges, good for a
+    build that merges everything back together), this split is *routable*:
+    a query that binds ``shard_dim`` to code ``v`` can only be answered by
+    shard ``v % n_shards``, so the shard router sends it to exactly one
+    worker instead of fanning out.  Every shard gets a payload (possibly
+    empty) so shard ids and residue classes stay aligned.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be at least 1")
+    if not 0 <= shard_dim < table.n_dims:
+        raise ValueError(f"shard_dim {shard_dim} out of range for {table.n_dims} dims")
+    routes = table.dim_codes[:, shard_dim] % n_shards
+    return [
+        (
+            np.ascontiguousarray(table.dim_codes[routes == shard]),
+            np.ascontiguousarray(table.measures[routes == shard]),
+        )
+        for shard in range(n_shards)
+    ]
+
+
 def build_trie_partition(
     payload: tuple[np.ndarray, np.ndarray, Aggregator],
 ) -> RangeTrie:

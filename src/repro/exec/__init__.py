@@ -1,8 +1,9 @@
-"""Execution backends for the parallel partitioned cubing engine.
+"""Execution backends for the parallel cubing engine and the serving tier.
 
-See :mod:`repro.exec.executors` for the executor abstraction and
-:func:`repro.core.partitioned.parallel_range_cubing` for the pipeline
-that drives it.
+See :mod:`repro.exec.executors` for the batch executor abstraction
+(:func:`repro.core.partitioned.parallel_range_cubing` drives it) and
+:mod:`repro.exec.workers` for persistent worker processes (the sharded
+cube service in :mod:`repro.serve.sharded` rides on them).
 """
 
 from repro.exec.executors import (
@@ -16,15 +17,27 @@ from repro.exec.executors import (
     get_executor,
     resolve_executor,
 )
+from repro.exec.workers import (
+    RemoteError,
+    WorkerProcess,
+    WorkerTimeout,
+    WorkerUnavailable,
+    spawn_workers,
+)
 
 __all__ = [
     "EXECUTORS",
     "Executor",
     "ProcessExecutor",
+    "RemoteError",
     "SerialExecutor",
     "ThreadExecutor",
+    "WorkerProcess",
+    "WorkerTimeout",
+    "WorkerUnavailable",
     "available_executors",
     "default_workers",
     "get_executor",
     "resolve_executor",
+    "spawn_workers",
 ]

@@ -1,0 +1,317 @@
+"""Persistent worker processes: the serving-tier sibling of the executors.
+
+:class:`~repro.exec.executors.Executor` runs a *batch* of tasks and
+returns — the right shape for a partitioned build, the wrong one for a
+serving shard that must stay resident and answer an open-ended request
+stream.  :class:`WorkerProcess` fills that gap: it spawns one child
+process that constructs a target object from a module-level factory and
+then serves method calls over a duplex pipe until told to stop.
+
+The call protocol is deliberately tiny — ``(seq, method, args)`` down,
+``("ok" | "err", seq, payload)`` up — with three properties the sharded
+cube service (:mod:`repro.serve.sharded`) depends on:
+
+* **FIFO per worker.**  A pipe delivers messages in order, so a control
+  message (e.g. a version-swap commit) sent before a query is processed
+  before it; the two-phase refresh protocol leans on this.
+* **Sequence-number correlation.**  Every request carries a
+  monotonically increasing ``seq`` and the reply echoes it.
+  :meth:`WorkerProcess.collect` is safe to call from concurrent
+  threads: whichever thread is reading the pipe stashes replies
+  addressed to *other* outstanding sequences and hands them over, and a
+  sequence abandoned by a timeout has its late reply dropped instead of
+  mis-paired.
+* **Structured failure.**  A remote exception travels as
+  ``(type name, message, info dict)`` — :class:`RemoteError` re-raises
+  it parent-side with the original error info attached when the remote
+  exception carried one (``exc.info.to_json()``), so a typed error
+  taxonomy survives the pickle boundary.
+
+Sends are serialized per worker by a lock; parallelism comes from
+*many* workers, each answering on its own core — scatter with
+:meth:`request` against every worker, then :meth:`collect` each reply.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from typing import Any, Callable, Sequence
+
+
+class WorkerUnavailable(RuntimeError):
+    """The worker process is gone (never started, crashed, or stopped)."""
+
+
+class WorkerTimeout(TimeoutError):
+    """The worker did not reply within the caller's deadline."""
+
+
+class RemoteError(RuntimeError):
+    """An exception raised inside the worker, re-raised parent-side.
+
+    ``info`` carries the remote exception's structured error payload
+    (``exc.info.to_json()``) when it had one, else ``None``.
+    """
+
+    def __init__(self, exc_type: str, message: str, info: dict | None = None) -> None:
+        super().__init__(f"{exc_type}: {message}")
+        self.exc_type = exc_type
+        self.remote_message = message
+        self.info = info
+
+
+_STOP = "__stop__"
+
+
+def _worker_main(conn, factory: Callable[[Any], Any], payload: Any) -> None:
+    """The child process: build the target, serve calls until stopped."""
+    try:
+        target = factory(payload)
+    except BaseException as exc:  # noqa: BLE001 - must report, not die silently
+        try:
+            conn.send(("boot_err", 0, (type(exc).__name__, str(exc), None)))
+        finally:
+            conn.close()
+        return
+    conn.send(("ready", 0, None))
+    while True:
+        try:
+            seq, method, args = conn.recv()
+        except (EOFError, OSError):
+            break
+        if method == _STOP:
+            conn.send(("ok", seq, None))
+            break
+        try:
+            result = getattr(target, method)(*args)
+        except Exception as exc:  # noqa: BLE001 - ship the failure, keep serving
+            info = getattr(exc, "info", None)
+            info_json = info.to_json() if hasattr(info, "to_json") else None
+            conn.send(("err", seq, (type(exc).__name__, str(exc), info_json)))
+        else:
+            conn.send(("ok", seq, result))
+    conn.close()
+
+
+class WorkerProcess:
+    """One resident child process serving method calls on a built object.
+
+    ``factory`` must be module-level (it crosses the pickle boundary
+    under the spawn start method); ``payload`` is its one argument —
+    keep it pickle-cheap (numpy arrays, plain tuples).
+
+    >>> worker = WorkerProcess(build_shard, payload, name="shard-0")
+    >>> worker.wait_ready(timeout=60)
+    >>> worker.call("stats")                       # doctest: +SKIP
+    >>> seq = worker.request("scatter", 3, items)  # fire...
+    >>> worker.collect(seq, timeout=5.0)           # ...and gather later
+    >>> worker.stop()
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[Any], Any],
+        payload: Any,
+        *,
+        name: str | None = None,
+        context: multiprocessing.context.BaseContext | None = None,
+    ) -> None:
+        ctx = context if context is not None else multiprocessing.get_context()
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.name = name or "worker"
+        self._conn = parent_conn
+        self._seq = 0
+        self._lock = threading.Lock()  # send serialization + seq issue
+        self._cond = threading.Condition()  # guards reader/outstanding/pending
+        self._reader = False  # a collector is currently reading the pipe
+        self._outstanding: set[int] = set()
+        self._pending: dict[int, tuple[str, Any]] = {}
+        self._ready = False
+        self._dead: str | None = None
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, factory, payload),
+            name=self.name,
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()  # the parent keeps only its end
+
+    # -- liveness -------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self._dead is None and self.process.is_alive()
+
+    def _mark_dead(self, reason: str) -> None:
+        if self._dead is None:
+            self._dead = reason
+            with self._cond:  # wake followers so they fail fast
+                self._cond.notify_all()
+
+    def wait_ready(self, timeout: float = 120.0) -> None:
+        """Block until the factory finished building the target object."""
+        if self._ready:
+            return
+        kind, _, payload = self._recv_raw(timeout)
+        if kind == "ready":
+            self._ready = True
+            return
+        if kind == "boot_err":
+            self._mark_dead("factory failed")
+            raise RemoteError(*payload)
+        self._mark_dead(f"unexpected handshake {kind!r}")
+        raise WorkerUnavailable(f"{self.name}: unexpected handshake {kind!r}")
+
+    # -- the call protocol ---------------------------------------------
+
+    def request(self, method: str, *args) -> int:
+        """Send one call without waiting; returns its sequence number."""
+        if self._dead is not None:
+            raise WorkerUnavailable(f"{self.name}: {self._dead}")
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            with self._cond:  # outstanding before send: a racing reader
+                self._outstanding.add(seq)  # must know this seq is claimed
+            try:
+                self._conn.send((seq, method, args))
+            except (OSError, ValueError) as exc:
+                with self._cond:
+                    self._outstanding.discard(seq)
+                self._mark_dead(f"pipe closed ({exc})")
+                raise WorkerUnavailable(f"{self.name}: pipe closed") from exc
+        return seq
+
+    def _recv_raw(self, timeout: float | None):
+        if timeout is not None and not self._conn.poll(timeout):
+            raise WorkerTimeout(f"{self.name}: no reply within {timeout:.3f}s")
+        try:
+            return self._conn.recv()
+        except (EOFError, OSError) as exc:
+            self._mark_dead(f"pipe closed ({exc})")
+            raise WorkerUnavailable(f"{self.name}: worker exited") from exc
+
+    @staticmethod
+    def _unwrap(reply: tuple[str, Any]):
+        kind, payload = reply
+        if kind == "ok":
+            return payload
+        raise RemoteError(*payload)
+
+    def collect(self, seq: int, timeout: float | None = None):
+        """Wait for the reply to ``seq``.
+
+        Safe under concurrent collectors sharing the pipe
+        (leader/follower): one thread at a time reads; a reply addressed
+        to another thread's outstanding sequence is stashed and the
+        waiters woken; a reply to an abandoned (timed-out) sequence is
+        dropped, never mis-paired.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._cond:
+                # follow: wait for our reply to be stashed, or for the
+                # pipe to free up so we can read it ourselves
+                while True:
+                    reply = self._pending.pop(seq, None)
+                    if reply is not None:
+                        self._outstanding.discard(seq)
+                        return self._unwrap(reply)
+                    if self._dead is not None:
+                        self._outstanding.discard(seq)
+                        raise WorkerUnavailable(f"{self.name}: {self._dead}")
+                    remaining = (
+                        None if deadline is None else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        self._outstanding.discard(seq)
+                        raise WorkerTimeout(
+                            f"{self.name}: no reply within {timeout:.3f}s"
+                        )
+                    if not self._reader:
+                        self._reader = True  # lead: our turn on the pipe
+                        break
+                    self._cond.wait(remaining)
+            try:
+                kind, got_seq, payload = self._recv_raw(remaining)
+            except (WorkerTimeout, WorkerUnavailable):
+                with self._cond:
+                    self._reader = False
+                    self._outstanding.discard(seq)
+                    self._pending.pop(seq, None)
+                    self._cond.notify_all()
+                raise
+            with self._cond:
+                self._reader = False
+                self._cond.notify_all()
+                if got_seq == seq:
+                    self._outstanding.discard(seq)
+                    return self._unwrap((kind, payload))
+                if got_seq in self._outstanding:
+                    self._pending[got_seq] = (kind, payload)
+                # else: late reply to an abandoned call — drop it
+
+    def call(self, method: str, *args, timeout: float | None = None):
+        """``request`` + ``collect`` in one step."""
+        return self.collect(self.request(method, *args), timeout=timeout)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Ask the worker to exit; escalate to terminate, then close (idempotent)."""
+        if self._dead is None and self.process.is_alive():
+            try:
+                self.call(_STOP, timeout=timeout)
+            except (WorkerUnavailable, WorkerTimeout, RemoteError):
+                pass
+        self._mark_dead("stopped")
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout=timeout)
+        self._conn.close()
+
+    def __enter__(self) -> "WorkerProcess":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else f"dead ({self._dead})"
+        return f"WorkerProcess({self.name!r}, pid={self.process.pid}, {state})"
+
+
+def spawn_workers(
+    factory: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    *,
+    name: str = "worker",
+    ready_timeout: float = 300.0,
+    context: multiprocessing.context.BaseContext | None = None,
+) -> list[WorkerProcess]:
+    """Spawn one :class:`WorkerProcess` per payload and wait for all.
+
+    The factories run concurrently (each in its own process); the ready
+    handshakes are then collected in order.  If any worker fails to boot
+    the others are stopped before the failure propagates, so a partial
+    fleet never leaks.
+    """
+    workers = [
+        WorkerProcess(factory, payload, name=f"{name}-{i}", context=context)
+        for i, payload in enumerate(payloads)
+    ]
+    try:
+        for worker in workers:
+            worker.wait_ready(timeout=ready_timeout)
+    except BaseException:
+        for worker in workers:
+            try:
+                worker.stop(timeout=2.0)
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+        raise
+    return workers

@@ -27,7 +27,16 @@ The pieces, bottom up:
   behind one client interface;
 * :class:`~repro.serve.workload.WorkloadDriver` — Zipf-skewed read-heavy
   workloads over N concurrent clients, reported with throughput,
-  p50/p95/p99 latency and the observed cache hit rate.
+  p50/p95/p99 latency and the observed cache hit rate;
+* :mod:`~repro.serve.protocol` — the versioned wire protocol every tier
+  speaks: typed :class:`~repro.serve.protocol.QueryRequest` /
+  :class:`~repro.serve.protocol.QueryResponse` /
+  :class:`~repro.serve.protocol.BatchResponse` shapes and the one
+  :class:`~repro.serve.protocol.ErrorInfo` error taxonomy;
+* :class:`~repro.serve.sharded.ShardRouter` — the sharded tier: one
+  engine per partition in its own worker process, scatter-gather with
+  aggregate-state merging and a versioned two-phase refresh (``repro
+  serve --shards N``; see ``docs/sharding.md``).
 
 Quick start::
 
@@ -46,20 +55,37 @@ from repro.serve.cache import CacheStats, LRUCache
 from repro.serve.client import HTTPCubeClient, InProcessClient, ServingClient
 from repro.serve.engine import CubeVersion, QueryEngine, ServeError
 from repro.serve.http import CubeServer
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    BatchResponse,
+    ErrorCode,
+    ErrorInfo,
+    QueryRequest,
+    QueryResponse,
+)
+from repro.serve.sharded import ShardEngine, ShardRouter
 from repro.serve.store import CubeStore, StoredCube
 from repro.serve.workload import WorkloadDriver, WorkloadMix, WorkloadReport
 
 __all__ = [
+    "BatchResponse",
     "CacheStats",
     "CubeServer",
     "CubeStore",
     "CubeVersion",
+    "ErrorCode",
+    "ErrorInfo",
     "HTTPCubeClient",
     "InProcessClient",
     "LRUCache",
+    "PROTOCOL_VERSION",
     "QueryEngine",
+    "QueryRequest",
+    "QueryResponse",
     "ServeError",
     "ServingClient",
+    "ShardEngine",
+    "ShardRouter",
     "StoredCube",
     "WorkloadDriver",
     "WorkloadMix",

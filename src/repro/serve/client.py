@@ -4,8 +4,12 @@ The workload driver takes a *client factory* so the same driver measures
 both transports: :class:`InProcessClient` calls the engine directly
 (isolates engine + cache cost), :class:`HTTPCubeClient` goes through the
 JSON front end with a persistent connection per client (adds transport
-cost, exercises the threaded server).  Both raise :class:`ServeError`
-for requests the engine rejects, so callers handle errors uniformly.
+cost, exercises the threaded server).  Requests are
+:class:`~repro.serve.protocol.QueryRequest` (plain dicts still work
+through the deprecation shim); both clients raise :class:`ServeError`
+carrying the structured :class:`~repro.serve.protocol.ErrorInfo` for
+requests the server rejects, so callers handle errors uniformly across
+transports.
 """
 
 from __future__ import annotations
@@ -17,29 +21,39 @@ from typing import Sequence
 from urllib.parse import urlsplit
 
 from repro.serve.engine import QueryEngine, ServeError
+from repro.serve.protocol import ErrorInfo, QueryRequest, error_response
+
+
+def _wire(request: "QueryRequest | dict") -> dict:
+    """One request in its wire shape (typed requests serialize, dicts pass)."""
+    return request.to_json() if isinstance(request, QueryRequest) else request
 
 
 class ServingClient:
     """The protocol every serving client implements."""
 
-    def query(self, request: dict) -> dict:
+    def query(self, request: "QueryRequest | dict") -> dict:
         """Execute one read request (``op``/``cell``/... as in the engine)."""
         raise NotImplementedError
 
-    def query_batch(self, requests: Sequence[dict]) -> list[dict]:
+    def query_batch(self, requests: Sequence["QueryRequest | dict"]) -> list[dict]:
         """Execute many read requests in one round trip, responses in order.
 
         Mirrors :meth:`QueryEngine.execute_batch`: per-item failures are
-        ``{"error": ...}`` entries, not exceptions.  The default loops
-        :meth:`query`; both concrete clients override it with the real
-        batch path.
+        structured ``{"error": {...}}`` entries, not exceptions.  The
+        default loops :meth:`query`; both concrete clients override it
+        with the real batch path.
         """
         out = []
         for request in requests:
             try:
                 out.append(self.query(request))
             except ServeError as exc:
-                out.append({"error": str(exc)})
+                req = request if isinstance(request, QueryRequest) else None
+                op = req.op if req is not None else (
+                    request.get("op", "point") if isinstance(request, dict) else "invalid"
+                )
+                out.append(error_response(-1, op, exc.info))
         return out
 
     def append(self, rows: Sequence[Sequence[int]], measures=None) -> dict:
@@ -62,19 +76,24 @@ class ServingClient:
 
     def point(self, cell: Sequence[int | None]) -> dict | None:
         """Finalized aggregates of one cell (None when empty)."""
-        return self.query({"op": "point", "cell": list(cell)})["value"]
+        return self.query(QueryRequest(op="point", cell=list(cell)))["value"]
 
 
 class InProcessClient(ServingClient):
-    """Direct calls into a resident :class:`QueryEngine` (no transport)."""
+    """Direct calls into a resident :class:`QueryEngine` (no transport).
+
+    Also fronts a :class:`~repro.serve.sharded.ShardRouter`, which
+    exposes the same ``execute``/``execute_batch``/``append``/``stats``
+    surface.
+    """
 
     def __init__(self, engine: QueryEngine) -> None:
         self.engine = engine
 
-    def query(self, request: dict) -> dict:
+    def query(self, request: "QueryRequest | dict") -> dict:
         return self.engine.execute(request)
 
-    def query_batch(self, requests: Sequence[dict]) -> list[dict]:
+    def query_batch(self, requests: Sequence["QueryRequest | dict"]) -> list[dict]:
         return self.engine.execute_batch(list(requests))
 
     def append(self, rows: Sequence[Sequence[int]], measures=None) -> dict:
@@ -133,14 +152,21 @@ class HTTPCubeClient(ServingClient):
                 f"non-JSON response ({response.status}) from {path}: {raw[:200]!r}"
             ) from None
         if response.status != 200:
-            raise ServeError(decoded.get("error", f"HTTP {response.status} from {path}"))
+            error = decoded.get("error")
+            if error is None:
+                raise ServeError(f"HTTP {response.status} from {path}")
+            # Both the structured ErrorInfo dict and the legacy bare
+            # string re-raise as the one typed taxonomy.
+            raise ServeError.from_info(ErrorInfo.from_json(error))
         return decoded
 
-    def query(self, request: dict) -> dict:
-        return self._request("POST", "/query", request)
+    def query(self, request: "QueryRequest | dict") -> dict:
+        return self._request("POST", "/query", _wire(request))
 
-    def query_batch(self, requests: Sequence[dict]) -> list[dict]:
-        response = self._request("POST", "/query/batch", {"requests": list(requests)})
+    def query_batch(self, requests: Sequence["QueryRequest | dict"]) -> list[dict]:
+        response = self._request(
+            "POST", "/query/batch", {"requests": [_wire(r) for r in requests]}
+        )
         return response["results"]
 
     def append(self, rows: Sequence[Sequence[int]], measures=None) -> dict:

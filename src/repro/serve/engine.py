@@ -18,12 +18,15 @@ One :class:`QueryEngine` owns three pieces of state:
   ``invalidate_all`` (which exists to free the memory, not for
   correctness).
 
-The JSON-facing surface is :meth:`QueryEngine.execute`, shared verbatim
-by the HTTP front end and the in-process client — a request is a plain
-dict (``{"op": "point", "cell": [0, None, 3]}``), a response is a plain
-dict, and every cell travels as a list with ``null`` for ``*``.
-Dimension codes are the integers of the encoded base table, exactly as
-in ``repro query --bind``.
+The request/response surface is :meth:`QueryEngine.execute`, shared
+verbatim by the HTTP front end, the in-process client and the shard
+router — requests are :class:`~repro.serve.protocol.QueryRequest`
+(plain dicts still work through a deprecation shim), responses are the
+wire dicts those types serialize to, and every cell travels as a list
+with ``null`` for ``*``.  Dimension codes are the integers of the
+encoded base table, exactly as in ``repro query --bind``.  Failures are
+:class:`~repro.serve.protocol.ServeError` carrying the one
+:class:`~repro.serve.protocol.ErrorInfo` taxonomy.
 """
 
 from __future__ import annotations
@@ -39,6 +42,14 @@ from repro.cube.cell import Cell
 from repro.cube.query import CubeQuery
 from repro.obs import OBS_STATE, SlowQueryLog, get_registry, get_tracer
 from repro.serve.cache import LRUCache
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ErrorCode,
+    QueryRequest,
+    ServeError,
+    coerce_request,
+    error_response,
+)
 from repro.table.aggregates import Aggregator, default_aggregator
 from repro.table.base_table import BaseTable
 from repro.table.schema import Schema
@@ -136,8 +147,36 @@ def _register_engine_collector(engine: "QueryEngine") -> None:
     _REGISTRY.register_collector(collect)
 
 
-class ServeError(ValueError):
-    """A malformed or unanswerable request (HTTP layer maps this to 400)."""
+def validate_rows(rows, measures, n_dims: int, n_measures: int):
+    """Validate one append batch against an arity; raises :class:`ServeError`.
+
+    Shared by the single engine and the shard router (which must reject
+    exactly what the engine rejects, *before* the batch is routed).
+    Returns ``(rows, measures)`` as clean int/float tuples.
+    """
+    if not rows:
+        raise ServeError("append needs at least one row")
+    if measures is None:
+        measures = [[0.0] * n_measures] * len(rows) if n_measures else [()] * len(rows)
+    if len(measures) != len(rows):
+        raise ServeError(f"{len(rows)} rows but {len(measures)} measure rows")
+    clean_rows = []
+    clean_measures = []
+    for row, meas in zip(rows, measures):
+        if len(row) != n_dims:
+            raise ServeError(
+                f"row {list(row)!r} has {len(row)} dims, cube has {n_dims}"
+            )
+        if any(not isinstance(v, int) or isinstance(v, bool) or v < 0 for v in row):
+            raise ServeError(f"row {list(row)!r} must contain non-negative codes")
+        if len(meas) != n_measures:
+            raise ServeError(
+                f"measure row {list(meas)!r} has {len(meas)} values, "
+                f"expected {n_measures}"
+            )
+        clean_rows.append(tuple(int(v) for v in row))
+        clean_measures.append(tuple(float(v) for v in meas))
+    return clean_rows, clean_measures
 
 
 class CubeVersion:
@@ -157,10 +196,10 @@ class CubeVersion:
 
 
 class QueryEngine:
-    """Point/roll-up/drill-down/slice queries over a refreshable cube."""
+    """Point/roll-up/drill-down/slice/dice queries over a refreshable cube."""
 
-    #: Ops accepted by :meth:`execute`.
-    OPS = ("point", "rollup", "drilldown", "slice")
+    #: Ops accepted by :meth:`execute` (the protocol's op set).
+    OPS = ("point", "rollup", "drilldown", "slice", "dice")
 
     def __init__(
         self,
@@ -271,11 +310,13 @@ class QueryEngine:
             raise ServeError(f"dimension index {dim} out of range")
         return dim
 
-    def _normalize_cell(self, snap: CubeVersion, request: Mapping) -> Cell:
+    def _normalize_cell(
+        self, snap: CubeVersion, request: QueryRequest, *, default_apex: bool = False
+    ) -> Cell:
         """The query cell from a request's ``cell`` list or ``bindings`` map."""
         n = snap.schema.n_dims
-        if request.get("cell") is not None:
-            raw = request["cell"]
+        if request.cell is not None:
+            raw = request.cell
             if not isinstance(raw, (list, tuple)) or len(raw) != n:
                 raise ServeError(f"cell must be a list of {n} entries")
             cell = []
@@ -287,8 +328,8 @@ class QueryEngine:
                 else:
                     raise ServeError(f"cell entries are codes or null, got {v!r}")
             return tuple(cell)
-        if request.get("bindings") is not None:
-            bindings = request["bindings"]
+        if request.bindings is not None:
+            bindings = request.bindings
             if not isinstance(bindings, Mapping):
                 raise ServeError("bindings must be a {dimension: code} mapping")
             cell: list = [None] * n
@@ -300,13 +341,43 @@ class QueryEngine:
                     raise ServeError(f"binding for {key!r} must be a code, got {value!r}")
                 cell[dim] = value
             return tuple(cell)
+        if default_apex:  # a dice may range over the whole cube
+            return tuple([None] * n)
         raise ServeError("request needs a 'cell' list or a 'bindings' mapping")
+
+    def _normalize_predicates(
+        self, snap: CubeVersion, request: QueryRequest, base_cell: Cell
+    ) -> dict[int, list[int]]:
+        """Validated ``{dim index: admitted codes}`` for a dice request."""
+        predicates = request.predicates
+        if not isinstance(predicates, Mapping) or not predicates:
+            raise ServeError("dice needs a non-empty 'predicates' mapping")
+        out: dict[int, list[int]] = {}
+        for key, values in predicates.items():
+            if isinstance(key, str) and key.isdigit():
+                key = int(key)  # JSON object keys arrive as strings
+            dim = self._resolve_dim(snap, key)
+            if dim in out:
+                raise ServeError(f"dimension {dim} appears twice in the predicates")
+            if base_cell[dim] is not None:
+                raise ServeError(f"dimension {dim} is already bound in the query cell")
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ServeError(
+                    f"predicate for dimension {dim} must be a non-empty code list"
+                )
+            clean = []
+            for v in values:
+                if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                    raise ServeError(f"predicate codes must be non-negative, got {v!r}")
+                clean.append(v)
+            out[dim] = clean
+        return out
 
     @staticmethod
     def _pair(cell: Cell, value) -> dict:
         return {"cell": list(cell), "value": value}
 
-    def _answer(self, snap: CubeVersion, op: str, request: Mapping) -> dict:
+    def _answer(self, snap: CubeVersion, op: str, request: QueryRequest) -> dict:
         query = snap.query
         if op == "point":
             cell = self._normalize_cell(snap, request)
@@ -315,14 +386,14 @@ class QueryEngine:
             return {"op": op, "version": snap.version, **self._pair(cell, value)}
         if op == "rollup":
             cell = self._normalize_cell(snap, request)
-            dim = self._resolve_dim(snap, request.get("dim"))
+            dim = self._resolve_dim(snap, request.dim)
             if cell[dim] is None:
                 raise ServeError(f"dimension {dim} is already * in the query cell")
             up, value = query.roll_up(cell, snap.schema.dimensions[dim].name)
             return {"op": op, "version": snap.version, "dim": dim, **self._pair(up, value)}
         if op == "drilldown":
             cell = self._normalize_cell(snap, request)
-            dim = self._resolve_dim(snap, request.get("dim"))
+            dim = self._resolve_dim(snap, request.dim)
             if cell[dim] is not None:
                 raise ServeError(f"dimension {dim} is already bound in the query cell")
             children = query.drill_down(cell, snap.schema.dimensions[dim].name)
@@ -340,9 +411,24 @@ class QueryEngine:
                 "version": snap.version,
                 "children": [self._pair(c, v) for c, v in children],
             }
+        if op == "dice":
+            cell = self._normalize_cell(snap, request, default_apex=True)
+            predicates = self._normalize_predicates(snap, request, cell)
+            named = {
+                snap.schema.dimensions[d].name: values
+                for d, values in predicates.items()
+            }
+            value = query.dice(named, cell)
+            return {
+                "op": op,
+                "version": snap.version,
+                "predicates": {str(d): v for d, v in sorted(predicates.items())},
+                "cell": list(cell),
+                "value": value,
+            }
         raise ServeError(f"unknown op {op!r}; supported: {', '.join(self.OPS)}")
 
-    def _cache_key(self, snap: CubeVersion, op: str, request: Mapping):
+    def _cache_key(self, snap: CubeVersion, op: str, request: QueryRequest):
         """The cache key for a request, built without full validation.
 
         The hot path must not pay the per-entry validation loop on every
@@ -353,18 +439,42 @@ class QueryEngine:
         spellings of a code (``1.0``, ``True``) can hit an entry cached
         for the int — they denote the same cell.
         """
-        raw = request.get("cell")
+        raw = request.cell
         if isinstance(raw, (list, tuple)):
             cell = tuple(raw)
+        elif op == "dice" and request.bindings is None:
+            cell = None  # a dice over the apex has no cell at all
         else:
             cell = self._normalize_cell(snap, request)
         if op in ("rollup", "drilldown"):
-            return (snap.version, op, cell, request.get("dim"))
+            return (snap.version, op, cell, request.dim)
+        if op == "dice":
+            predicates = request.predicates
+            if not isinstance(predicates, Mapping):
+                raise ServeError("dice needs a non-empty 'predicates' mapping")
+            canonical = tuple(
+                sorted((str(k), tuple(v) if isinstance(v, (list, tuple)) else v)
+                       for k, v in predicates.items())
+            )
+            return (snap.version, op, cell, canonical)
         return (snap.version, op, cell)
 
-    def execute(self, request: Mapping) -> dict:
-        """Answer one JSON-shaped request, through the result cache.
+    @staticmethod
+    def _request_op(request) -> str:
+        """The op label of a request-shaped object, for metrics series."""
+        # ``type(...) is QueryRequest`` dodges the slow isinstance checks
+        # for the overwhelmingly common typed case.
+        if type(request) is QueryRequest or isinstance(request, QueryRequest):
+            return request.op
+        if type(request) is dict or isinstance(request, Mapping):
+            return request.get("op", "point")
+        return "invalid"
 
+    def execute(self, request: "QueryRequest | Mapping") -> dict:
+        """Answer one request, through the result cache.
+
+        ``request`` is a :class:`~repro.serve.protocol.QueryRequest`
+        (plain dicts are still accepted through the deprecation shim).
         The response carries ``"cached": True`` when it was served from
         the LRU cache (same cube version, same canonical query).  Each
         request is timed into the ``repro_request_seconds`` histogram,
@@ -376,12 +486,7 @@ class QueryEngine:
         """
         if not OBS_STATE.enabled:
             return self._execute(request)
-        # ``type(...) is dict`` dodges typing.Mapping's slow instancecheck
-        # for the overwhelmingly common case (JSON-decoded requests).
-        if type(request) is dict or isinstance(request, Mapping):
-            op = request.get("op", "point")
-        else:
-            op = "invalid"
+        op = self._request_op(request)
         series = self._op_series.get(op) or self._op_series["invalid"]
         start = time.perf_counter()
         with _TRACER.span("serve.request", op=str(op)) as span:
@@ -398,27 +503,34 @@ class QueryEngine:
         series[0].inc()
         series[1].observe(elapsed)
         (_CACHE_HITS if cached else _CACHE_MISSES).inc()
-        if self.slow_log.record(elapsed, request, op=op, cache_hit=cached):
-            _SLOW_QUERIES.inc()
+        if elapsed >= self.slow_log.threshold:
+            # The retained entry must stay JSON-able for ``/slowlog``.
+            raw = request.to_json() if isinstance(request, QueryRequest) else request
+            if self.slow_log.record(elapsed, raw, op=op, cache_hit=cached):
+                _SLOW_QUERIES.inc()
         return response
 
-    def _execute(self, request: Mapping) -> dict:
+    def _execute(self, request: "QueryRequest | Mapping") -> dict:
         """The uninstrumented request path (see :meth:`execute`)."""
-        if not isinstance(request, Mapping):
-            raise ServeError("request must be a JSON object")
-        op = request.get("op", "point")
+        req = coerce_request(request)
+        op = req.op
         if op not in self.OPS:
             raise ServeError(f"unknown op {op!r}; supported: {', '.join(self.OPS)}")
         snap = self._version
-        key = self._cache_key(snap, op, request)
+        if req.version is not None and req.version != snap.version:
+            raise ServeError(
+                f"request targets version {req.version}, engine serves {snap.version}",
+                code=ErrorCode.VERSION_CONFLICT,
+            )
+        key = self._cache_key(snap, op, req)
         try:
             hit = self.cache.get(key)
         except TypeError:  # unhashable entries in the raw cell
-            self._normalize_cell(snap, request)  # raises the precise ServeError
+            self._answer(snap, op, req)  # raises the precise ServeError
             raise
         if hit is not None:
             return hit
-        response = self._answer(snap, op, request)
+        response = self._answer(snap, op, req)
         # The cached entry is pre-marked and returned by reference on
         # hits, so it must never be mutated by callers (the HTTP layer
         # serializes it, the clients treat responses as read-only).
@@ -431,7 +543,9 @@ class QueryEngine:
     #: worker thread for an unbounded amount of index work).
     MAX_BATCH = 10_000
 
-    def execute_batch(self, requests: Sequence[Mapping]) -> list[dict]:
+    def execute_batch(
+        self, requests: Sequence["QueryRequest | Mapping"]
+    ) -> list[dict]:
         """Answer a whole batch of read requests in one call, in order.
 
         The batch shares one cube snapshot, so every response carries
@@ -440,9 +554,11 @@ class QueryEngine:
         through :meth:`RangeCube.lookup_batch` — above the columnar
         threshold that is one grouped postings/cuboid-map resolution
         instead of per-cell probing — and empty cells come back with an
-        explicit ``"value": null``.  A malformed *item* yields an
-        ``{"error": ...}`` entry at its position instead of failing the
-        whole batch; only a malformed batch envelope raises
+        explicit ``"value": null``.  A malformed *item* yields a
+        structured error entry at its position (the same
+        :class:`~repro.serve.protocol.ErrorInfo` shape single
+        :meth:`execute` failures map to) instead of failing the whole
+        batch; only a malformed batch envelope raises
         :class:`ServeError`.
         """
         if not isinstance(requests, (list, tuple)):
@@ -475,7 +591,7 @@ class QueryEngine:
             _SLOW_QUERIES.inc()
         return responses
 
-    def _execute_batch(self, requests: Sequence[Mapping]) -> list[dict]:
+    def _execute_batch(self, requests: Sequence["QueryRequest | Mapping"]) -> list[dict]:
         """The uninstrumented batch path (see :meth:`execute_batch`)."""
         snap = self._version
         responses: list = [None] * len(requests)
@@ -484,34 +600,37 @@ class QueryEngine:
         point_misses: list[tuple[int, Cell, object]] = []
         for i, request in enumerate(requests):
             try:
-                if not isinstance(request, Mapping):
-                    raise ServeError("each batch item must be a JSON object")
-                op = request.get("op", "point")
+                req = coerce_request(request)
+                op = req.op
                 if op not in self.OPS:
                     raise ServeError(
                         f"unknown op {op!r}; supported: {', '.join(self.OPS)}"
                     )
-                key = self._cache_key(snap, op, request)
+                if req.version is not None and req.version != snap.version:
+                    raise ServeError(
+                        f"request targets version {req.version}, "
+                        f"engine serves {snap.version}",
+                        code=ErrorCode.VERSION_CONFLICT,
+                    )
+                key = self._cache_key(snap, op, req)
                 try:
                     hit = self.cache.get(key)
                 except TypeError:  # unhashable entries in the raw cell
-                    self._normalize_cell(snap, request)  # raises the precise error
+                    self._answer(snap, op, req)  # raises the precise error
                     raise
                 if hit is not None:
                     responses[i] = hit
                 elif op == "point":
-                    cell = self._normalize_cell(snap, request)
+                    cell = self._normalize_cell(snap, req)
                     point_misses.append((i, cell, key))
                 else:
-                    response = self._answer(snap, op, request)
+                    response = self._answer(snap, op, req)
                     self.cache.put(key, dict(response, cached=True))
                     responses[i] = dict(response, cached=False)
             except ServeError as exc:
-                responses[i] = {
-                    "op": request.get("op", "point") if isinstance(request, Mapping) else "invalid",
-                    "version": snap.version,
-                    "error": str(exc),
-                }
+                responses[i] = error_response(
+                    snap.version, self._request_op(request), exc.info
+                )
         if point_misses:
             states = snap.cube.lookup_batch([cell for _, cell, _ in point_misses])
             finalize = snap.cube.aggregator.finalize
@@ -530,7 +649,7 @@ class QueryEngine:
 
     def point(self, cell: Sequence[int | None]) -> dict | None:
         """Finalized aggregates of one cell, None when the cell is empty."""
-        return self.execute({"op": "point", "cell": list(cell)})["value"]
+        return self.execute(QueryRequest(op="point", cell=list(cell)))["value"]
 
     def stats(self) -> dict:
         """A JSON-able snapshot of the engine (the ``/stats`` endpoint)."""
@@ -538,6 +657,7 @@ class QueryEngine:
         cache = self.cache.stats()
         return {
             "version": snap.version,
+            "protocol": PROTOCOL_VERSION,
             "n_dims": snap.schema.n_dims,
             "n_measures": len(self._measure_names),
             "dimension_names": list(self._dimension_names),
@@ -567,28 +687,9 @@ class QueryEngine:
     # ------------------------------------------------------------------
 
     def _validate_rows(self, rows, measures):
-        n = self._cuber.trie.n_dims
-        n_meas = len(self._measure_names)
-        if not rows:
-            raise ServeError("append needs at least one row")
-        if measures is None:
-            measures = [[0.0] * n_meas] * len(rows) if n_meas else [()] * len(rows)
-        if len(measures) != len(rows):
-            raise ServeError(f"{len(rows)} rows but {len(measures)} measure rows")
-        clean_rows = []
-        clean_measures = []
-        for row, meas in zip(rows, measures):
-            if len(row) != n:
-                raise ServeError(f"row {list(row)!r} has {len(row)} dims, cube has {n}")
-            if any(not isinstance(v, int) or isinstance(v, bool) or v < 0 for v in row):
-                raise ServeError(f"row {list(row)!r} must contain non-negative codes")
-            if len(meas) != n_meas:
-                raise ServeError(
-                    f"measure row {list(meas)!r} has {len(meas)} values, expected {n_meas}"
-                )
-            clean_rows.append(tuple(int(v) for v in row))
-            clean_measures.append(tuple(float(v) for v in meas))
-        return clean_rows, clean_measures
+        return validate_rows(
+            rows, measures, self._cuber.trie.n_dims, len(self._measure_names)
+        )
 
     def append(self, rows: Sequence[Sequence[int]], measures=None) -> int:
         """Absorb a batch of encoded fact rows and refresh the served cube.

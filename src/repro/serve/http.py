@@ -12,20 +12,28 @@ Endpoints (bodies are JSON unless noted):
 * ``POST /query``    — one read request, e.g. ``{"op": "point", "cell": [0, null]}``
 * ``POST /query/batch`` — ``{"requests": [...]}``: many read requests
   answered in order against one cube snapshot; per-item errors come
-  back as ``{"error": ...}`` entries, empty cells as explicit nulls
+  back as structured ``{"error": {...}}`` entries, empty cells as
+  explicit nulls
 * ``POST /append``   — ``{"rows": [[...], ...], "measures": [[...], ...]}``
 
-Unknown paths return a structured ``404 {"error": ...}`` body, matching
-the POST error idiom.  See ``docs/observability.md`` for the metric
-catalog and how to open a trace in Perfetto.
+Requests and responses are the wire shapes defined in
+:mod:`repro.serve.protocol`; every failure — including the 404 for an
+unknown path — carries one structured
+:class:`~repro.serve.protocol.ErrorInfo` body
+(``{"error": {"code", "message", "retryable", ...}}``) and the status
+comes uniformly from :data:`~repro.serve.protocol.HTTP_STATUS`.  See
+``docs/observability.md`` for the metric catalog and how to open a
+trace in Perfetto, and ``docs/serving.md`` for the protocol schema.
 
 The server is a :class:`http.server.ThreadingHTTPServer`: each request
 runs on its own thread, which is exactly the concurrency the engine is
-built for (lock-free snapshot reads, one serialized writer).  Malformed
-requests come back as ``400 {"error": ...}``; unexpected failures as
-``500``.  :class:`CubeServer` wraps the lifecycle — ``start()`` serves
-on a background thread (tests, the workload driver's ``--serve`` mode),
-``serve_forever()`` blocks (the ``repro serve`` CLI).
+built for (lock-free snapshot reads, one serialized writer).
+:class:`CubeServer` wraps the lifecycle — ``start()`` serves on a
+background thread (tests, the workload driver's ``--serve`` mode),
+``serve_forever()`` blocks (the ``repro serve`` CLI).  ``engine`` may
+be a :class:`QueryEngine` or anything exposing its read/write surface —
+the sharded :class:`~repro.serve.sharded.ShardRouter` drops in
+unchanged.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from urllib.parse import parse_qs
 
 from repro.obs import PROMETHEUS_CONTENT_TYPE, get_registry, get_tracer
 from repro.serve.engine import QueryEngine, ServeError
+from repro.serve.protocol import BatchResponse, ErrorCode, ErrorInfo, QueryRequest
 
 #: Refuse request bodies beyond this size (a serving layer should not
 #: buffer arbitrarily large appends in one request).
@@ -100,10 +109,16 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _respond_error(self, info: ErrorInfo) -> None:
+        self._respond(info.http_status, {"error": info.to_json()})
+
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
         if length > MAX_BODY_BYTES:
-            raise ServeError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+            raise ServeError(
+                f"request body exceeds {MAX_BODY_BYTES} bytes",
+                code=ErrorCode.TOO_LARGE,
+            )
         raw = self.rfile.read(length) if length else b""
         if not raw:
             raise ServeError("request body must be a JSON object")
@@ -129,7 +144,12 @@ class _Handler(BaseHTTPRequestHandler):
             try:
                 limit = int(query["limit"][0]) if "limit" in query else None
             except ValueError:
-                self._respond(400, {"error": "limit must be an integer"})
+                self._respond_error(
+                    ErrorInfo(
+                        code=ErrorCode.BAD_REQUEST,
+                        message="limit must be an integer",
+                    )
+                )
                 return
             if query.get("format", [""])[0] == "chrome":
                 self._respond(200, _TRACER.buffer.export_chrome(limit))
@@ -138,21 +158,31 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/slowlog":
             self._respond(200, {"slow_queries": self.engine.slow_log.entries()})
         else:
-            self._respond(404, {"error": f"no such endpoint: GET {path}"})
+            self._respond_error(
+                ErrorInfo(
+                    code=ErrorCode.NOT_FOUND,
+                    message=f"no such endpoint: GET {path}",
+                )
+            )
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         try:
             if self.path == "/query":
-                self._respond(200, self.engine.execute(self._read_json()))
+                request = QueryRequest.from_json(self._read_json())
+                self._respond(200, self.engine.execute(request))
             elif self.path == "/query/batch":
                 payload = self._read_json()
                 requests = payload.get("requests")
                 if not isinstance(requests, list):
                     raise ServeError("batch body needs a 'requests' list")
-                results = self.engine.execute_batch(requests)
-                self._respond(
-                    200, {"results": results, "count": len(results)}
-                )
+                items: list = []
+                for r in requests:
+                    try:
+                        items.append(QueryRequest.from_json(r))
+                    except ServeError as exc:
+                        items.append(exc)  # becomes a per-item error entry
+                results = self.engine.execute_batch(items)
+                self._respond(200, BatchResponse(results).to_json())
             elif self.path == "/append":
                 payload = self._read_json()
                 rows = payload.get("rows")
@@ -161,11 +191,19 @@ class _Handler(BaseHTTPRequestHandler):
                 version = self.engine.append(rows, payload.get("measures"))
                 self._respond(200, {"version": version, "rows": len(rows)})
             else:
-                self._respond(404, {"error": f"no such endpoint: POST {self.path}"})
+                raise ServeError(
+                    f"no such endpoint: POST {self.path}",
+                    code=ErrorCode.NOT_FOUND,
+                )
         except ServeError as exc:
-            self._respond(400, {"error": str(exc)})
+            self._respond_error(exc.info)
         except Exception as exc:  # noqa: BLE001 - the server must not die
-            self._respond(500, {"error": f"{type(exc).__name__}: {exc}"})
+            self._respond_error(
+                ErrorInfo(
+                    code=ErrorCode.INTERNAL,
+                    message=f"{type(exc).__name__}: {exc}",
+                )
+            )
 
 
 class CubeServer:

@@ -1,0 +1,355 @@
+"""The serving layer's one wire protocol: typed requests, responses, errors.
+
+Before this module, the serving surface was a collection of ad-hoc
+JSON-shaped dicts grown independently in :mod:`repro.serve.engine`,
+:mod:`repro.serve.http` and :mod:`repro.serve.client` — three spellings
+of the same schema, plus two different error idioms (a ``ServeError``
+string on the query path, bare ``{"error": str}`` dicts for 404/500).
+Everything now speaks the types defined here:
+
+* :class:`QueryRequest` — one read request (``point`` / ``rollup`` /
+  ``drilldown`` / ``slice`` / ``dice``), with the cell-or-bindings
+  spellings and the optional sharding ``version`` tag;
+* :class:`QueryResponse` — one read response, shaped exactly like the
+  historical wire dicts (``to_json`` round-trips byte-for-byte);
+* :class:`BatchResponse` — the ``POST /query/batch`` envelope;
+* :class:`ErrorInfo` — the single error taxonomy: a stable ``code``, a
+  human ``message``, a ``retryable`` hint, and the ``shard`` id when a
+  scatter-gather failure is attributable to one shard.  The HTTP layer
+  maps codes to status uniformly through :data:`HTTP_STATUS`.
+
+``PROTOCOL_VERSION`` stamps the batch envelope and ``/healthz``; a
+request carrying an unsupported ``protocol`` field is rejected up front
+so old servers fail loudly instead of misreading new fields.
+
+Dict-shaped callers keep working: every entry point accepts a plain
+mapping and coerces it through :func:`coerce_request`, emitting one
+:class:`DeprecationWarning` per process (the JSON *wire* format is
+decoded through :meth:`QueryRequest.from_json`, which is the sanctioned
+path and never warns).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+#: Version of the serving wire protocol.  Bump on incompatible changes;
+#: requests may pin a version via their ``protocol`` field.
+PROTOCOL_VERSION = 1
+
+#: The read operations the engine understands.
+OPS = ("point", "rollup", "drilldown", "slice", "dice")
+
+
+class ErrorCode:
+    """The closed set of error codes every serve-layer failure maps to."""
+
+    #: Malformed or unanswerable request (bad op, wrong arity, ...).
+    BAD_REQUEST = "bad_request"
+    #: Unknown endpoint / named resource.
+    NOT_FOUND = "not_found"
+    #: Request body beyond the configured size cap.
+    TOO_LARGE = "too_large"
+    #: Request pinned a protocol version this server does not speak.
+    UNSUPPORTED_PROTOCOL = "unsupported_protocol"
+    #: A shard answered from a different cube version than the scatter
+    #: targeted — the router refuses to merge torn versions.
+    VERSION_CONFLICT = "version_conflict"
+    #: A shard process is gone (died, or was shut down).
+    SHARD_UNAVAILABLE = "shard_unavailable"
+    #: A shard did not answer within the router's timeout.
+    SHARD_TIMEOUT = "shard_timeout"
+    #: Unexpected server-side failure.
+    INTERNAL = "internal"
+
+
+#: HTTP status per error code — the single place the mapping lives.
+HTTP_STATUS = {
+    ErrorCode.BAD_REQUEST: 400,
+    ErrorCode.NOT_FOUND: 404,
+    ErrorCode.TOO_LARGE: 413,
+    ErrorCode.UNSUPPORTED_PROTOCOL: 400,
+    ErrorCode.VERSION_CONFLICT: 409,
+    ErrorCode.SHARD_UNAVAILABLE: 503,
+    ErrorCode.SHARD_TIMEOUT: 504,
+    ErrorCode.INTERNAL: 500,
+}
+
+#: Codes that are retryable by default (transient by nature).
+RETRYABLE_CODES = frozenset(
+    {ErrorCode.VERSION_CONFLICT, ErrorCode.SHARD_UNAVAILABLE, ErrorCode.SHARD_TIMEOUT}
+)
+
+
+@dataclass(frozen=True)
+class ErrorInfo:
+    """One serve-layer failure: code, message, retryability, shard."""
+
+    code: str
+    message: str
+    retryable: bool = False
+    shard: int | None = None
+
+    @property
+    def http_status(self) -> int:
+        return HTTP_STATUS.get(self.code, 500)
+
+    def to_json(self) -> dict:
+        out: dict = {"code": self.code, "message": self.message,
+                     "retryable": self.retryable}
+        if self.shard is not None:
+            out["shard"] = self.shard
+        return out
+
+    @classmethod
+    def from_json(cls, obj: Any) -> "ErrorInfo":
+        """Parse a wire error — the structured dict, or a legacy string."""
+        if isinstance(obj, str):  # pre-protocol servers sent bare strings
+            return cls(code=ErrorCode.BAD_REQUEST, message=obj)
+        if not isinstance(obj, Mapping):
+            raise ValueError(f"error payload must be an object, got {obj!r}")
+        code = obj.get("code", ErrorCode.INTERNAL)
+        return cls(
+            code=code,
+            message=str(obj.get("message", "")),
+            retryable=bool(obj.get("retryable", code in RETRYABLE_CODES)),
+            shard=obj.get("shard"),
+        )
+
+
+class ServeError(ValueError):
+    """A request the serving layer refuses or cannot complete.
+
+    Carries an :class:`ErrorInfo`; ``str(exc)`` stays the bare message so
+    existing ``pytest.raises(ServeError, match=...)`` call sites and
+    string formatting keep working.  The HTTP layer maps ``info.code`` to
+    a status through :data:`HTTP_STATUS`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str = ErrorCode.BAD_REQUEST,
+        retryable: bool | None = None,
+        shard: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        if retryable is None:
+            retryable = code in RETRYABLE_CODES
+        self.info = ErrorInfo(code=code, message=message, retryable=retryable,
+                              shard=shard)
+
+    @classmethod
+    def from_info(cls, info: ErrorInfo) -> "ServeError":
+        return cls(info.message, code=info.code, retryable=info.retryable,
+                   shard=info.shard)
+
+
+# ---------------------------------------------------------------------------
+# requests
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class QueryRequest:
+    """One read request, in the shape every transport ships it.
+
+    ``cell`` is a list with ``None`` for ``*``; ``bindings`` is the
+    alternative ``{dimension: code}`` spelling; ``dim`` names the axis of
+    a rollup/drilldown (index or dimension name); ``predicates`` maps a
+    dimension to its admitted codes for a ``dice``.  ``version`` is the
+    cube version a sharded scatter targets (readers never set it) and
+    ``protocol`` optionally pins the wire protocol version.
+
+    Field validation beyond basic shape stays in the engine, which knows
+    the served schema; ``from_json`` only rejects payloads that are not
+    request-shaped at all.
+    """
+
+    op: str = "point"
+    cell: Sequence[int | None] | None = None
+    bindings: Mapping | None = None
+    dim: int | str | None = None
+    predicates: Mapping | None = None
+    version: int | None = None
+    protocol: int | None = None
+
+    #: Wire keys, in emission order.
+    _FIELDS = ("op", "cell", "bindings", "dim", "predicates", "version", "protocol")
+
+    def to_json(self) -> dict:
+        out: dict = {"op": self.op}
+        for name in self._FIELDS[1:]:
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = list(value) if name == "cell" else value
+        return out
+
+    @classmethod
+    def from_json(cls, obj: Mapping) -> "QueryRequest":
+        """Decode one wire request (the sanctioned dict path — no warning)."""
+        if not isinstance(obj, Mapping):
+            raise ServeError("request must be a JSON object")
+        protocol = obj.get("protocol")
+        if protocol is not None and protocol != PROTOCOL_VERSION:
+            raise ServeError(
+                f"protocol version {protocol!r} not supported "
+                f"(this server speaks {PROTOCOL_VERSION})",
+                code=ErrorCode.UNSUPPORTED_PROTOCOL,
+            )
+        return cls(
+            op=obj.get("op", "point"),
+            cell=obj.get("cell"),
+            bindings=obj.get("bindings"),
+            dim=obj.get("dim"),
+            predicates=obj.get("predicates"),
+            version=obj.get("version"),
+            protocol=protocol,
+        )
+
+
+_warned_dict_requests = False
+
+
+def coerce_request(request: "QueryRequest | Mapping") -> QueryRequest:
+    """Accept the typed request or the legacy dict shape.
+
+    Passing plain dicts to the Python APIs (``QueryEngine.execute``,
+    ``ServingClient.query``, ...) still works but is deprecated in favour
+    of :class:`QueryRequest`; one warning is emitted per process.  The
+    HTTP handler decodes JSON through :meth:`QueryRequest.from_json`
+    directly, which is not deprecated — dicts are the wire format, just
+    no longer the Python API.
+    """
+    if isinstance(request, QueryRequest):
+        return request
+    if isinstance(request, ServeError):
+        # A transport that pre-decodes wire items (the HTTP batch path)
+        # carries per-item decode failures through as the exception
+        # itself, so they become per-item error entries downstream.
+        raise request
+    global _warned_dict_requests
+    if not _warned_dict_requests:
+        _warned_dict_requests = True
+        warnings.warn(
+            "passing dict-shaped requests to the serving APIs is deprecated; "
+            "construct repro.serve.protocol.QueryRequest instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return QueryRequest.from_json(request)
+
+
+# ---------------------------------------------------------------------------
+# responses
+# ---------------------------------------------------------------------------
+
+#: Sentinel distinguishing "no value field" from an explicit null value.
+_UNSET = object()
+
+
+@dataclass
+class QueryResponse:
+    """One read response, shaped exactly like the historical wire dicts.
+
+    The emitted keys depend on the operation (``to_json`` reproduces the
+    pre-protocol shapes byte-for-byte): point/rollup/dice carry an
+    explicit ``value`` (``None`` means *empty cell*, which is an answer,
+    not an error); drilldown/slice carry ``children``; failed items
+    carry ``error``.  ``cached`` is present on single responses and
+    per-item batch responses, absent inside error entries.
+    """
+
+    op: str
+    version: int
+    cell: list | None = None
+    value: Any = _UNSET
+    dim: int | None = None
+    children: list | None = None
+    predicates: dict | None = None
+    cached: bool | None = None
+    error: ErrorInfo | None = None
+
+    def to_json(self) -> dict:
+        out: dict = {"op": self.op, "version": self.version}
+        if self.error is not None:
+            out["error"] = self.error.to_json()
+            return out
+        if self.dim is not None:
+            out["dim"] = self.dim
+        if self.predicates is not None:
+            out["predicates"] = self.predicates
+        if self.cell is not None:
+            out["cell"] = list(self.cell)
+        if self.value is not _UNSET:
+            out["value"] = self.value
+        if self.children is not None:
+            out["children"] = self.children
+        if self.cached is not None:
+            out["cached"] = self.cached
+        return out
+
+    @classmethod
+    def from_json(cls, obj: Mapping) -> "QueryResponse":
+        error = obj.get("error")
+        return cls(
+            op=obj.get("op", "point"),
+            version=obj.get("version", -1),
+            cell=obj.get("cell"),
+            value=obj["value"] if "value" in obj else _UNSET,
+            dim=obj.get("dim"),
+            children=obj.get("children"),
+            predicates=obj.get("predicates"),
+            cached=obj.get("cached"),
+            error=None if error is None else ErrorInfo.from_json(error),
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class BatchResponse:
+    """The ``POST /query/batch`` envelope: ordered results + protocol stamp."""
+
+    results: list[dict] = field(default_factory=list)
+    protocol: int = PROTOCOL_VERSION
+
+    def to_json(self) -> dict:
+        return {
+            "results": self.results,
+            "count": len(self.results),
+            "protocol": self.protocol,
+        }
+
+    @classmethod
+    def from_json(cls, obj: Mapping) -> "BatchResponse":
+        results = obj.get("results")
+        if not isinstance(results, list):
+            raise ServeError("batch response needs a 'results' list")
+        return cls(results=results, protocol=obj.get("protocol", PROTOCOL_VERSION))
+
+
+def error_response(version: int, op: str, info: ErrorInfo) -> dict:
+    """The wire shape of one failed batch item / scattered sub-request."""
+    return QueryResponse(op=op, version=version, error=info).to_json()
+
+
+__all__ = [
+    "BatchResponse",
+    "ErrorCode",
+    "ErrorInfo",
+    "HTTP_STATUS",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "QueryRequest",
+    "QueryResponse",
+    "RETRYABLE_CODES",
+    "ServeError",
+    "coerce_request",
+    "error_response",
+]

@@ -1,0 +1,1047 @@
+"""Sharded multi-process cube service: scatter-gather over shard workers.
+
+One process and one GIL bound the single :class:`~repro.serve.engine.QueryEngine`;
+this module is the step past it.  The fact table is split **by value**
+along one *shard dimension* (:func:`repro.core.partitioned.shard_partition_payloads`:
+row ``r`` lives on shard ``r[shard_dim] % n_shards``), each shard builds
+its own resident engine inside a persistent worker process
+(:class:`repro.exec.WorkerProcess`), and a :class:`ShardRouter` front end
+re-exposes the engine's exact read/write surface — ``execute``,
+``execute_batch``, ``append``, ``stats`` — so the HTTP server, the
+clients and the workload driver drop on top of it unchanged.
+
+Three ideas carry the design:
+
+* **Value routing.**  A query that binds the shard dimension can only be
+  answered by one residue class, so the router sends it to exactly one
+  worker — on top of the smaller per-shard cubes (shorter postings,
+  smaller cuboid maps) this is where the sharded tier *reduces* work
+  rather than merely spreading it.  Queries that leave the shard
+  dimension free scatter to every shard.
+* **State merging.**  Shards return partial *aggregate states* (the
+  count-first tuples of :mod:`repro.table.aggregates`), never finalized
+  values; the router folds them with the aggregator's merge algebra
+  (:meth:`~repro.table.aggregates.Aggregator.merge_many`) and finalizes
+  once.  Distributivity makes the merged answer exactly the single-cube
+  answer — the cross-shard identity suite asserts bit-for-bit equality.
+* **Versioned two-phase refresh.**  Every scatter is tagged with the
+  router's cube version and every shard refuses a tag that is not its
+  own (a structured ``version_conflict``).  An append runs prepare →
+  commit across all shards while holding the same lock that serializes
+  scatter *sends*; pipes deliver in FIFO order per worker, so a read's
+  sub-requests land either entirely before or entirely after the swap —
+  no batch ever observes torn versions.
+
+Per-shard failures surface as structured partial results: a dead or
+timed-out shard turns only the requests that needed it into
+``shard_unavailable`` / ``shard_timeout`` error entries (with the shard
+id) while the rest of the batch answers normally.
+
+Observability: ``serve.scatter`` spans wrap each fan-out with per-shard
+``serve.gather`` child spans, and the ``repro_shard_*`` metric families
+(requests, errors, scatter seconds, fan-out, reply lag, live shards,
+per-shard version) feed ``/metrics``.  See ``docs/sharding.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Mapping, Sequence
+
+from repro.core.partitioned import shard_partition_payloads
+from repro.cube.cell import Cell
+from repro.exec.workers import (
+    RemoteError,
+    WorkerProcess,
+    WorkerTimeout,
+    WorkerUnavailable,
+    spawn_workers,
+)
+from repro.obs import OBS_STATE, SlowQueryLog, get_registry, get_tracer
+from repro.serve.cache import LRUCache
+from repro.serve.engine import QueryEngine, validate_rows
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ErrorCode,
+    ErrorInfo,
+    QueryRequest,
+    ServeError,
+    coerce_request,
+    error_response,
+)
+from repro.table.aggregates import Aggregator, default_aggregator
+from repro.table.base_table import BaseTable
+from repro.table.schema import Dimension, Schema
+
+_TRACER = get_tracer()
+_REGISTRY = get_registry()
+_SHARD_REQUESTS = _REGISTRY.counter(
+    "repro_shard_requests_total",
+    "Scattered sub-requests sent, by shard.",
+    ("shard",),
+)
+_SHARD_ERRORS = _REGISTRY.counter(
+    "repro_shard_errors_total",
+    "Per-shard scatter failures, by shard and error code.",
+    ("shard", "code"),
+)
+_SCATTER_SECONDS = _REGISTRY.histogram(
+    "repro_shard_scatter_seconds",
+    "Scatter + gather wall-clock seconds per fanned-out request.",
+)
+_SHARD_FANOUT = _REGISTRY.histogram(
+    "repro_shard_fanout",
+    "Shards touched per routed request (1 = routed to a single shard).",
+    min_value=1.0,
+)
+_SHARD_LAG = _REGISTRY.gauge(
+    "repro_shard_lag_seconds",
+    "Last gather: shard reply time minus the fastest shard's reply time.",
+    ("shard",),
+)
+_SHARDS_LIVE = _REGISTRY.gauge(
+    "repro_shard_live", "Shard workers currently believed alive.", ("router",)
+)
+_SHARD_VERSION = _REGISTRY.gauge(
+    "repro_shard_version", "Cube version last confirmed per shard.", ("shard",)
+)
+
+
+# ---------------------------------------------------------------------------
+# the shard worker
+# ---------------------------------------------------------------------------
+
+
+class ShardEngine:
+    """One shard's resident engine, driven over a worker pipe.
+
+    Lives inside the worker process.  Wraps a :class:`QueryEngine` built
+    from the shard's slice of the fact table, answers ``scatter`` calls
+    at the *state* level (the router does the merging and finalizing),
+    and takes part in the router's two-phase refresh: ``prepare`` stages
+    a validated row batch against a target version, ``commit`` absorbs
+    it and adopts the version, ``abort`` drops it.
+
+    The coordinated version lives here (``self.version``), not in the
+    inner engine — a shard whose slice of an append is empty must still
+    advance in lockstep with its peers.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        table: BaseTable,
+        *,
+        aggregator: Aggregator | None = None,
+        min_support: int = 1,
+    ) -> None:
+        self.shard_id = shard_id
+        self.engine = QueryEngine.from_table(
+            table, aggregator=aggregator, min_support=min_support, cache_capacity=8
+        )
+        self.version = 0
+        self._staged: tuple[int, list, list] | None = None
+        self._latency = 0.0
+        self._fail_next = 0
+
+    # -- read path ------------------------------------------------------
+
+    def scatter(self, target_version: int, items: Sequence[tuple]) -> list:
+        """Answer one batch of routed sub-requests with partial states.
+
+        Items are pre-validated by the router: ``("point", cell)`` →
+        state-or-None; ``("children", cell, dim)`` → ``[(value, state)]``
+        for the non-empty specializations along ``dim``; ``("dice",
+        cell, {dim: codes})`` → the merged state of the sub-cube.
+        """
+        if self._latency:
+            time.sleep(self._latency)
+        if self._fail_next > 0:
+            self._fail_next -= 1
+            raise RuntimeError(f"shard {self.shard_id}: injected fault")
+        if target_version != self.version:
+            raise ServeError(
+                f"shard {self.shard_id} serves version {self.version}, "
+                f"scatter targets {target_version}",
+                code=ErrorCode.VERSION_CONFLICT,
+                shard=self.shard_id,
+            )
+        snap = self.engine.snapshot()
+        cube = snap.cube
+        out: list = [None] * len(items)
+        # Point items resolve together through lookup_batch — above the
+        # columnar threshold that is one grouped postings/cuboid-map
+        # resolution over the shard's quarter-size store, the same
+        # batched path (and batched advantage) the single engine gets.
+        point_slots = [i for i, item in enumerate(items) if item[0] == "point"]
+        if point_slots:
+            states = cube.lookup_batch([tuple(items[i][1]) for i in point_slots])
+            for slot, state in zip(point_slots, states):
+                out[slot] = state
+        for i, item in enumerate(items):
+            kind = item[0]
+            if kind == "point":
+                continue
+            if kind == "children":
+                out[i] = self._children(snap, tuple(item[1]), item[2])
+            elif kind == "dice":
+                out[i] = self._dice_state(snap, tuple(item[1]), item[2])
+            else:  # pragma: no cover - router never sends unknown kinds
+                raise ServeError(f"unknown scatter item kind {kind!r}")
+        return out
+
+    def _children(self, snap, cell: Cell, dim: int) -> list[tuple[int, tuple]]:
+        """(value, state) for this shard's non-empty children along ``dim``.
+
+        Candidates span the shard's local cardinality — every code with
+        rows here is below it, and codes only present on other shards
+        would answer None anyway, so the cross-shard union is exactly
+        the single-cube drill-down.
+        """
+        card = snap.schema.dimensions[dim].cardinality or 0
+        cells = []
+        for value in range(card):
+            child = list(cell)
+            child[dim] = value
+            cells.append(tuple(child))
+        states = snap.cube.lookup_batch(cells)
+        return [
+            (value, state) for value, state in enumerate(states) if state is not None
+        ]
+
+    def _dice_state(
+        self, snap, cell: Cell, predicates: Mapping[int, Sequence[int]]
+    ) -> tuple | None:
+        """The merged (un-finalized) state of one dice on this shard."""
+        cube = snap.cube
+        store = cube.columnar_if_worthwhile()
+        if store is not None:
+            base = {d: v for d, v in enumerate(cell) if v is not None}
+            value_sets = {d: set(vs) for d, vs in predicates.items()}
+            return store.merge_states(store.dice_ids(value_sets, base))
+        dims = list(predicates)
+        value_lists = [list(dict.fromkeys(predicates[d])) for d in dims]
+        work = list(cell)
+        merge = cube.aggregator.merge
+        total = None
+
+        def walk(index: int) -> None:
+            nonlocal total
+            if index == len(dims):
+                state = cube.lookup(tuple(work))
+                if state is not None:
+                    total = state if total is None else merge(total, state)
+                return
+            for value in value_lists[index]:
+                work[dims[index]] = value
+                walk(index + 1)
+            work[dims[index]] = None
+
+        walk(0)
+        return total
+
+    # -- two-phase refresh ----------------------------------------------
+
+    def prepare(self, target_version: int, rows: list, measures: list) -> int:
+        """Phase one: validate and stage a row batch for ``target_version``."""
+        if target_version != self.version + 1:
+            raise ServeError(
+                f"shard {self.shard_id} at version {self.version} cannot "
+                f"prepare {target_version}",
+                code=ErrorCode.VERSION_CONFLICT,
+                shard=self.shard_id,
+            )
+        if rows:  # an empty slice still participates in the swap
+            rows, measures = self.engine._validate_rows(rows, measures)
+        self._staged = (target_version, list(rows), list(measures or []))
+        return self.shard_id
+
+    def commit(self, target_version: int) -> int:
+        """Phase two: absorb the staged batch and adopt ``target_version``."""
+        staged = self._staged
+        if staged is None or staged[0] != target_version:
+            raise ServeError(
+                f"shard {self.shard_id} has no prepared batch for "
+                f"version {target_version}",
+                code=ErrorCode.VERSION_CONFLICT,
+                shard=self.shard_id,
+            )
+        _, rows, measures = staged
+        self._staged = None
+        if rows:
+            self.engine.append(rows, measures)
+        self.version = target_version
+        return self.version
+
+    def abort(self, target_version: int) -> int:
+        """Drop a staged batch (no-op when nothing matching is staged)."""
+        if self._staged is not None and self._staged[0] == target_version:
+            self._staged = None
+        return self.version
+
+    # -- introspection and fault injection ------------------------------
+
+    def stats(self) -> dict:
+        inner = self.engine.stats()
+        return {
+            "shard": self.shard_id,
+            "version": self.version,
+            "rows_absorbed": inner["rows_absorbed"],
+            "n_ranges": inner["n_ranges"],
+            "trie_nodes": inner["trie_nodes"],
+            "cardinalities": inner["cardinalities"],
+        }
+
+    def set_latency(self, seconds: float) -> None:
+        """Testing hook: delay every subsequent scatter by ``seconds``."""
+        self._latency = float(seconds)
+
+    def fail_next(self, n: int = 1) -> None:
+        """Testing hook: make the next ``n`` scatters raise."""
+        self._fail_next = int(n)
+
+
+def _build_shard_engine(payload: tuple) -> ShardEngine:
+    """Worker factory (module-level so it pickles by reference).
+
+    ``payload`` is pickle-cheap: the shard id, schema names, the
+    *global* cardinalities (so per-shard drill-down candidate ranges
+    match the single engine's), the shard's numpy slices, the
+    aggregator and the min-support.
+    """
+    (shard_id, dim_names, measure_names, cardinalities, dim_codes,
+     measures, aggregator, min_support) = payload
+    base = Schema.from_names(list(dim_names), list(measure_names))
+    schema = Schema(
+        tuple(
+            Dimension(d.name, card)
+            for d, card in zip(base.dimensions, cardinalities)
+        ),
+        base.measures,
+    )
+    table = BaseTable(schema, dim_codes, measures)
+    return ShardEngine(
+        shard_id, table, aggregator=aggregator, min_support=min_support
+    )
+
+
+# ---------------------------------------------------------------------------
+# the router
+# ---------------------------------------------------------------------------
+
+
+class ShardRouter:
+    """Scatter-gather front end over the shard workers.
+
+    Duck-types the :class:`QueryEngine` surface (``execute``,
+    ``execute_batch``, ``append``, ``stats``, ``version``, ``slow_log``,
+    ``cache``) so :class:`~repro.serve.http.CubeServer`,
+    :class:`~repro.serve.client.InProcessClient` and the workload driver
+    work unchanged on top of it.
+
+    >>> router = ShardRouter.from_table(table, n_shards=4)   # doctest: +SKIP
+    >>> router.execute(QueryRequest(op="point", cell=[3, None]))  # doctest: +SKIP
+    >>> router.close()                                       # doctest: +SKIP
+    """
+
+    OPS = QueryEngine.OPS
+    MAX_BATCH = QueryEngine.MAX_BATCH
+
+    # The validation/normalization helpers are shared with the single
+    # engine on purpose: the router must reject exactly what the engine
+    # rejects, with the same messages, for the two tiers to be
+    # interchangeable.
+    _resolve_dim = QueryEngine._resolve_dim
+    _normalize_cell = QueryEngine._normalize_cell
+    _normalize_predicates = QueryEngine._normalize_predicates
+    _cache_key = QueryEngine._cache_key
+    _request_op = staticmethod(QueryEngine._request_op)
+
+    def __init__(
+        self,
+        workers: Sequence[WorkerProcess],
+        schema: Schema,
+        aggregator: Aggregator,
+        *,
+        shard_dim: int = 0,
+        timeout: float = 30.0,
+        append_timeout: float = 300.0,
+        cache_capacity: int = 1024,
+        min_support: int = 1,
+        name: str = "router",
+        slow_query_threshold: float = 0.050,
+    ) -> None:
+        if not workers:
+            raise ValueError("a shard router needs at least one worker")
+        self._workers = list(workers)
+        self._schema = schema
+        self._aggregator = aggregator
+        self.n_shards = len(self._workers)
+        self.shard_dim = shard_dim
+        self.timeout = timeout
+        self.append_timeout = append_timeout
+        self._min_support = min_support
+        self._name = name
+        self._router_version = 0
+        self._max_codes = [
+            (c or 0) - 1 if c is not None else -1 for c in schema.cardinalities
+        ]
+        # Serializes scatter *sends* against the two-phase version swap;
+        # gathers run outside it, so reads still overlap each other.
+        self._scatter_lock = threading.Lock()
+        self.cache = LRUCache(cache_capacity)
+        self.slow_log = SlowQueryLog(slow_query_threshold)
+        self._shard_series = [
+            (
+                _SHARD_REQUESTS.labels(shard=str(k)),
+                _SHARD_LAG.labels(shard=str(k)),
+                _SHARD_VERSION.labels(shard=str(k)),
+            )
+            for k in range(self.n_shards)
+        ]
+        _SHARDS_LIVE.set(self.n_shards, router=name)
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_table(
+        cls,
+        table: BaseTable,
+        *,
+        n_shards: int = 4,
+        shard_dim: int = 0,
+        aggregator: Aggregator | None = None,
+        min_support: int = 1,
+        cache_capacity: int = 1024,
+        timeout: float = 30.0,
+        start_method: str | None = None,
+        ready_timeout: float = 300.0,
+    ) -> "ShardRouter":
+        """Partition ``table`` by value and spawn one worker per shard."""
+        import multiprocessing
+
+        agg = aggregator or default_aggregator(table.n_measures)
+        slices = shard_partition_payloads(table, n_shards, shard_dim)
+        # Shards carry the *global* cardinalities so their drill-down
+        # candidate ranges match the single engine's exactly (a shard's
+        # local maximum code would silently truncate them).
+        cardinalities = [c or 0 for c in table.schema.cardinalities]
+        payloads = [
+            (
+                shard,
+                tuple(table.schema.dimension_names),
+                tuple(table.schema.measure_names),
+                tuple(cardinalities),
+                codes,
+                measures,
+                agg,
+                min_support,
+            )
+            for shard, (codes, measures) in enumerate(slices)
+        ]
+        context = (
+            multiprocessing.get_context(start_method) if start_method else None
+        )
+        workers = spawn_workers(
+            _build_shard_engine,
+            payloads,
+            name="repro-shard",
+            ready_timeout=ready_timeout,
+            context=context,
+        )
+        schema = Schema(
+            tuple(
+                Dimension(d.name, card)
+                for d, card in zip(table.schema.dimensions, cardinalities)
+            ),
+            table.schema.measures,
+        )
+        return cls(
+            workers,
+            schema,
+            agg,
+            shard_dim=shard_dim,
+            timeout=timeout,
+            cache_capacity=cache_capacity,
+            min_support=min_support,
+        )
+
+    # -- the engine-compatible surface -----------------------------------
+
+    @property
+    def version(self) -> int:
+        return self._router_version
+
+    def snapshot(self) -> "_RouterSnap":
+        """A version-stamped view of the routing schema (reader-stable)."""
+        return _RouterSnap(self._router_version, self._current_schema())
+
+    def _current_schema(self) -> Schema:
+        return Schema(
+            tuple(
+                d.with_cardinality(max(self._max_codes[i] + 1, 0))
+                for i, d in enumerate(self._schema.dimensions)
+            ),
+            self._schema.measures,
+        )
+
+    def execute(self, request: "QueryRequest | Mapping") -> dict:
+        """Answer one request by routed scatter-gather (engine-shaped)."""
+        start = time.perf_counter()
+        response = self._execute(request)
+        elapsed = time.perf_counter() - start
+        if elapsed >= self.slow_log.threshold:
+            # The retained entry must stay JSON-able for ``/slowlog``.
+            raw = request.to_json() if isinstance(request, QueryRequest) else request
+            self.slow_log.record(elapsed, raw, op=self._request_op(request))
+        return response
+
+    def _execute(self, request: "QueryRequest | Mapping") -> dict:
+        req = coerce_request(request)
+        op = req.op
+        if op not in self.OPS:
+            raise ServeError(f"unknown op {op!r}; supported: {', '.join(self.OPS)}")
+        snap = self.snapshot()
+        if req.version is not None and req.version != snap.version:
+            raise ServeError(
+                f"request targets version {req.version}, router serves {snap.version}",
+                code=ErrorCode.VERSION_CONFLICT,
+            )
+        key = self._cache_key(snap, op, req)
+        try:
+            hit = self.cache.get(key)
+        except TypeError:
+            self._plan(snap, op, req)  # raises the precise ServeError
+            raise
+        if hit is not None:
+            return hit
+        plan = self._plan(snap, op, req)
+        results, failures = self._scatter([plan], op=op)
+        partials = results[0]
+        if partials is None:
+            shard = next(k for k in plan.targets if k in failures)
+            raise ServeError.from_info(failures[shard])
+        response = self._merge(snap, plan, partials)
+        self.cache.put(key, dict(response, cached=True))
+        return dict(response, cached=False)
+
+    def execute_batch(
+        self, requests: Sequence["QueryRequest | Mapping"]
+    ) -> list[dict]:
+        """Answer a batch with per-item routing and per-shard scatters.
+
+        Items group by their target shards, so a batch costs one scatter
+        round per shard, not one per item; a failed shard degrades only
+        the items that needed it into structured error entries.
+        """
+        if not isinstance(requests, (list, tuple)):
+            raise ServeError("batch body needs a 'requests' list")
+        if len(requests) > self.MAX_BATCH:
+            raise ServeError(
+                f"batch of {len(requests)} exceeds the {self.MAX_BATCH}-request cap"
+            )
+        snap = self.snapshot()
+        responses: list = [None] * len(requests)
+        plans: list = []  # (position, op, plan, cache_key)
+        for i, request in enumerate(requests):
+            try:
+                req = coerce_request(request)
+                op = req.op
+                if op not in self.OPS:
+                    raise ServeError(
+                        f"unknown op {op!r}; supported: {', '.join(self.OPS)}"
+                    )
+                if req.version is not None and req.version != snap.version:
+                    raise ServeError(
+                        f"request targets version {req.version}, "
+                        f"router serves {snap.version}",
+                        code=ErrorCode.VERSION_CONFLICT,
+                    )
+                key = self._cache_key(snap, op, req)
+                try:
+                    hit = self.cache.get(key)
+                except TypeError:
+                    self._plan(snap, op, req)
+                    raise
+                if hit is not None:
+                    responses[i] = hit
+                else:
+                    plans.append((i, op, self._plan(snap, op, req), key))
+            except ServeError as exc:
+                responses[i] = error_response(
+                    snap.version, self._request_op(request), exc.info
+                )
+        if plans:
+            results, failures = self._scatter(
+                [plan for _, _, plan, _ in plans], op="batch"
+            )
+            for (i, op, plan, key), partials in zip(plans, results):
+                if partials is None:
+                    shard = next(
+                        k for k in plan.targets if k in failures
+                    )
+                    responses[i] = error_response(snap.version, op, failures[shard])
+                    continue
+                response = self._merge(snap, plan, partials)
+                self.cache.put(key, dict(response, cached=True))
+                responses[i] = dict(response, cached=False)
+        return responses
+
+    # -- planning --------------------------------------------------------
+
+    def _route(self, code: int) -> int:
+        return code % self.n_shards
+
+    def _plan(self, snap: "_RouterSnap", op: str, req: QueryRequest) -> "_Plan":
+        """Validate one request and decide its scatter items and shards."""
+        sd = self.shard_dim
+        all_shards = tuple(range(self.n_shards))
+        if op == "point":
+            cell = self._normalize_cell(snap, req)
+            targets = (
+                (self._route(cell[sd]),) if cell[sd] is not None else all_shards
+            )
+            return _Plan(op, targets, (("point", cell),), cell=cell)
+        if op == "rollup":
+            cell = self._normalize_cell(snap, req)
+            dim = self._resolve_dim(snap, req.dim)
+            if cell[dim] is None:
+                raise ServeError(f"dimension {dim} is already * in the query cell")
+            up = list(cell)
+            up[dim] = None
+            up = tuple(up)
+            targets = (self._route(up[sd]),) if up[sd] is not None else all_shards
+            return _Plan(op, targets, (("point", up),), cell=up, dim=dim)
+        if op == "drilldown":
+            cell = self._normalize_cell(snap, req)
+            dim = self._resolve_dim(snap, req.dim)
+            if cell[dim] is not None:
+                raise ServeError(f"dimension {dim} is already bound in the query cell")
+            targets = (
+                (self._route(cell[sd]),)
+                if sd != dim and cell[sd] is not None
+                else all_shards
+            )
+            return _Plan(op, targets, (("children", cell, dim),), cell=cell, dim=dim)
+        if op == "slice":
+            cell = self._normalize_cell(snap, req)
+            free = [d for d in range(snap.schema.n_dims) if cell[d] is None]
+            targets = (
+                (self._route(cell[sd]),) if cell[sd] is not None else all_shards
+            )
+            items = tuple(("children", cell, d) for d in free)
+            return _Plan(op, targets, items, cell=cell, free_dims=tuple(free))
+        if op == "dice":
+            cell = self._normalize_cell(snap, req, default_apex=True)
+            predicates = self._normalize_predicates(snap, req, cell)
+            # Shards get deduped value lists (a repeated predicate value
+            # must not double-count); the response echoes the validated
+            # predicates verbatim, exactly as the single engine does.
+            deduped = {
+                d: list(dict.fromkeys(values)) for d, values in predicates.items()
+            }
+            if cell[sd] is not None:
+                targets = (self._route(cell[sd]),)
+            elif sd in deduped:
+                targets = tuple(sorted({self._route(v) for v in deduped[sd]}))
+            else:
+                targets = all_shards
+            return _Plan(
+                op, targets, (("dice", cell, deduped),), cell=cell,
+                predicates=predicates,
+            )
+        raise ServeError(f"unknown op {op!r}; supported: {', '.join(self.OPS)}")
+
+    # -- scatter-gather --------------------------------------------------
+
+    def _scatter(
+        self, plans: Sequence["_Plan"], *, op: str
+    ) -> tuple[list, dict[int, ErrorInfo]]:
+        """Send every plan's items to its shards, gather, slot back.
+
+        Returns ``(per-plan partials, failures)``: element ``i`` is a
+        list of per-shard partial-result lists (one per item of plan
+        ``i``), or ``None`` when any of the plan's shards failed;
+        ``failures`` maps the shard id to its structured error.
+        """
+        per_shard_items: dict[int, list] = {}
+        per_shard_slots: dict[int, list] = {}  # parallel (plan index) slots
+        for index, plan in enumerate(plans):
+            for shard in plan.targets:
+                per_shard_items.setdefault(shard, []).extend(plan.items)
+                per_shard_slots.setdefault(shard, []).extend(
+                    (index,) * len(plan.items)
+                )
+        failures: dict[int, ErrorInfo] = {}
+        seqs: dict[int, int] = {}
+        start_wall = time.time()
+        start = time.perf_counter()
+        with _TRACER.span(
+            "serve.scatter",
+            op=op,
+            shards=len(per_shard_items),
+            requests=len(plans),
+            version=self._router_version,
+        ):
+            with self._scatter_lock:
+                version = self._router_version
+                for shard, items in per_shard_items.items():
+                    worker = self._workers[shard]
+                    try:
+                        seqs[shard] = worker.request("scatter", version, items)
+                    except WorkerUnavailable as exc:
+                        failures[shard] = self._shard_failure(shard, exc)
+                    if OBS_STATE.enabled:
+                        self._shard_series[shard][0].inc(len(items))
+        deadline = start + self.timeout
+        replies: dict[int, list] = {}
+        reply_at: dict[int, float] = {}
+        for shard, seq in seqs.items():
+            worker = self._workers[shard]
+            remaining = max(deadline - time.perf_counter(), 0.0)
+            try:
+                replies[shard] = worker.collect(seq, timeout=remaining)
+            except (WorkerTimeout, WorkerUnavailable, RemoteError) as exc:
+                failures[shard] = self._shard_failure(shard, exc)
+            reply_at[shard] = time.perf_counter() - start
+            if OBS_STATE.enabled and shard not in failures:
+                _TRACER.record_span(
+                    "serve.gather",
+                    start_wall=start_wall,
+                    duration=reply_at[shard],
+                    attributes={
+                        "shard": shard,
+                        "items": len(per_shard_items[shard]),
+                    },
+                )
+        if OBS_STATE.enabled:
+            _SCATTER_SECONDS.observe(time.perf_counter() - start)
+            _SHARD_FANOUT.observe(len(per_shard_items))
+            if reply_at:
+                fastest = min(reply_at.values())
+                for shard, at in reply_at.items():
+                    self._shard_series[shard][1].set(at - fastest)
+        # Slot each shard's replies back into per-plan partial lists.
+        out: list = [
+            [[] for _ in plan.items] if plan.targets else [] for plan in plans
+        ]
+        for shard, reply in replies.items():
+            cursors: dict[int, int] = {}
+            for slot, partial in zip(per_shard_slots[shard], reply):
+                item_index = cursors.get(slot, 0)
+                cursors[slot] = item_index + 1
+                out[slot][item_index].append(partial)
+        for index, plan in enumerate(plans):
+            if any(shard in failures for shard in plan.targets):
+                out[index] = None
+        return out, failures
+
+    def _shard_failure(self, shard: int, exc: Exception) -> ErrorInfo:
+        """Map one transport/remote failure to the structured taxonomy."""
+        if isinstance(exc, WorkerTimeout):
+            info = ErrorInfo(
+                code=ErrorCode.SHARD_TIMEOUT,
+                message=f"shard {shard} did not reply within {self.timeout:.3f}s",
+                retryable=True,
+                shard=shard,
+            )
+        elif isinstance(exc, WorkerUnavailable):
+            info = ErrorInfo(
+                code=ErrorCode.SHARD_UNAVAILABLE,
+                message=f"shard {shard} is unavailable: {exc}",
+                retryable=True,
+                shard=shard,
+            )
+        elif isinstance(exc, RemoteError) and exc.info is not None:
+            parsed = ErrorInfo.from_json(exc.info)
+            info = ErrorInfo(
+                code=parsed.code,
+                message=parsed.message,
+                retryable=parsed.retryable,
+                shard=parsed.shard if parsed.shard is not None else shard,
+            )
+        else:
+            info = ErrorInfo(
+                code=ErrorCode.INTERNAL,
+                message=f"shard {shard} failed: {exc}",
+                shard=shard,
+            )
+        if OBS_STATE.enabled:
+            _SHARD_ERRORS.inc(shard=str(shard), code=info.code)
+            _SHARDS_LIVE.set(
+                sum(1 for w in self._workers if w.alive), router=self._name
+            )
+        return info
+
+    # -- merging ---------------------------------------------------------
+
+    def _merge(self, snap: "_RouterSnap", plan: "_Plan", partials: list) -> dict:
+        """Fold per-shard partial states into one engine-shaped response."""
+        op = plan.op
+        agg = self._aggregator
+        version = snap.version
+        if op in ("point", "rollup"):
+            state = agg.merge_many(partials[0])
+            value = None if state is None else agg.finalize(state)
+            if op == "rollup":
+                return {
+                    "op": op, "version": version, "dim": plan.dim,
+                    "cell": list(plan.cell), "value": value,
+                }
+            return {
+                "op": op, "version": version,
+                "cell": list(plan.cell), "value": value,
+            }
+        if op == "drilldown":
+            return {
+                "op": op,
+                "version": version,
+                "dim": plan.dim,
+                "children": self._merge_children(
+                    plan.cell, plan.dim, partials[0], agg
+                ),
+            }
+        if op == "slice":
+            children: list = []
+            for dim, item_partials in zip(plan.free_dims, partials):
+                children.extend(
+                    self._merge_children(plan.cell, dim, item_partials, agg)
+                )
+            return {"op": op, "version": version, "children": children}
+        if op == "dice":
+            state = agg.merge_many(partials[0])
+            return {
+                "op": op,
+                "version": version,
+                "predicates": {
+                    str(d): v for d, v in sorted(plan.predicates.items())
+                },
+                "cell": list(plan.cell),
+                "value": None if state is None else agg.finalize(state),
+            }
+        raise ServeError(f"unknown op {op!r}")  # pragma: no cover
+
+    @staticmethod
+    def _merge_children(cell: Cell, dim: int, shard_children: list, agg) -> list:
+        """Union per-shard (value, state) children, merged and sorted."""
+        by_value: dict[int, tuple] = {}
+        for children in shard_children:
+            for value, state in children:
+                present = by_value.get(value)
+                by_value[value] = (
+                    state if present is None else agg.merge(present, state)
+                )
+        out = []
+        for value in sorted(by_value):
+            child = list(cell)
+            child[dim] = value
+            out.append({"cell": child, "value": agg.finalize(by_value[value])})
+        return out
+
+    # -- write path ------------------------------------------------------
+
+    def append(self, rows: Sequence[Sequence[int]], measures=None) -> int:
+        """Two-phase versioned append across every shard.
+
+        Rows are validated once, routed by the shard dimension, then all
+        shards ``prepare`` the target version and, only once every
+        prepare succeeded, ``commit`` it.  The scatter lock is held for
+        the whole swap, so no read's sub-requests can interleave with it
+        — the FIFO pipes then guarantee every shard answers each read at
+        the read's tagged version.  A failed prepare aborts the target
+        everywhere (no shard moves); a shard that fails its *commit* is
+        marked unavailable rather than left silently behind.
+        """
+        clean_rows, clean_measures = validate_rows(
+            rows, measures, self._schema.n_dims, len(self._schema.measure_names)
+        )
+        with _TRACER.span("serve.append", rows=len(clean_rows), sharded=True):
+            with self._scatter_lock:
+                target = self._router_version + 1
+                per_rows: list[list] = [[] for _ in range(self.n_shards)]
+                per_meas: list[list] = [[] for _ in range(self.n_shards)]
+                for row, meas in zip(clean_rows, clean_measures):
+                    shard = self._route(row[self.shard_dim])
+                    per_rows[shard].append(row)
+                    per_meas[shard].append(meas)
+                self._two_phase_swap(target, per_rows, per_meas)
+                for row in clean_rows:
+                    for d, v in enumerate(row):
+                        if v > self._max_codes[d]:
+                            self._max_codes[d] = v
+                self._router_version = target
+                self.cache.invalidate_all()
+        return target
+
+    def _two_phase_swap(
+        self, target: int, per_rows: list[list], per_meas: list[list]
+    ) -> None:
+        seqs = {}
+        for shard, worker in enumerate(self._workers):
+            try:
+                seqs[shard] = worker.request(
+                    "prepare", target, per_rows[shard], per_meas[shard]
+                )
+            except WorkerUnavailable as exc:
+                self._abort_all(target, exclude=())
+                raise ServeError.from_info(self._shard_failure(shard, exc))
+        for shard, seq in seqs.items():
+            try:
+                self._workers[shard].collect(seq, timeout=self.append_timeout)
+            except (WorkerTimeout, WorkerUnavailable, RemoteError) as exc:
+                info = self._shard_failure(shard, exc)
+                self._abort_all(target, exclude=(shard,))
+                raise ServeError.from_info(info)
+        commit_seqs = {}
+        for shard, worker in enumerate(self._workers):
+            try:
+                commit_seqs[shard] = worker.request("commit", target)
+            except WorkerUnavailable as exc:
+                self._shard_failure(shard, exc)
+        for shard, seq in commit_seqs.items():
+            try:
+                self._workers[shard].collect(seq, timeout=self.append_timeout)
+                if OBS_STATE.enabled:
+                    self._shard_series[shard][2].set(target)
+            except (WorkerTimeout, WorkerUnavailable, RemoteError) as exc:
+                # Past the point of no return: peers committed.  The
+                # shard is marked failed (subsequent scatters to it
+                # surface structured errors) instead of serving a torn
+                # version silently.
+                self._shard_failure(shard, exc)
+                self._workers[shard]._mark_dead(f"commit {target} failed: {exc}")
+
+    def _abort_all(self, target: int, exclude: tuple = ()) -> None:
+        for shard, worker in enumerate(self._workers):
+            if shard in exclude or not worker.alive:
+                continue
+            try:
+                worker.call("abort", target, timeout=self.append_timeout)
+            except (WorkerTimeout, WorkerUnavailable, RemoteError):
+                pass
+
+    def append_table(self, table: BaseTable) -> int:
+        return self.append(table.dim_rows(), table.measure_rows())
+
+    # -- introspection ----------------------------------------------------
+
+    def stats(self) -> dict:
+        """The merged ``/stats`` snapshot: router plus per-shard detail."""
+        shard_stats: list[dict] = []
+        for shard, worker in enumerate(self._workers):
+            if not worker.alive:
+                shard_stats.append({"shard": shard, "alive": False})
+                continue
+            try:
+                stats = worker.call("stats", timeout=self.timeout)
+            except (WorkerTimeout, WorkerUnavailable, RemoteError) as exc:
+                self._shard_failure(shard, exc)
+                shard_stats.append({"shard": shard, "alive": False})
+                continue
+            stats["alive"] = True
+            shard_stats.append(stats)
+        cache = self.cache.stats()
+        schema = self._current_schema()
+        live = [s for s in shard_stats if s.get("alive")]
+        return {
+            "version": self._router_version,
+            "protocol": PROTOCOL_VERSION,
+            "sharded": True,
+            "n_shards": self.n_shards,
+            "shard_dim": self.shard_dim,
+            "shards_live": len(live),
+            "n_dims": schema.n_dims,
+            "n_measures": len(schema.measure_names),
+            "dimension_names": list(schema.dimension_names),
+            "cardinalities": list(schema.cardinalities),
+            "n_ranges": sum(s.get("n_ranges", 0) for s in live),
+            "rows_absorbed": sum(s.get("rows_absorbed", 0) for s in live),
+            "trie_nodes": sum(s.get("trie_nodes", 0) for s in live),
+            "min_support": self._min_support,
+            "shards": shard_stats,
+            "cache": {
+                "capacity": cache.capacity,
+                "size": cache.size,
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "evictions": cache.evictions,
+                "invalidations": cache.invalidations,
+                "hit_rate": cache.hit_rate,
+            },
+            "slow_log": {
+                "threshold_s": self.slow_log.threshold,
+                "seen": self.slow_log.seen,
+                "kept": len(self.slow_log.entries()),
+            },
+        }
+
+    def point(self, cell: Sequence[int | None]) -> dict | None:
+        """Finalized aggregates of one cell, None when the cell is empty."""
+        return self.execute(QueryRequest(op="point", cell=list(cell)))["value"]
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every shard worker (idempotent)."""
+        for worker in self._workers:
+            try:
+                worker.stop(timeout=5.0)
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+        _SHARDS_LIVE.set(0, router=self._name)
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        live = sum(1 for w in self._workers if w.alive)
+        return (
+            f"ShardRouter(v{self._router_version}, {live}/{self.n_shards} shards "
+            f"live, shard_dim={self.shard_dim})"
+        )
+
+
+class _RouterSnap:
+    """The router's analogue of :class:`~repro.serve.engine.CubeVersion`.
+
+    Carries only what the shared validation helpers need (``version``,
+    ``schema``); the actual cube state lives in the workers.
+    """
+
+    __slots__ = ("version", "schema")
+
+    def __init__(self, version: int, schema: Schema) -> None:
+        self.version = version
+        self.schema = schema
+
+
+class _Plan:
+    """One validated request, routed: scatter items plus response shape."""
+
+    __slots__ = ("op", "targets", "items", "cell", "dim", "predicates", "free_dims")
+
+    def __init__(
+        self,
+        op: str,
+        targets: tuple[int, ...],
+        items: tuple,
+        *,
+        cell: Cell,
+        dim: int | None = None,
+        predicates: dict | None = None,
+        free_dims: tuple[int, ...] = (),
+    ) -> None:
+        self.op = op
+        self.targets = targets
+        self.items = items
+        self.cell = cell
+        self.dim = dim
+        self.predicates = predicates
+        self.free_dims = free_dims
+
+
+__all__ = ["ShardEngine", "ShardRouter", "_build_shard_engine"]

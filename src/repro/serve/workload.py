@@ -31,6 +31,7 @@ from repro.metrics.histogram import LatencyHistogram
 from repro.obs import get_registry
 from repro.serve.client import ServingClient
 from repro.serve.engine import ServeError
+from repro.serve.protocol import QueryRequest
 
 #: Per-operation latency, folded from every client's private histograms
 #: after a run (clients record lock-free; the registry sees one merge per
@@ -50,6 +51,7 @@ class WorkloadMix:
     rollup: float = 0.15
     drilldown: float = 0.10
     slice: float = 0.05
+    dice: float = 0.0
 
     def normalized(self) -> dict[str, float]:
         weights = {
@@ -57,6 +59,7 @@ class WorkloadMix:
             "rollup": self.rollup,
             "drilldown": self.drilldown,
             "slice": self.slice,
+            "dice": self.dice,
         }
         total = sum(weights.values())
         if total <= 0 or any(w < 0 for w in weights.values()):
@@ -66,7 +69,7 @@ class WorkloadMix:
     @classmethod
     def parse(cls, text: str) -> "WorkloadMix":
         """``"point=0.7,rollup=0.2,slice=0.1"`` → a mix (absent ops are 0)."""
-        weights = dict.fromkeys(("point", "rollup", "drilldown", "slice"), 0.0)
+        weights = dict.fromkeys(("point", "rollup", "drilldown", "slice", "dice"), 0.0)
         for item in text.split(","):
             op, _, value = item.partition("=")
             op = op.strip()
@@ -163,6 +166,7 @@ class WorkloadDriver:
         append_batches: int = 0,
         append_rows: int = 32,
         batch_size: int = 1,
+        bind_dim: int | None = None,
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be positive")
@@ -176,6 +180,10 @@ class WorkloadDriver:
         self.seed = seed
         self.append_batches = append_batches
         self.append_rows = append_rows
+        #: When set, every pooled query binds this dimension to a value
+        #: — the shard-key-bound traffic a value-routed sharded tier sees
+        #: (each request routes to exactly one shard).
+        self.bind_dim = bind_dim
         #: Requests per ``query_batch`` call; 1 keeps the classic
         #: request-at-a-time loop.  Batched clients amortize transport
         #: and snapshot overhead exactly like ``POST /query/batch``.
@@ -183,15 +191,18 @@ class WorkloadDriver:
 
     # -- request generation ---------------------------------------------
 
-    def _build_pool(self, stats: dict, rng: np.random.Generator) -> list[dict]:
-        """``pool_size`` distinct requests matched to the cube's shape."""
+    def _build_pool(
+        self, stats: dict, rng: np.random.Generator
+    ) -> list[QueryRequest]:
+        """``pool_size`` distinct typed requests matched to the cube's shape."""
         n_dims = stats["n_dims"]
         cards = [max(int(c), 1) for c in stats["cardinalities"]]
         weights = self.mix.normalized()
         ops = list(weights)
         probs = np.array([weights[op] for op in ops])
-        pool: list[dict] = []
+        pool: list[QueryRequest] = []
         max_bound = min(self.max_bound_dims, n_dims)
+        pinned = self.bind_dim
         for _ in range(self.pool_size):
             op = ops[int(rng.choice(len(ops), p=probs))]
             if op == "slice":
@@ -204,20 +215,64 @@ class WorkloadDriver:
                 n_bound = int(rng.integers(0, max(max_bound, 1)))
             else:
                 n_bound = int(rng.integers(1, max_bound + 1))
-            bound = rng.choice(n_dims, size=min(n_bound, n_dims), replace=False)
+            bound = [int(d) for d in
+                     rng.choice(n_dims, size=min(n_bound, n_dims), replace=False)]
+            if pinned is not None and op != "drilldown" and pinned not in bound:
+                # The shard-key-bound regime: every query that *can* bind
+                # the shard dimension does, so it routes to one shard.
+                bound = [pinned, *[d for d in bound if d != pinned]]
             cell: list[int | None] = [None] * n_dims
             for d in bound:
-                cell[int(d)] = int(rng.integers(0, cards[int(d)]))
-            request: dict = {"op": op, "cell": cell}
+                cell[d] = int(rng.integers(0, cards[d]))
+            dim: int | None = None
+            predicates: dict | None = None
             if op == "rollup":
-                request["dim"] = int(rng.choice(bound))
+                # Never roll the pinned shard key away — the whole point
+                # of the bound regime is single-shard routing.
+                choices = [d for d in bound if d != pinned]
+                if not choices:
+                    others = [d for d in range(n_dims) if d != pinned]
+                    if others:  # bind a second dim just to roll it up
+                        extra = int(rng.choice(others))
+                        cell[extra] = int(rng.integers(0, cards[extra]))
+                        choices = [extra]
+                    else:  # a 1-dim cube: there is nothing else to roll
+                        choices = bound
+                dim = int(rng.choice(choices))
             elif op == "drilldown":
+                if pinned is not None:
+                    cell[pinned] = int(rng.integers(0, cards[pinned]))
                 free = [d for d in range(n_dims) if cell[d] is None]
-                request["dim"] = int(rng.choice(free))
-            pool.append(request)
+                dim = int(rng.choice(free))
+            elif op == "dice":
+                free = [d for d in range(n_dims) if cell[d] is None]
+                if not free:  # all dims bound: free one so the dice has a target
+                    freed = next((d for d in range(n_dims) if d != pinned), None)
+                    if freed is None:
+                        op = "point"  # 1-dim cube with a pinned key: degrade
+                    else:
+                        cell[freed] = None
+                        free = [freed]
+            if op == "dice":
+                n_pred = min(len(free), int(rng.integers(1, 3)))
+                pred_dims = rng.choice(free, size=n_pred, replace=False)
+                predicates = {
+                    str(int(d)): sorted(
+                        int(v)
+                        for v in rng.choice(
+                            cards[int(d)],
+                            size=min(cards[int(d)], int(rng.integers(2, 5))),
+                            replace=False,
+                        )
+                    )
+                    for d in pred_dims
+                }
+            pool.append(
+                QueryRequest(op=op, cell=cell, dim=dim, predicates=predicates)
+            )
         return pool
 
-    def _client_run(self, task: tuple[list[dict], np.ndarray]) -> dict:
+    def _client_run(self, task: tuple[list[QueryRequest], np.ndarray]) -> dict:
         """One client's life: replay its request sequence, record latencies.
 
         Latencies go into one private histogram *per operation type*, so
@@ -234,7 +289,7 @@ class WorkloadDriver:
         with self.client_factory() as client:
             for index in sequence:
                 request = pool[int(index)]
-                op = request["op"]
+                op = request.op
                 start = time.perf_counter()
                 try:
                     response = client.query(request)
@@ -256,7 +311,9 @@ class WorkloadDriver:
             "errors": errors,
         }
 
-    def _client_run_batched(self, pool: list[dict], sequence: np.ndarray) -> dict:
+    def _client_run_batched(
+        self, pool: list[QueryRequest], sequence: np.ndarray
+    ) -> dict:
         """The batched client life: chunk the sequence into ``query_batch`` calls.
 
         Latency is recorded per *batch* under the synthetic ``"batch"``
@@ -284,7 +341,7 @@ class WorkloadDriver:
                     if "error" in response:
                         errors += 1
                         continue
-                    op = request["op"]
+                    op = request.op
                     op_counts[op] = op_counts.get(op, 0) + 1
                     if response.get("cached"):
                         cached += 1

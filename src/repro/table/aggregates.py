@@ -194,6 +194,21 @@ class Aggregator:
     def count(self, state: tuple) -> int:
         return state[0]
 
+    def merge_many(self, states: Sequence[tuple | None]) -> tuple | None:
+        """Fold partial states into one, skipping ``None`` (empty) entries.
+
+        The scatter-gather router merges per-shard partial states with
+        this: a shard that holds no matching tuples reports ``None``, and
+        a cell empty on *every* shard merges to ``None`` — the same
+        "empty cell" answer a single engine's ``lookup`` gives.
+        """
+        total = None
+        for state in states:
+            if state is None:
+                continue
+            total = state if total is None else self.merge(total, state)
+        return total
+
     # batch kernels ----------------------------------------------------
 
     def _scalar_algebra_overridden(self) -> bool:

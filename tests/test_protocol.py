@@ -1,0 +1,201 @@
+"""Unit tests for the unified serving wire protocol (repro.serve.protocol)."""
+
+import json
+import warnings
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    HTTP_STATUS,
+    OPS,
+    PROTOCOL_VERSION,
+    RETRYABLE_CODES,
+    BatchResponse,
+    ErrorCode,
+    ErrorInfo,
+    QueryRequest,
+    QueryResponse,
+    ServeError,
+    coerce_request,
+    error_response,
+)
+
+
+# ---------------------------------------------------------------------------
+# requests
+# ---------------------------------------------------------------------------
+
+
+def test_query_request_round_trips_every_field():
+    request = QueryRequest(
+        op="dice",
+        cell=[1, None, 3],
+        dim="city",
+        predicates={"1": [0, 2]},
+        version=4,
+        protocol=PROTOCOL_VERSION,
+    )
+    wire = request.to_json()
+    assert wire == {
+        "op": "dice",
+        "cell": [1, None, 3],
+        "dim": "city",
+        "predicates": {"1": [0, 2]},
+        "version": 4,
+        "protocol": PROTOCOL_VERSION,
+    }
+    # wire dicts survive a real JSON round trip
+    decoded = QueryRequest.from_json(json.loads(json.dumps(wire)))
+    assert decoded == request
+
+
+def test_query_request_omits_unset_fields():
+    assert QueryRequest(op="point", cell=[0, None]).to_json() == {
+        "op": "point",
+        "cell": [0, None],
+    }
+    assert QueryRequest().to_json() == {"op": "point"}
+
+
+def test_from_json_rejects_non_mappings_and_bad_protocol():
+    with pytest.raises(ServeError):
+        QueryRequest.from_json([1, 2, 3])
+    with pytest.raises(ServeError) as excinfo:
+        QueryRequest.from_json({"op": "point", "protocol": PROTOCOL_VERSION + 1})
+    assert excinfo.value.info.code == ErrorCode.UNSUPPORTED_PROTOCOL
+    assert excinfo.value.info.http_status == 400
+    # pinning the supported version is fine
+    QueryRequest.from_json({"op": "point", "protocol": PROTOCOL_VERSION})
+
+
+def test_coerce_request_passes_typed_through_and_warns_once_for_dicts(monkeypatch):
+    typed = QueryRequest(op="point", cell=[0])
+    assert coerce_request(typed) is typed
+
+    monkeypatch.setattr(protocol, "_warned_dict_requests", False)
+    with pytest.warns(DeprecationWarning, match="QueryRequest"):
+        first = coerce_request({"op": "point", "cell": [0]})
+    assert first == typed
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # second coercion must stay silent
+        coerce_request({"op": "point", "cell": [0]})
+
+
+def test_coerce_request_reraises_carried_serve_errors():
+    carrier = ServeError("bad item", code=ErrorCode.UNSUPPORTED_PROTOCOL)
+    with pytest.raises(ServeError) as excinfo:
+        coerce_request(carrier)
+    assert excinfo.value is carrier
+
+
+def test_wire_decode_path_never_warns():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        QueryRequest.from_json({"op": "slice", "cell": [None, 1]})
+
+
+# ---------------------------------------------------------------------------
+# the error taxonomy
+# ---------------------------------------------------------------------------
+
+
+def test_every_code_has_a_status_and_the_retryable_set_is_sane():
+    codes = {
+        v for k, v in vars(ErrorCode).items() if not k.startswith("_")
+    }
+    assert codes == set(HTTP_STATUS)
+    assert RETRYABLE_CODES < codes
+    assert HTTP_STATUS[ErrorCode.NOT_FOUND] == 404
+    assert HTTP_STATUS[ErrorCode.TOO_LARGE] == 413
+    assert HTTP_STATUS[ErrorCode.VERSION_CONFLICT] == 409
+    assert HTTP_STATUS[ErrorCode.SHARD_UNAVAILABLE] == 503
+    assert HTTP_STATUS[ErrorCode.SHARD_TIMEOUT] == 504
+
+
+def test_error_info_round_trip_and_shard_omission():
+    info = ErrorInfo(
+        code=ErrorCode.SHARD_TIMEOUT, message="slow", retryable=True, shard=2
+    )
+    wire = info.to_json()
+    assert wire == {
+        "code": "shard_timeout", "message": "slow", "retryable": True, "shard": 2,
+    }
+    assert ErrorInfo.from_json(wire) == info
+    # shard is omitted when unattributable
+    assert "shard" not in ErrorInfo(code=ErrorCode.BAD_REQUEST, message="x").to_json()
+
+
+def test_error_info_parses_legacy_bare_strings():
+    info = ErrorInfo.from_json("cell must be a list")
+    assert info.code == ErrorCode.BAD_REQUEST
+    assert info.message == "cell must be a list"
+    with pytest.raises(ValueError):
+        ErrorInfo.from_json(17)
+
+
+def test_serve_error_defaults_retryable_from_the_code():
+    assert ServeError("x").info.retryable is False
+    assert ServeError("x", code=ErrorCode.SHARD_UNAVAILABLE).info.retryable is True
+    explicit = ServeError("x", code=ErrorCode.SHARD_UNAVAILABLE, retryable=False)
+    assert explicit.info.retryable is False
+    # str() stays the bare message for match= call sites
+    assert str(ServeError("just the message")) == "just the message"
+
+
+def test_serve_error_from_info_round_trips():
+    info = ErrorInfo(
+        code=ErrorCode.VERSION_CONFLICT, message="torn", retryable=True, shard=1
+    )
+    assert ServeError.from_info(info).info == info
+
+
+# ---------------------------------------------------------------------------
+# responses
+# ---------------------------------------------------------------------------
+
+
+def test_point_response_shape_matches_the_historical_wire_dict():
+    response = QueryResponse(
+        op="point", version=3, cell=[1, None], value={"count": 2}, cached=False
+    )
+    assert response.to_json() == {
+        "op": "point",
+        "version": 3,
+        "cell": [1, None],
+        "value": {"count": 2},
+        "cached": False,
+    }
+    assert response.ok
+
+
+def test_null_value_is_an_answer_not_an_omission():
+    wire = QueryResponse(op="point", version=0, cell=[9], value=None).to_json()
+    assert "value" in wire and wire["value"] is None
+
+
+def test_error_response_short_circuits_to_op_version_error():
+    info = ErrorInfo(code=ErrorCode.BAD_REQUEST, message="nope")
+    wire = error_response(5, "rollup", info)
+    assert wire == {
+        "op": "rollup",
+        "version": 5,
+        "error": {"code": "bad_request", "message": "nope", "retryable": False},
+    }
+    decoded = QueryResponse.from_json(wire)
+    assert not decoded.ok and decoded.error == info
+
+
+def test_batch_response_envelope():
+    results = [{"op": "point", "version": 0, "cell": [0], "value": None}]
+    wire = BatchResponse(results).to_json()
+    assert wire == {"results": results, "count": 1, "protocol": PROTOCOL_VERSION}
+    assert BatchResponse.from_json(wire).results == results
+    with pytest.raises(ServeError):
+        BatchResponse.from_json({"count": 0})
+
+
+def test_ops_constant_matches_the_engine():
+    from repro.serve import QueryEngine
+
+    assert tuple(OPS) == tuple(QueryEngine.OPS)

@@ -48,8 +48,10 @@ def test_batch_order_misses_and_errors(engine):
     assert responses[0]["value"] == engine.execute(requests[0])["value"]
     assert responses[1]["value"] is None and "error" not in responses[1]
     assert "error" in responses[2] and responses[2]["version"] == engine.version
+    assert responses[2]["error"]["code"] == "bad_request"
     assert responses[3]["cell"] == [0, None, None, None]
-    assert "unknown op" in responses[4]["error"]
+    assert "unknown op" in responses[4]["error"]["message"]
+    assert responses[4]["error"]["retryable"] is False
     assert responses[5]["value"] == responses[0]["value"]
     # Each response records the shared snapshot version.
     assert {r["version"] for r in responses} == {engine.version}
@@ -127,7 +129,7 @@ def test_http_batch_envelope_errors(served):
     with pytest.raises(ServeError):
         client._request("POST", "/query/batch", {})
     response = client._request("POST", "/query/batch", {"requests": []})
-    assert response == {"results": [], "count": 0}
+    assert response == {"results": [], "count": 0, "protocol": 1}
 
 
 def test_inprocess_client_and_default_loop_agree(engine):

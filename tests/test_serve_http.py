@@ -87,7 +87,8 @@ def test_unknown_endpoints_and_malformed_bodies(served):
         )
         response = conn.getresponse()
         payload = json.loads(response.read())
-        assert response.status == 400 and "invalid JSON" in payload["error"]
+        assert response.status == 400 and "invalid JSON" in payload["error"]["message"]
+        assert payload["error"]["code"] == "bad_request"
     finally:
         conn.close()
 
@@ -110,7 +111,13 @@ def test_unknown_get_returns_structured_404_json(served):
     assert status == 404
     assert content_type.startswith("application/json")
     payload = json.loads(body)
-    assert payload == {"error": "no such endpoint: GET /definitely-not-an-endpoint"}
+    assert payload == {
+        "error": {
+            "code": "not_found",
+            "message": "no such endpoint: GET /definitely-not-an-endpoint",
+            "retryable": False,
+        }
+    }
 
 
 def test_metrics_endpoint_serves_prometheus_text(served):
@@ -143,7 +150,7 @@ def test_trace_endpoint_spans_and_chrome_format(served):
     assert all(e["ph"] == "X" for e in trace["traceEvents"])
 
     status, _, body = _raw_get(server, "/trace?limit=nope")
-    assert status == 400 and "limit" in json.loads(body)["error"]
+    assert status == 400 and "limit" in json.loads(body)["error"]["message"]
 
 
 def test_slowlog_endpoint(served):

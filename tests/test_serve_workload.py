@@ -79,13 +79,36 @@ def test_driver_pool_is_deterministic():
     assert len(pool_a) == 24
     n_dims = stats["n_dims"]
     for request in pool_a:
-        assert len(request["cell"]) == n_dims
-        if request["op"] == "slice":
-            assert request["cell"].count(None) == 1
-        elif request["op"] == "rollup":
-            assert request["cell"][request["dim"]] is not None
-        elif request["op"] == "drilldown":
-            assert request["cell"][request["dim"]] is None
+        assert len(request.cell) == n_dims
+        if request.op == "slice":
+            assert request.cell.count(None) == 1
+        elif request.op == "rollup":
+            assert request.cell[request.dim] is not None
+        elif request.op == "drilldown":
+            assert request.cell[request.dim] is None
+
+
+def test_driver_pool_bind_dim_pins_the_shard_key():
+    engine = QueryEngine.from_table(_zipf_table())
+    stats = engine.stats()
+    driver = WorkloadDriver(
+        lambda: InProcessClient(engine),
+        mix=WorkloadMix(point=0.6, rollup=0.15, drilldown=0.1, slice=0.1, dice=0.05),
+        pool_size=64,
+        seed=9,
+        bind_dim=0,
+    )
+    pool = driver._build_pool(stats, np.random.default_rng(9))
+    for request in pool:
+        assert request.cell[0] is not None  # every query routes to one shard
+        if request.op == "rollup":
+            assert request.dim != 0  # the shard key never rolls away
+        if request.op == "dice":
+            assert request.predicates and "0" not in request.predicates
+    # the pinned pool must still be entirely valid
+    for request in pool:
+        response = engine.execute(request)
+        assert "error" not in response
 
 
 def test_driver_with_writer_appends_and_bumps_version():

@@ -1,0 +1,363 @@
+"""The sharded serving tier: cross-shard identity, versioned refresh, failures.
+
+The load-bearing property is *identity*: a :class:`ShardRouter` fanned
+over value-partitioned worker processes must answer every request
+bit-for-bit identically to one :class:`QueryEngine` over the whole
+table.  The fixtures use integer-valued measures so the distributive
+merges are exact (float addition is exact on integers far below 2**53),
+making ``==`` a sound oracle.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.correlated import FunctionalDependency, correlated_table
+from repro.serve import (
+    CubeServer,
+    HTTPCubeClient,
+    QueryEngine,
+    QueryRequest,
+    ServeError,
+    ShardRouter,
+)
+from repro.serve.protocol import ErrorCode
+
+N_DIMS = 6
+CARD = 8
+FDS = [FunctionalDependency((0,), (1,)), FunctionalDependency((2,), (3,))]
+
+
+def _correlated(seed=11, n_rows=3000):
+    table = correlated_table(n_rows, N_DIMS, CARD, FDS, theta=1.2, seed=seed)
+    # Integer measures: shard-merged states finalize bit-identically.
+    table.measures[:] = np.round(table.measures)
+    return table
+
+
+@pytest.fixture(scope="module")
+def tier():
+    """(single engine, 3-shard router) over one correlated table."""
+    table = _correlated()
+    single = QueryEngine.from_table(table)
+    router = ShardRouter.from_table(table, n_shards=3)
+    yield single, router
+    router.close()
+
+
+def _strip(response):
+    response = dict(response)
+    response.pop("cached", None)
+    return response
+
+
+def _random_cell(rng, bind_range):
+    n_bound = int(rng.integers(*bind_range))
+    bound = rng.choice(N_DIMS, size=n_bound, replace=False)
+    cell = [None] * N_DIMS
+    for d in bound:
+        cell[int(d)] = int(rng.integers(0, CARD))
+    return cell
+
+
+# ---------------------------------------------------------------------------
+# cross-shard identity
+# ---------------------------------------------------------------------------
+
+
+def test_point_identity_over_random_cells(tier):
+    single, router = tier
+    rng = np.random.default_rng(17)
+    for _ in range(60):
+        request = QueryRequest(op="point", cell=_random_cell(rng, (0, 4)))
+        assert _strip(router.execute(request)) == _strip(single.execute(request))
+
+
+def test_rollup_and_drilldown_identity(tier):
+    single, router = tier
+    rng = np.random.default_rng(23)
+    for _ in range(25):
+        cell = _random_cell(rng, (1, 4))
+        bound = [d for d in range(N_DIMS) if cell[d] is not None]
+        free = [d for d in range(N_DIMS) if cell[d] is None]
+        up = QueryRequest(op="rollup", cell=cell, dim=int(rng.choice(bound)))
+        down = QueryRequest(op="drilldown", cell=cell, dim=int(rng.choice(free)))
+        assert _strip(router.execute(up)) == _strip(single.execute(up))
+        assert _strip(router.execute(down)) == _strip(single.execute(down))
+
+
+def test_drilldown_on_the_shard_dim_unions_all_shards(tier):
+    single, router = tier
+    request = QueryRequest(op="drilldown", cell=[None] * N_DIMS, dim=0)
+    mine = router.execute(request)
+    assert _strip(mine) == _strip(single.execute(request))
+    # the apex drill-down along the shard dim must cover every residue class
+    values = {child["cell"][0] for child in mine["children"]}
+    assert {v % router.n_shards for v in values} == set(range(router.n_shards))
+
+
+def test_slice_identity(tier):
+    single, router = tier
+    rng = np.random.default_rng(31)
+    for _ in range(10):
+        cell = _random_cell(rng, (N_DIMS - 2, N_DIMS - 1))
+        request = QueryRequest(op="slice", cell=cell)
+        assert _strip(router.execute(request)) == _strip(single.execute(request))
+
+
+def test_dice_identity_including_shard_dim_predicates(tier):
+    single, router = tier
+    rng = np.random.default_rng(37)
+    for _ in range(15):
+        cell = _random_cell(rng, (0, 3))
+        free = [d for d in range(N_DIMS) if cell[d] is None]
+        pred_dims = rng.choice(free, size=min(len(free), 2), replace=False)
+        predicates = {
+            str(int(d)): sorted(
+                int(v) for v in rng.choice(CARD, size=3, replace=False)
+            )
+            for d in pred_dims
+        }
+        request = QueryRequest(op="dice", cell=cell, predicates=predicates)
+        assert _strip(router.execute(request)) == _strip(single.execute(request))
+
+
+def test_batch_identity_with_error_items(tier):
+    single, router = tier
+    rng = np.random.default_rng(41)
+    requests = [QueryRequest(op="point", cell=_random_cell(rng, (0, 4)))
+                for _ in range(30)]
+    requests.insert(5, QueryRequest(op="cube"))            # unknown op
+    requests.insert(11, QueryRequest(op="point", cell=[1]))  # wrong arity
+    mine = [_strip(r) for r in router.execute_batch(requests)]
+    theirs = [_strip(r) for r in single.execute_batch(requests)]
+    assert mine == theirs
+    assert mine[5]["error"]["code"] == ErrorCode.BAD_REQUEST
+
+
+def test_invalid_requests_fail_with_the_engines_exact_errors(tier):
+    single, router = tier
+    for request in (
+        QueryRequest(op="nope"),
+        QueryRequest(op="point", cell=[0, 0]),
+        QueryRequest(op="point", cell=[-1] + [None] * (N_DIMS - 1)),
+        QueryRequest(op="rollup", cell=[None] * N_DIMS, dim=0),
+        QueryRequest(op="drilldown", cell=[0] * N_DIMS, dim=0),
+        QueryRequest(op="dice", predicates={}),
+        QueryRequest(op="point", bindings={"nope": 1}),
+    ):
+        with pytest.raises(ServeError) as single_exc:
+            single.execute(request)
+        with pytest.raises(ServeError) as router_exc:
+            router.execute(request)
+        assert str(router_exc.value) == str(single_exc.value)
+        assert router_exc.value.info.code == single_exc.value.info.code
+
+
+# ---------------------------------------------------------------------------
+# versioned refresh
+# ---------------------------------------------------------------------------
+
+
+def test_two_phase_append_keeps_identity_and_lockstep_versions():
+    table = _correlated(seed=3, n_rows=800)
+    single = QueryEngine.from_table(table)
+    with ShardRouter.from_table(table, n_shards=2) as router:
+        rows = [[int(v) for v in row] for row in
+                np.random.default_rng(7).integers(0, CARD, size=(40, N_DIMS))]
+        measures = [[float(i % 9)] for i in range(40)]
+        assert single.append(rows, measures) == 1
+        assert router.append(rows, measures) == 1
+        stats = router.stats()
+        assert stats["version"] == 1
+        assert [s["version"] for s in stats["shards"]] == [1, 1]
+        assert stats["rows_absorbed"] == single.stats()["rows_absorbed"]
+        rng = np.random.default_rng(43)
+        for _ in range(25):
+            request = QueryRequest(op="point", cell=_random_cell(rng, (0, 4)))
+            assert _strip(router.execute(request)) == _strip(single.execute(request))
+
+
+def test_append_validation_rejects_before_any_shard_moves():
+    table = _correlated(seed=5, n_rows=400)
+    with ShardRouter.from_table(table, n_shards=2) as router:
+        for rows, measures in (
+            ([], None),
+            ([[0, 0]], None),                        # wrong arity
+            ([[0] * N_DIMS], [[1.0], [2.0]]),        # measure count mismatch
+            ([[-1] + [0] * (N_DIMS - 1)], [[1.0]]),  # negative code
+        ):
+            with pytest.raises(ServeError):
+                router.append(rows, measures)
+        assert router.version == 0
+        assert [s["version"] for s in router.stats()["shards"]] == [0, 0]
+
+
+def test_version_pinned_request_conflicts_after_refresh():
+    table = _correlated(seed=6, n_rows=400)
+    with ShardRouter.from_table(table, n_shards=2) as router:
+        pinned = QueryRequest(op="point", cell=[None] * N_DIMS, version=0)
+        assert router.execute(pinned)["version"] == 0
+        router.append([[0] * N_DIMS], [[1.0]])
+        with pytest.raises(ServeError) as excinfo:
+            router.execute(pinned)
+        assert excinfo.value.info.code == ErrorCode.VERSION_CONFLICT
+        assert excinfo.value.info.retryable is True
+        # inside a batch it degrades to a structured per-item error
+        (entry,) = router.execute_batch([pinned])
+        assert entry["error"]["code"] == ErrorCode.VERSION_CONFLICT
+
+
+def test_torn_shard_version_surfaces_as_version_conflict():
+    table = _correlated(seed=8, n_rows=400)
+    with ShardRouter.from_table(table, n_shards=2) as router:
+        # Push shard 1 ahead behind the router's back (a torn swap).
+        router._workers[1].call("prepare", 1, [], [], timeout=30)
+        router._workers[1].call("commit", 1, timeout=30)
+        with pytest.raises(ServeError) as excinfo:
+            router.execute(QueryRequest(op="point", cell=[None] * N_DIMS))
+        assert excinfo.value.info.code == ErrorCode.VERSION_CONFLICT
+        assert excinfo.value.info.shard == 1
+        assert excinfo.value.info.retryable is True
+        # requests routed entirely to the healthy shard still answer
+        healthy = router.execute(
+            QueryRequest(op="point", cell=[0] + [None] * (N_DIMS - 1))
+        )
+        assert healthy["version"] == 0
+
+
+# ---------------------------------------------------------------------------
+# failures: dead shards, slow shards, injected faults
+# ---------------------------------------------------------------------------
+
+
+def test_dead_shard_degrades_to_structured_partial_results():
+    table = _correlated(seed=9, n_rows=400)
+    with ShardRouter.from_table(table, n_shards=2) as router:
+        router._workers[1].process.terminate()
+        router._workers[1].process.join(timeout=10)
+        requests = [
+            QueryRequest(op="point", cell=[0] + [None] * (N_DIMS - 1)),  # shard 0
+            QueryRequest(op="point", cell=[1] + [None] * (N_DIMS - 1)),  # shard 1
+        ]
+        live, dead = router.execute_batch(requests)
+        assert "error" not in live and live["cell"][0] == 0
+        assert dead["error"]["code"] == ErrorCode.SHARD_UNAVAILABLE
+        assert dead["error"]["shard"] == 1
+        assert dead["error"]["retryable"] is True
+        stats = router.stats()
+        assert stats["shards_live"] == 1
+        assert stats["shards"][1] == {"shard": 1, "alive": False}
+
+
+def test_slow_shard_times_out_and_the_router_recovers():
+    table = _correlated(seed=10, n_rows=400)
+    with ShardRouter.from_table(table, n_shards=2, timeout=0.25) as router:
+        router._workers[0].call("set_latency", 0.8, timeout=30)
+        start = time.perf_counter()
+        with pytest.raises(ServeError) as excinfo:
+            router.execute(QueryRequest(op="point", cell=[None] * N_DIMS))
+        assert time.perf_counter() - start < 5.0
+        assert excinfo.value.info.code == ErrorCode.SHARD_TIMEOUT
+        assert excinfo.value.info.shard == 0
+        router._workers[0].call("set_latency", 0.0, timeout=30)
+        # the stale late reply is discarded, not mis-paired with this one
+        response = router.execute(QueryRequest(op="point", cell=[None] * N_DIMS))
+        assert response["value"] is not None
+
+
+def test_concurrent_clients_share_worker_pipes_safely():
+    """Concurrent scatters must never mis-pair or drop worker replies.
+
+    Regression test: with collects racing on the worker pipes, one
+    thread used to consume another's reply and kill the shard with a
+    sequence desync.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    table = _correlated(seed=14, n_rows=800)
+    single = QueryEngine.from_table(table)
+    with ShardRouter.from_table(table, n_shards=2) as router:
+        rng = np.random.default_rng(3)
+        requests = [QueryRequest(op="point", cell=_random_cell(rng, (0, 3)))
+                    for _ in range(120)]
+        expected = [_strip(single.execute(r)) for r in requests]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            mine = list(pool.map(lambda r: _strip(router.execute(r)), requests))
+        assert mine == expected
+        assert router.stats()["shards_live"] == 2
+
+
+def test_injected_shard_fault_maps_to_internal_and_recovers():
+    table = _correlated(seed=12, n_rows=400)
+    with ShardRouter.from_table(table, n_shards=2) as router:
+        router._workers[1].call("fail_next", 1, timeout=30)
+        with pytest.raises(ServeError) as excinfo:
+            router.execute(QueryRequest(op="point", cell=[None] * N_DIMS))
+        assert excinfo.value.info.code == ErrorCode.INTERNAL
+        assert excinfo.value.info.shard == 1
+        response = router.execute(QueryRequest(op="point", cell=[None] * N_DIMS))
+        assert response["value"] is not None
+
+
+# ---------------------------------------------------------------------------
+# routing and the serving surface
+# ---------------------------------------------------------------------------
+
+
+def test_shard_key_bound_requests_route_to_one_shard(tier):
+    _, router = tier
+    snap = router.snapshot()
+    for code in range(CARD):
+        plan = router._plan(
+            snap, "point",
+            QueryRequest(op="point", cell=[code] + [None] * (N_DIMS - 1)),
+        )
+        assert plan.targets == (code % router.n_shards,)
+    scatter = router._plan(
+        snap, "point", QueryRequest(op="point", cell=[None] * N_DIMS)
+    )
+    assert scatter.targets == tuple(range(router.n_shards))
+    diced = router._plan(
+        snap, "dice",
+        QueryRequest(op="dice", predicates={"0": [0, router.n_shards]}),
+    )
+    assert diced.targets == (0,)  # both values land on shard 0
+
+
+def test_http_server_and_clients_work_unchanged_over_the_router(tier):
+    single, router = tier
+    with CubeServer(router, port=0) as server:
+        with HTTPCubeClient(server.url) as client:
+            request = {"op": "point", "cell": [0] + [None] * (N_DIMS - 1)}
+            over_http = _strip(client.query(request))
+            assert over_http == _strip(single.execute(QueryRequest(**request)))
+            stats = client.stats()
+            assert stats["sharded"] is True and stats["n_shards"] == 3
+            batch = client.query_batch([request, {"op": "bad"}])
+            assert "error" not in batch[0]
+            assert batch[1]["error"]["code"] == ErrorCode.BAD_REQUEST
+            assert client.healthz()["version"] == router.version
+
+
+def test_shard_metric_families_are_exposed(tier):
+    from repro.obs import get_registry, parse_prometheus_text
+
+    _, router = tier
+    router.execute(QueryRequest(op="point", cell=[None] * N_DIMS))
+    families = parse_prometheus_text(get_registry().render_prometheus())
+    for family in (
+        "repro_shard_requests_total",
+        "repro_shard_scatter_seconds",
+        "repro_shard_fanout",
+        "repro_shard_live",
+    ):
+        assert family in families, family
+
+
+def test_router_repr_and_point_helper(tier):
+    single, router = tier
+    assert "3/3 shards" in repr(router) or "shards live" in repr(router)
+    cell = [0] + [None] * (N_DIMS - 1)
+    assert router.point(cell) == single.point(cell)
