@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-thorough lint ci bench bench-smoke query-bench shard-bench serve-demo examples figures report claims clean
+.PHONY: install test test-thorough lint ci bench bench-smoke query-bench shard-bench snapshot-bench serve-demo examples figures report claims clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -34,6 +34,7 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_bulk_build.py --quick
 	$(PYTHON) benchmarks/bench_point_queries.py --quick
 	$(PYTHON) benchmarks/bench_sharded.py --quick
+	$(PYTHON) benchmarks/bench_snapshot.py --quick
 	$(PYTHON) benchmarks/smoke_metrics.py
 	REPRO_BENCH_PRESET=tiny $(PYTHON) -m pytest benchmarks/bench_point_queries.py --benchmark-only -q
 
@@ -48,6 +49,12 @@ query-bench:
 # refreshes BENCH_sharded.json
 shard-bench:
 	$(PYTHON) benchmarks/bench_sharded.py
+
+# the snapshot bench at full scale: verifies json == mmap answer identity,
+# enforces the snapshot cold-start speedup floor and refreshes
+# BENCH_snapshot.json
+snapshot-bench:
+	$(PYTHON) benchmarks/bench_snapshot.py
 
 # end-to-end serving demo: generate a skewed table, serve it over HTTP on an
 # ephemeral port, and drive 4 concurrent clients (plus 2 append batches) at it

@@ -45,6 +45,14 @@ REQUIRED_FAMILIES = (
     "repro_shard_lag_seconds",
     "repro_shard_live",
     "repro_shard_version",
+    # the snapshot tier (drive_snapshot must have populated these)
+    "repro_snapshot_load_seconds",
+    "repro_snapshot_hot_masks",
+    "repro_snapshot_resident_bytes",
+    "repro_snapshot_promotions_total",
+    "repro_snapshot_evictions_total",
+    "repro_snapshot_cold_queries_total",
+    "repro_snapshot_hot_queries_total",
 )
 
 
@@ -74,9 +82,41 @@ def drive_sharded(table) -> None:
         router.append([[0] * table.n_dims], None)
 
 
+def drive_snapshot(table) -> None:
+    """Freeze the table's cube, mmap it back, run one batched read.
+
+    Populates every ``repro_snapshot_*`` family (the load histogram, the
+    tier gauges and the promotion/eviction/hot/cold counters) so the
+    scrape below can assert them alongside the serving families.
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.range_cubing import range_cubing
+    from repro.serve.protocol import QueryRequest
+    from repro.store import SnapshotEngine, write_snapshot
+
+    root = tempfile.mkdtemp(prefix="repro-smoke-snapshot-")
+    try:
+        path = f"{root}/cube.snapshot"
+        write_snapshot(range_cubing(table), path, table.schema)
+        requests = [
+            QueryRequest(op="point", cell=[v, None, None, None]) for v in range(8)
+        ]
+        with SnapshotEngine(path, cache_capacity=0, promote_after=1) as engine:
+            engine.execute_batch(requests)  # promotes the mask: hot counters
+        with SnapshotEngine(
+            path, cache_capacity=0, budget_bytes=1, promote_after=1 << 30
+        ) as engine:
+            engine.execute_batch(requests)  # pinned cold: cold counters
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def main() -> int:
     table = zipf_table(500, 4, 10, 1.2, seed=3)
     drive_sharded(table)
+    drive_snapshot(table)
     engine = QueryEngine.from_table(table)
     with CubeServer(engine, port=0) as server:
         client = HTTPCubeClient(server.url)

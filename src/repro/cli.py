@@ -10,6 +10,12 @@
     python -m repro serve t.csv --measures 1 --port 8642
     python -m repro workload http://127.0.0.1:8642 --clients 4
     python -m repro workload t.csv --measures 1 --serve --clients 4
+    python -m repro snapshot save t.csv --measures 1 --out t.snapshot
+    python -m repro snapshot save t.csv --measures 1 --out fleet.snapshot --shards 4
+    python -m repro snapshot inspect t.snapshot
+    python -m repro snapshot load t.snapshot --budget-mb 64
+    python -m repro serve --snapshot-dir t.snapshot --port 8642
+    python -m repro workload t.snapshot --cold-start 5
     python -m repro cube t.csv --measures 1 --trace-out spans.json
     python -m repro obs http://127.0.0.1:8642
     python -m repro obs http://127.0.0.1:8642 --trace --out spans.json
@@ -35,12 +41,20 @@ p50/p95/p99 latency.
 trace-event JSON (open in Perfetto / ``chrome://tracing``); ``obs``
 fetches a running server's ``/metrics`` (or ``--trace`` / ``--slowlog``)
 — see ``docs/observability.md``.
+
+``snapshot`` freezes a cubed table into an mmap-able column snapshot
+(``--shards N`` writes one snapshot per value-routed partition plus a
+fleet manifest); ``serve --snapshot-dir`` and a directory ``workload``
+target cold-start from it — near-instant restarts, out-of-core reads —
+and ``workload --cold-start N`` measures that restart latency.  See
+``docs/persistence.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.baselines.htree import HTree
@@ -199,9 +213,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _build_engine(args: argparse.Namespace):
-    """The serving engine for ``args``: single resident, or a shard router."""
+    """The serving engine for ``args``: resident, sharded, or snapshot-backed."""
     from repro.serve import QueryEngine, ShardRouter
 
+    snapshot_dir = getattr(args, "snapshot_dir", None)
+    if snapshot_dir:
+        from repro.store import SnapshotEngine, is_sharded_snapshot
+
+        budget = int(getattr(args, "budget_mb", 64.0) * (1 << 20))
+        if is_sharded_snapshot(snapshot_dir):
+            return ShardRouter.from_snapshot_dir(
+                snapshot_dir,
+                cache_capacity=args.cache,
+                timeout=getattr(args, "shard_timeout", 30.0),
+                budget_bytes=budget,
+            )
+        return SnapshotEngine(snapshot_dir, cache_capacity=args.cache, budget_bytes=budget)
     table = read_table_csv(args.table, n_measures=args.measures)
     shards = getattr(args, "shards", 0)
     if shards and shards > 1:
@@ -221,14 +248,25 @@ def _build_engine(args: argparse.Namespace):
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import CubeServer
 
+    if bool(args.table) == bool(args.snapshot_dir):
+        print(
+            "error: give a CSV table or --snapshot-dir DIR (exactly one)",
+            file=sys.stderr,
+        )
+        return 2
     engine = _build_engine(args)
     server = CubeServer(engine, host=args.host, port=args.port, verbose=args.verbose)
     stats = engine.stats()
-    tier = (
-        f"{stats['n_shards']} shards (dim {stats['shard_dim']})"
-        if stats.get("sharded")
-        else "single engine"
-    )
+    if stats.get("sharded"):
+        tier = f"{stats['n_shards']} shards (dim {stats['shard_dim']})"
+        if args.snapshot_dir:
+            tier += ", snapshot-backed"
+    elif stats.get("snapshot"):
+        tier = (
+            f"snapshot tier, {stats['snapshot']['mapped_bytes'] / (1 << 20):.1f} MiB mapped"
+        )
+    else:
+        tier = "single engine"
     print(
         f"serving {stats['rows_absorbed']:,} rows as {stats['n_ranges']:,} ranges "
         f"({stats['n_dims']} dims, {tier}) on {server.url}"
@@ -262,11 +300,23 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     server = None
     engine = None
     if args.target.startswith(("http://", "https://")):
+        if args.cold_start:
+            print(
+                "error: --cold-start needs a local target (CSV table or "
+                "snapshot directory), not a running server",
+                file=sys.stderr,
+            )
+            return 2
         url = args.target
         factory = lambda: HTTPCubeClient(url)  # noqa: E731
         transport = f"HTTP -> {url}"
     else:
-        args.table = args.target
+        # A directory target is a snapshot (single or sharded fleet);
+        # anything else is a CSV table to cube in-process.
+        if Path(args.target).is_dir():
+            args.snapshot_dir = args.target
+        else:
+            args.table = args.target
         engine = _build_engine(args)
         if args.serve:
             server = CubeServer(engine, port=0)
@@ -287,6 +337,10 @@ def _cmd_workload(args: argparse.Namespace) -> int:
             append_rows=args.append_rows,
             batch_size=args.batch,
             bind_dim=getattr(args, "bind_dim", None),
+            cold_start=args.cold_start,
+            cold_start_factory=(
+                (lambda: _build_engine(args)) if args.cold_start else None
+            ),
         )
         report = driver.run(clients=args.clients, requests_per_client=args.requests)
     except ValueError as exc:  # e.g. "clients and requests_per_client must be positive"
@@ -300,6 +354,156 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     print(f"transport: {transport}")
     print(report.format())
     return 1 if report.errors else 0
+
+
+def _cmd_snapshot_save(args: argparse.Namespace) -> int:
+    from repro.table.schema import Dimension, Schema
+
+    table = read_table_csv(args.table, n_measures=args.measures)
+    # Pin observed cardinalities so a loaded engine can build workload
+    # pools / drill-down candidates without the base table at hand.
+    schema = Schema(
+        tuple(
+            Dimension(d.name, int(c) if c else table.distinct_count(i))
+            for i, (d, c) in enumerate(
+                zip(table.schema.dimensions, table.schema.cardinalities)
+            )
+        ),
+        table.schema.measures,
+    )
+    if args.shards and args.shards > 1:
+        from repro.store import save_sharded_snapshot
+
+        save_sharded_snapshot(
+            table,
+            args.out,
+            n_shards=args.shards,
+            shard_dim=args.shard_dim,
+            min_support=args.min_support,
+        )
+        print(
+            f"wrote sharded snapshot of {table.n_rows:,} rows "
+            f"({args.shards} shards on dim {args.shard_dim}) to {args.out}"
+        )
+        return 0
+    from repro.core.range_cubing import range_cubing
+    from repro.store import write_snapshot
+
+    cube = range_cubing(table, min_support=args.min_support)
+    write_snapshot(
+        cube,
+        args.out,
+        schema,
+        min_support=args.min_support,
+        rows_absorbed=table.n_rows,
+    )
+    print(f"wrote {cube.n_ranges:,} ranges ({table.n_rows:,} rows) to {args.out}")
+    return 0
+
+
+def _cmd_snapshot_inspect(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.store import (
+        SnapshotError,
+        inspect_snapshot,
+        is_sharded_snapshot,
+        read_router_manifest,
+    )
+
+    try:
+        if is_sharded_snapshot(args.snapshot):
+            manifest = read_router_manifest(args.snapshot)
+            shards = [
+                inspect_snapshot(Path(args.snapshot) / name)
+                for name in manifest["shards"]
+            ]
+            if args.json:
+                print(json.dumps({"router": manifest, "shards": shards}, indent=1))
+                return 0
+            print(
+                f"sharded snapshot: {manifest['n_shards']} shards "
+                f"(dim {manifest['shard_dim']}), {manifest['rows_absorbed']:,} rows, "
+                f"engine version {manifest['engine_version']}"
+            )
+            for name, info in zip(manifest["shards"], shards):
+                print(
+                    f"  {name}: {info['n_ranges']:,} ranges, "
+                    f"{info['column_bytes']:,} column bytes"
+                )
+            return 0
+        info = inspect_snapshot(args.snapshot)
+    except (SnapshotError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(info, indent=1))
+        return 0
+    print(f"{info['path']}: {info['format']} v{info['format_version']}")
+    print(
+        f"{info['n_ranges']:,} ranges, {info['n_dims']} dims, "
+        f"states {info['states_format']}, min_support {info['min_support']}, "
+        f"engine version {info['engine_version']}, "
+        f"{info['rows_absorbed']:,} rows absorbed"
+    )
+    for entry in info["files"]:
+        print(
+            f"  {entry['file']:<24} {entry['dtype']:>8}  "
+            f"{'x'.join(str(n) for n in entry['shape']):>12}  {entry['bytes']:,} bytes"
+        )
+    print(f"column bytes: {info['column_bytes']:,}")
+    return 0
+
+
+def _cmd_snapshot_load(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.serve import InProcessClient
+    from repro.serve.protocol import QueryRequest
+    from repro.store import SnapshotError, SnapshotIntegrityError
+
+    args.snapshot_dir = args.snapshot
+    args.cache = 0
+    start = time.perf_counter()
+    try:
+        engine = _build_engine(args)
+    except (SnapshotError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.verify and hasattr(engine, "store"):
+            from repro.store.snapshot import _verify_checksums
+
+            try:
+                _verify_checksums(Path(args.snapshot_dir), engine.store.manifest)
+            except SnapshotIntegrityError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            print("checksums: ok")
+        mapped = time.perf_counter() - start
+        with InProcessClient(engine) as client:
+            stats = client.stats()
+            begin = time.perf_counter()
+            response = client.query(
+                QueryRequest(op="point", cell=[None] * stats["n_dims"])
+            )
+            first_query = time.perf_counter() - begin
+        print(
+            f"mapped {stats['n_ranges']:,} ranges "
+            f"({stats['rows_absorbed']:,} rows) in {mapped:.4f}s; "
+            f"first query {first_query * 1000:.3f}ms"
+        )
+        print(f"apex: {response['value']}")
+        if hasattr(engine, "tier_stats"):
+            tier = engine.tier_stats()
+            print(
+                f"tier: budget {tier['budget_bytes']:,} bytes, "
+                f"{tier['hot_masks']} hot masks, {tier['resident_bytes']:,} resident"
+            )
+    finally:
+        if hasattr(engine, "close"):
+            engine.close()
+    return 0
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -469,7 +673,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("serve", help="serve a cube over JSON/HTTP")
-    p.add_argument("table", help="CSV base table to cube and hold resident")
+    p.add_argument(
+        "table",
+        nargs="?",
+        default=None,
+        help="CSV base table to cube and hold resident (or use --snapshot-dir)",
+    )
+    p.add_argument(
+        "--snapshot-dir",
+        default=None,
+        dest="snapshot_dir",
+        metavar="DIR",
+        help="cold-start from an mmap snapshot (single or sharded) instead of a table",
+    )
+    p.add_argument(
+        "--budget-mb",
+        type=float,
+        default=64.0,
+        dest="budget_mb",
+        help="snapshot tier resident-bytes budget in MiB (with --snapshot-dir)",
+    )
     p.add_argument("--measures", type=int, default=0, help="trailing measure columns")
     p.add_argument("--min-support", type=int, default=1)
     p.add_argument("--host", default="127.0.0.1")
@@ -501,7 +724,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("workload", help="drive a serving workload, print latencies")
     p.add_argument(
         "target",
-        help="a running server's http://host:port, or a CSV table to serve",
+        help="a running server's http://host:port, a CSV table to serve, "
+        "or a snapshot directory to mmap",
     )
     p.add_argument("--measures", type=int, default=0, help="trailing measure columns")
     p.add_argument("--min-support", type=int, default=1)
@@ -556,7 +780,70 @@ def build_parser() -> argparse.ArgumentParser:
         dest="bind_dim",
         help="pin this dimension in every pooled query (shard-key-bound traffic)",
     )
-    p.set_defaults(func=_cmd_workload)
+    p.add_argument(
+        "--cold-start",
+        type=int,
+        default=0,
+        dest="cold_start",
+        help="after the run, time N engine restarts to first answered query "
+        "(local targets only; reported as the cold_start op)",
+    )
+    p.add_argument(
+        "--budget-mb",
+        type=float,
+        default=64.0,
+        dest="budget_mb",
+        help="snapshot tier resident-bytes budget in MiB (directory targets)",
+    )
+    p.set_defaults(func=_cmd_workload, snapshot_dir=None)
+
+    p = sub.add_parser(
+        "snapshot", help="freeze, inspect or probe mmap cube snapshots"
+    )
+    snap = p.add_subparsers(dest="action", required=True)
+
+    ps = snap.add_parser("save", help="cube a CSV table into a snapshot directory")
+    ps.add_argument("table", help="CSV base table to cube and freeze")
+    ps.add_argument("--measures", type=int, default=0, help="trailing measure columns")
+    ps.add_argument("--min-support", type=int, default=1)
+    ps.add_argument("--out", required=True, help="snapshot directory to write")
+    ps.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="write a sharded fleet: one snapshot per partition plus router.json",
+    )
+    ps.add_argument(
+        "--shard-dim",
+        type=int,
+        default=0,
+        dest="shard_dim",
+        help="dimension whose value routes each row to its shard",
+    )
+    ps.set_defaults(func=_cmd_snapshot_save)
+
+    ps = snap.add_parser("inspect", help="print a snapshot's manifest summary")
+    ps.add_argument("snapshot", help="snapshot directory (single or sharded)")
+    ps.add_argument("--json", action="store_true", help="machine-readable output")
+    ps.set_defaults(func=_cmd_snapshot_inspect)
+
+    ps = snap.add_parser(
+        "load", help="mmap a snapshot, answer the apex query, print timings"
+    )
+    ps.add_argument("snapshot", help="snapshot directory (single or sharded)")
+    ps.add_argument(
+        "--budget-mb",
+        type=float,
+        default=64.0,
+        dest="budget_mb",
+        help="snapshot tier resident-bytes budget in MiB",
+    )
+    ps.add_argument(
+        "--verify",
+        action="store_true",
+        help="checksum every column file against the manifest first (full read)",
+    )
+    ps.set_defaults(func=_cmd_snapshot_load)
 
     p = sub.add_parser("obs", help="fetch telemetry from a running server")
     p.add_argument("server", help="base URL, e.g. http://127.0.0.1:8642")

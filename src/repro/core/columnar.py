@@ -97,6 +97,11 @@ _FIND_BATCH_SIZE = _REGISTRY.histogram(
 )
 
 
+def _cuboid_map_nbytes(entries: int, n_dims: int) -> int:
+    """Approximate heap footprint of a cuboid map (dict slot + cell tuple)."""
+    return entries * (120 + 16 * n_dims)
+
+
 def _pack_bits(flags: np.ndarray) -> np.ndarray:
     """A boolean vector packed little-endian into uint64 words."""
     n_words = (len(flags) + 63) // 64 or 1
@@ -172,6 +177,7 @@ class ColumnarRangeStore:
                 f"cube has {cube.n_dims}"
             )
         self.cube = cube
+        self.aggregator = cube.aggregator
         self.n_dims = cube.n_dims
         self.ranges = cube.ranges
         n = cube.n_dims
@@ -210,6 +216,33 @@ class ColumnarRangeStore:
         self._cuboid_ids: dict[int, np.ndarray] = {}
         self._cuboid_maps: dict[int, dict[Cell, int]] = {}
         self._cuboid_sizes: dict[int, int] | None = None
+        self._memo_policy = None
+
+    # -- memoization policy ----------------------------------------------
+
+    def set_memo_policy(self, policy) -> None:
+        """Install an admission policy over the per-mask memo caches.
+
+        ``None`` (the default) memoizes everything — the resident store's
+        historical behaviour.  A policy object mediates the hot/cold
+        split for out-of-core stores (see :class:`repro.store.TierPolicy`):
+
+        * ``should_map(mask, group_size)`` — consulted by
+          :meth:`find_batch_ids` before a group uses (or builds) a cuboid
+          map; ``False`` sends the group down the per-cell postings path,
+          which never materializes per-mask state.
+        * ``admit(kind, mask, nbytes)`` — consulted before a freshly
+          built structure (``kind`` ``"ids"`` or ``"map"``) is memoized;
+          ``False`` serves it transiently.  The policy may evict other
+          masks through :meth:`evict_memo` to make room.
+        """
+        self._memo_policy = policy
+
+    def evict_memo(self, kind: str, mask: int) -> None:
+        """Drop one memoized per-mask structure (policy eviction callback)."""
+        memo = self._cuboid_ids if kind == "ids" else self._cuboid_maps
+        with self._memo_lock:
+            memo.pop(mask, None)
 
     # -- construction helpers -------------------------------------------
 
@@ -324,6 +357,12 @@ class ColumnarRangeStore:
         for qmask, positions in groups.items():
             cmap = self._cuboid_maps.get(qmask)
             if cmap is None:
+                policy = self._memo_policy
+                if policy is not None and not policy.should_map(qmask, len(positions)):
+                    for pos in positions:
+                        out[pos] = self.find_id(cells[pos])
+                    postings_resolved += len(positions)
+                    continue
                 candidates = self.cuboid_ids(qmask)
                 if candidates.size > _MAP_BUILD_FACTOR * len(positions):
                     for pos in positions:
@@ -357,8 +396,10 @@ class ColumnarRangeStore:
             ids = np.flatnonzero(
                 ((self.fixed_mask & ~mask) == 0) & ((mask & ~self.bound_mask) == 0)
             ).astype(np.int32)
-            with self._memo_lock:
-                self._cuboid_ids.setdefault(mask, ids)
+            policy = self._memo_policy
+            if policy is None or policy.admit("ids", mask, ids.nbytes):
+                with self._memo_lock:
+                    self._cuboid_ids.setdefault(mask, ids)
         return ids
 
     def _project(self, rid_rows: np.ndarray, dims: list[int]) -> Iterable[Cell]:
@@ -382,8 +423,12 @@ class ColumnarRangeStore:
             dims = [d for d in range(self.n_dims) if mask >> d & 1]
             sub = self.specific[ids][:, dims] if len(dims) else self.specific[ids][:, :0]
             cmap = dict(zip(self._project(sub, dims), ids.tolist()))
-            with self._memo_lock:
-                self._cuboid_maps.setdefault(mask, cmap)
+            policy = self._memo_policy
+            if policy is None or policy.admit(
+                "map", mask, _cuboid_map_nbytes(len(cmap), self.n_dims)
+            ):
+                with self._memo_lock:
+                    self._cuboid_maps.setdefault(mask, cmap)
         return cmap
 
     def cuboid(self, mask: int) -> dict[Cell, tuple]:
@@ -436,7 +481,7 @@ class ColumnarRangeStore:
         if self._fast_columns is not None:
             return self._fast_columns.merge(int(np.add.reduce(self.counts[ids])), ids)
         states = self.states
-        return reduce(self.cube.aggregator.merge, (states[i] for i in ids.tolist()))
+        return reduce(self.aggregator.merge, (states[i] for i in ids.tolist()))
 
     def dice_ids(
         self,

@@ -38,6 +38,12 @@ The pieces, bottom up:
   aggregate-state merging and a versioned two-phase refresh (``repro
   serve --shards N``; see ``docs/sharding.md``).
 
+The out-of-core tier lives next door in :mod:`repro.store`: mmap-able
+cube snapshots (``repro snapshot save/load/inspect``), the read-only
+:class:`~repro.store.SnapshotEngine` two-tier serving path, per-shard
+snapshot cold start (:meth:`ShardRouter.from_snapshot_dir`) and the
+``CubeStore(format="snapshot")`` backend — see ``docs/persistence.md``.
+
 Quick start::
 
     from repro.data.synthetic import zipf_table

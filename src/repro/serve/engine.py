@@ -123,6 +123,24 @@ _ROWS_RESIDENT = _REGISTRY.gauge(
 )
 
 
+def _make_op_series(ops: Sequence[str]) -> dict:
+    """Pre-bound (requests, seconds, errors) metric handles per op.
+
+    Label resolution costs a dict + tuple per call; engines bind the
+    per-op series once at construction instead.  Shared with the
+    read-only :class:`repro.store.SnapshotEngine`, which reuses this
+    module's request metrics so dashboards see one serving surface.
+    """
+    return {
+        op: (
+            _REQUESTS.labels(op=op),
+            _REQUEST_SECONDS.labels(op=op),
+            _REQUEST_ERRORS.labels(op=op),
+        )
+        for op in (*ops, "invalid")
+    }
+
+
 def _register_engine_collector(engine: "QueryEngine") -> None:
     """Bridge one engine's internal counters onto gauges at scrape time.
 
@@ -211,6 +229,7 @@ class QueryEngine:
         store: "CubeStore | None" = None,
         name: str | None = None,
         initial_version: int = 0,
+        initial_cube=None,
         slow_query_threshold: float = 0.050,
         slow_log_capacity: int = 128,
         slow_log_sample: int = 1,
@@ -231,9 +250,15 @@ class QueryEngine:
         ]
         self._measure_names = schema.measure_names
         self._dimension_names = schema.dimension_names
-        # A plain attribute assignment swaps versions atomically.
+        # A plain attribute assignment swaps versions atomically.  An
+        # ``initial_cube`` (e.g. a mmap-loaded snapshot, see
+        # :mod:`repro.store`) skips the trie's cube emission entirely —
+        # the snapshot cold-start path; the first append replaces it
+        # with a freshly emitted resident cube as usual.
         self._version = CubeVersion(
-            initial_version, cuber.cube(min_support), self._current_schema()
+            initial_version,
+            initial_cube if initial_cube is not None else cuber.cube(min_support),
+            self._current_schema(),
         )
         self.cache = LRUCache(cache_capacity)
         #: Requests slower than ``slow_query_threshold`` seconds are
@@ -243,14 +268,7 @@ class QueryEngine:
         )
         # Label resolution costs a dict + tuple per call; the read path
         # instead uses these pre-bound per-op series handles.
-        self._op_series = {
-            op: (
-                _REQUESTS.labels(op=op),
-                _REQUEST_SECONDS.labels(op=op),
-                _REQUEST_ERRORS.labels(op=op),
-            )
-            for op in (*self.OPS, "invalid")
-        }
+        self._op_series = _make_op_series(self.OPS)
         _register_engine_collector(self)
 
     # ------------------------------------------------------------------

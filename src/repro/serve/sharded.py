@@ -371,6 +371,7 @@ class ShardRouter:
         min_support: int = 1,
         name: str = "router",
         slow_query_threshold: float = 0.050,
+        initial_version: int = 0,
     ) -> None:
         if not workers:
             raise ValueError("a shard router needs at least one worker")
@@ -383,7 +384,7 @@ class ShardRouter:
         self.append_timeout = append_timeout
         self._min_support = min_support
         self._name = name
-        self._router_version = 0
+        self._router_version = initial_version
         self._max_codes = [
             (c or 0) - 1 if c is not None else -1 for c in schema.cardinalities
         ]
@@ -465,6 +466,70 @@ class ShardRouter:
             timeout=timeout,
             cache_capacity=cache_capacity,
             min_support=min_support,
+        )
+
+    @classmethod
+    def from_snapshot_dir(
+        cls,
+        path,
+        *,
+        aggregator: Aggregator | None = None,
+        cache_capacity: int = 1024,
+        timeout: float = 30.0,
+        start_method: str | None = None,
+        ready_timeout: float = 300.0,
+        budget_bytes: int | None = None,
+        promote_after: int = 2,
+    ) -> "ShardRouter":
+        """Cold-start the fleet from a sharded snapshot directory.
+
+        Each worker memory-maps its own per-partition snapshot (written
+        by :func:`repro.store.save_sharded_snapshot`), so nothing
+        cube-sized crosses the spawn pipes and the fleet is serving
+        after a directory walk plus one mmap per column file.  The
+        resulting router is read-only: ``append`` surfaces each shard's
+        structured ``bad_request`` refusal.
+        """
+        import multiprocessing
+
+        from repro.store.engine import DEFAULT_BUDGET_BYTES
+        from repro.store.sharded import (
+            _build_snapshot_shard_engine,
+            read_router_manifest,
+            router_aggregator,
+            router_schema,
+        )
+        from pathlib import Path
+
+        path = Path(path)
+        manifest = read_router_manifest(path)
+        schema = router_schema(manifest)
+        agg = router_aggregator(manifest, aggregator)
+        engine_version = int(manifest.get("engine_version", 0))
+        budget = budget_bytes if budget_bytes is not None else DEFAULT_BUDGET_BYTES
+        payloads = [
+            (shard, str(path / name), engine_version, budget, promote_after)
+            for shard, name in enumerate(manifest["shards"])
+        ]
+        context = (
+            multiprocessing.get_context(start_method) if start_method else None
+        )
+        workers = spawn_workers(
+            _build_snapshot_shard_engine,
+            payloads,
+            name="repro-shard",
+            ready_timeout=ready_timeout,
+            context=context,
+        )
+        return cls(
+            workers,
+            schema,
+            agg,
+            shard_dim=int(manifest["shard_dim"]),
+            timeout=timeout,
+            cache_capacity=cache_capacity,
+            min_support=int(manifest.get("min_support", 1)),
+            initial_version=engine_version,
         )
 
     # -- the engine-compatible surface -----------------------------------

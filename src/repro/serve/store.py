@@ -12,9 +12,17 @@ one root directory:
 
 The trie is the source of truth: loading a cube re-emits the range cube
 from it, so the store never has to keep cube and trie consistent.  Files
-are written to a temporary sibling and atomically renamed, so a crash
-mid-save leaves the previous generation intact — which is what lets a
-serving engine write through to the store on every refresh.
+are written to a temporary sibling, fsynced and atomically renamed (the
+directory too), so a crash mid-save leaves the previous generation
+intact — which is what lets a serving engine write through to the store
+on every refresh.
+
+``CubeStore(root, format="snapshot")`` additionally freezes each saved
+cube into a mmap-able snapshot directory (``<name>.snapshot/``, see
+:mod:`repro.store`): :meth:`open_engine` then cold-starts by mapping the
+columns instead of re-emitting the cube from the trie JSON — near-
+instant restarts — while appends keep flowing through the trie as
+before.  Entries written without a snapshot keep loading unchanged.
 """
 
 from __future__ import annotations
@@ -22,12 +30,14 @@ from __future__ import annotations
 import json
 import os
 import re
+import shutil
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.incremental import IncrementalRangeCuber
 from repro.core.serialize import load_cuber, save_cuber
 from repro.data.io import write_range_cube_csv
+from repro.store.snapshot import fsync_dir, fsync_file, load_snapshot, write_snapshot
 from repro.table.aggregates import Aggregator, default_aggregator
 from repro.table.base_table import BaseTable
 from repro.table.schema import Schema
@@ -60,8 +70,16 @@ class StoredCube:
 class CubeStore:
     """Load/persist named cubes (resident trie + schema) in a directory."""
 
-    def __init__(self, root: str | Path) -> None:
+    #: Accepted ``format`` arguments (the on-disk *read* representation).
+    FORMATS = ("json", "snapshot")
+
+    def __init__(self, root: str | Path, *, format: str = "json") -> None:
+        if format not in self.FORMATS:
+            raise ValueError(
+                f"unknown store format {format!r}; supported: {', '.join(self.FORMATS)}"
+            )
         self.root = Path(root)
+        self.format = format
         self.root.mkdir(parents=True, exist_ok=True)
 
     # -- paths -----------------------------------------------------------
@@ -74,6 +92,9 @@ class CubeStore:
 
     def _cube_csv_path(self, name: str) -> Path:
         return self.root / f"{_check_name(name)}.cube.csv"
+
+    def _snapshot_path(self, name: str) -> Path:
+        return self.root / f"{_check_name(name)}.snapshot"
 
     # -- enumeration -----------------------------------------------------
 
@@ -92,14 +113,25 @@ class CubeStore:
             self._cube_csv_path(name),
         ):
             path.unlink(missing_ok=True)
+        snapshot = self._snapshot_path(name)
+        if snapshot.exists():
+            shutil.rmtree(snapshot)
 
     # -- persistence -----------------------------------------------------
 
     @staticmethod
     def _atomic_write(path: Path, text: str) -> None:
+        # fsync before the rename: os.replace makes the *name* swap
+        # atomic, but without flushing the temp file's data first a
+        # crash can still publish an empty/truncated file under the
+        # final name.  The directory fsync persists the rename itself.
         tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(text)
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
+        fsync_dir(path.parent)
 
     def save(
         self,
@@ -110,7 +142,13 @@ class CubeStore:
         min_support: int = 1,
         engine_version: int = 0,
     ) -> None:
-        """Persist ``cuber`` (and its schema) as cube ``name``."""
+        """Persist ``cuber`` (and its schema) as cube ``name``.
+
+        In ``format="snapshot"`` mode the emitted cube is additionally
+        frozen into ``<name>.snapshot/`` (its own atomic directory swap)
+        before the meta flips to point at it, so a crash anywhere in the
+        sequence leaves a loadable entry.
+        """
         if schema.n_dims != cuber.trie.n_dims:
             raise ValueError(
                 f"schema has {schema.n_dims} dims, cuber has {cuber.trie.n_dims}"
@@ -130,7 +168,18 @@ class CubeStore:
         # mutually consistent (meta, cuber) pair from the prior save.
         tmp = self._cuber_path(name).with_name(self._cuber_path(name).name + ".tmp")
         save_cuber(cuber, tmp)
+        fsync_file(tmp)
         os.replace(tmp, self._cuber_path(name))
+        if self.format == "snapshot":
+            write_snapshot(
+                cuber.cube(min_support),
+                self._snapshot_path(name),
+                schema,
+                min_support=min_support,
+                engine_version=engine_version,
+                rows_absorbed=cuber.n_rows_absorbed,
+            )
+            meta["read_format"] = "snapshot"
         self._atomic_write(self._meta_path(name), json.dumps(meta, separators=(",", ":")))
 
     def create(
@@ -202,11 +251,24 @@ class CubeStore:
         """A :class:`~repro.serve.engine.QueryEngine` over the stored cube.
 
         Appends through the engine write back to this store, so the cube
-        survives restarts at the latest appended version.
+        survives restarts at the latest appended version.  Entries saved
+        with ``read_format: "snapshot"`` cold-start by memory-mapping
+        the snapshot columns as the initial cube generation — the trie
+        is still loaded (it is the write path), but the expensive cube
+        emission is skipped until the first append.
         """
         from repro.serve.engine import QueryEngine
 
         stored = self.load(name, aggregator=aggregator)
+        initial_cube = None
+        meta = json.loads(self._meta_path(name).read_text())
+        snapshot_path = self._snapshot_path(name)
+        if meta.get("read_format") == "snapshot" and snapshot_path.exists():
+            from repro.store.engine import SnapshotCube
+
+            initial_cube = SnapshotCube(
+                load_snapshot(snapshot_path, aggregator=aggregator)
+            )
         return QueryEngine(
             stored.cuber,
             stored.schema,
@@ -215,6 +277,7 @@ class CubeStore:
             store=self,
             name=name,
             initial_version=stored.engine_version,
+            initial_cube=initial_cube,
         )
 
     def __repr__(self) -> str:

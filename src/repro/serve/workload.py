@@ -167,11 +167,15 @@ class WorkloadDriver:
         append_rows: int = 32,
         batch_size: int = 1,
         bind_dim: int | None = None,
+        cold_start: int = 0,
+        cold_start_factory: Callable[[], object] | None = None,
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be positive")
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
+        if cold_start and cold_start_factory is None:
+            raise ValueError("cold_start requires a cold_start_factory")
         self.client_factory = client_factory
         self.mix = mix or WorkloadMix()
         self.theta = theta
@@ -188,6 +192,13 @@ class WorkloadDriver:
         #: request-at-a-time loop.  Batched clients amortize transport
         #: and snapshot overhead exactly like ``POST /query/batch``.
         self.batch_size = batch_size
+        #: Restart-and-measure rounds: each one builds a *fresh* engine
+        #: through ``cold_start_factory`` and times construction plus the
+        #: first (apex point) query — the restart latency a deploy pays.
+        #: Reported as the synthetic ``cold_start`` op in the per-op
+        #: percentile block (see ``repro workload --cold-start``).
+        self.cold_start = cold_start
+        self.cold_start_factory = cold_start_factory
 
     # -- request generation ---------------------------------------------
 
@@ -379,6 +390,30 @@ class WorkloadDriver:
                     break
         return done
 
+    def _cold_start_run(self) -> LatencyHistogram:
+        """Time ``cold_start`` engine restarts to first answered query.
+
+        Each round pays the full restart path — engine construction (a
+        cube rebuild, or a snapshot mmap; whatever the factory does) plus
+        the apex point query that forces the first real read — then tears
+        the engine down.  One histogram entry per round.
+        """
+        from repro.serve.client import InProcessClient
+
+        histogram = LatencyHistogram()
+        for _ in range(self.cold_start):
+            start = time.perf_counter()
+            engine = self.cold_start_factory()
+            try:
+                with InProcessClient(engine) as client:
+                    n_dims = client.stats()["n_dims"]
+                    client.query(QueryRequest(op="point", cell=[None] * n_dims))
+                    histogram.record(time.perf_counter() - start)
+            finally:
+                if hasattr(engine, "close"):
+                    engine.close()
+        return histogram
+
     # -- the run ---------------------------------------------------------
 
     def run(
@@ -452,6 +487,11 @@ class WorkloadDriver:
                 op_counts[op] = op_counts.get(op, 0) + n
             cached += result["cached"]
             errors += result["errors"]
+        if self.cold_start:
+            # After the concurrent run so restart rounds never contend
+            # with it; counted in op_latency (the per-op percentile
+            # block) but not in throughput — restarts are not requests.
+            op_latency["cold_start"] = self._cold_start_run()
         for op, histogram in op_latency.items():
             _WORKLOAD_SECONDS.merge(histogram, op=op)
         return WorkloadReport(

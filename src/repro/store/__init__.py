@@ -1,0 +1,58 @@
+"""repro.store — out-of-core persistence for computed range cubes.
+
+The snapshot subsystem (see ``docs/persistence.md``): a versioned
+on-disk format freezing a :class:`~repro.core.columnar.ColumnarRangeStore`
+into mmap-able column files under a checksummed JSON manifest
+(:mod:`repro.store.snapshot`), a two-tier read path serving hot masks
+from resident structures and cold masks straight off the mapped columns
+(:mod:`repro.store.engine`), and per-shard snapshots for the sharded
+tier's cold start (:mod:`repro.store.sharded`).
+"""
+
+from repro.store.engine import (
+    DEFAULT_BUDGET_BYTES,
+    SnapshotCube,
+    SnapshotEngine,
+    TierPolicy,
+)
+from repro.store.sharded import (
+    SnapshotShardEngine,
+    is_sharded_snapshot,
+    read_router_manifest,
+    save_sharded_snapshot,
+)
+from repro.store.snapshot import (
+    MANIFEST_NAME,
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    SnapshotIntegrityError,
+    SnapshotStore,
+    inspect_snapshot,
+    load_snapshot,
+    manifest_schema,
+    read_manifest,
+    write_snapshot,
+)
+
+__all__ = [
+    "DEFAULT_BUDGET_BYTES",
+    "MANIFEST_NAME",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "SnapshotCube",
+    "SnapshotEngine",
+    "SnapshotError",
+    "SnapshotIntegrityError",
+    "SnapshotShardEngine",
+    "SnapshotStore",
+    "TierPolicy",
+    "inspect_snapshot",
+    "is_sharded_snapshot",
+    "load_snapshot",
+    "manifest_schema",
+    "read_manifest",
+    "read_router_manifest",
+    "save_sharded_snapshot",
+    "write_snapshot",
+]
