@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-thorough lint ci bench bench-smoke query-bench shard-bench snapshot-bench serve-demo examples figures report claims clean
+.PHONY: install test test-thorough lint ci bench bench-smoke query-bench shard-bench snapshot-bench dimorder-bench serve-demo examples figures report claims clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -35,6 +35,7 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_point_queries.py --quick
 	$(PYTHON) benchmarks/bench_sharded.py --quick
 	$(PYTHON) benchmarks/bench_snapshot.py --quick
+	$(PYTHON) benchmarks/bench_dimorder.py --quick
 	$(PYTHON) benchmarks/smoke_metrics.py
 	REPRO_BENCH_PRESET=tiny $(PYTHON) -m pytest benchmarks/bench_point_queries.py --benchmark-only -q
 
@@ -55,6 +56,12 @@ shard-bench:
 # BENCH_snapshot.json
 snapshot-bench:
 	$(PYTHON) benchmarks/bench_snapshot.py
+
+# the dim-order bench at full scale: verifies tuned == untuned answer
+# identity, enforces the auto-vs-static floors and refreshes
+# BENCH_dimorder.json
+dimorder-bench:
+	$(PYTHON) benchmarks/bench_dimorder.py
 
 # end-to-end serving demo: generate a skewed table, serve it over HTTP on an
 # ephemeral port, and drive 4 concurrent clients (plus 2 append batches) at it

@@ -3,7 +3,11 @@
 The paper argues range cubing is comparatively insensitive to dimension
 order (the trie adapts per branch) and that cardinality-descending is its
 best order.  The series: range cubing and H-Cubing under descending,
-ascending and unsorted orders on the same skewed table.
+ascending, unsorted and self-tuned (``"auto"``, see :mod:`repro.tune`)
+orders on the same skewed table, plus the same sweep on the correlated
+workloads the acceptance gate (``bench_dimorder``) runs — one shared
+definition in ``benchmarks.conftest.DIMORDER_WORKLOADS``, so ablation
+and gate argue about the same tables.
 """
 
 import pytest
@@ -12,14 +16,21 @@ from repro.baselines.hcubing import h_cubing
 from repro.core.range_cubing import range_cubing
 from repro.harness.runner import preferred_order
 
-from benchmarks.conftest import PRESET, cached_zipf, run_once
+from benchmarks.conftest import (
+    DIMORDER_WORKLOADS,
+    PRESET,
+    cached_correlated,
+    cached_zipf,
+    run_once,
+)
 
 SCALES = {
     "tiny": {"n_rows": 500, "n_dims": 5, "cardinality": 50},
     "small": {"n_rows": 2000, "n_dims": 6, "cardinality": 100},
 }
 PARAMS = SCALES["small" if PRESET == "small" else "tiny"]
-POLICIES = ("desc", "asc", None)
+POLICIES = ("desc", "asc", None, "auto")
+CORRELATED_ROWS = 6000 if PRESET != "small" else 20000
 
 
 def table():
@@ -46,4 +57,18 @@ def test_order_h_cubing(benchmark, policy):
     cube = run_once(benchmark, h_cubing, t, dim_order=order)
     benchmark.extra_info.update(
         ablation="dim-order", order=policy or "as-is", cells=len(cube)
+    )
+
+
+@pytest.mark.parametrize("workload", sorted(DIMORDER_WORKLOADS))
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p or "as-is")
+def test_order_range_cubing_correlated(benchmark, workload, policy):
+    t = cached_correlated(workload, CORRELATED_ROWS)
+    order = preferred_order(t, policy)
+    cube = run_once(benchmark, range_cubing, t, dim_order=order)
+    benchmark.extra_info.update(
+        ablation="dim-order",
+        workload=workload,
+        order=policy or "as-is",
+        ranges=cube.n_ranges,
     )

@@ -18,12 +18,55 @@ import os
 
 import pytest
 
+from repro.data.correlated import FunctionalDependency, correlated_table
 from repro.data.synthetic import zipf_table
 from repro.data.weather import weather_table
 
 PRESET = os.environ.get("REPRO_BENCH_PRESET", "tiny")
 
 _TABLE_CACHE: dict = {}
+
+#: Correlated workloads shared by the dim-order gate (``bench_dimorder``)
+#: and the ablation series (``bench_ablation_dimorder``), so the two
+#: benchmarks argue about the same tables.  Each picks a different static
+#: winner, which is the point: no single static policy covers both, the
+#: ``"auto"`` planner must.
+DIMORDER_WORKLOADS = {
+    # Two narrow dims functionally determine the two widest ones;
+    # cardinality-descending (which sinks the narrow determinants) wins,
+    # the as-is column order is the trap.
+    "determined_wide": dict(
+        n_dims=7,
+        cardinalities=(12, 12, 150, 150, 40, 30, 20),
+        dependencies=(FunctionalDependency((0, 1), (2, 3)),),
+        theta=1.2,
+        seed=7,
+    ),
+    # The as-is column order is already near-optimal (determinants sit
+    # behind the dims they determine); descending is the trap here.
+    "asis_best": dict(
+        n_dims=6,
+        cardinalities=(30, 120, 120, 10, 10, 25),
+        dependencies=(FunctionalDependency((3, 4), (1, 2)),),
+        theta=1.3,
+        seed=11,
+    ),
+}
+
+
+def cached_correlated(name: str, n_rows: int):
+    spec = DIMORDER_WORKLOADS[name]
+    key = ("correlated", name, n_rows)
+    if key not in _TABLE_CACHE:
+        _TABLE_CACHE[key] = correlated_table(
+            n_rows,
+            spec["n_dims"],
+            list(spec["cardinalities"]),
+            spec["dependencies"],
+            theta=spec["theta"],
+            seed=spec["seed"],
+        )
+    return _TABLE_CACHE[key]
 
 
 def cached_zipf(n_rows: int, n_dims: int, cardinality: int, theta: float, seed: int = 7):

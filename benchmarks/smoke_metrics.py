@@ -53,6 +53,11 @@ REQUIRED_FAMILIES = (
     "repro_snapshot_evictions_total",
     "repro_snapshot_cold_queries_total",
     "repro_snapshot_hot_queries_total",
+    # the self-tuning planner (drive_tune must have populated these)
+    "repro_tune_plans_total",
+    "repro_tune_plan_seconds",
+    "repro_tune_sample_rows_total",
+    "repro_tune_replans_total",
 )
 
 
@@ -113,10 +118,24 @@ def drive_snapshot(table) -> None:
         shutil.rmtree(root, ignore_errors=True)
 
 
+def drive_tune(table) -> None:
+    """One plan and one drift-triggered replan through the planner.
+
+    Populates every ``repro_tune_*`` family (plan counter + histogram,
+    sampled-row counter, replan counter) so the scrape below can assert
+    them alongside the serving families.
+    """
+    from repro.tune import plan_table, record_replan
+
+    plan_table(table)
+    record_replan(trigger="smoke")
+
+
 def main() -> int:
     table = zipf_table(500, 4, 10, 1.2, seed=3)
     drive_sharded(table)
     drive_snapshot(table)
+    drive_tune(table)
     engine = QueryEngine.from_table(table)
     with CubeServer(engine, port=0) as server:
         client = HTTPCubeClient(server.url)

@@ -38,6 +38,12 @@ from repro.core.partitioned import (
 from repro.core.range_cubing import range_cubing, range_cubing_detailed
 from repro.table.base_table import BaseTable
 
+#: "dim_order not given" marker: the registry forwards an *explicit*
+#: ``dim_order=None`` (pinning the as-is order, since the range-cubing
+#: family self-tunes when the argument is omitted) but keeps omitting
+#: the keyword entirely when the caller did.
+_UNSET = object()
+
 
 @dataclass(frozen=True)
 class CubeAlgorithm:
@@ -70,10 +76,14 @@ class CubeAlgorithm:
         kwargs: dict[str, Any] = {}
         if aggregator is not None:
             kwargs["aggregator"] = aggregator
-        if dim_order is not None:
-            if not self.supports_dim_order:
+        if dim_order is not _UNSET:
+            # Explicit None is forwarded: for algorithms whose omitted
+            # dim_order means "auto" (the range-cubing family) it pins
+            # the as-is order, which omitting no longer does.
+            if dim_order is not None and not self.supports_dim_order:
                 raise ValueError(f"{self.name} does not take a dimension order")
-            kwargs["dim_order"] = dim_order
+            if self.supports_dim_order:
+                kwargs["dim_order"] = dim_order
         if min_support != 1:
             if not self.supports_min_support:
                 raise ValueError(f"{self.name} does not support iceberg thresholds")
@@ -85,7 +95,7 @@ class CubeAlgorithm:
         table: BaseTable,
         *,
         aggregator=None,
-        dim_order=None,
+        dim_order=_UNSET,
         min_support: int = 1,
         **extra,
     ) -> Any:
@@ -103,7 +113,7 @@ class CubeAlgorithm:
         table: BaseTable,
         *,
         aggregator=None,
-        dim_order=None,
+        dim_order=_UNSET,
         min_support: int = 1,
         **extra,
     ) -> tuple[Any, dict]:

@@ -6,6 +6,7 @@
         --executor process --workers 4
     python -m repro algorithms
     python -m repro stats t.csv --measures 1
+    python -m repro tune explain t.csv --measures 1
     python -m repro query cube.csv --bind 0=3 --bind 2=7
     python -m repro serve t.csv --measures 1 --port 8642
     python -m repro workload http://127.0.0.1:8642 --clients 4
@@ -83,10 +84,6 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_cube(args: argparse.Namespace) -> int:
     table = read_table_csv(args.table, n_measures=args.measures)
     record = get_algorithm(args.algorithm)
-    if args.order == "as-is" or not record.supports_dim_order:
-        order = None
-    else:
-        order = preferred_order(table, args.order)
     extra: dict = {}
     if record.name == "parallel_range_cubing":
         extra = {
@@ -96,6 +93,17 @@ def _cmd_cube(args: argparse.Namespace) -> int:
         }
     elif record.name == "range_cubing":
         extra = {"build_strategy": args.build}
+    # The registry forwards an explicit dim_order=None as "pin the as-is
+    # order" (the range-cubing family self-tunes when it is omitted).
+    if not record.supports_dim_order or args.order == "as-is":
+        order = None
+    elif args.order == "auto" and record.name in (
+        "range_cubing",
+        "parallel_range_cubing",
+    ):
+        order = "auto"  # native self-tuning path (plan lands in stats)
+    else:
+        order = preferred_order(table, args.order)
     from repro.obs import get_tracer
 
     tracer = get_tracer()
@@ -386,16 +394,17 @@ def _cmd_snapshot_save(args: argparse.Namespace) -> int:
             f"({args.shards} shards on dim {args.shard_dim}) to {args.out}"
         )
         return 0
-    from repro.core.range_cubing import range_cubing
+    from repro.core.range_cubing import range_cubing_detailed
     from repro.store import write_snapshot
 
-    cube = range_cubing(table, min_support=args.min_support)
+    cube, stats = range_cubing_detailed(table, min_support=args.min_support)
     write_snapshot(
         cube,
         args.out,
         schema,
         min_support=args.min_support,
         rows_absorbed=table.n_rows,
+        tuning=stats.get("tuning"),
     )
     print(f"wrote {cube.n_ranges:,} ranges ({table.n_rows:,} rows) to {args.out}")
     return 0
@@ -577,6 +586,20 @@ def _cmd_claims(args: argparse.Namespace) -> int:
     return claims_main(["--preset", args.preset])
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.tune import plan_table
+
+    table = read_table_csv(args.table, n_measures=args.measures)
+    plan = plan_table(table, sample_rows=args.sample, value_reorder=args.values)
+    if args.json:
+        print(json.dumps(plan.to_json(), indent=1))
+        return 0
+    print(plan.explain(table.schema.dimension_names))
+    return 0
+
+
 def _cmd_advise(args: argparse.Namespace) -> int:
     from repro.cube.estimate import estimate_full_cube_size, recommend_strategy
 
@@ -622,7 +645,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=(*available_algorithms(), "range", "star", "parallel"),
         help="a registry name (see `repro algorithms`) or legacy alias",
     )
-    p.add_argument("--order", default="desc", choices=("desc", "asc", "as-is"))
+    p.add_argument(
+        "--order",
+        "--dim-order",
+        default="auto",
+        choices=("auto", "desc", "asc", "as-is"),
+        help="trie dimension order: the 'auto' sentinel samples the table and "
+        "plans it (repro.tune, the library default); 'desc'/'asc' sort by "
+        "cardinality; 'as-is' keeps column order",
+    )
     p.add_argument("--min-support", type=int, default=1)
     p.add_argument(
         "--executor",
@@ -878,6 +909,24 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("claims", help="check the paper's qualitative claims")
     p.add_argument("--preset", default="tiny", choices=("tiny", "small", "paper"))
     p.set_defaults(func=_cmd_claims)
+
+    p = sub.add_parser("tune", help="inspect the dim_order='auto' planner")
+    tsub = p.add_subparsers(dest="action", required=True)
+    pt = tsub.add_parser(
+        "explain", help="print the plan 'auto' would choose for a table"
+    )
+    pt.add_argument("table", help="CSV base table to sample")
+    pt.add_argument("--measures", type=int, default=0, help="trailing measure columns")
+    pt.add_argument(
+        "--sample", type=int, default=4096, help="reservoir rows the planner scans"
+    )
+    pt.add_argument(
+        "--values",
+        action="store_true",
+        help="also plan per-dimension value reorders (co-occurrence clustering)",
+    )
+    pt.add_argument("--json", action="store_true", help="machine-readable plan")
+    pt.set_defaults(func=_cmd_tune)
 
     p = sub.add_parser("advise", help="estimate cube size, recommend a strategy")
     p.add_argument("table")

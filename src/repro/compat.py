@@ -7,7 +7,9 @@ keyword-only arguments under one naming scheme — ``aggregator``,
 Older call styles (positional tuning arguments, the pre-rename ``order=``
 keyword) keep working through :func:`legacy_call_shim`, which folds them
 into the new keywords and emits a :class:`DeprecationWarning` pointing at
-the replacement.
+the replacement.  Each (function, call style) pair warns **once per
+process** — legacy callers in a hot loop should not drown real warnings —
+and :func:`reset_legacy_warnings` re-arms them (tests use this).
 """
 
 from __future__ import annotations
@@ -19,6 +21,21 @@ from typing import Callable
 
 #: Old keyword name -> new keyword name.
 RENAMED_KEYWORDS = {"order": "dim_order"}
+
+#: (function name, call style) pairs that already warned this process.
+_WARNED: set[tuple[str, str]] = set()
+
+
+def reset_legacy_warnings() -> None:
+    """Re-arm the once-per-process deprecation warnings (for tests)."""
+    _WARNED.clear()
+
+
+def _warn_once(key: tuple[str, str], message: str) -> None:
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
 
 
 def legacy_call_shim(*old_positional: str) -> Callable:
@@ -55,12 +72,11 @@ def legacy_call_shim(*old_positional: str) -> Callable:
                         f"{func.__name__}() takes 1 positional argument but "
                         f"{1 + len(legacy_args)} were given"
                     )
-                warnings.warn(
+                _warn_once(
+                    (func.__name__, "positional"),
                     f"{func.__name__}(): passing tuning parameters positionally "
                     f"is deprecated; use keyword arguments "
                     f"({', '.join(old_positional[: len(legacy_args)])})",
-                    DeprecationWarning,
-                    stacklevel=2,
                 )
                 for name, value in zip(old_positional, legacy_args):
                     if name in kwargs:
@@ -75,11 +91,10 @@ def legacy_call_shim(*old_positional: str) -> Callable:
                             f"{func.__name__}() got values for both {old_name!r} "
                             f"and its replacement {new_name!r}"
                         )
-                    warnings.warn(
+                    _warn_once(
+                        (func.__name__, f"renamed:{old_name}"),
                         f"{func.__name__}(): keyword {old_name!r} was renamed to "
                         f"{new_name!r}",
-                        DeprecationWarning,
-                        stacklevel=2,
                     )
                     kwargs[new_name] = kwargs.pop(old_name)
             return func(table, **kwargs)

@@ -37,6 +37,7 @@ from repro.core.range_trie import RangeTrie
 from repro.obs import get_registry, get_tracer
 from repro.table.aggregates import Aggregator, default_aggregator
 from repro.table.base_table import BaseTable
+from repro.tune import REPLAN_DRIFT_FACTOR, TuningPlan, plan_codes, record_replan
 
 _TRACER = get_tracer()
 _REGISTRY = get_registry()
@@ -80,10 +81,108 @@ class IncrementalRangeCuber:
     >>> cube = cuber.cube()     # == batch recompute over both days
     """
 
-    def __init__(self, n_dims: int, aggregator: Aggregator | None = None) -> None:
+    def __init__(
+        self,
+        n_dims: int,
+        aggregator: Aggregator | None = None,
+        *,
+        plan: TuningPlan | None = None,
+    ) -> None:
         self.aggregator = aggregator or default_aggregator(1)
         self.trie = RangeTrie(n_dims, self.aggregator)
         self.n_rows_absorbed = 0
+        self.replan_count = 0
+        if plan is not None and plan.n_dims != n_dims:
+            raise ValueError(
+                f"plan covers {plan.n_dims} dims, cuber expects {n_dims}"
+            )
+        self.plan = plan
+        # Per-dimension distinct codes observed since the plan was made,
+        # tracked in *original* space (only maintained when a plan is
+        # active — it feeds the drift check in maybe_replan()).
+        self._observed: list[set] | None = (
+            [set() for _ in range(n_dims)] if plan is not None else None
+        )
+
+    # -- tuning plan ------------------------------------------------------
+
+    def _note_codes(self, dim_codes: np.ndarray) -> None:
+        if self._observed is None:
+            return
+        for d, seen in enumerate(self._observed):
+            seen.update(np.unique(dim_codes[:, d]).tolist())
+
+    def _note_row(self, row: Sequence[int]) -> None:
+        if self._observed is None:
+            return
+        for d, seen in enumerate(self._observed):
+            seen.add(int(row[d]))
+
+    def drifted_dims(self, factor: float = REPLAN_DRIFT_FACTOR) -> list[int]:
+        """Original dims whose observed distinct count outgrew the plan's
+        sampled estimate by more than ``factor`` (empty without a plan)."""
+        if self.plan is None or self._observed is None:
+            return []
+        planned = {s["dim"]: s["distinct"] for s in self.plan.dim_stats}
+        return [
+            d
+            for d, seen in enumerate(self._observed)
+            if planned.get(d, 0) > 0 and len(seen) > factor * planned[d]
+        ]
+
+    def maybe_replan(self, factor: float = REPLAN_DRIFT_FACTOR) -> bool:
+        """Re-plan (and rebuild the resident trie) on cardinality drift.
+
+        Cheap when nothing drifted: one distinct-count comparison per
+        dimension.  Returns whether a re-plan happened.
+        """
+        if not self.drifted_dims(factor):
+            return False
+        self.replan()
+        return True
+
+    def replan(self) -> TuningPlan:
+        """Re-run the planner over the absorbed data and rebuild the trie.
+
+        The resident trie's leaves are a lossless summary of everything
+        absorbed (one leaf per distinct fact row, with its aggregate
+        state), so the rebuild replays leaf assignments — mapped back to
+        original space through the old plan, then forward through the
+        new one — without touching the raw history.  The planner sees
+        the distinct rows rather than the raw multiset; for the trie
+        (whose shape depends only on distinct rows) that is exactly the
+        right input.
+        """
+        if self.plan is None:
+            raise ValueError("replan() requires a cuber built with a tuning plan")
+        old_plan = self.plan
+        leaves = [
+            (dict(old_plan.original_assignment(assignment)), state)
+            for assignment, state in self.trie.leaf_assignments()
+        ]
+        n_dims = self.trie.n_dims
+        if leaves:
+            codes = np.array(
+                [[row[d] for d in range(n_dims)] for row, _ in leaves],
+                dtype=np.int64,
+            )
+        else:
+            codes = np.zeros((0, n_dims), dtype=np.int64)
+        new_plan = plan_codes(codes, value_reorder=bool(old_plan.value_orders))
+        rebuilt = RangeTrie(n_dims, self.aggregator)
+        for row, state in leaves:
+            pairs = [
+                (pos, new_plan.tuned_value(old_dim, row[old_dim]))
+                for pos, old_dim in enumerate(new_plan.dim_order)
+            ]
+            rebuilt.insert_assignment(pairs, state)
+        self.trie = rebuilt
+        self.plan = new_plan
+        self._observed = [set() for _ in range(n_dims)]
+        self._note_codes(codes)
+        self.replan_count += 1
+        record_replan()
+        return new_plan
 
     def insert_table(self, table: BaseTable, *, build_strategy: str = "auto") -> None:
         """Absorb every row of ``table`` (schema must match in arity).
@@ -109,12 +208,19 @@ class IncrementalRangeCuber:
         )
         path = "bulk" if bulk else "tuple"
         with _TRACER.span("absorb_batch", rows=table.n_rows, path=path):
+            self._note_codes(table.dim_codes)
             if bulk:
-                self._absorb_arrays(table.dim_codes, table.measures)
+                codes = table.dim_codes
+                if self.plan is not None:
+                    codes = self.plan.transform_codes(codes)
+                self._absorb_arrays(codes, table.measures)
             else:
                 state_from_row = self.aggregator.state_from_row
                 dims = range(table.n_dims)
+                plan = self.plan
                 for row, measures in zip(table.dim_rows(), table.measure_rows()):
+                    if plan is not None:
+                        row = plan.transform_row(row)
                     pairs = [(d, row[d]) for d in dims]
                     self.trie._insert(row.__getitem__, pairs, state_from_row(measures))
         _ABSORB_BATCHES.inc(path=path)
@@ -154,6 +260,9 @@ class IncrementalRangeCuber:
             return
         with _TRACER.span("absorb_batch", rows=n_rows, path="bulk"):
             codes = np.asarray(rows, dtype=np.int64).reshape(n_rows, self.trie.n_dims)
+            self._note_codes(codes)
+            if self.plan is not None:
+                codes = self.plan.transform_codes(codes)
             if measures is None:
                 meas = np.zeros((n_rows, 0), dtype=np.float64)
             else:
@@ -181,11 +290,14 @@ class IncrementalRangeCuber:
             self.trie = merge_tries([self.trie, batch])
 
     def insert_row(self, row: Sequence[int], measures: Sequence[float] = ()) -> None:
-        """Absorb a single encoded fact row."""
+        """Absorb a single encoded fact row (original-space codes)."""
         if len(row) != self.trie.n_dims:
             raise ValueError(
                 f"row has {len(row)} dims, cuber expects {self.trie.n_dims}"
             )
+        self._note_row(row)
+        if self.plan is not None:
+            row = self.plan.transform_row(row)
         pairs = [(d, row[d]) for d in range(len(row))]
         self.trie._insert(
             tuple(row).__getitem__, pairs, self.aggregator.state_from_row(measures)
@@ -193,8 +305,19 @@ class IncrementalRangeCuber:
         self.n_rows_absorbed += 1
 
     def cube(self, min_support: int = 1) -> RangeCube:
-        """The range cube over everything absorbed so far."""
-        return range_cubing_from_trie(self.trie, min_support)
+        """The range cube over everything absorbed so far.
+
+        Always expressed in original dimension order and value coding:
+        when a tuning plan is active the traversal runs in planned trie
+        space and the emitted ranges are restored through the plan's
+        inverse maps.
+        """
+        cube = range_cubing_from_trie(self.trie, min_support)
+        if self.plan is None or self.plan.is_identity:
+            return cube
+        return RangeCube(
+            cube.n_dims, cube.aggregator, self.plan.restore_ranges(cube.ranges)
+        )
 
     @property
     def trie_nodes(self) -> int:

@@ -254,7 +254,7 @@ def parallel_range_cubing(
     n_partitions: int | None = None,
     workers: int | None = None,
     aggregator: Aggregator | None = None,
-    dim_order: Sequence[int] | None = None,
+    dim_order: Sequence[int] | str | None = "auto",
     min_support: int = 1,
 ) -> RangeCube:
     """Compute the range cube via the parallel partitioned pipeline.
@@ -264,7 +264,11 @@ def parallel_range_cubing(
     per-partition trie builds run on ``executor`` (an executor name from
     :func:`repro.exec.available_executors`, an :class:`~repro.exec.Executor`
     instance, or None for serial).  ``n_partitions`` defaults to the
-    executor's worker count.
+    executor's worker count.  ``dim_order`` accepts the same spellings as
+    the serial path (``"auto"``, ``None``, a sequence or a
+    :class:`~repro.tune.TuningPlan`); with ``"auto"`` the plan is computed
+    once on the coordinator and the already-transformed partitions are
+    shipped to the workers.
     """
     cube, _ = parallel_range_cubing_detailed(
         table,
@@ -285,7 +289,7 @@ def parallel_range_cubing_detailed(
     n_partitions: int | None = None,
     workers: int | None = None,
     aggregator: Aggregator | None = None,
-    dim_order: Sequence[int] | None = None,
+    dim_order: Sequence[int] | str | None = "auto",
     min_support: int = 1,
 ) -> tuple[RangeCube, dict[str, float]]:
     """Like :func:`parallel_range_cubing`, plus per-stage statistics.
@@ -300,13 +304,20 @@ def parallel_range_cubing_detailed(
     # the serial facade and sits above the trie machinery this module and
     # it both use.
     from repro.core.range_cubing import _remap_ranges, _traverse
+    from repro.tune import resolve_plan
 
     agg = aggregator or default_aggregator(table.n_measures)
     exec_obj, owned = resolve_executor(executor, workers)
     parts = n_partitions if n_partitions is not None else max(1, exec_obj.workers)
     if parts < 1:
         raise ValueError("n_partitions must be at least 1")
-    working = table if dim_order is None else table.reordered(dim_order)
+    # Plan once on the coordinator; workers receive partitions of the
+    # already-transformed table, so they need no tuning logic at all.
+    plan, order = resolve_plan(table, dim_order)
+    if plan is not None:
+        working = plan.transform_table(table)
+    else:
+        working = table if order is None else table.reordered(order)
 
     timings = StageTimings()
     try:
@@ -352,8 +363,10 @@ def parallel_range_cubing_detailed(
         if owned:
             exec_obj.close()
 
-    if dim_order is not None:
-        ranges = _remap_ranges(ranges, dim_order)
+    if plan is not None and not plan.is_identity:
+        ranges = plan.restore_ranges(ranges)
+    elif order is not None:
+        ranges = _remap_ranges(ranges, order)
     timings.count("n_partitions", len(payloads))
     timings.count("tries_merged", len(tries))
     timings.count("trie_nodes", trie.n_nodes())
@@ -361,4 +374,6 @@ def parallel_range_cubing_detailed(
     stats["executor"] = exec_obj.name
     stats["workers"] = exec_obj.workers
     stats["total_seconds"] = timings.total_seconds
+    if plan is not None:
+        stats["tuning"] = plan.to_json()
     return RangeCube(table.n_dims, agg, ranges), stats

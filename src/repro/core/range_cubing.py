@@ -30,6 +30,7 @@ from repro.core.reduction import reduce_trie
 from repro.obs import get_registry, get_tracer
 from repro.table.aggregates import Aggregator, default_aggregator
 from repro.table.base_table import BaseTable
+from repro.tune import TuningPlan, resolve_plan
 
 
 #: Trie construction strategies accepted by ``build_strategy=``.
@@ -76,19 +77,26 @@ def range_cubing(
     table: BaseTable,
     *,
     aggregator: Aggregator | None = None,
-    dim_order: Sequence[int] | None = None,
+    dim_order: Sequence[int] | str | TuningPlan | None = "auto",
     min_support: int = 1,
     build_strategy: str = "bulk",
 ) -> RangeCube:
     """Compute the range cube of ``table``.
 
-    ``dim_order`` optionally permutes the dimension order used by the trie
-    (e.g. ``table.schema.cardinality_descending_order()``, the paper's
-    preferred order); the returned ranges are always expressed in the
-    table's *original* dimension order.  ``min_support`` > 1 computes the
-    iceberg range cube: only ranges whose count reaches the threshold.
-    ``build_strategy`` selects the trie construction: ``"bulk"`` (the
-    default, :meth:`RangeTrie.bulk_build`'s vectorized sort-based path) or
+    ``dim_order`` controls the dimension order used by the trie: the
+    default ``"auto"`` runs the sampling planner (:mod:`repro.tune`) and
+    builds in whichever candidate order its cost model scores cheapest;
+    ``None`` keeps the table's as-is order; an explicit sequence (e.g.
+    ``table.schema.cardinality_descending_order()``, the paper's
+    preferred order) pins a static order; and a prepared
+    :class:`~repro.tune.TuningPlan` reuses an existing plan (value
+    permutations included).  Whatever the order, the returned ranges are
+    always expressed in the table's *original* dimension order and value
+    coding — the choice affects build cost only, never answers.
+    ``min_support`` > 1 computes the iceberg range cube: only ranges
+    whose count reaches the threshold.  ``build_strategy`` selects the
+    trie construction: ``"bulk"`` (the default,
+    :meth:`RangeTrie.bulk_build`'s vectorized sort-based path) or
     ``"tuple"`` (Algorithm 1's tuple-at-a-time insertion) — the trie is
     canonical, so both produce the same cube.
     """
@@ -107,7 +115,7 @@ def range_cubing_detailed(
     table: BaseTable,
     *,
     aggregator: Aggregator | None = None,
-    dim_order: Sequence[int] | None = None,
+    dim_order: Sequence[int] | str | TuningPlan | None = "auto",
     min_support: int = 1,
     build_strategy: str = "bulk",
 ) -> tuple[RangeCube, dict[str, float]]:
@@ -116,7 +124,10 @@ def range_cubing_detailed(
     The stats dict carries the initial trie's node counts (the paper's
     node-ratio ingredient) and the build/traversal split of the run time;
     with the bulk strategy the build phase is further broken down into
-    ``sort_seconds`` / ``group_seconds`` / ``aggregate_seconds``.
+    ``sort_seconds`` / ``group_seconds`` / ``aggregate_seconds``.  When a
+    tuning plan was used (``dim_order="auto"`` or an explicit
+    :class:`~repro.tune.TuningPlan`) the dict additionally carries
+    ``tune_seconds`` and a ``tuning`` block describing the chosen plan.
     """
     if build_strategy not in BUILD_STRATEGIES:
         raise ValueError(
@@ -124,9 +135,6 @@ def range_cubing_detailed(
             f"expected one of {BUILD_STRATEGIES}"
         )
     agg = aggregator or default_aggregator(table.n_measures)
-    order = dim_order
-    working = table if order is None else table.reordered(order)
-
     phases: dict[str, float] = {}
     with _TRACER.span(
         "range_cubing",
@@ -135,6 +143,16 @@ def range_cubing_detailed(
         dims=table.n_dims,
         min_support=min_support,
     ) as root:
+        # Planning (and the reorder copy it may imply) runs inside the
+        # root span so an exported trace accounts for the whole build;
+        # the planner's own ``tune.plan`` span nests here.
+        tune_start = time.perf_counter()
+        plan, order = resolve_plan(table, dim_order)
+        if plan is not None:
+            working = plan.transform_table(table)
+        else:
+            working = table if order is None else table.reordered(order)
+        tune_seconds = time.perf_counter() - tune_start
         t0 = time.perf_counter()
         with _TRACER.span("build") as build_span:
             if build_strategy == "bulk":
@@ -147,7 +165,10 @@ def range_cubing_detailed(
             ranges = _traverse(trie, agg, min_support)
         t2 = time.perf_counter()
 
-        if order is not None:
+        if plan is not None and not plan.is_identity:
+            with _TRACER.span("remap"):
+                ranges = plan.restore_ranges(ranges)
+        elif order is not None:
             with _TRACER.span("remap"):
                 ranges = _remap_ranges(ranges, order)
         with _TRACER.span("stats"):
@@ -166,9 +187,14 @@ def range_cubing_detailed(
         "build_strategy": build_strategy,
         "build_seconds": t1 - t0,
         "traverse_seconds": t2 - t1,
-        "total_seconds": t2 - t0,
+        # planning time (zero unless dim_order="auto" ran the planner)
+        # counts toward the paper's "total run time" metric
+        "total_seconds": (t2 - t0) + tune_seconds,
         **phases,
     }
+    if plan is not None:
+        stats["tune_seconds"] = tune_seconds
+        stats["tuning"] = plan.to_json()
     return RangeCube(table.n_dims, agg, ranges), stats
 
 
@@ -219,11 +245,19 @@ def _cube(
         node = reduce_trie(node, merge)
 
 
-def _remap_ranges(ranges: Sequence[Range], order: Sequence[int]) -> list[Range]:
+def _remap_ranges(
+    ranges: Sequence[Range],
+    order: Sequence[int],
+    value_maps: dict[int, Sequence[int]] | None = None,
+) -> list[Range]:
     """Translate ranges from permuted dimension space back to the original.
 
     The inverse permutation (and the per-bit mask translation) is computed
-    once for the whole cube rather than once per range.
+    once for the whole cube rather than once per range.  ``value_maps``
+    optionally carries, per *original* dimension, the inverse value
+    permutation of a tuning plan (``original_code = value_maps[d][code]``);
+    codes outside a map's domain pass through unchanged, matching the
+    forward transform's handling of late-appended values.
     """
     n = len(order)
     # gather[old_dim] = new_dim: position to read each original dim from.
@@ -232,6 +266,16 @@ def _remap_ranges(ranges: Sequence[Range], order: Sequence[int]) -> list[Range]:
     for new_dim, old_dim in enumerate(order):
         gather[old_dim] = new_dim
         mask_for_bit[new_dim] = 1 << old_dim
+    restore = None
+    if value_maps:
+        maps = {d: m for d, m in value_maps.items()}
+
+        def restore(old_dim: int, code):
+            m = maps.get(old_dim)
+            if code is None or m is None or not (0 <= code < len(m)):
+                return code
+            return int(m[code])
+
     out = []
     for r in ranges:
         spec = r.specific
@@ -241,7 +285,11 @@ def _remap_ranges(ranges: Sequence[Range], order: Sequence[int]) -> list[Range]:
             low = remaining & -remaining
             mask |= mask_for_bit[low.bit_length() - 1]
             remaining ^= low
-        out.append(Range(tuple(spec[g] for g in gather), mask, r.state))
+        if restore is None:
+            values = tuple(spec[g] for g in gather)
+        else:
+            values = tuple(restore(d, spec[gather[d]]) for d in range(n))
+        out.append(Range(values, mask, r.state))
     return out
 
 

@@ -104,22 +104,38 @@ def load_trie(path: str | Path, aggregator: Aggregator) -> RangeTrie:
 
 
 def save_cuber(cuber: IncrementalRangeCuber, path: str | Path) -> None:
-    """Persist an incremental cuber (trie + row counter)."""
+    """Persist an incremental cuber (trie + row counter + tuning plan).
+
+    A cuber built with a :class:`~repro.tune.TuningPlan` keeps its trie
+    in planned space (permuted dimensions, possibly permuted values), so
+    the plan is part of the state: without it a reload could neither
+    restore emitted ranges to original coding nor transform future
+    inserts.  The plan's forward value permutations are stored; the
+    inverse maps are re-derived on load (``TuningPlan`` computes them
+    lazily — the same machinery ``_remap_ranges`` consumes).
+    """
     document = {
         "format": "range-cuber",
         "version": FORMAT_VERSION,
         "n_rows_absorbed": cuber.n_rows_absorbed,
         "trie": json.loads(trie_to_json(cuber.trie)),
     }
+    if cuber.plan is not None:
+        document["tuning"] = cuber.plan.to_json()
     Path(path).write_text(json.dumps(document, separators=(",", ":")))
 
 
 def load_cuber(path: str | Path, aggregator: Aggregator) -> IncrementalRangeCuber:
+    from repro.tune import TuningPlan
+
     document = json.loads(Path(path).read_text())
     if document.get("format") != "range-cuber":
         raise ValueError("not a range-cuber document")
     trie = trie_from_json(json.dumps(document["trie"]), aggregator)
-    cuber = IncrementalRangeCuber(trie.n_dims, aggregator)
+    plan = None
+    if document.get("tuning") is not None:
+        plan = TuningPlan.from_json(document["tuning"])
+    cuber = IncrementalRangeCuber(trie.n_dims, aggregator, plan=plan)
     cuber.trie = trie
     cuber.n_rows_absorbed = int(document["n_rows_absorbed"])
     return cuber

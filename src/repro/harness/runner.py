@@ -49,6 +49,12 @@ def preferred_order(table: BaseTable, policy: str | None) -> tuple[int, ...] | N
         return tuple(sorted(range(table.n_dims), key=lambda i: (-observed[i], i)))
     if policy == "asc":
         return tuple(sorted(range(table.n_dims), key=lambda i: (observed[i], i)))
+    if policy == "auto":
+        from repro.tune import plan_table
+
+        plan = plan_table(table)
+        # None keeps the fast no-reorder path when the planner picks as-is.
+        return None if plan.is_identity_order else plan.dim_order
     raise ValueError(f"unknown order policy {policy!r}")
 
 
@@ -95,6 +101,9 @@ def measure(
                 "n_partitions": n_partitions,
                 "workers": workers,
             }
+        # dim_order=order is always passed explicitly below, so a None
+        # policy pins the as-is order (the registry forwards explicit
+        # None; only an *omitted* dim_order self-tunes).
         try:
             result, stats = record.run_detailed(
                 table, dim_order=order, min_support=min_support, **extra

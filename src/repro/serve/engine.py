@@ -53,6 +53,7 @@ from repro.serve.protocol import (
 from repro.table.aggregates import Aggregator, default_aggregator
 from repro.table.base_table import BaseTable
 from repro.table.schema import Schema
+from repro.tune import TuningPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serve.store import CubeStore
@@ -283,10 +284,25 @@ class QueryEngine:
         aggregator: Aggregator | None = None,
         min_support: int = 1,
         cache_capacity: int = 1024,
+        dim_order="auto",
     ) -> "QueryEngine":
-        """Build the resident trie from ``table`` and serve its cube."""
+        """Build the resident trie from ``table`` and serve its cube.
+
+        ``dim_order`` tunes the resident trie only — answers are always
+        expressed in the table's own dimension order and value coding.
+        The default ``"auto"`` runs the sampling planner
+        (:mod:`repro.tune`); pass ``None`` to pin the as-is order, an
+        explicit sequence for a static order, or a prepared
+        :class:`~repro.tune.TuningPlan`.  Appends re-plan automatically
+        when observed cardinalities drift past the planned estimates.
+        """
+        from repro.tune import resolve_plan
+
         agg = aggregator or default_aggregator(table.n_measures)
-        cuber = IncrementalRangeCuber(table.n_dims, agg)
+        plan, order = resolve_plan(table, dim_order)
+        if plan is None and order is not None:
+            plan = TuningPlan(order, source="fixed")
+        cuber = IncrementalRangeCuber(table.n_dims, agg, plan=plan)
         cuber.insert_table(table)
         return cls(
             cuber,
@@ -684,6 +700,16 @@ class QueryEngine:
             "rows_absorbed": self._cuber.n_rows_absorbed,
             "trie_nodes": self._cuber.trie_nodes,
             "min_support": self._min_support,
+            "tuning": (
+                None
+                if self._cuber.plan is None
+                else {
+                    "source": self._cuber.plan.source,
+                    "dim_order": list(self._cuber.plan.dim_order),
+                    "value_dims": sorted(self._cuber.plan.value_orders),
+                    "replans": self._cuber.replan_count,
+                }
+            ),
             "cache": {
                 "capacity": cache.capacity,
                 "size": cache.size,
@@ -730,6 +756,11 @@ class QueryEngine:
                     for d, v in enumerate(row):
                         if v > self._max_codes[d]:
                             self._max_codes[d] = v
+                # Re-plan the resident trie when the append drifted the
+                # observed cardinalities past the plan's estimates (cheap
+                # comparison otherwise); answers are unaffected.
+                if self._cuber.plan is not None:
+                    self._cuber.maybe_replan()
                 with _TRACER.span("serve.refresh"):
                     new = CubeVersion(
                         self._version.version + 1,

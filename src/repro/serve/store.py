@@ -178,6 +178,7 @@ class CubeStore:
                 min_support=min_support,
                 engine_version=engine_version,
                 rows_absorbed=cuber.n_rows_absorbed,
+                tuning=None if cuber.plan is None else cuber.plan.to_json(),
             )
             meta["read_format"] = "snapshot"
         self._atomic_write(self._meta_path(name), json.dumps(meta, separators=(",", ":")))
@@ -190,12 +191,28 @@ class CubeStore:
         aggregator: Aggregator | None = None,
         min_support: int = 1,
         overwrite: bool = False,
+        dim_order="auto",
     ) -> StoredCube:
-        """Build a resident trie from ``table`` and store it as ``name``."""
+        """Build a resident trie from ``table`` and store it as ``name``.
+
+        ``dim_order`` follows the build-path convention: ``"auto"`` (the
+        default) plans the trie order with :mod:`repro.tune`, ``None``
+        pins the as-is order, and a sequence or
+        :class:`~repro.tune.TuningPlan` pins an explicit choice.  The
+        plan is persisted with the cuber, so reloads keep transforming
+        inserts and restoring answers exactly as the original process did.
+        """
+        from repro.tune import resolve_plan
+
         if self.exists(name) and not overwrite:
             raise FileExistsError(f"cube {name!r} already exists in {self.root}")
         agg = aggregator or default_aggregator(table.n_measures)
-        cuber = IncrementalRangeCuber(table.n_dims, agg)
+        plan, order = resolve_plan(table, dim_order)
+        if plan is None and order is not None:
+            from repro.tune import TuningPlan
+
+            plan = TuningPlan(order, source="fixed")
+        cuber = IncrementalRangeCuber(table.n_dims, agg, plan=plan)
         cuber.insert_table(table)
         self.save(name, cuber, table.schema, min_support=min_support)
         return StoredCube(name, cuber, table.schema, min_support, 0)

@@ -213,12 +213,16 @@ def write_snapshot(
     min_support: int = 1,
     engine_version: int = 0,
     rows_absorbed: int = 0,
+    tuning: dict | None = None,
 ) -> Path:
     """Freeze ``source`` into a snapshot directory at ``path`` (atomic).
 
     ``source`` is a :class:`RangeCube` (frozen via ``to_columnar``) or an
     already-frozen store.  ``schema`` travels in the manifest so a loaded
-    snapshot can serve without the base table.  Returns ``path``.
+    snapshot can serve without the base table.  ``tuning`` (optional) is
+    a :meth:`~repro.tune.TuningPlan.to_json` document recording how the
+    build was self-tuned — provenance only, since snapshot ranges are
+    always stored in original dimension/value coding.  Returns ``path``.
     """
     store = source if isinstance(source, ColumnarRangeStore) else source.to_columnar()
     if schema.n_dims != store.n_dims:
@@ -286,6 +290,8 @@ def write_snapshot(
             "states": states,
             "arrays": array_meta,
         }
+        if tuning is not None:
+            manifest["tuning"] = tuning
         (tmp / MANIFEST_NAME).write_text(
             json.dumps(manifest, indent=1, sort_keys=True)
         )
@@ -438,6 +444,7 @@ def inspect_snapshot(path: str | Path) -> dict:
         "min_support": manifest["min_support"],
         "engine_version": manifest["engine_version"],
         "rows_absorbed": manifest["rows_absorbed"],
+        "tuning": manifest.get("tuning"),
         "column_bytes": total,
         "files": files,
     }

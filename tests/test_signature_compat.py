@@ -15,13 +15,22 @@ from repro.baselines.condensed import condensed_cube
 from repro.baselines.hcubing import h_cubing
 from repro.baselines.multiway import multiway
 from repro.baselines.star_cubing import star_cubing
-from repro.compat import legacy_call_shim
+from repro.compat import legacy_call_shim, reset_legacy_warnings
 from repro.core.range_cubing import range_cubing
 from repro.table.aggregates import SumCountAggregator
 
 from tests.conftest import make_paper_table
 
 AGG = SumCountAggregator(0)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_deprecation_warnings():
+    # The shim warns once per (function, style) per process; re-arm it so
+    # every test observes its own warning.
+    reset_legacy_warnings()
+    yield
+    reset_legacy_warnings()
 
 
 def _deprecated(fn, *args, **kwargs):
@@ -81,6 +90,18 @@ def test_modern_calls_emit_no_warnings():
         range_cubing(table, aggregator=AGG, dim_order=(0, 1, 2, 3), min_support=1)
         buc(table, min_support=2)
         h_cubing(table, dim_order=(0, 1, 2, 3))
+
+
+def test_legacy_style_warns_once_per_process():
+    table = make_paper_table()
+    with pytest.warns(DeprecationWarning):
+        range_cubing(table, AGG)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # second legacy call: already warned
+        range_cubing(table, AGG)
+    reset_legacy_warnings()
+    with pytest.warns(DeprecationWarning):
+        range_cubing(table, AGG)
 
 
 def test_conflicting_positional_and_keyword_raises():

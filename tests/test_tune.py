@@ -1,0 +1,346 @@
+"""The self-tuning planner (``dim_order="auto"``): plans, identity, drift.
+
+The load-bearing property: a tuned build must answer every query
+identically to an untuned one — same cells, same counts, float sums
+equal up to summation-order rounding — across the build entrypoints, the
+serving engine, snapshot save/load and the sharded router.  The planner
+itself is checked for well-formedness (orders are permutations, value
+maps are bijections, JSON round trips) and the serving path for its
+drift-triggered replan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.incremental import IncrementalRangeCuber
+from repro.core.range_cubing import range_cubing, range_cubing_detailed
+from repro.data.correlated import FunctionalDependency, correlated_table
+from repro.serve.engine import QueryEngine
+from repro.serve.protocol import QueryRequest
+from repro.table.aggregates import SumCountAggregator
+from repro.tune import (
+    DEFAULT_SAMPLE_ROWS,
+    TuningPlan,
+    plan_codes,
+    plan_table,
+    resolve_plan,
+)
+
+from tests.conftest import cubes_equal, table_strategy
+
+
+def corr_table(n_rows: int = 400, seed: int = 7):
+    table = correlated_table(
+        n_rows,
+        5,
+        [6, 40, 40, 8, 5],
+        (FunctionalDependency((0,), (1, 2)),),
+        theta=1.2,
+        seed=seed,
+    )
+    # Integer-valued measures: their float sums are exact under any
+    # summation order, so engine responses compare with plain ==.
+    from repro.table.base_table import BaseTable
+
+    return BaseTable(table.schema, table.dim_codes, np.floor(table.measures))
+
+
+# ---------------------------------------------------------------------------
+# planner well-formedness
+# ---------------------------------------------------------------------------
+
+
+def test_plan_order_is_a_permutation():
+    plan = plan_table(corr_table())
+    assert sorted(plan.dim_order) == list(range(5))
+    assert plan.source in ("as-is", "desc", "asc", "greedy-max", "greedy-min")
+    assert plan.sampled_rows <= DEFAULT_SAMPLE_ROWS
+    assert plan.candidate_costs  # every candidate was scored
+    assert plan.plan_seconds >= 0.0
+
+
+def test_static_orders_are_always_candidates():
+    # Candidates are deduped by order tuple (a static order that ties a
+    # greedy one keeps the higher-priority name), so probe two plans whose
+    # tables disagree about the winner rather than the full label set.
+    plan = plan_table(corr_table())
+    assert {"as-is", "desc"} <= set(plan.candidate_costs)
+    assert len(plan.candidate_costs) >= 3
+
+
+def test_trivial_tables_get_identity_plans():
+    empty = plan_codes(np.empty((0, 3), dtype=np.int64))
+    assert empty.is_identity
+    single_dim = plan_codes(np.array([[1], [2]], dtype=np.int64))
+    assert single_dim.is_identity_order
+
+
+def test_value_orders_are_bijections():
+    plan = plan_table(corr_table(), value_reorder=True)
+    for dim, perm in plan.value_orders.items():
+        assert sorted(perm) == list(range(len(perm)))
+        # forward then inverse is the identity, in-domain and out
+        for code in (*range(len(perm)), len(perm) + 5):
+            assert plan.original_value(dim, plan.tuned_value(dim, code)) == code
+
+
+def test_plan_json_round_trip():
+    plan = plan_table(corr_table(), value_reorder=True)
+    restored = TuningPlan.from_json(plan.to_json())
+    assert restored == plan
+    assert restored.dim_order == plan.dim_order
+    assert set(restored.value_orders) == set(plan.value_orders)
+
+
+def test_explain_mentions_order_and_candidates():
+    plan = plan_table(corr_table())
+    text = plan.explain([f"dim{i}" for i in range(5)])
+    assert str(plan.dim_order) in text
+    assert plan.source in text
+
+
+def test_resolve_plan_spellings():
+    table = corr_table()
+    assert resolve_plan(table, None) == (None, None)
+    plan, order = resolve_plan(table, "auto")
+    assert isinstance(plan, TuningPlan) and order is None
+    assert resolve_plan(table, plan) == (plan, None)
+    _, order = resolve_plan(table, (4, 3, 2, 1, 0))
+    assert order == (4, 3, 2, 1, 0)
+    # an identity sequence resolves to the as-is fast path
+    assert resolve_plan(table, (0, 1, 2, 3, 4)) == (None, None)
+    with pytest.raises(ValueError, match="sentinel"):
+        resolve_plan(table, "fastest")
+
+
+# ---------------------------------------------------------------------------
+# answer identity: build entrypoints
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(table_strategy())
+def test_auto_expansion_matches_untuned(table):
+    plain = dict(range_cubing(table, dim_order=None).expand())
+    tuned = dict(range_cubing(table, dim_order="auto").expand())
+    assert cubes_equal(plain, tuned)
+
+
+@settings(max_examples=25, deadline=None)
+@given(table_strategy())
+def test_value_reordered_expansion_matches_untuned(table):
+    plan = plan_table(table, value_reorder=True)
+    plain = dict(range_cubing(table, dim_order=None).expand())
+    tuned = dict(range_cubing(table, dim_order=plan).expand())
+    assert cubes_equal(plain, tuned)
+
+
+@settings(max_examples=15, deadline=None)
+@given(table_strategy(), st.sampled_from(["sum_count", "min"]))
+def test_auto_identity_across_aggregators(table, kind):
+    from repro.table.aggregates import MinAggregator
+
+    agg = SumCountAggregator(0) if kind == "sum_count" else MinAggregator(0)
+    plain = dict(range_cubing(table, aggregator=agg, dim_order=None).expand())
+    tuned = dict(range_cubing(table, aggregator=agg, dim_order="auto").expand())
+    assert cubes_equal(plain, tuned)
+
+
+def test_detailed_stats_carry_the_plan():
+    table = corr_table()
+    _, stats = range_cubing_detailed(table, dim_order="auto")
+    assert stats["tuning"]["dim_order"] == list(
+        plan_table(table).dim_order
+    )
+    assert stats["tune_seconds"] >= 0.0
+    # planning counts toward the paper's total-run-time metric
+    assert stats["total_seconds"] >= stats["tune_seconds"]
+
+
+def test_parallel_auto_matches_untuned():
+    table = corr_table(600)
+    from repro.core.partitioned import parallel_range_cubing
+
+    plain = dict(
+        parallel_range_cubing(
+            table, dim_order=None, executor="serial", n_partitions=3
+        ).expand()
+    )
+    tuned = dict(
+        parallel_range_cubing(
+            table, dim_order="auto", executor="serial", n_partitions=3
+        ).expand()
+    )
+    assert cubes_equal(plain, tuned)
+
+
+# ---------------------------------------------------------------------------
+# answer identity: serving engine ops
+# ---------------------------------------------------------------------------
+
+
+def _requests(n_dims: int) -> list[QueryRequest]:
+    cell = [0] + [None] * (n_dims - 1)
+    full = [1 % 3] * n_dims
+    return [
+        QueryRequest(op="point", cell=cell),
+        QueryRequest(op="point", cell=full),
+        QueryRequest(op="point", cell=[None] * n_dims),
+        QueryRequest(op="drilldown", cell=[None] * n_dims, dim=n_dims - 1),
+        QueryRequest(op="rollup", cell=full, dim=0),
+        QueryRequest(op="slice", bindings={0: 0}),
+        QueryRequest(op="dice", predicates={0: [0, 1], n_dims - 1: [0, 2]}),
+    ]
+
+
+def _strip(response: dict) -> dict:
+    return {k: v for k, v in response.items() if k not in ("cached", "version")}
+
+
+@settings(max_examples=20, deadline=None)
+@given(table_strategy(min_rows=4, min_dims=2))
+def test_engine_ops_identical_with_auto(table):
+    plain = QueryEngine.from_table(table, cache_capacity=0, dim_order=None)
+    tuned = QueryEngine.from_table(table, cache_capacity=0, dim_order="auto")
+    requests = _requests(table.n_dims)
+    for request in requests:
+        assert _strip(plain.execute(request)) == _strip(tuned.execute(request))
+    batch_plain = [_strip(r) for r in plain.execute_batch(requests)]
+    batch_tuned = [_strip(r) for r in tuned.execute_batch(requests)]
+    assert batch_plain == batch_tuned
+
+
+def test_engine_ops_identical_after_appends():
+    table = corr_table(300)
+    extra = corr_table(200, seed=23)
+    plain = QueryEngine.from_table(table, cache_capacity=0, dim_order=None)
+    tuned = QueryEngine.from_table(table, cache_capacity=0, dim_order="auto")
+    plain.append_table(extra)
+    tuned.append_table(extra)
+    for request in _requests(table.n_dims):
+        assert _strip(plain.execute(request)) == _strip(tuned.execute(request))
+    assert tuned.stats()["tuning"] is not None
+
+
+# ---------------------------------------------------------------------------
+# answer identity: persistence (cuber JSON, snapshot store, sharded)
+# ---------------------------------------------------------------------------
+
+
+def test_cuber_json_round_trip_keeps_identity(tmp_path):
+    from repro.core.serialize import load_cuber, save_cuber
+
+    table = corr_table(250)
+    plan = plan_table(table, value_reorder=True)
+    cuber = IncrementalRangeCuber(table.n_dims, SumCountAggregator(0), plan=plan)
+    cuber.insert_table(table)
+    save_cuber(cuber, tmp_path / "cuber.json")
+    restored = load_cuber(tmp_path / "cuber.json", SumCountAggregator(0))
+    assert restored.plan == plan
+    # the restored cuber keeps absorbing in planned space
+    extra = corr_table(120, seed=31)
+    cuber.insert_table(extra)
+    restored.insert_table(extra)
+    assert cubes_equal(
+        dict(cuber.cube().expand()), dict(restored.cube().expand())
+    )
+
+
+def test_snapshot_round_trip_keeps_identity(tmp_path):
+    from repro.serve.store import CubeStore
+
+    table = corr_table(250)
+    store = CubeStore(tmp_path / "cubes", format="snapshot")
+    store.create("tuned", table, dim_order="auto")
+    engine = store.open_engine("tuned")
+    plain = QueryEngine.from_table(table, cache_capacity=0, dim_order=None)
+    for request in _requests(table.n_dims):
+        assert _strip(plain.execute(request)) == _strip(engine.execute(request))
+
+
+def test_snapshot_manifest_records_the_plan(tmp_path):
+    from repro.core.range_cubing import range_cubing_detailed
+    from repro.store.snapshot import inspect_snapshot, write_snapshot
+
+    table = corr_table(250)
+    cube, stats = range_cubing_detailed(table, dim_order="auto")
+    write_snapshot(cube, tmp_path / "t.snapshot", table.schema, tuning=stats["tuning"])
+    info = inspect_snapshot(tmp_path / "t.snapshot")
+    assert info["tuning"]["dim_order"] == stats["tuning"]["dim_order"]
+    # untuned snapshots simply omit the block
+    write_snapshot(
+        range_cubing(table, dim_order=None), tmp_path / "u.snapshot", table.schema
+    )
+    assert inspect_snapshot(tmp_path / "u.snapshot")["tuning"] is None
+
+
+def test_sharded_scatter_gather_identical_with_auto():
+    from repro.serve.sharded import ShardRouter
+
+    table = corr_table(300)
+    plain = QueryEngine.from_table(table, cache_capacity=0, dim_order=None)
+    with ShardRouter.from_table(table, n_shards=2) as router:
+        for request in _requests(table.n_dims):
+            mine = _strip(plain.execute(request))
+            theirs = _strip(router.execute(request))
+            theirs.pop("shards", None)
+            assert mine == theirs
+
+
+# ---------------------------------------------------------------------------
+# serving-path drift replan
+# ---------------------------------------------------------------------------
+
+
+def _drifting_cuber():
+    narrow = make_encoded(np.column_stack([
+        np.arange(200) % 3, np.arange(200) % 5, np.arange(200) % 2,
+    ]))
+    plan = plan_table(narrow)
+    cuber = IncrementalRangeCuber(3, SumCountAggregator(0), plan=plan)
+    cuber.insert_table(narrow)
+    return narrow, cuber
+
+
+def make_encoded(codes):
+    from tests.conftest import make_encoded_table
+
+    return make_encoded_table(np.asarray(codes, dtype=np.int64))
+
+
+def test_drift_triggers_replan_and_answers_survive():
+    narrow, cuber = _drifting_cuber()
+    assert not cuber.maybe_replan()  # nothing drifted yet
+    wide = make_encoded(np.column_stack([
+        np.arange(150) % 40, np.arange(150) % 5, np.arange(150) % 2,
+    ]))
+    cuber.insert_table(wide)
+    assert cuber.drifted_dims()
+    assert cuber.maybe_replan()
+    assert cuber.replan_count == 1
+    # post-replan the cube equals a from-scratch untuned recompute
+    recompute = IncrementalRangeCuber(3, SumCountAggregator(0))
+    recompute.insert_table(narrow)
+    recompute.insert_table(wide)
+    assert cubes_equal(
+        dict(cuber.cube().expand()), dict(recompute.cube().expand())
+    )
+    assert not cuber.maybe_replan()  # the new plan absorbed the drift
+
+
+def test_engine_append_replans_on_drift():
+    narrow, _ = _drifting_cuber()
+    engine = QueryEngine.from_table(narrow, cache_capacity=0, dim_order="auto")
+    wide = np.column_stack([
+        np.arange(150) % 40, np.arange(150) % 5, np.arange(150) % 2,
+    ]).tolist()
+    engine.append(wide, None)
+    assert engine.stats()["tuning"]["replans"] >= 1
+    recompute = QueryEngine.from_table(narrow, cache_capacity=0, dim_order=None)
+    recompute.append(wide, None)
+    for request in _requests(3):
+        assert _strip(engine.execute(request)) == _strip(recompute.execute(request))
