@@ -72,6 +72,17 @@ serve-demo:
 	$(PYTHON) -m repro.cli workload /tmp/repro_demo.csv --measures 1 --serve \
 		--clients 4 --requests 200 --theta 1.1 --appends 2
 
+# the serving demo with an SLO target: the report adds attainment and
+# error-budget burn lines (requests over the p99 target, and errors,
+# count as misses against a 1% budget)
+workload:
+	$(PYTHON) -c "from repro.data.synthetic import zipf_table; \
+		from repro.data.io import write_table_csv; \
+		write_table_csv(zipf_table(2000, 4, 20, 1.2, seed=7), '/tmp/repro_demo.csv')"
+	$(PYTHON) -m repro.cli workload /tmp/repro_demo.csv --measures 1 --serve \
+		--clients 4 --requests 200 --theta 1.1 --appends 2 \
+		--slo-p99-ms 25 --slo-budget 0.01
+
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
 

@@ -131,6 +131,57 @@ def drive_tune(table) -> None:
     record_replan(trigger="smoke")
 
 
+def check_federated_fleet() -> list[str]:
+    """Scrape a live 2-shard fleet's router ``/metrics``; return failures.
+
+    The router endpoint must expose the *federated* view — every worker's
+    series folded in under a ``shard`` label — and still parse under the
+    strict parser.  The shards are columnar-sized so the worker-side
+    query kernels (``repro_query_*``) actually populate.
+    """
+    from repro.data.synthetic import uniform_table
+
+    failures: list[str] = []
+    table = uniform_table(6000, 4, 10, seed=3)
+    router = ShardRouter.from_table(table, n_shards=2, shard_dim=0)
+    try:
+        with CubeServer(router, port=0) as server:
+            with HTTPCubeClient(server.url) as client:
+                client.query({"op": "dice", "predicates": {"1": [0, 1, 2]}})
+                client.query_batch(
+                    [{"op": "point", "cell": [0, 1, None, None]},
+                     {"op": "point", "cell": [1, 2, None, None]}]
+                )
+            with urlopen(server.url + "/metrics", timeout=10) as response:
+                federated = parse_prometheus_text(response.read().decode())
+            with urlopen(server.url + "/metrics?scope=local", timeout=10) as response:
+                local = parse_prometheus_text(response.read().decode())
+    finally:
+        router.close()
+
+    def shards(families, name):
+        return {
+            labels.get("shard")
+            for _, labels, _ in families.get(name, {"samples": []})["samples"]
+        }
+
+    if not shards(federated, "repro_shard_requests_total") & {"0", "1"}:
+        failures.append("federated repro_shard_requests_total has no worker shards")
+    worker_query = [
+        name
+        for name in ("repro_query_batch_size", "repro_query_postings_hits_total",
+                     "repro_query_cuboid_map_hits_total")
+        if shards(federated, name) & {"0", "1"}
+    ]
+    if not worker_query:
+        failures.append("no worker repro_query_* series carry shard labels")
+    if "router" not in shards(federated, "repro_http_requests_total"):
+        failures.append('router-local series missing shard="router" in federation')
+    if shards(local, "repro_http_requests_total") != {None}:
+        failures.append("?scope=local leaked federation shard labels")
+    return failures
+
+
 def main() -> int:
     table = zipf_table(500, 4, 10, 1.2, seed=3)
     drive_sharded(table)
@@ -180,8 +231,15 @@ def main() -> int:
         print("FAIL: no serve.request span recorded a cache hit")
         return 1
 
+    fleet_failures = check_federated_fleet()
+    if fleet_failures:
+        for failure in fleet_failures:
+            print(f"FAIL: {failure}")
+        return 1
+
     print(f"all {len(registered)} registered families exposed; "
-          f"{len(request_spans)} request spans traced")
+          f"{len(request_spans)} request spans traced; "
+          f"federated fleet scrape OK")
     print("OK")
     return 0
 

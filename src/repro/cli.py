@@ -280,7 +280,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"({stats['n_dims']} dims, {tier}) on {server.url}"
     )
     print(
-        "endpoints: GET /healthz /stats /metrics /trace /slowlog, "
+        "endpoints: GET /healthz /readyz /stats /metrics /trace /slowlog, "
         "POST /query /append  (ctrl-c to stop)"
     )
     try:
@@ -349,6 +349,8 @@ def _cmd_workload(args: argparse.Namespace) -> int:
             cold_start_factory=(
                 (lambda: _build_engine(args)) if args.cold_start else None
             ),
+            slo_p99_ms=getattr(args, "slo_p99_ms", None),
+            slo_budget=getattr(args, "slo_budget", 0.01),
         )
         report = driver.run(clients=args.clients, requests_per_client=args.requests)
     except ValueError as exc:  # e.g. "clients and requests_per_client must be positive"
@@ -362,6 +364,133 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     print(f"transport: {transport}")
     print(report.format())
     return 1 if report.errors else 0
+
+
+_EXPLAIN_COUNTERS = (
+    "postings_intersected",
+    "postings_resolved",
+    "batch_masks",
+    "cells_scanned",
+    "cuboid_map_hits",
+    "cuboid_ids_built",
+    "cuboid_maps_built",
+    "ranges_merged",
+    "snapshot_bytes_faulted",
+)
+
+
+def _format_explain(account: dict) -> str:
+    """The EXPLAIN account as the readable block ``repro explain`` prints."""
+    head = f"explain: {account.get('op')} @ v{account.get('version')}"
+    if account.get("engine"):
+        head += f"  engine {account['engine']}"
+    if account.get("cache_hit"):
+        head += "  (result cache hit)"
+    lines = [head]
+    routing = account.get("routing")
+    if routing:
+        lines.append(
+            f"routing: shard dim {routing['shard_dim']}, fanout "
+            f"{routing['fanout']} -> shards {routing['shards_touched']}, "
+            f"items {routing['items']}"
+        )
+    for shard in account.get("shards", ()):
+        tier = shard.get("tier") or {}
+        parts = [f"shard {shard.get('shard')}: tier {tier.get('source', '?')}"]
+        parts += [
+            f"{name} {shard[name]:,}" for name in _EXPLAIN_COUNTERS if name in shard
+        ]
+        if "elapsed_us" in shard:
+            parts.append(f"{shard['elapsed_us']:,.0f}us")
+        lines.append("  " + "  ".join(parts))
+    if "shards" not in account:
+        counters = [
+            f"{name} {account[name]:,}"
+            for name in _EXPLAIN_COUNTERS
+            if name in account
+        ]
+        if counters:
+            lines.append("index: " + "  ".join(counters))
+        tier = account.get("tier")
+        if tier:
+            detail = "".join(
+                f"  {k} {tier[k]}" for k in ("hot_hits", "cold_hits") if k in tier
+            )
+            lines.append(f"tier: {tier.get('source')}{detail}")
+        if account.get("snapshot"):
+            lines.append(f"snapshot: {account['snapshot']}")
+    phases = account.get("phases_us")
+    if phases:
+        lines.append(
+            "phases: " + "  ".join(f"{k} {v:,.0f}us" for k, v in phases.items())
+        )
+    return "\n".join(lines)
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import HTTPCubeClient, InProcessClient
+    from repro.serve.protocol import QueryRequest, ServeError
+
+    predicates: dict[str, list[int]] = {}
+    for item in args.pred or []:
+        dim_text, _, values = item.partition("=")
+        predicates[dim_text.strip()] = [
+            int(v) for v in values.split(",") if v.strip()
+        ]
+    bindings: dict[int, int] = {}
+    for item in args.bind or []:
+        dim_text, _, value_text = item.partition("=")
+        bindings[int(dim_text)] = int(value_text)
+    engine = None
+    if args.target.startswith(("http://", "https://")):
+        client = HTTPCubeClient(args.target)
+    else:
+        if Path(args.target).is_dir():
+            args.snapshot_dir = args.target
+        else:
+            args.table = args.target
+        engine = _build_engine(args)
+        client = InProcessClient(engine)
+    try:
+        n_dims = client.stats()["n_dims"]
+        cell: list[int | None] = [None] * n_dims
+        for d, v in bindings.items():
+            if not 0 <= d < n_dims:
+                print(f"error: dimension {d} out of range (cube has {n_dims})",
+                      file=sys.stderr)
+                return 2
+            cell[d] = v
+        request = QueryRequest(
+            op=args.op,
+            cell=cell,
+            dim=args.dim,
+            predicates=predicates or None,
+            explain=True,
+        )
+        try:
+            response = client.query(request)
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    finally:
+        client.close()
+        if engine is not None and hasattr(engine, "close"):
+            engine.close()
+    if args.json:
+        print(json.dumps(response, indent=1, default=str))
+        return 0
+    if "value" in response:
+        print(f"value: {response['value']}")
+    elif "children" in response:
+        print(f"children: {len(response['children'])}")
+    account = response.get("explain")
+    if account:
+        print(_format_explain(account))
+    else:
+        print("(server returned no explain block)")
+    return 0
 
 
 def _cmd_snapshot_save(args: argparse.Namespace) -> int:
@@ -529,7 +658,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     elif args.slowlog:
         path = "/slowlog"
     else:
-        path = "/metrics"
+        path = "/metrics?scope=local" if args.local else "/metrics"
     url = args.server.rstrip("/") + path
     try:
         with urlopen(url, timeout=args.timeout) as response:
@@ -543,6 +672,22 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             if not body.endswith("\n"):
                 fh.write("\n")
         print(f"wrote {args.out}")
+    elif args.slowlog and not args.raw:
+        import json
+
+        entries = json.loads(body).get("slow_queries", [])
+        if not entries:
+            print("no slow queries retained")
+            return 0
+        for entry in entries:
+            ms = float(entry.get("duration_s", entry.get("duration", 0.0))) * 1000
+            trace_id = entry.get("trace_id") or "-"
+            span_id = entry.get("span_id") or "-"
+            print(
+                f"{ms:9.3f}ms  {entry.get('op', '?'):<9}  "
+                f"trace {trace_id}  span {span_id}  "
+                f"{json.dumps(entry.get('request'), default=str)}"
+            )
     else:
         print(body, end="" if body.endswith("\n") else "\n")
     return 0
@@ -826,6 +971,20 @@ def build_parser() -> argparse.ArgumentParser:
         dest="budget_mb",
         help="snapshot tier resident-bytes budget in MiB (directory targets)",
     )
+    p.add_argument(
+        "--slo-p99-ms",
+        type=float,
+        default=None,
+        dest="slo_p99_ms",
+        help="latency SLO target in ms: report attainment and error-budget burn",
+    )
+    p.add_argument(
+        "--slo-budget",
+        type=float,
+        default=0.01,
+        dest="slo_budget",
+        help="allowed fraction of requests over the SLO target (default 1%%)",
+    )
     p.set_defaults(func=_cmd_workload, snapshot_dir=None)
 
     p = sub.add_parser(
@@ -889,10 +1048,65 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--slowlog", action="store_true", help="fetch /slowlog instead of /metrics"
     )
+    p.add_argument(
+        "--raw",
+        action="store_true",
+        help="with --slowlog: print the raw JSON instead of one line per entry",
+    )
+    p.add_argument(
+        "--local",
+        action="store_true",
+        help="fetch /metrics?scope=local (this process only, no shard federation)",
+    )
     p.add_argument("--limit", type=int, default=None, help="keep only the newest N spans")
     p.add_argument("--timeout", type=float, default=5.0, help="request timeout seconds")
     p.add_argument("--out", default=None, help="write the response to a file")
     p.set_defaults(func=_cmd_obs)
+
+    p = sub.add_parser(
+        "explain", help="run one query with EXPLAIN, print the per-phase account"
+    )
+    p.add_argument(
+        "target",
+        help="a running server's http://host:port, a CSV table, or a snapshot directory",
+    )
+    p.add_argument(
+        "--op",
+        default="point",
+        choices=("point", "rollup", "drilldown", "slice", "dice"),
+    )
+    p.add_argument(
+        "--bind",
+        action="append",
+        metavar="DIM=CODE",
+        help="bind a dimension index to a value code (repeatable)",
+    )
+    p.add_argument("--dim", type=int, default=None, help="axis for rollup/drilldown")
+    p.add_argument(
+        "--pred",
+        action="append",
+        metavar="DIM=V1,V2",
+        help="dice predicate: dimension index = comma-separated codes (repeatable)",
+    )
+    p.add_argument("--measures", type=int, default=0, help="trailing measure columns")
+    p.add_argument("--min-support", type=int, default=1)
+    p.add_argument("--cache", type=int, default=4096)
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="explain against a local N-shard fleet (CSV targets)",
+    )
+    p.add_argument("--shard-dim", type=int, default=0, dest="shard_dim")
+    p.add_argument(
+        "--budget-mb",
+        type=float,
+        default=64.0,
+        dest="budget_mb",
+        help="snapshot tier resident-bytes budget in MiB (directory targets)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable account")
+    p.set_defaults(func=_cmd_explain, snapshot_dir=None, shard_timeout=30.0)
 
     p = sub.add_parser("experiment", help="run a paper experiment driver")
     p.add_argument(

@@ -49,6 +49,7 @@ one store per immutable cube version.
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from functools import reduce
 from typing import TYPE_CHECKING, Iterable, Sequence
 
@@ -100,6 +101,53 @@ _FIND_BATCH_SIZE = _REGISTRY.histogram(
 def _cuboid_map_nbytes(entries: int, n_dims: int) -> int:
     """Approximate heap footprint of a cuboid map (dict slot + cell tuple)."""
     return entries * (120 + 16 * n_dims)
+
+
+# ----------------------------------------------------------------------
+# query EXPLAIN collection
+# ----------------------------------------------------------------------
+
+_EXPLAIN_LOCAL = threading.local()
+
+
+class ExplainCollector:
+    """One query's cost account, accumulated across the read path.
+
+    The serving layer installs a collector (thread-local) around an
+    ``explain=true`` request; the columnar kernels, the snapshot tier
+    policy and the mapped-column readers each drop their counts in as
+    they run.  When no collector is installed — every ordinary request —
+    the hook is one ``getattr`` returning ``None``, so the hot path
+    stays inside the obs-overhead budget.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self) -> None:
+        self.data: dict = {}
+
+    def add(self, key: str, amount: int = 1) -> None:
+        self.data[key] = self.data.get(key, 0) + amount
+
+    def put(self, key: str, value: object) -> None:
+        self.data[key] = value
+
+
+def explain_collector() -> ExplainCollector | None:
+    """The collector installed on this thread, if any (hot-path hook)."""
+    return getattr(_EXPLAIN_LOCAL, "collector", None)
+
+
+@contextmanager
+def collect_explain():
+    """Install a fresh :class:`ExplainCollector` for the enclosed query."""
+    collector = ExplainCollector()
+    previous = getattr(_EXPLAIN_LOCAL, "collector", None)
+    _EXPLAIN_LOCAL.collector = collector
+    try:
+        yield collector
+    finally:
+        _EXPLAIN_LOCAL.collector = previous
 
 
 def _pack_bits(flags: np.ndarray) -> np.ndarray:
@@ -303,6 +351,7 @@ class ColumnarRangeStore:
             if p is None:
                 return -1
             posts.append(p)
+        acc = explain_collector()
         if not posts:
             return self._apex_id
         posts.sort(key=len)
@@ -310,7 +359,12 @@ class ColumnarRangeStore:
         for p in posts[1:]:
             ids = np.intersect1d(ids, p, assume_unique=True)
             if not ids.size:
+                if acc is not None:
+                    acc.add("postings_intersected", len(posts))
                 return -1
+        if acc is not None:
+            acc.add("postings_intersected", len(posts))
+            acc.add("cells_scanned", int(ids.size))
         ok = ids[(self.fixed_mask[ids] & ~qmask) == 0]
         if not ok.size:
             return -1
@@ -373,6 +427,11 @@ class ColumnarRangeStore:
             for pos in positions:
                 out[pos] = cmap.get(tuple(cells[pos]), -1)
             map_resolved += len(positions)
+        acc = explain_collector()
+        if acc is not None:
+            acc.add("batch_masks", len(groups))
+            acc.add("postings_resolved", postings_resolved)
+            acc.add("cuboid_map_hits", map_resolved)
         return out, len(groups), postings_resolved, map_resolved
 
     def find_batch(self, cells: Sequence[Cell]) -> list["Range | None"]:
@@ -396,6 +455,10 @@ class ColumnarRangeStore:
             ids = np.flatnonzero(
                 ((self.fixed_mask & ~mask) == 0) & ((mask & ~self.bound_mask) == 0)
             ).astype(np.int32)
+            acc = explain_collector()
+            if acc is not None:
+                acc.add("cuboid_ids_built")
+                acc.add("cells_scanned", len(self))
             policy = self._memo_policy
             if policy is None or policy.admit("ids", mask, ids.nbytes):
                 with self._memo_lock:
@@ -423,6 +486,9 @@ class ColumnarRangeStore:
             dims = [d for d in range(self.n_dims) if mask >> d & 1]
             sub = self.specific[ids][:, dims] if len(dims) else self.specific[ids][:, :0]
             cmap = dict(zip(self._project(sub, dims), ids.tolist()))
+            acc = explain_collector()
+            if acc is not None:
+                acc.add("cuboid_maps_built")
             policy = self._memo_policy
             if policy is None or policy.admit(
                 "map", mask, _cuboid_map_nbytes(len(cmap), self.n_dims)
@@ -478,6 +544,9 @@ class ColumnarRangeStore:
         ids = np.asarray(ids)
         if not ids.size:
             return None
+        acc = explain_collector()
+        if acc is not None:
+            acc.add("ranges_merged", int(ids.size))
         if self._fast_columns is not None:
             return self._fast_columns.merge(int(np.add.reduce(self.counts[ids])), ids)
         states = self.states
@@ -500,6 +569,9 @@ class ColumnarRangeStore:
         for d in (*value_sets, *base):
             mask |= 1 << d
         ids = self.cuboid_ids(mask)
+        acc = explain_collector()
+        if acc is not None:
+            acc.add("cells_scanned", int(ids.size))
         for d, v in base.items():
             ids = ids[self.specific[ids, d] == v]
         for d, values in value_sets.items():

@@ -49,6 +49,7 @@ from repro.obs.tracing import (
     OBS_STATE,
     Span,
     TraceBuffer,
+    TraceContext,
     Tracer,
 )
 
@@ -106,6 +107,7 @@ __all__ = [
     "Span",
     "TRACER",
     "TraceBuffer",
+    "TraceContext",
     "Tracer",
     "get_registry",
     "get_tracer",

@@ -58,6 +58,18 @@ def _escape_help(text: str) -> str:
     return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
+_LABEL_UNESCAPE_RE = re.compile(r"\\(.)")
+_LABEL_UNESCAPES = {"n": "\n", '"': '"', "\\": "\\"}
+
+
+def _unescape_label_value(value: str) -> str:
+    # One left-to-right pass, so '\\n' round-trips to a backslash + 'n'
+    # rather than a newline (sequential str.replace gets this wrong).
+    return _LABEL_UNESCAPE_RE.sub(
+        lambda m: _LABEL_UNESCAPES.get(m.group(1), m.group(0)), value
+    )
+
+
 def _format_number(value: float) -> str:
     """Prometheus sample values: integral floats render without a dot."""
     if value != value:  # NaN
@@ -402,15 +414,39 @@ class MetricRegistry:
         Counters and gauges add; histograms merge bucket-wise.  Families
         absent here are created with the snapshot's kind and labels.
         """
+        self._merge_snapshot(snapshot, None, None)
+
+    def merge_labeled(self, snapshot: Mapping, label: str, value: str) -> None:
+        """Fold a snapshot in, tagging every series with ``label=value``.
+
+        The federation primitive: each worker's registry snapshot lands
+        with an extra identifying label (``shard="0"``), so counters sum
+        per shard, gauges stay distinguishable per shard, and histograms
+        bucket-merge per shard instead of collapsing into one anonymous
+        series.  Families that already carry ``label`` fold unchanged
+        (a worker re-exporting an already-federated view).
+        """
+        if not _LABEL_RE.match(label):
+            raise ValueError(f"invalid label name {label!r}")
+        self._merge_snapshot(snapshot, label, str(value))
+
+    def _merge_snapshot(self, snapshot: Mapping, label: str | None, value) -> None:
         for m in snapshot.get("metrics", ()):
             cls = _KINDS.get(m.get("kind"))
             if cls is None:
                 raise ValueError(f"unknown metric kind in snapshot: {m.get('kind')!r}")
+            labelnames = tuple(m.get("labelnames", ()))
+            extend = label is not None and label not in labelnames
             metric = self._get_or_create(
-                cls, m["name"], m.get("help", ""), tuple(m.get("labelnames", ()))
+                cls,
+                m["name"],
+                m.get("help", ""),
+                labelnames + (label,) if extend else labelnames,
             )
             for entry in m.get("series", ()):
                 key = tuple(entry["labels"])
+                if extend:
+                    key = key + (value,)
                 if "histogram" in entry:
                     metric._merge_key(key, LatencyHistogram.from_dict(entry["histogram"]))
                 else:
@@ -537,7 +573,7 @@ def parse_prometheus_text(text: str) -> dict[str, dict]:
         if raw_labels:
             consumed = 0
             for pair in _LABEL_PAIR_RE.finditer(raw_labels):
-                labels[pair.group(1)] = pair.group(2)
+                labels[pair.group(1)] = _unescape_label_value(pair.group(2))
                 consumed = pair.end()
             remainder = raw_labels[consumed:].strip().strip(",")
             if remainder:

@@ -28,10 +28,11 @@ from __future__ import annotations
 import itertools
 import json
 import os
+import re
 import threading
 import time
 from collections import deque
-from typing import Mapping
+from typing import Iterable, Mapping
 
 
 class _ObsState:
@@ -46,6 +47,80 @@ class _ObsState:
 #: Shared by the tracer and the instrumented hot paths (serving checks it
 #: once per request before paying for any span or metric work).
 OBS_STATE = _ObsState()
+
+
+_TRACE_ID_RE = re.compile(r"^[0-9a-f]{32}$")
+_SPAN_ID_RE = re.compile(r"^[0-9a-f]{16}$")
+_TRACEPARENT_RE = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-(?P<trace_id>[0-9a-f]{32})"
+    r"-(?P<span_id>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$"
+)
+
+
+class TraceContext:
+    """The propagated identity of a trace: W3C trace-context ids.
+
+    A ``TraceContext`` names one remote parent span — a 32-hex-digit
+    trace id shared by every span in the request tree and the 16-hex
+    span id of the caller's span.  It crosses process boundaries two
+    ways: as a ``traceparent`` HTTP header (``00-<trace>-<span>-01``,
+    the W3C trace-context wire form) and as the optional
+    ``trace_context`` field of the serve wire protocol.  A span opened
+    with ``tracer.span(name, remote_context=ctx)`` joins the remote
+    trace instead of rooting a new one, which is how one request's tree
+    spans the router and its shard workers.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str) -> None:
+        if not _TRACE_ID_RE.match(trace_id) or int(trace_id, 16) == 0:
+            raise ValueError(f"invalid trace id {trace_id!r}")
+        if not _SPAN_ID_RE.match(span_id) or int(span_id, 16) == 0:
+            raise ValueError(f"invalid span id {span_id!r}")
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def to_traceparent(self) -> str:
+        """The W3C ``traceparent`` header value (version 00, sampled)."""
+        return f"00-{self.trace_id}-{self.span_id}-01"
+
+    @classmethod
+    def from_traceparent(cls, header: str | None) -> "TraceContext | None":
+        """Parse a ``traceparent`` header; None when absent or malformed.
+
+        Malformed headers are dropped, not rejected — a bad upstream
+        tracer must never fail the request it decorates.
+        """
+        if not header:
+            return None
+        match = _TRACEPARENT_RE.match(header.strip().lower())
+        if not match or match.group("version") == "ff":
+            return None
+        try:
+            return cls(match.group("trace_id"), match.group("span_id"))
+        except ValueError:
+            return None
+
+    def to_json(self) -> dict:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "TraceContext":
+        return cls(str(data["trace_id"]), str(data["span_id"]))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TraceContext)
+            and self.trace_id == other.trace_id
+            and self.span_id == other.span_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id))
+
+    def __repr__(self) -> str:
+        return f"TraceContext({self.trace_id!r}, {self.span_id!r})"
 
 
 class Span:
@@ -88,6 +163,10 @@ class Span:
         """Attach one attribute (JSON-able values keep exporters happy)."""
         self.attributes[key] = value
 
+    def context(self) -> TraceContext:
+        """This span's identity as a propagatable :class:`TraceContext`."""
+        return TraceContext(self.trace_id, self.span_id)
+
     def __enter__(self) -> "Span":
         self.start_wall = time.time()
         self.thread_id = threading.get_ident()
@@ -127,6 +206,9 @@ class _NoopSpan:
 
     def set_attribute(self, key: str, value: object) -> None:
         pass
+
+    def context(self) -> None:
+        return None
 
     def __enter__(self) -> "_NoopSpan":
         return self
@@ -207,11 +289,13 @@ class Tracer:
         self.buffer = TraceBuffer(capacity)
         self._local = threading.local()
         self._ids = itertools.count(1)
-        # Trace ids are a per-process random prefix plus a counter:
-        # globally unique enough to correlate multi-process traces, far
-        # cheaper than a uuid4 per root span (every served request roots
-        # its own trace, so this sits on the hot path).
-        self._trace_prefix = os.urandom(4).hex()
+        # W3C-width ids (32-hex trace, 16-hex span), each a per-process
+        # random prefix plus a counter: globally unique enough to
+        # correlate multi-process traces, far cheaper than a uuid4 per
+        # root span (every served request roots its own trace, so this
+        # sits on the hot path).
+        self._trace_prefix = os.urandom(12).hex()
+        self._span_prefix = os.urandom(3).hex()
         self._trace_ids = itertools.count(1)
 
     # -- the per-thread stack --------------------------------------------
@@ -241,12 +325,23 @@ class Tracer:
     # -- span creation ---------------------------------------------------
 
     def _next_span_id(self) -> str:
-        return f"{next(self._ids):012x}"
+        return f"{self._span_prefix}{next(self._ids):010x}"
 
     def _next_trace_id(self) -> str:
         return f"{self._trace_prefix}{next(self._trace_ids):08x}"
 
-    def span(self, name: str, **attributes: object) -> Span | _NoopSpan:
+    def current_context(self) -> TraceContext | None:
+        """This thread's innermost open span as a propagatable context."""
+        span = self.current()
+        return span.context() if span is not None else None
+
+    def span(
+        self,
+        name: str,
+        *,
+        remote_context: TraceContext | None = None,
+        **attributes: object,
+    ) -> Span | _NoopSpan:
         """Open a child of this thread's current span (or a new root).
 
         Use as a context manager::
@@ -254,16 +349,27 @@ class Tracer:
             with tracer.span("build", rows=table.n_rows) as sp:
                 ...
                 sp.set_attribute("trie_nodes", trie.n_nodes())
+
+        ``remote_context`` (a :class:`TraceContext` from a ``traceparent``
+        header or the wire protocol's ``trace_context`` field) grafts the
+        span into a trace started in another process: with no local
+        parent open, the new span joins the remote trace id under the
+        remote span instead of rooting a fresh trace.  An open local
+        parent always wins — remote context only seeds the root of this
+        process's subtree.
         """
         if not OBS_STATE.enabled:
             return NOOP_SPAN
         parent = self.current()
-        if parent is None:
-            trace_id = self._next_trace_id()
-            parent_id = None
-        else:
+        if parent is not None:
             trace_id = parent.trace_id
             parent_id = parent.span_id
+        elif remote_context is not None:
+            trace_id = remote_context.trace_id
+            parent_id = remote_context.span_id
+        else:
+            trace_id = self._next_trace_id()
+            parent_id = None
         return Span(self, name, trace_id, self._next_span_id(), parent_id, attributes)
 
     def record_span(
@@ -274,6 +380,10 @@ class Tracer:
         duration: float,
         attributes: Mapping | None = None,
         parent: Span | _NoopSpan | None = None,
+        trace_id: str | None = None,
+        span_id: str | None = None,
+        parent_id: str | None = None,
+        thread_id: int | None = None,
     ) -> None:
         """Synthesize an already-finished span directly into the buffer.
 
@@ -283,27 +393,59 @@ class Tracer:
         builder's sort/group/aggregate phase seconds become sequential
         children of the build span.  ``parent=None`` parents under this
         thread's current span.
+
+        Spans that already carry identity — a shard worker's spans
+        shipped back over the pipe — pass their original ``trace_id`` /
+        ``span_id`` / ``parent_id`` (and ``thread_id``) explicitly, so
+        cross-worker folding preserves the ids and the stitched tree
+        survives every exporter, Chrome trace-event form included.
         """
         if not OBS_STATE.enabled:
             return
-        if parent is None or isinstance(parent, _NoopSpan):
-            parent = self.current()
-        if parent is None:
-            trace_id, parent_id = self._next_trace_id(), None
-        else:
-            trace_id, parent_id = parent.trace_id, parent.span_id
+        if trace_id is None:
+            # No identity supplied: infer parentage locally.  A span that
+            # names its trace_id owns its parent_id too (None = a root).
+            anchor = parent
+            if anchor is None or isinstance(anchor, _NoopSpan):
+                anchor = self.current()
+            if anchor is None:
+                trace_id, parent_id = self._next_trace_id(), None
+            else:
+                trace_id, parent_id = anchor.trace_id, anchor.span_id
         span = Span(
             self,
             name,
             trace_id,
-            self._next_span_id(),
+            span_id if span_id is not None else self._next_span_id(),
             parent_id,
             dict(attributes or {}),
         )
         span.start_wall = start_wall
         span.duration = duration
-        span.thread_id = threading.get_ident()
+        span.thread_id = thread_id if thread_id is not None else threading.get_ident()
         self.buffer.add(span)
+
+    def fold(self, span_dicts: Iterable[Mapping]) -> int:
+        """Stitch spans exported elsewhere (``Span.to_dict`` form) in.
+
+        The ids travel verbatim — a worker span whose root parented
+        under the router's scatter context lands in this buffer as the
+        same node of the same trace tree.  Returns the number folded.
+        """
+        count = 0
+        for data in span_dicts:
+            self.record_span(
+                data["name"],
+                start_wall=float(data.get("start", 0.0)),
+                duration=float(data.get("duration", 0.0)),
+                attributes=data.get("attributes") or {},
+                trace_id=data.get("trace_id"),
+                span_id=data.get("span_id"),
+                parent_id=data.get("parent_id"),
+                thread_id=data.get("thread"),
+            )
+            count += 1
+        return count
 
     # -- export convenience ----------------------------------------------
 

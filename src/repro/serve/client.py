@@ -20,8 +20,11 @@ import socket
 from typing import Sequence
 from urllib.parse import urlsplit
 
+from repro.obs import OBS_STATE, get_tracer
 from repro.serve.engine import QueryEngine, ServeError
 from repro.serve.protocol import ErrorInfo, QueryRequest, error_response
+
+_TRACER = get_tracer()
 
 
 def _wire(request: "QueryRequest | dict") -> dict:
@@ -130,9 +133,23 @@ class HTTPCubeClient(ServingClient):
             # pays the Nagle / delayed-ACK round trip (~40ms).
             self._conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        statuses: tuple = (200,),
+    ) -> dict:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         headers = {} if body is None else {"Content-Type": "application/json"}
+        if OBS_STATE.enabled:
+            # Propagate the caller's open span (if any) as a W3C
+            # traceparent header, so the server's request tree grafts
+            # under it and GET /trace shows one cross-process trace.
+            context = _TRACER.current_context()
+            if context is not None:
+                headers["traceparent"] = context.to_traceparent()
         try:
             self._connect()
             self._conn.request(method, path, body=body, headers=headers)
@@ -151,7 +168,7 @@ class HTTPCubeClient(ServingClient):
             raise ServeError(
                 f"non-JSON response ({response.status}) from {path}: {raw[:200]!r}"
             ) from None
-        if response.status != 200:
+        if response.status not in statuses:
             error = decoded.get("error")
             if error is None:
                 raise ServeError(f"HTTP {response.status} from {path}")
@@ -180,6 +197,10 @@ class HTTPCubeClient(ServingClient):
 
     def healthz(self) -> dict:
         return self._request("GET", "/healthz")
+
+    def readyz(self) -> dict:
+        """The readiness body — returned, not raised, even when not ready."""
+        return self._request("GET", "/readyz", statuses=(200, 503))
 
     def close(self) -> None:
         self._conn.close()

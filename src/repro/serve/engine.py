@@ -36,6 +36,7 @@ import time
 import weakref
 from typing import TYPE_CHECKING, Mapping, Sequence
 
+from repro.core.columnar import collect_explain
 from repro.core.incremental import IncrementalRangeCuber
 from repro.core.range_cube import RangeCube
 from repro.cube.cell import Cell
@@ -523,7 +524,11 @@ class QueryEngine:
         op = self._request_op(request)
         series = self._op_series.get(op) or self._op_series["invalid"]
         start = time.perf_counter()
-        with _TRACER.span("serve.request", op=str(op)) as span:
+        with _TRACER.span(
+            "serve.request",
+            remote_context=getattr(request, "trace_context", None),
+            op=str(op),
+        ) as span:
             try:
                 response = self._execute(request)
             except ServeError:
@@ -540,7 +545,10 @@ class QueryEngine:
         if elapsed >= self.slow_log.threshold:
             # The retained entry must stay JSON-able for ``/slowlog``.
             raw = request.to_json() if isinstance(request, QueryRequest) else request
-            if self.slow_log.record(elapsed, raw, op=op, cache_hit=cached):
+            if self.slow_log.record(
+                elapsed, raw, op=op, cache_hit=cached,
+                trace_id=span.trace_id, span_id=span.span_id,
+            ):
                 _SLOW_QUERIES.inc()
         return response
 
@@ -556,6 +564,8 @@ class QueryEngine:
                 f"request targets version {req.version}, engine serves {snap.version}",
                 code=ErrorCode.VERSION_CONFLICT,
             )
+        if req.explain:
+            return self._execute_explain(snap, op, req)
         key = self._cache_key(snap, op, req)
         try:
             hit = self.cache.get(key)
@@ -570,6 +580,49 @@ class QueryEngine:
         # serializes it, the clients treat responses as read-only).
         self.cache.put(key, dict(response, cached=True))
         return dict(response, cached=False)
+
+    # explain path ------------------------------------------------------
+
+    def _explain_extras(self, data: dict) -> dict:
+        """Engine-specific EXPLAIN fields (the snapshot tier overrides)."""
+        return {"tier": {"source": "resident"}}
+
+    def _execute_explain(self, snap: CubeVersion, op: str, req: QueryRequest) -> dict:
+        """Answer one request with a structured cost account attached.
+
+        The account never enters the result cache — the cached entry is
+        shared by reference — so an ``explain=true`` repeat of a cached
+        query reports the hit without disturbing ordinary callers.
+        Per-phase timings are microseconds (``perf_counter`` deltas).
+        """
+        t0 = time.perf_counter()
+        key = self._cache_key(snap, op, req)
+        try:
+            hit = self.cache.get(key)
+        except TypeError:  # unhashable entries in the raw cell
+            self._answer(snap, op, req)  # raises the precise ServeError
+            raise
+        t1 = time.perf_counter()
+        account: dict = {
+            "op": op,
+            "version": snap.version,
+            "engine": self._name or "default",
+            "cache_hit": hit is not None,
+        }
+        if hit is not None:
+            account["phases_us"] = {"cache": round((t1 - t0) * 1e6, 1)}
+            return dict(hit, explain=account)
+        with collect_explain() as acc:
+            response = self._answer(snap, op, req)
+        t2 = time.perf_counter()
+        account["phases_us"] = {
+            "cache": round((t1 - t0) * 1e6, 1),
+            "answer": round((t2 - t1) * 1e6, 1),
+        }
+        account.update(acc.data)
+        account.update(self._explain_extras(acc.data))
+        self.cache.put(key, dict(response, cached=True))
+        return dict(response, cached=False, explain=account)
 
     # batch read path ---------------------------------------------------
 
@@ -604,7 +657,10 @@ class QueryEngine:
         if not OBS_STATE.enabled:
             return self._execute_batch(requests)
         start = time.perf_counter()
-        with _TRACER.span("serve.batch", requests=len(requests)) as span:
+        remote = getattr(requests[0], "trace_context", None) if requests else None
+        with _TRACER.span(
+            "serve.batch", remote_context=remote, requests=len(requests)
+        ) as span:
             responses = self._execute_batch(requests)
             cached = sum(1 for r in responses if r.get("cached"))
             errors = sum(1 for r in responses if "error" in r)
@@ -620,7 +676,8 @@ class QueryEngine:
         if len(responses) > cached:
             _CACHE_MISSES.inc(len(responses) - cached)
         if self.slow_log.record(
-            elapsed, {"batch": len(requests)}, op="batch", cache_hit=False
+            elapsed, {"batch": len(requests)}, op="batch", cache_hit=False,
+            trace_id=span.trace_id, span_id=span.span_id,
         ):
             _SLOW_QUERIES.inc()
         return responses
@@ -652,7 +709,12 @@ class QueryEngine:
                 except TypeError:  # unhashable entries in the raw cell
                     self._answer(snap, op, req)  # raises the precise error
                     raise
-                if hit is not None:
+                if req.explain:
+                    # Explained items resolve individually (their account
+                    # must cover exactly their own index work), so they
+                    # skip the pooled point resolution below.
+                    responses[i] = self._execute_explain(snap, op, req)
+                elif hit is not None:
                     responses[i] = hit
                 elif op == "point":
                     cell = self._normalize_cell(snap, req)
@@ -684,6 +746,18 @@ class QueryEngine:
     def point(self, cell: Sequence[int | None]) -> dict | None:
         """Finalized aggregates of one cell, None when the cell is empty."""
         return self.execute(QueryRequest(op="point", cell=list(cell)))["value"]
+
+    def readiness(self) -> dict:
+        """The resident engine's ``/readyz`` body: always able to serve.
+
+        A resident engine is ready the moment construction returns — the
+        interesting states (snapshot still loading, two-phase refresh in
+        flight, dead shards) belong to :class:`SnapshotEngine
+        <repro.store.engine.SnapshotEngine>` and the
+        :class:`~repro.serve.sharded.ShardRouter`, which override this
+        shape with the same keys.
+        """
+        return {"ready": True, "state": "serving", "version": self.version}
 
     def stats(self) -> dict:
         """A JSON-able snapshot of the engine (the ``/stats`` endpoint)."""

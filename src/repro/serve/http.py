@@ -3,9 +3,15 @@
 Endpoints (bodies are JSON unless noted):
 
 * ``GET /healthz``   — liveness: ``{"status": "ok", "version": N}``
+* ``GET /readyz``    — readiness: 200 when the engine can serve, 503
+  with the state (``loading``, ``refresh-prepare``, ``degraded`` …)
+  when it cannot; liveness and readiness are deliberately different
+  questions, so load balancers can drain without killing
 * ``GET /stats``     — the engine's stats snapshot (cache counters etc.)
-* ``GET /metrics``   — the process-wide registry as Prometheus text
-  (exposition format 0.0.4; point a Prometheus scrape job at it)
+* ``GET /metrics``   — the registry as Prometheus text (exposition
+  format 0.0.4).  On a sharded engine this is the *federated* fleet
+  view — every worker's series folded in under a ``shard`` label —
+  unless ``?scope=local`` asks for just this process's registry
 * ``GET /trace``     — recent spans as JSON (``?limit=N`` keeps the
   newest N; ``?format=chrome`` returns Chrome trace-event JSON)
 * ``GET /slowlog``   — the engine's sampled slow-query entries
@@ -15,6 +21,12 @@ Endpoints (bodies are JSON unless noted):
   back as structured ``{"error": {...}}`` entries, empty cells as
   explicit nulls
 * ``POST /append``   — ``{"rows": [[...], ...], "measures": [[...], ...]}``
+
+Trace propagation: a W3C ``traceparent`` request header on the query
+endpoints seeds the request's :class:`~repro.obs.TraceContext` when the
+body does not already carry one, so a client span, the server's
+``serve.request`` span and (behind a router) every shard's
+``shard.scatter`` span share one trace id.
 
 Requests and responses are the wire shapes defined in
 :mod:`repro.serve.protocol`; every failure — including the 404 for an
@@ -43,7 +55,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs
 
-from repro.obs import PROMETHEUS_CONTENT_TYPE, get_registry, get_tracer
+from repro.obs import PROMETHEUS_CONTENT_TYPE, TraceContext, get_registry, get_tracer
 from repro.serve.engine import QueryEngine, ServeError
 from repro.serve.protocol import BatchResponse, ErrorCode, ErrorInfo, QueryRequest
 
@@ -63,6 +75,7 @@ _HTTP_REQUESTS = get_registry().counter(
 _KNOWN_PATHS = frozenset(
     {
         "/healthz",
+        "/readyz",
         "/stats",
         "/metrics",
         "/trace",
@@ -134,10 +147,24 @@ class _Handler(BaseHTTPRequestHandler):
         path, _, raw_query = self.path.partition("?")
         if path == "/healthz":
             self._respond(200, {"status": "ok", "version": self.engine.version})
+        elif path == "/readyz":
+            readiness = getattr(self.engine, "readiness", None)
+            state = (
+                readiness()
+                if readiness is not None
+                else {"ready": True, "state": "serving", "version": self.engine.version}
+            )
+            self._respond(200 if state.get("ready") else 503, state)
         elif path == "/stats":
             self._respond(200, self.engine.stats())
         elif path == "/metrics":
-            text = get_registry().render_prometheus()
+            query = parse_qs(raw_query)
+            federated = getattr(self.engine, "federated_metrics", None)
+            if federated is not None and query.get("scope", [""])[0] != "local":
+                registry = federated()
+            else:
+                registry = get_registry()
+            text = registry.render_prometheus()
             self._respond_bytes(200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE)
         elif path == "/trace":
             query = parse_qs(raw_query)
@@ -165,20 +192,32 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             )
 
+    def _header_context(self) -> TraceContext | None:
+        """The request's ``traceparent`` header, parsed (None when absent)."""
+        return TraceContext.from_traceparent(self.headers.get("traceparent"))
+
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         try:
             if self.path == "/query":
                 request = QueryRequest.from_json(self._read_json())
+                # The body's trace_context wins; the header only seeds
+                # requests that did not already carry one.
+                if request.trace_context is None:
+                    request.trace_context = self._header_context()
                 self._respond(200, self.engine.execute(request))
             elif self.path == "/query/batch":
                 payload = self._read_json()
                 requests = payload.get("requests")
                 if not isinstance(requests, list):
                     raise ServeError("batch body needs a 'requests' list")
+                header_ctx = self._header_context()
                 items: list = []
                 for r in requests:
                     try:
-                        items.append(QueryRequest.from_json(r))
+                        req = QueryRequest.from_json(r)
+                        if req.trace_context is None:
+                            req.trace_context = header_ctx
+                        items.append(req)
                     except ServeError as exc:
                         items.append(exc)  # becomes a per-item error entry
                 results = self.engine.execute_batch(items)

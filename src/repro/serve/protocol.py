@@ -35,6 +35,8 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
+from repro.obs.tracing import TraceContext
+
 #: Version of the serving wire protocol.  Bump on incompatible changes;
 #: requests may pin a version via their ``protocol`` field.
 PROTOCOL_VERSION = 1
@@ -167,6 +169,14 @@ class QueryRequest:
     Field validation beyond basic shape stays in the engine, which knows
     the served schema; ``from_json`` only rejects payloads that are not
     request-shaped at all.
+
+    Two optional observability fields ride along, both absent from the
+    wire when unset so historical request shapes are unchanged:
+    ``explain=True`` asks the server to attach a structured per-query
+    cost account to the response, and ``trace_context`` carries the
+    caller's :class:`~repro.obs.tracing.TraceContext` so the server's
+    spans join the caller's trace (a malformed context is dropped, never
+    an error — observability must not fail the request it decorates).
     """
 
     op: str = "point"
@@ -176,16 +186,30 @@ class QueryRequest:
     predicates: Mapping | None = None
     version: int | None = None
     protocol: int | None = None
+    explain: bool | None = None
+    trace_context: TraceContext | None = None
 
     #: Wire keys, in emission order.
-    _FIELDS = ("op", "cell", "bindings", "dim", "predicates", "version", "protocol")
+    _FIELDS = (
+        "op", "cell", "bindings", "dim", "predicates", "version", "protocol",
+        "explain", "trace_context",
+    )
 
     def to_json(self) -> dict:
         out: dict = {"op": self.op}
         for name in self._FIELDS[1:]:
             value = getattr(self, name)
-            if value is not None:
-                out[name] = list(value) if name == "cell" else value
+            if value is None:
+                continue
+            if name == "cell":
+                value = list(value)
+            elif name == "trace_context":
+                value = value.to_json()
+            elif name == "explain":
+                if not value:
+                    continue
+                value = True
+            out[name] = value
         return out
 
     @classmethod
@@ -200,6 +224,12 @@ class QueryRequest:
                 f"(this server speaks {PROTOCOL_VERSION})",
                 code=ErrorCode.UNSUPPORTED_PROTOCOL,
             )
+        ctx = obj.get("trace_context")
+        if ctx is not None and not isinstance(ctx, TraceContext):
+            try:
+                ctx = TraceContext.from_json(ctx)
+            except (KeyError, TypeError, ValueError):
+                ctx = None
         return cls(
             op=obj.get("op", "point"),
             cell=obj.get("cell"),
@@ -208,6 +238,8 @@ class QueryRequest:
             predicates=obj.get("predicates"),
             version=obj.get("version"),
             protocol=protocol,
+            explain=True if obj.get("explain") else None,
+            trace_context=ctx,
         )
 
 
@@ -272,6 +304,7 @@ class QueryResponse:
     predicates: dict | None = None
     cached: bool | None = None
     error: ErrorInfo | None = None
+    explain: dict | None = None
 
     def to_json(self) -> dict:
         out: dict = {"op": self.op, "version": self.version}
@@ -290,6 +323,8 @@ class QueryResponse:
             out["children"] = self.children
         if self.cached is not None:
             out["cached"] = self.cached
+        if self.explain is not None:
+            out["explain"] = self.explain
         return out
 
     @classmethod
@@ -305,6 +340,7 @@ class QueryResponse:
             predicates=obj.get("predicates"),
             cached=obj.get("cached"),
             error=None if error is None else ErrorInfo.from_json(error),
+            explain=obj.get("explain"),
         )
 
     @property

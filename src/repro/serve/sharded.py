@@ -40,7 +40,14 @@ id) while the rest of the batch answers normally.
 Observability: ``serve.scatter`` spans wrap each fan-out with per-shard
 ``serve.gather`` child spans, and the ``repro_shard_*`` metric families
 (requests, errors, scatter seconds, fan-out, reply lag, live shards,
-per-shard version) feed ``/metrics``.  See ``docs/sharding.md``.
+per-shard version) feed ``/metrics``.  The scatter span's
+:class:`~repro.obs.TraceContext` rides to every worker, whose
+``shard.scatter`` spans come back in the reply and are folded into the
+router's buffer — ``GET /trace`` shows one stitched tree per request.
+:meth:`ShardRouter.federated_metrics` folds every worker's registry
+snapshot into a fresh ``shard``-labeled registry for ``GET /metrics``,
+and :meth:`ShardRouter.readiness` backs ``GET /readyz``.  See
+``docs/sharding.md`` and ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -49,6 +56,7 @@ import threading
 import time
 from typing import Mapping, Sequence
 
+from repro.core.columnar import collect_explain
 from repro.core.partitioned import shard_partition_payloads
 from repro.cube.cell import Cell
 from repro.exec.workers import (
@@ -58,7 +66,8 @@ from repro.exec.workers import (
     WorkerUnavailable,
     spawn_workers,
 )
-from repro.obs import OBS_STATE, SlowQueryLog, get_registry, get_tracer
+from repro.obs import OBS_STATE, SlowQueryLog, TraceContext, get_registry, get_tracer
+from repro.obs.metrics import MetricRegistry
 from repro.serve.cache import LRUCache
 from repro.serve.engine import QueryEngine, validate_rows
 from repro.serve.protocol import (
@@ -147,13 +156,30 @@ class ShardEngine:
 
     # -- read path ------------------------------------------------------
 
-    def scatter(self, target_version: int, items: Sequence[tuple]) -> list:
+    def scatter(
+        self,
+        target_version: int,
+        items: Sequence[tuple],
+        trace: Mapping | None = None,
+        explain: bool = False,
+    ) -> list | dict:
         """Answer one batch of routed sub-requests with partial states.
 
         Items are pre-validated by the router: ``("point", cell)`` →
         state-or-None; ``("children", cell, dim)`` → ``[(value, state)]``
         for the non-empty specializations along ``dim``; ``("dice",
         cell, {dim: codes})`` → the merged state of the sub-cube.
+
+        ``trace`` (a :meth:`TraceContext.to_json` dict) grafts this
+        shard's work into the router's trace: the worker opens a real
+        ``shard.scatter`` span under the remote context and ships its
+        finished span dict back in the reply for the router to fold.
+        ``explain`` resolves every item individually under an explain
+        collector and returns one account per item.  Either flag changes
+        the reply from a plain partials list to a ``{"results", "spans",
+        "explain"}`` envelope — the router is the only caller and always
+        knows which shape it asked for, so the plain form (and every
+        pre-envelope caller) is untouched.
         """
         if self._latency:
             time.sleep(self._latency)
@@ -167,6 +193,36 @@ class ShardEngine:
                 code=ErrorCode.VERSION_CONFLICT,
                 shard=self.shard_id,
             )
+        remote = None
+        if trace is not None:
+            try:
+                remote = TraceContext.from_json(trace)
+            except (KeyError, TypeError, ValueError):
+                remote = None  # a malformed context must never fail the read
+        accounts: list | None = None
+        span = _TRACER.span(
+            "shard.scatter",
+            remote_context=remote,
+            shard=self.shard_id,
+            items=len(items),
+            version=target_version,
+        )
+        with span:
+            if explain:
+                out, accounts = self._scatter_explain(items)
+            else:
+                out = self._scatter_items(items)
+        if trace is None and not explain:
+            return out
+        reply: dict = {"results": out}
+        if span.context() is not None:  # real span (tracing enabled here)
+            reply["spans"] = [span.to_dict()]
+        if explain:
+            reply["explain"] = accounts
+        return reply
+
+    def _scatter_items(self, items: Sequence[tuple]) -> list:
+        """The pooled fast path: resolve one scatter batch of items."""
         snap = self.engine.snapshot()
         cube = snap.cube
         out: list = [None] * len(items)
@@ -190,6 +246,39 @@ class ShardEngine:
             else:  # pragma: no cover - router never sends unknown kinds
                 raise ServeError(f"unknown scatter item kind {kind!r}")
         return out
+
+    def _scatter_explain(self, items: Sequence[tuple]) -> tuple[list, list]:
+        """Resolve items one by one, each under its own explain collector.
+
+        Explained items skip the pooled point resolution on purpose — an
+        account must cover exactly its own item's index work — so EXPLAIN
+        trades the batched-point advantage for attribution, the same
+        bargain the single engine's explain path makes.
+        """
+        snap = self.engine.snapshot()
+        cube = snap.cube
+        out: list = [None] * len(items)
+        accounts: list = [None] * len(items)
+        for i, item in enumerate(items):
+            kind = item[0]
+            t0 = time.perf_counter()
+            with collect_explain() as acc:
+                if kind == "point":
+                    out[i] = cube.lookup_batch([tuple(item[1])])[0]
+                elif kind == "children":
+                    out[i] = self._children(snap, tuple(item[1]), item[2])
+                elif kind == "dice":
+                    out[i] = self._dice_state(snap, tuple(item[1]), item[2])
+                else:  # pragma: no cover - router never sends unknown kinds
+                    raise ServeError(f"unknown scatter item kind {kind!r}")
+            account = dict(acc.data)
+            extras = getattr(self.engine, "_explain_extras", None)
+            if extras is not None:
+                account.update(extras(acc.data))
+            account["kind"] = kind
+            account["elapsed_us"] = round((time.perf_counter() - t0) * 1e6, 1)
+            accounts[i] = account
+        return out, accounts
 
     def _children(self, snap, cell: Cell, dim: int) -> list[tuple[int, tuple]]:
         """(value, state) for this shard's non-empty children along ``dim``.
@@ -293,6 +382,21 @@ class ShardEngine:
             "cardinalities": inner["cardinalities"],
         }
 
+    def metrics_snapshot(self) -> dict:
+        """This worker's whole metric registry in the federation format.
+
+        The router folds it into a fresh registry with a ``shard`` label
+        (:meth:`ShardRouter.federated_metrics`); the snapshot is plain
+        JSON-able data, so it rides the worker pipe like any reply.
+        """
+        return get_registry().to_dict()
+
+    def readiness(self) -> dict:
+        """This shard's serving state (snapshot still loading vs serving)."""
+        inner = getattr(self.engine, "readiness", None)
+        state = inner() if inner is not None else {"ready": True, "state": "serving"}
+        return dict(state, shard=self.shard_id, version=self.version)
+
     def set_latency(self, seconds: float) -> None:
         """Testing hook: delay every subsequent scatter by ``seconds``."""
         self._latency = float(seconds)
@@ -391,6 +495,9 @@ class ShardRouter:
         # Serializes scatter *sends* against the two-phase version swap;
         # gathers run outside it, so reads still overlap each other.
         self._scatter_lock = threading.Lock()
+        # Exposed through readiness(): None while serving, else the
+        # in-flight two-phase refresh phase ("prepare" / "commit").
+        self._refresh_phase: str | None = None
         self.cache = LRUCache(cache_capacity)
         self.slow_log = SlowQueryLog(slow_query_threshold)
         self._shard_series = [
@@ -553,13 +660,25 @@ class ShardRouter:
 
     def execute(self, request: "QueryRequest | Mapping") -> dict:
         """Answer one request by routed scatter-gather (engine-shaped)."""
+        req = coerce_request(request)
         start = time.perf_counter()
-        response = self._execute(request)
+        with _TRACER.span(
+            "serve.request",
+            remote_context=req.trace_context,
+            op=str(req.op),
+            sharded=True,
+        ) as span:
+            response = self._execute(req)
         elapsed = time.perf_counter() - start
         if elapsed >= self.slow_log.threshold:
             # The retained entry must stay JSON-able for ``/slowlog``.
-            raw = request.to_json() if isinstance(request, QueryRequest) else request
-            self.slow_log.record(elapsed, raw, op=self._request_op(request))
+            self.slow_log.record(
+                elapsed,
+                req.to_json(),
+                op=req.op,
+                trace_id=span.trace_id,
+                span_id=span.span_id,
+            )
         return response
 
     def _execute(self, request: "QueryRequest | Mapping") -> dict:
@@ -573,6 +692,8 @@ class ShardRouter:
                 f"request targets version {req.version}, router serves {snap.version}",
                 code=ErrorCode.VERSION_CONFLICT,
             )
+        if req.explain:
+            return self._execute_explain(snap, op, req)
         key = self._cache_key(snap, op, req)
         try:
             hit = self.cache.get(key)
@@ -582,7 +703,7 @@ class ShardRouter:
         if hit is not None:
             return hit
         plan = self._plan(snap, op, req)
-        results, failures = self._scatter([plan], op=op)
+        results, failures, _ = self._scatter([plan], op=op)
         partials = results[0]
         if partials is None:
             shard = next(k for k in plan.targets if k in failures)
@@ -590,6 +711,94 @@ class ShardRouter:
         response = self._merge(snap, plan, partials)
         self.cache.put(key, dict(response, cached=True))
         return dict(response, cached=False)
+
+    def _execute_explain(self, snap: "_RouterSnap", op: str, req: QueryRequest) -> dict:
+        """Answer one explained request with a routed per-shard account.
+
+        The account names the routing decision (shard dimension, shards
+        touched, fan-out, scatter item kinds), folds each shard's index
+        counters and tier classification into one entry per shard, and
+        times the router's own phases.  EXPLAIN responses are assembled
+        fresh and never cached — the account describes exactly this
+        execution — but the plain payload still lands in the cache for
+        the next caller, so turning EXPLAIN on does not perturb what the
+        fleet serves.
+        """
+        t0 = time.perf_counter()
+        key = self._cache_key(snap, op, req)
+        try:
+            hit = self.cache.get(key)
+        except TypeError:
+            self._plan(snap, op, req)  # raises the precise ServeError
+            raise
+        t1 = time.perf_counter()
+        account: dict = {
+            "op": op,
+            "version": snap.version,
+            "engine": self._name,
+            "sharded": True,
+            "cache_hit": hit is not None,
+        }
+        if hit is not None:
+            account["phases_us"] = {"cache": round((t1 - t0) * 1e6, 1)}
+            return dict(hit, explain=account)
+        plan = self._plan(snap, op, req)
+        t2 = time.perf_counter()
+        results, failures, accounts = self._scatter([plan], op=op, explain=True)
+        if results[0] is None:
+            shard = next(k for k in plan.targets if k in failures)
+            raise ServeError.from_info(failures[shard])
+        t3 = time.perf_counter()
+        response = self._merge(snap, plan, results[0])
+        t4 = time.perf_counter()
+        account["routing"] = {
+            "shard_dim": self.shard_dim,
+            "shards_touched": list(plan.targets),
+            "fanout": len(plan.targets),
+            "items": [item[0] for item in plan.items],
+        }
+        account["shards"] = self._merge_accounts(accounts[0])
+        account["phases_us"] = {
+            "cache": round((t1 - t0) * 1e6, 1),
+            "plan": round((t2 - t1) * 1e6, 1),
+            "scatter": round((t3 - t2) * 1e6, 1),
+            "merge": round((t4 - t3) * 1e6, 1),
+        }
+        self.cache.put(key, dict(response, cached=True))
+        return dict(response, cached=False, explain=account)
+
+    @staticmethod
+    def _merge_accounts(item_accounts: list) -> list[dict]:
+        """Fold per-item per-shard explain entries into one per shard.
+
+        Numeric counters sum across a shard's items; the tier source
+        stays when consistent and degrades to ``"mixed"`` when a shard
+        served some items hot and some cold.
+        """
+        per_shard: dict[int, dict] = {}
+        for entries in item_accounts:
+            for entry in entries or ():
+                shard = entry.get("shard")
+                merged = per_shard.setdefault(shard, {"shard": shard, "items": 0})
+                merged["items"] += 1
+                for field, value in entry.items():
+                    if field in ("shard", "kind"):
+                        continue
+                    if field == "tier":
+                        prior = merged.get("tier")
+                        if prior is None:
+                            merged["tier"] = dict(value)
+                        else:
+                            if prior.get("source") != value.get("source"):
+                                prior["source"] = "mixed"
+                            for bucket in ("hot_hits", "cold_hits"):
+                                if bucket in value:
+                                    prior[bucket] = prior.get(bucket, 0) + value[bucket]
+                    elif isinstance(value, (int, float)):
+                        merged[field] = merged.get(field, 0) + value
+                    else:
+                        merged.setdefault(field, value)
+        return [per_shard[k] for k in sorted(per_shard)]
 
     def execute_batch(
         self, requests: Sequence["QueryRequest | Mapping"]
@@ -599,6 +808,9 @@ class ShardRouter:
         Items group by their target shards, so a batch costs one scatter
         round per shard, not one per item; a failed shard degrades only
         the items that needed it into structured error entries.
+        Explain-flagged items route and scatter individually — their
+        account must cover exactly their own fan-out — so they trade the
+        grouped scatter round for attribution.
         """
         if not isinstance(requests, (list, tuple)):
             raise ServeError("batch body needs a 'requests' list")
@@ -606,51 +818,61 @@ class ShardRouter:
             raise ServeError(
                 f"batch of {len(requests)} exceeds the {self.MAX_BATCH}-request cap"
             )
+        remote = getattr(requests[0], "trace_context", None) if requests else None
         snap = self.snapshot()
         responses: list = [None] * len(requests)
         plans: list = []  # (position, op, plan, cache_key)
-        for i, request in enumerate(requests):
-            try:
-                req = coerce_request(request)
-                op = req.op
-                if op not in self.OPS:
-                    raise ServeError(
-                        f"unknown op {op!r}; supported: {', '.join(self.OPS)}"
-                    )
-                if req.version is not None and req.version != snap.version:
-                    raise ServeError(
-                        f"request targets version {req.version}, "
-                        f"router serves {snap.version}",
-                        code=ErrorCode.VERSION_CONFLICT,
-                    )
-                key = self._cache_key(snap, op, req)
+        with _TRACER.span(
+            "serve.batch",
+            remote_context=remote,
+            requests=len(requests),
+            sharded=True,
+        ):
+            for i, request in enumerate(requests):
                 try:
-                    hit = self.cache.get(key)
-                except TypeError:
-                    self._plan(snap, op, req)
-                    raise
-                if hit is not None:
-                    responses[i] = hit
-                else:
-                    plans.append((i, op, self._plan(snap, op, req), key))
-            except ServeError as exc:
-                responses[i] = error_response(
-                    snap.version, self._request_op(request), exc.info
-                )
-        if plans:
-            results, failures = self._scatter(
-                [plan for _, _, plan, _ in plans], op="batch"
-            )
-            for (i, op, plan, key), partials in zip(plans, results):
-                if partials is None:
-                    shard = next(
-                        k for k in plan.targets if k in failures
+                    req = coerce_request(request)
+                    op = req.op
+                    if op not in self.OPS:
+                        raise ServeError(
+                            f"unknown op {op!r}; supported: {', '.join(self.OPS)}"
+                        )
+                    if req.version is not None and req.version != snap.version:
+                        raise ServeError(
+                            f"request targets version {req.version}, "
+                            f"router serves {snap.version}",
+                            code=ErrorCode.VERSION_CONFLICT,
+                        )
+                    if req.explain:
+                        responses[i] = self._execute_explain(snap, op, req)
+                        continue
+                    key = self._cache_key(snap, op, req)
+                    try:
+                        hit = self.cache.get(key)
+                    except TypeError:
+                        self._plan(snap, op, req)
+                        raise
+                    if hit is not None:
+                        responses[i] = hit
+                    else:
+                        plans.append((i, op, self._plan(snap, op, req), key))
+                except ServeError as exc:
+                    responses[i] = error_response(
+                        snap.version, self._request_op(request), exc.info
                     )
-                    responses[i] = error_response(snap.version, op, failures[shard])
-                    continue
-                response = self._merge(snap, plan, partials)
-                self.cache.put(key, dict(response, cached=True))
-                responses[i] = dict(response, cached=False)
+            if plans:
+                results, failures, _ = self._scatter(
+                    [plan for _, _, plan, _ in plans], op="batch"
+                )
+                for (i, op, plan, key), partials in zip(plans, results):
+                    if partials is None:
+                        shard = next(
+                            k for k in plan.targets if k in failures
+                        )
+                        responses[i] = error_response(snap.version, op, failures[shard])
+                        continue
+                    response = self._merge(snap, plan, partials)
+                    self.cache.put(key, dict(response, cached=True))
+                    responses[i] = dict(response, cached=False)
         return responses
 
     # -- planning --------------------------------------------------------
@@ -721,14 +943,20 @@ class ShardRouter:
     # -- scatter-gather --------------------------------------------------
 
     def _scatter(
-        self, plans: Sequence["_Plan"], *, op: str
-    ) -> tuple[list, dict[int, ErrorInfo]]:
+        self, plans: Sequence["_Plan"], *, op: str, explain: bool = False
+    ) -> tuple[list, dict[int, ErrorInfo], list]:
         """Send every plan's items to its shards, gather, slot back.
 
-        Returns ``(per-plan partials, failures)``: element ``i`` is a
-        list of per-shard partial-result lists (one per item of plan
-        ``i``), or ``None`` when any of the plan's shards failed;
-        ``failures`` maps the shard id to its structured error.
+        Returns ``(per-plan partials, failures, per-plan accounts)``:
+        partials element ``i`` is a list of per-shard partial-result
+        lists (one per item of plan ``i``), or ``None`` when any of the
+        plan's shards failed; ``failures`` maps the shard id to its
+        structured error; the accounts mirror the partials' shape with
+        per-shard explain entries (empty unless ``explain``).
+
+        When tracing is live, the scatter span's context rides to every
+        shard and each reply's worker spans are folded back into the
+        router's buffer — one request, one stitched trace tree.
         """
         per_shard_items: dict[int, list] = {}
         per_shard_slots: dict[int, list] = {}  # parallel (plan index) slots
@@ -748,27 +976,43 @@ class ShardRouter:
             shards=len(per_shard_items),
             requests=len(plans),
             version=self._router_version,
-        ):
+        ) as scatter_span:
+            context = scatter_span.context()
+            trace = context.to_json() if context is not None else None
             with self._scatter_lock:
                 version = self._router_version
                 for shard, items in per_shard_items.items():
                     worker = self._workers[shard]
                     try:
-                        seqs[shard] = worker.request("scatter", version, items)
+                        if trace is not None or explain:
+                            seqs[shard] = worker.request(
+                                "scatter", version, items, trace, explain
+                            )
+                        else:
+                            seqs[shard] = worker.request("scatter", version, items)
                     except WorkerUnavailable as exc:
                         failures[shard] = self._shard_failure(shard, exc)
                     if OBS_STATE.enabled:
                         self._shard_series[shard][0].inc(len(items))
         deadline = start + self.timeout
         replies: dict[int, list] = {}
+        shard_accounts: dict[int, list | None] = {}
         reply_at: dict[int, float] = {}
         for shard, seq in seqs.items():
             worker = self._workers[shard]
             remaining = max(deadline - time.perf_counter(), 0.0)
             try:
-                replies[shard] = worker.collect(seq, timeout=remaining)
+                reply = worker.collect(seq, timeout=remaining)
             except (WorkerTimeout, WorkerUnavailable, RemoteError) as exc:
                 failures[shard] = self._shard_failure(shard, exc)
+            else:
+                if isinstance(reply, dict):  # traced/explained envelope
+                    if reply.get("spans"):
+                        _TRACER.fold(reply["spans"])
+                    shard_accounts[shard] = reply.get("explain")
+                    replies[shard] = reply["results"]
+                else:
+                    replies[shard] = reply
             reply_at[shard] = time.perf_counter() - start
             if OBS_STATE.enabled and shard not in failures:
                 _TRACER.record_span(
@@ -791,16 +1035,24 @@ class ShardRouter:
         out: list = [
             [[] for _ in plan.items] if plan.targets else [] for plan in plans
         ]
+        accounts: list = [
+            [[] for _ in plan.items] if plan.targets else [] for plan in plans
+        ]
         for shard, reply in replies.items():
+            entries = shard_accounts.get(shard)
             cursors: dict[int, int] = {}
-            for slot, partial in zip(per_shard_slots[shard], reply):
+            for j, (slot, partial) in enumerate(
+                zip(per_shard_slots[shard], reply)
+            ):
                 item_index = cursors.get(slot, 0)
                 cursors[slot] = item_index + 1
                 out[slot][item_index].append(partial)
+                if entries is not None:
+                    accounts[slot][item_index].append(dict(entries[j], shard=shard))
         for index, plan in enumerate(plans):
             if any(shard in failures for shard in plan.targets):
                 out[index] = None
-        return out, failures
+        return out, failures, accounts
 
     def _shard_failure(self, shard: int, exc: Exception) -> ErrorInfo:
         """Map one transport/remote failure to the structured taxonomy."""
@@ -942,40 +1194,48 @@ class ShardRouter:
     def _two_phase_swap(
         self, target: int, per_rows: list[list], per_meas: list[list]
     ) -> None:
-        seqs = {}
-        for shard, worker in enumerate(self._workers):
-            try:
-                seqs[shard] = worker.request(
-                    "prepare", target, per_rows[shard], per_meas[shard]
-                )
-            except WorkerUnavailable as exc:
-                self._abort_all(target, exclude=())
-                raise ServeError.from_info(self._shard_failure(shard, exc))
-        for shard, seq in seqs.items():
-            try:
-                self._workers[shard].collect(seq, timeout=self.append_timeout)
-            except (WorkerTimeout, WorkerUnavailable, RemoteError) as exc:
-                info = self._shard_failure(shard, exc)
-                self._abort_all(target, exclude=(shard,))
-                raise ServeError.from_info(info)
-        commit_seqs = {}
-        for shard, worker in enumerate(self._workers):
-            try:
-                commit_seqs[shard] = worker.request("commit", target)
-            except WorkerUnavailable as exc:
-                self._shard_failure(shard, exc)
-        for shard, seq in commit_seqs.items():
-            try:
-                self._workers[shard].collect(seq, timeout=self.append_timeout)
-                if OBS_STATE.enabled:
-                    self._shard_series[shard][2].set(target)
-            except (WorkerTimeout, WorkerUnavailable, RemoteError) as exc:
-                # Past the point of no return: peers committed.  The
-                # shard is marked failed (subsequent scatters to it
-                # surface structured errors) instead of serving a torn
-                # version silently.
-                self._shard_failure(shard, exc)
-                self._workers[shard]._mark_dead(f"commit {target} failed: {exc}")
+        # The phase flag backs readiness(): while a swap is in flight,
+        # reads queue behind the scatter lock, so /readyz can steer a
+        # load balancer away instead of letting requests pile up.
+        self._refresh_phase = "prepare"
+        try:
+            seqs = {}
+            for shard, worker in enumerate(self._workers):
+                try:
+                    seqs[shard] = worker.request(
+                        "prepare", target, per_rows[shard], per_meas[shard]
+                    )
+                except WorkerUnavailable as exc:
+                    self._abort_all(target, exclude=())
+                    raise ServeError.from_info(self._shard_failure(shard, exc))
+            for shard, seq in seqs.items():
+                try:
+                    self._workers[shard].collect(seq, timeout=self.append_timeout)
+                except (WorkerTimeout, WorkerUnavailable, RemoteError) as exc:
+                    info = self._shard_failure(shard, exc)
+                    self._abort_all(target, exclude=(shard,))
+                    raise ServeError.from_info(info)
+            self._refresh_phase = "commit"
+            commit_seqs = {}
+            for shard, worker in enumerate(self._workers):
+                try:
+                    commit_seqs[shard] = worker.request("commit", target)
+                except WorkerUnavailable as exc:
+                    self._shard_failure(shard, exc)
+            for shard, seq in commit_seqs.items():
+                try:
+                    self._workers[shard].collect(seq, timeout=self.append_timeout)
+                    if OBS_STATE.enabled:
+                        self._shard_series[shard][2].set(target)
+                except (WorkerTimeout, WorkerUnavailable, RemoteError) as exc:
+                    # Past the point of no return: peers committed.  The
+                    # shard is marked failed (subsequent scatters to it
+                    # surface structured errors) instead of serving a torn
+                    # version silently.
+                    self._shard_failure(shard, exc)
+                    self._workers[shard]._mark_dead(f"commit {target} failed: {exc}")
+        finally:
+            self._refresh_phase = None
 
     def _abort_all(self, target: int, exclude: tuple = ()) -> None:
         for shard, worker in enumerate(self._workers):
@@ -1040,6 +1300,57 @@ class ShardRouter:
                 "kept": len(self.slow_log.entries()),
             },
         }
+
+    def federated_metrics(self) -> MetricRegistry:
+        """A fresh registry holding the whole fleet's series.
+
+        Built per scrape, never accumulated: the router's own registry
+        and every live worker's snapshot fold into a new registry with
+        an identifying ``shard`` label (``shard="router"`` for the
+        router's series, ``shard="0"``… for the workers), so counters
+        sum per shard, gauges stay distinguishable, and histograms
+        bucket-merge per shard.  Families that already carry a ``shard``
+        label — the router's ``repro_shard_*`` — merge without growing a
+        second one.  An unreachable worker degrades to its series being
+        absent this scrape (and the usual shard-failure bookkeeping),
+        not a scrape error.
+        """
+        fleet = MetricRegistry()
+        fleet.merge_labeled(get_registry().to_dict(), "shard", "router")
+        for shard, worker in enumerate(self._workers):
+            if not worker.alive:
+                continue
+            try:
+                snapshot = worker.call("metrics_snapshot", timeout=self.timeout)
+            except (WorkerTimeout, WorkerUnavailable, RemoteError) as exc:
+                self._shard_failure(shard, exc)
+                continue
+            fleet.merge_labeled(snapshot, "shard", str(shard))
+        return fleet
+
+    def readiness(self) -> dict:
+        """The router's serving state, the body behind ``GET /readyz``.
+
+        Liveness (is the process answering at all) stays ``/healthz``;
+        this distinguishes *can it serve*: any dead shard degrades the
+        fleet (``degraded`` — partial answers only), an in-flight
+        two-phase refresh queues reads behind the scatter lock
+        (``refresh-prepare`` / ``refresh-commit``), and otherwise the
+        fleet is ``serving``.
+        """
+        dead = [k for k, w in enumerate(self._workers) if not w.alive]
+        phase = self._refresh_phase
+        out = {
+            "sharded": True,
+            "n_shards": self.n_shards,
+            "shards_live": self.n_shards - len(dead),
+            "version": self._router_version,
+        }
+        if dead:
+            return dict(out, ready=False, state="degraded", dead_shards=dead)
+        if phase is not None:
+            return dict(out, ready=False, state=f"refresh-{phase}")
+        return dict(out, ready=True, state="serving")
 
     def point(self, cell: Sequence[int | None]) -> dict | None:
         """Finalized aggregates of one cell, None when the cell is empty."""

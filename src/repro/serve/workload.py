@@ -99,6 +99,13 @@ class WorkloadReport:
     batch_size: int = 1
     engine_stats: dict = field(default_factory=dict)
     op_latency: dict[str, LatencyHistogram] = field(default_factory=dict)
+    #: The per-request latency SLO target in milliseconds (None = no SLO).
+    slo_p99_ms: float | None = None
+    #: Requests that finished over the SLO target (errors count as misses).
+    slo_misses: int = 0
+    #: Allowed miss fraction — the error budget (0.01 = 1% of requests
+    #: may exceed the target before the budget is spent).
+    slo_budget: float = 0.01
 
     @property
     def throughput(self) -> float:
@@ -109,6 +116,25 @@ class WorkloadReport:
     def hit_rate(self) -> float:
         """Fraction of responses served from the result cache."""
         return self.cached_responses / self.total_requests if self.total_requests else 0.0
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of requests that met the SLO target (1.0 with no SLO)."""
+        if self.slo_p99_ms is None or not self.total_requests:
+            return 1.0
+        return 1.0 - self.slo_misses / self.total_requests
+
+    @property
+    def slo_burn(self) -> float:
+        """Error-budget burn: observed miss fraction over the allowed one.
+
+        1.0 means the run spent exactly its budget; above 1.0 the SLO is
+        violated (a 2.0 burn spent the budget twice over), below 1.0
+        there is headroom.  0.0 with no SLO configured.
+        """
+        if self.slo_p99_ms is None or not self.total_requests or not self.slo_budget:
+            return 0.0
+        return (self.slo_misses / self.total_requests) / self.slo_budget
 
     def format(self) -> str:
         """The human-readable report the CLI prints."""
@@ -136,6 +162,19 @@ class WorkloadReport:
             f"cache: {100 * self.hit_rate:.1f}% hit rate "
             f"({self.cached_responses} of {self.total_requests} responses cached)"
         )
+        if self.slo_p99_ms is not None:
+            burn = self.slo_burn
+            verdict = "met" if burn <= 1.0 else "VIOLATED"
+            lines.append(
+                f"slo: target p99 <= {self.slo_p99_ms:g}ms  "
+                f"observed p99 {ms['p99_s']:.3f}ms  "
+                f"attainment {100 * self.slo_attainment:.2f}% "
+                f"({self.slo_misses} of {self.total_requests} over target)"
+            )
+            lines.append(
+                f"     error budget {100 * self.slo_budget:g}%: "
+                f"burn {burn:.2f}x ({verdict})"
+            )
         if self.appends:
             lines.append(
                 f"writes: {self.appends} append batches "
@@ -169,6 +208,8 @@ class WorkloadDriver:
         bind_dim: int | None = None,
         cold_start: int = 0,
         cold_start_factory: Callable[[], object] | None = None,
+        slo_p99_ms: float | None = None,
+        slo_budget: float = 0.01,
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be positive")
@@ -199,6 +240,17 @@ class WorkloadDriver:
         #: percentile block (see ``repro workload --cold-start``).
         self.cold_start = cold_start
         self.cold_start_factory = cold_start_factory
+        #: Per-request latency SLO: requests over this target count as
+        #: misses against an error budget of ``slo_budget`` (fraction of
+        #: requests allowed over target); the report shows attainment
+        #: and budget burn.  Errors always count as misses — a failed
+        #: request met no latency target.
+        if slo_p99_ms is not None and slo_p99_ms <= 0:
+            raise ValueError("slo_p99_ms must be positive")
+        if not 0 < slo_budget <= 1:
+            raise ValueError("slo_budget must be in (0, 1]")
+        self.slo_p99_ms = slo_p99_ms
+        self.slo_budget = slo_budget
 
     # -- request generation ---------------------------------------------
 
@@ -295,6 +347,8 @@ class WorkloadDriver:
         op_counts: dict[str, int] = {}
         cached = 0
         errors = 0
+        slo_misses = 0
+        slo_s = None if self.slo_p99_ms is None else self.slo_p99_ms / 1000.0
         if self.batch_size > 1:
             return self._client_run_batched(pool, sequence)
         with self.client_factory() as client:
@@ -306,8 +360,12 @@ class WorkloadDriver:
                     response = client.query(request)
                 except ServeError:
                     errors += 1
+                    if slo_s is not None:  # a failed request met no target
+                        slo_misses += 1
                     continue
                 elapsed = time.perf_counter() - start
+                if slo_s is not None and elapsed > slo_s:
+                    slo_misses += 1
                 histogram = histograms.get(op)
                 if histogram is None:
                     histogram = histograms[op] = LatencyHistogram()
@@ -320,6 +378,7 @@ class WorkloadDriver:
             "op_counts": op_counts,
             "cached": cached,
             "errors": errors,
+            "slo_misses": slo_misses,
         }
 
     def _client_run_batched(
@@ -337,6 +396,8 @@ class WorkloadDriver:
         op_counts: dict[str, int] = {}
         cached = 0
         errors = 0
+        slo_misses = 0
+        slo_s = None if self.slo_p99_ms is None else self.slo_p99_ms / 1000.0
         size = self.batch_size
         with self.client_factory() as client:
             for start in range(0, len(sequence), size):
@@ -346,8 +407,15 @@ class WorkloadDriver:
                     responses = client.query_batch(chunk)
                 except ServeError:
                     errors += len(chunk)
+                    if slo_s is not None:
+                        slo_misses += len(chunk)
                     continue
-                histogram.record(time.perf_counter() - begin)
+                elapsed = time.perf_counter() - begin
+                if slo_s is not None and elapsed > slo_s:
+                    # The batch is the unit the caller waits on: a slow
+                    # round trip misses the target for every request in it.
+                    slo_misses += len(chunk)
+                histogram.record(elapsed)
                 for request, response in zip(chunk, responses):
                     if "error" in response:
                         errors += 1
@@ -361,6 +429,7 @@ class WorkloadDriver:
             "op_counts": op_counts,
             "cached": cached,
             "errors": errors,
+            "slo_misses": slo_misses,
         }
 
     def _writer_run(self, stats: dict, stop: threading.Event) -> int:
@@ -476,6 +545,7 @@ class WorkloadDriver:
         op_counts: dict[str, int] = {}
         cached = 0
         errors = 0
+        slo_misses = 0
         for result in results:
             for op, histogram in result["histograms"].items():
                 latency.merge(histogram)
@@ -487,6 +557,7 @@ class WorkloadDriver:
                 op_counts[op] = op_counts.get(op, 0) + n
             cached += result["cached"]
             errors += result["errors"]
+            slo_misses += result.get("slo_misses", 0)
         if self.cold_start:
             # After the concurrent run so restart rounds never contend
             # with it; counted in op_latency (the per-op percentile
@@ -511,4 +582,7 @@ class WorkloadDriver:
             batch_size=self.batch_size,
             engine_stats=end_stats,
             op_latency=op_latency,
+            slo_p99_ms=self.slo_p99_ms,
+            slo_misses=slo_misses,
+            slo_budget=self.slo_budget,
         )

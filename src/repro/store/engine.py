@@ -32,6 +32,7 @@ import time
 from pathlib import Path
 from typing import Sequence
 
+from repro.core.columnar import explain_collector
 from repro.obs import OBS_STATE, SlowQueryLog, get_registry, get_tracer
 from repro.serve.cache import LRUCache
 from repro.serve.engine import CubeVersion, QueryEngine, _make_op_series
@@ -136,6 +137,9 @@ class TierPolicy:
                 self.hot_hits += group_size
             else:
                 self.cold_hits += group_size
+        acc = explain_collector()
+        if acc is not None:
+            acc.add("tier_hot_hits" if hot else "tier_cold_hits", group_size)
         if OBS_STATE.enabled:
             (_HOT_QUERIES if hot else _COLD_QUERIES).inc(group_size)
         return hot
@@ -282,6 +286,7 @@ class SnapshotEngine:
     _execute = QueryEngine._execute
     execute_batch = QueryEngine.execute_batch
     _execute_batch = QueryEngine._execute_batch
+    _execute_explain = QueryEngine._execute_explain
     point = QueryEngine.point
     snapshot = QueryEngine.snapshot
     version = QueryEngine.version
@@ -301,6 +306,9 @@ class SnapshotEngine:
         slow_log_sample: int = 1,
     ) -> None:
         start = time.perf_counter()
+        # Readiness: /readyz reports "loading" until the columns are
+        # mapped and the serving structures exist (see readiness()).
+        self._ready = False
         if isinstance(source, SnapshotStore):
             store = source
         else:
@@ -326,10 +334,45 @@ class SnapshotEngine:
             slow_query_threshold, slow_log_capacity, slow_log_sample
         )
         self._op_series = _make_op_series(self.OPS)
+        self._ready = True
         if OBS_STATE.enabled:
             _LOAD_SECONDS.observe(time.perf_counter() - start)
 
     # -- snapshot-specific surface ---------------------------------------
+
+    def readiness(self) -> dict:
+        """The ``/readyz`` account: loading vs. serving (liveness aside)."""
+        ready = bool(getattr(self, "_ready", False))
+        out: dict = {
+            "ready": ready,
+            "state": "serving" if ready else "loading",
+            "read_only": True,
+        }
+        if ready:
+            out["snapshot"] = str(self._store.path)
+        return out
+
+    def _explain_extras(self, data: dict) -> dict:
+        """The snapshot tier's contribution to an EXPLAIN account.
+
+        ``tier_hot/cold_hits`` come from :meth:`TierPolicy.should_map`
+        (batched point groups); paths that never consult the policy —
+        single points over postings, dice over cuboid selections — are
+        classified by whether they had to build (fault mapped columns)
+        or could serve from an already-promoted memo.
+        """
+        hot = int(data.get("tier_hot_hits", 0))
+        cold = int(data.get("tier_cold_hits", 0))
+        if not hot and not cold:
+            built = data.get("cuboid_ids_built", 0) or data.get(
+                "postings_intersected", 0
+            )
+            cold, hot = (1, 0) if built else (0, 1)
+        source = "mixed" if hot and cold else ("hot" if hot else "cold")
+        return {
+            "tier": {"source": source, "hot_hits": hot, "cold_hits": cold},
+            "snapshot": str(self._store.path),
+        }
 
     @property
     def store(self) -> SnapshotStore:

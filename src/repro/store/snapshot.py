@@ -47,6 +47,7 @@ from repro.core.columnar import (
     STAR_CODE,
     ColumnarRangeStore,
     _FastStateColumns,
+    explain_collector,
 )
 from repro.core.range_cube import Range, RangeCube
 from repro.core.serialize import _state_from_json, _state_to_json
@@ -475,7 +476,14 @@ class _MappedPostings:
         i = int(np.searchsorted(self._codes, value))
         if i >= len(self._codes) or int(self._codes[i]) != value:
             return default
-        return self._ids[int(self._offsets[i]) : int(self._offsets[i + 1])]
+        ids = self._ids[int(self._offsets[i]) : int(self._offsets[i + 1])]
+        acc = explain_collector()
+        if acc is not None:
+            # Bytes this lookup pulls off the mapped postings file — the
+            # EXPLAIN "bytes faulted" approximation (page granularity and
+            # OS caching aside, this is what the query touches on disk).
+            acc.add("snapshot_bytes_faulted", int(ids.nbytes))
+        return ids
 
     def items(self) -> Iterator[tuple[int, np.ndarray]]:
         for i in range(len(self._codes)):
@@ -612,6 +620,9 @@ class SnapshotStore(ColumnarRangeStore):
                 state.append((float(sums[rid]), int(counts[rid])))
             else:
                 state.append(float(column[rid]))
+        acc = explain_collector()
+        if acc is not None:
+            acc.add("snapshot_bytes_faulted", 8 * len(state))
         return tuple(state)
 
     def nbytes(self) -> int:
