@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-thorough lint ci bench bench-smoke query-bench shard-bench snapshot-bench dimorder-bench serve-demo examples figures report claims clean
+.PHONY: install test test-thorough lint ci bench bench-smoke query-bench shard-bench snapshot-bench dimorder-bench approx-bench bench-report serve-demo examples figures report claims clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -36,6 +36,7 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_sharded.py --quick
 	$(PYTHON) benchmarks/bench_snapshot.py --quick
 	$(PYTHON) benchmarks/bench_dimorder.py --quick
+	$(PYTHON) benchmarks/bench_approx.py --quick
 	$(PYTHON) benchmarks/smoke_metrics.py
 	REPRO_BENCH_PRESET=tiny $(PYTHON) -m pytest benchmarks/bench_point_queries.py --benchmark-only -q
 
@@ -62,6 +63,16 @@ snapshot-bench:
 # BENCH_dimorder.json
 dimorder-bench:
 	$(PYTHON) benchmarks/bench_dimorder.py
+
+# the approximate-tier bench at full scale: verifies the exact answers
+# fall inside the reported bounds, enforces the >=10x heavy-dice
+# speedup floor and refreshes BENCH_approx.json
+approx-bench:
+	$(PYTHON) benchmarks/bench_approx.py
+
+# fold every committed BENCH_*.json headline into docs/benchmarks.md
+bench-report:
+	$(PYTHON) benchmarks/bench_report.py
 
 # end-to-end serving demo: generate a skewed table, serve it over HTTP on an
 # ephemeral port, and drive 4 concurrent clients (plus 2 append batches) at it

@@ -58,6 +58,11 @@ REQUIRED_FAMILIES = (
     "repro_tune_plan_seconds",
     "repro_tune_sample_rows_total",
     "repro_tune_replans_total",
+    # the approximate tier (drive_approx must have populated these)
+    "repro_approx_requests_total",
+    "repro_approx_bound_width",
+    "repro_approx_fallbacks_total",
+    "repro_approx_sketch_builds_total",
 )
 
 
@@ -116,6 +121,24 @@ def drive_snapshot(table) -> None:
             engine.execute_batch(requests)  # pinned cold: cold counters
     finally:
         shutil.rmtree(root, ignore_errors=True)
+
+
+def drive_approx(table) -> None:
+    """One approximate dice, plus one that falls back to the exact path.
+
+    Populates every ``repro_approx_*`` family: the request counter and
+    bound-width histogram (the sketch-served dice), the sketch-build
+    counter (lazy build on first approx request) and the fallback
+    counter (a MIN aggregator has no sampling estimator).
+    """
+    from repro.serve.protocol import QueryRequest
+    from repro.table.aggregates import MinAggregator
+
+    request = QueryRequest(
+        op="dice", predicates={"1": [0, 1, 2]}, approx=True
+    )
+    QueryEngine.from_table(table).execute(request)
+    QueryEngine.from_table(table, aggregator=MinAggregator(0)).execute(request)
 
 
 def drive_tune(table) -> None:
@@ -187,6 +210,7 @@ def main() -> int:
     drive_sharded(table)
     drive_snapshot(table)
     drive_tune(table)
+    drive_approx(table)
     engine = QueryEngine.from_table(table)
     with CubeServer(engine, port=0) as server:
         client = HTTPCubeClient(server.url)

@@ -351,6 +351,8 @@ def _cmd_workload(args: argparse.Namespace) -> int:
             ),
             slo_p99_ms=getattr(args, "slo_p99_ms", None),
             slo_budget=getattr(args, "slo_budget", 0.01),
+            approx_fraction=getattr(args, "approx_fraction", 0.0),
+            approx_confidence=getattr(args, "approx_confidence", 0.95),
         )
         report = driver.run(clients=args.clients, requests_per_client=args.requests)
     except ValueError as exc:  # e.g. "clients and requests_per_client must be positive"
@@ -419,6 +421,14 @@ def _format_explain(account: dict) -> str:
             lines.append(f"tier: {tier.get('source')}{detail}")
         if account.get("snapshot"):
             lines.append(f"snapshot: {account['snapshot']}")
+    approx = account.get("approx")
+    if approx:
+        lines.append(
+            f"approx: estimator {approx.get('estimator')}  "
+            f"sample {approx.get('sample_size'):,} rows "
+            f"({approx.get('matched'):,} matched)  "
+            f"bound width {approx.get('bound_width')}"
+        )
     phases = account.get("phases_us")
     if phases:
         lines.append(
@@ -462,12 +472,21 @@ def _cmd_explain(args: argparse.Namespace) -> int:
                       file=sys.stderr)
                 return 2
             cell[d] = v
+        if (args.confidence is not None or args.having is not None) and not args.approx:
+            print("error: --confidence/--having need --approx", file=sys.stderr)
+            return 2
+        if args.approx and args.op != "dice":
+            print("error: --approx only applies to --op dice", file=sys.stderr)
+            return 2
         request = QueryRequest(
             op=args.op,
             cell=cell,
             dim=args.dim,
             predicates=predicates or None,
             explain=True,
+            approx=True if args.approx else None,
+            confidence=args.confidence,
+            having=args.having,
         )
         try:
             response = client.query(request)
@@ -485,6 +504,19 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         print(f"value: {response['value']}")
     elif "children" in response:
         print(f"children: {len(response['children'])}")
+    block = response.get("approx")
+    if block:
+        if "estimate" in block:
+            print(
+                f"bounds ({block.get('confidence'):g}): "
+                f"{block.get('lower')} .. {block.get('upper')}"
+            )
+        if block.get("fallback"):
+            reason = block.get("reason")
+            print(
+                "approx: exact fallback"
+                + (f" ({reason})" if reason else " (some shards answered exactly)")
+            )
     account = response.get("explain")
     if account:
         print(_format_explain(account))
@@ -534,6 +566,9 @@ def _cmd_snapshot_save(args: argparse.Namespace) -> int:
         min_support=args.min_support,
         rows_absorbed=table.n_rows,
         tuning=stats.get("tuning"),
+        # Bake the approx-tier sketch in at freeze time so a cold-started
+        # engine answers approx dice without a warm-up build.
+        sketch=True,
     )
     print(f"wrote {cube.n_ranges:,} ranges ({table.n_rows:,} rows) to {args.out}")
     return 0
@@ -742,6 +777,71 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         print(json.dumps(plan.to_json(), indent=1))
         return 0
     print(plan.explain(table.schema.dimension_names))
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cube.estimate import (
+        estimate_cuboid_size,
+        estimate_full_cube_size,
+        recommend_strategy,
+    )
+
+    table = read_table_csv(args.table, n_measures=args.measures)
+    if args.dims:
+        try:
+            dims = [int(d) for d in args.dims.split(",") if d.strip()]
+        except ValueError:
+            print(f"error: --dims wants comma-separated indices, got {args.dims!r}",
+                  file=sys.stderr)
+            return 2
+        bad = [d for d in dims if not 0 <= d < table.n_dims]
+        if bad:
+            print(f"error: dimension(s) {bad} out of range "
+                  f"(table has {table.n_dims})", file=sys.stderr)
+            return 2
+        cells = estimate_cuboid_size(table, dims, sample_size=args.sample)
+        if args.json:
+            print(json.dumps({
+                "rows": table.n_rows,
+                "dims": dims,
+                "estimated_cells": cells,
+                "sample_size": args.sample,
+            }))
+            return 0
+        names = ", ".join(table.schema.dimension_names[d] for d in dims)
+        print(f"{table.n_rows:,} rows; cuboid ({names}): ~{cells:,.0f} cells "
+              f"(GEE over a {args.sample}-row sample)")
+        return 0
+    advice = recommend_strategy(table, sample_size=args.sample)
+    total = (
+        advice.estimated_cells
+        if advice.estimated_cells == advice.estimated_cells  # not NaN
+        else estimate_full_cube_size(table, args.sample)
+        if table.n_dims <= 16
+        else float("nan")
+    )
+    if args.json:
+        print(json.dumps({
+            "rows": table.n_rows,
+            "n_dims": table.n_dims,
+            "estimated_cells": None if total != total else total,
+            "density": advice.density,
+            "strategy": advice.strategy,
+            "reason": advice.reason,
+            "sample_size": args.sample,
+        }))
+        return 0
+    print(f"{table.n_rows:,} rows x {table.n_dims} dims "
+          f"(density {advice.density:.3g})")
+    if total == total:
+        print(f"estimated full-cube size: ~{total:,.0f} cells")
+    else:
+        print("estimated full-cube size: n/a (too many dims for the full sweep)")
+    print(f"recommended strategy: {advice.strategy}")
+    print(f"reason: {advice.reason}")
     return 0
 
 
@@ -985,6 +1085,21 @@ def build_parser() -> argparse.ArgumentParser:
         dest="slo_budget",
         help="allowed fraction of requests over the SLO target (default 1%%)",
     )
+    p.add_argument(
+        "--approx-fraction",
+        type=float,
+        default=0.0,
+        dest="approx_fraction",
+        help="fraction of dice queries answered by the approximate tier "
+        "(reported as the dice_approx op with its own percentiles)",
+    )
+    p.add_argument(
+        "--approx-confidence",
+        type=float,
+        default=0.95,
+        dest="approx_confidence",
+        help="confidence level for approximate-tier bounds (default 0.95)",
+    )
     p.set_defaults(func=_cmd_workload, snapshot_dir=None)
 
     p = sub.add_parser(
@@ -1105,6 +1220,23 @@ def build_parser() -> argparse.ArgumentParser:
         dest="budget_mb",
         help="snapshot tier resident-bytes budget in MiB (directory targets)",
     )
+    p.add_argument(
+        "--approx",
+        action="store_true",
+        help="answer a dice from the sketch tier (estimate + bounds)",
+    )
+    p.add_argument(
+        "--confidence",
+        type=float,
+        default=None,
+        help="with --approx: bound confidence level (default 0.95)",
+    )
+    p.add_argument(
+        "--having",
+        type=float,
+        default=None,
+        help="with --approx: keep only finest cells with count >= N (iceberg)",
+    )
     p.add_argument("--json", action="store_true", help="machine-readable account")
     p.set_defaults(func=_cmd_explain, snapshot_dir=None, shard_timeout=30.0)
 
@@ -1147,6 +1279,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--measures", type=int, default=0)
     p.add_argument("--sample", type=int, default=2000)
     p.set_defaults(func=_cmd_advise)
+
+    p = sub.add_parser(
+        "estimate",
+        help="sampling-based size estimates: one cuboid (--dims) or the full cube",
+    )
+    p.add_argument("table", help="CSV base table to sample")
+    p.add_argument("--measures", type=int, default=0, help="trailing measure columns")
+    p.add_argument(
+        "--dims",
+        default=None,
+        metavar="D1,D2",
+        help="estimate one cuboid's distinct-group count instead of the full cube",
+    )
+    p.add_argument(
+        "--sample", type=int, default=2000, help="sampled rows for the GEE estimator"
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_estimate)
 
     return parser
 

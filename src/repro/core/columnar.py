@@ -497,6 +497,17 @@ class ColumnarRangeStore:
                     self._cuboid_maps.setdefault(mask, cmap)
         return cmap
 
+    def base_cell_ids(self) -> np.ndarray:
+        """Ids of the finest cuboid's ranges (every dimension bound).
+
+        Each such range contributes exactly one all-dims-bound cell —
+        its specific endpoint — so ``specific[ids]`` / ``counts[ids]``
+        enumerate the cube's base cells with their weights.  This is the
+        sampling population for :class:`repro.approx.CubeSketch`.
+        """
+        full_mask = (1 << self.n_dims) - 1 if self.n_dims else 0
+        return self.cuboid_ids(full_mask)
+
     def cuboid(self, mask: int) -> dict[Cell, tuple]:
         """All cells of one cuboid with their aggregate states.
 

@@ -81,6 +81,35 @@ class ServingClient:
         """Finalized aggregates of one cell (None when empty)."""
         return self.query(QueryRequest(op="point", cell=list(cell)))["value"]
 
+    def dice_approx(
+        self,
+        predicates: dict,
+        cell: Sequence[int | None] | None = None,
+        *,
+        confidence: float = 0.95,
+        having: float | None = None,
+    ) -> dict:
+        """A sketch-backed dice: the response's ``approx`` block.
+
+        Returns ``{"estimate", "lower", "upper", "confidence", ...}``
+        (see :mod:`repro.approx`); when the engine fell back to the
+        exact path the block is ``{"fallback": True, ...}`` and
+        ``estimate`` is absent.  ``cell`` defaults to the apex (every
+        dimension free); ``having`` keeps only sampled base cells whose
+        count meets the threshold before estimating.
+        """
+        response = self.query(
+            QueryRequest(
+                op="dice",
+                cell=None if cell is None else list(cell),
+                predicates=predicates,
+                approx=True,
+                confidence=confidence,
+                having=having,
+            )
+        )
+        return response["approx"]
+
 
 class InProcessClient(ServingClient):
     """Direct calls into a resident :class:`QueryEngine` (no transport).

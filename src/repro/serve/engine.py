@@ -36,7 +36,10 @@ import time
 import weakref
 from typing import TYPE_CHECKING, Mapping, Sequence
 
-from repro.core.columnar import collect_explain
+import numpy as np
+
+from repro.approx import CubeSketch, SketchUnsupported, finalize_partials
+from repro.core.columnar import collect_explain, explain_collector
 from repro.core.incremental import IncrementalRangeCuber
 from repro.core.range_cube import RangeCube
 from repro.cube.cell import Cell
@@ -123,6 +126,22 @@ _CUBE_VERSION = _REGISTRY.gauge(
 _ROWS_RESIDENT = _REGISTRY.gauge(
     "repro_rows_resident", "Fact rows absorbed into the resident trie.", ("engine",)
 )
+_APPROX_REQUESTS = _REGISTRY.counter(
+    "repro_approx_requests_total",
+    "Dice requests answered by the sketch-backed approximate tier.",
+)
+_APPROX_FALLBACKS = _REGISTRY.counter(
+    "repro_approx_fallbacks_total",
+    "approx=true requests that fell back to the exact path.",
+    ("reason",),
+)
+_APPROX_BOUND_WIDTH = _REGISTRY.histogram(
+    "repro_approx_bound_width",
+    "Relative COUNT bound width, (upper - lower) / estimate, per approx answer.",
+)
+
+#: Confidence level used when an approx request does not name one.
+DEFAULT_CONFIDENCE = 0.95
 
 
 def _make_op_series(ops: Sequence[str]) -> dict:
@@ -400,6 +419,23 @@ class QueryEngine:
                 raise ServeError(
                     f"predicate for dimension {dim} must be a non-empty code list"
                 )
+            # Heavy dice carry thousands of codes per dimension; numpy
+            # validates a plain-int list in one pass.  Anything that does
+            # not coerce to a 1-D integer array (floats, bools, strings,
+            # nested lists) drops to the per-value loop, which preserves
+            # the exact rejection messages.
+            try:
+                arr = np.asarray(values)
+            except (ValueError, TypeError):
+                arr = None
+            if (
+                arr is not None
+                and arr.ndim == 1
+                and arr.dtype.kind in "iu"
+                and int(arr.min()) >= 0
+            ):
+                out[dim] = values if isinstance(values, list) else list(values)
+                continue
             clean = []
             for v in values:
                 if not isinstance(v, int) or isinstance(v, bool) or v < 0:
@@ -411,6 +447,139 @@ class QueryEngine:
     @staticmethod
     def _pair(cell: Cell, value) -> dict:
         return {"cell": list(cell), "value": value}
+
+    # approximate tier --------------------------------------------------
+
+    def _validate_approx(self, req: QueryRequest) -> float:
+        """The validated confidence level of an approx request.
+
+        ``confidence`` and ``having`` are approx-tier knobs; sending
+        them without ``approx=true`` is a shape error, as is approx on
+        any op but dice (the one op whose cost grows with the selection).
+        """
+        if not req.approx:
+            raise ServeError(
+                "'confidence'/'having' apply only to approx=true requests"
+            )
+        if req.op != "dice":
+            raise ServeError("approx=true is only supported for op 'dice'")
+        confidence = DEFAULT_CONFIDENCE if req.confidence is None else req.confidence
+        if (
+            isinstance(confidence, bool)
+            or not isinstance(confidence, (int, float))
+            or not 0.0 < confidence < 1.0
+        ):
+            raise ServeError(
+                f"confidence must be a level in (0, 1), got {req.confidence!r}"
+            )
+        if req.having is not None and (
+            isinstance(req.having, bool)
+            or not isinstance(req.having, (int, float))
+            or req.having < 0
+        ):
+            raise ServeError(
+                f"having must be a non-negative count threshold, got {req.having!r}"
+            )
+        return float(confidence)
+
+    def _sketch_for(self, snap: CubeVersion) -> "CubeSketch | None":
+        """The version's sketch, loaded or built lazily, cached per version.
+
+        A mapped snapshot carries its persisted sketch (built at
+        ``repro snapshot`` time, see :mod:`repro.store.snapshot`);
+        resident cubes build one from the columnar layout on first
+        approx request.  ``None`` — cached too, so the cost is paid
+        once — means the aggregator has no sampling estimator and
+        callers must fall back to the exact path.
+        """
+        cached = getattr(self, "_sketch_cache", None)
+        if cached is not None and cached[0] is snap:
+            return cached[1]
+        store = snap.cube.to_columnar()
+        sketch = getattr(store, "sketch", None)
+        if sketch is None:
+            try:
+                # ``_sketch_seed`` is set per shard by the sharded tier:
+                # shards sample independently, so the router may sum
+                # their variances.  Same-seed shards over similarly
+                # ordered partitions produce *correlated* samples and
+                # the merged interval undercovers.
+                sketch = CubeSketch.from_store(
+                    store, seed=getattr(self, "_sketch_seed", 0)
+                )
+            except SketchUnsupported:
+                sketch = None
+        # Benign race: concurrent first requests may build twice; the
+        # single attribute store keeps the cache swap atomic.
+        self._sketch_cache = (snap, sketch)
+        return sketch
+
+    def _dice_approx(
+        self,
+        snap: CubeVersion,
+        cell: Cell,
+        predicates: Mapping[int, Sequence[int]],
+        request: QueryRequest,
+    ) -> dict:
+        """A dice answered from the sketch with probabilistic bounds.
+
+        Falls back to the exact scan (flagged in the ``approx`` block)
+        when the aggregator is not estimable — unless ``having`` is set,
+        which only the sketch tier can honor.
+        """
+        confidence = self._validate_approx(request)
+        response = {
+            "op": "dice",
+            "version": snap.version,
+            "predicates": {str(d): v for d, v in sorted(predicates.items())},
+            "cell": list(cell),
+        }
+        sketch = self._sketch_for(snap)
+        if sketch is None:
+            if request.having is not None:
+                raise ServeError(
+                    "this cube's aggregator has no sampling estimator, and "
+                    "'having' cannot be answered by the exact dice path"
+                )
+            named = {
+                snap.schema.dimensions[d].name: values
+                for d, values in predicates.items()
+            }
+            value = snap.query.dice(named, cell)
+            if OBS_STATE.enabled:
+                _APPROX_FALLBACKS.inc(reason="unsupported-aggregator")
+            acc = explain_collector()
+            if acc is not None:
+                acc.put(
+                    "approx",
+                    {"fallback": True, "reason": "unsupported-aggregator"},
+                )
+            response["value"] = value
+            response["approx"] = {
+                "fallback": True,
+                "reason": "unsupported-aggregator",
+            }
+            return response
+        base = {d: v for d, v in enumerate(cell) if v is not None}
+        partial = sketch.estimate_partial(base, predicates, having=request.having)
+        answer = finalize_partials(snap.cube.aggregator, [partial], confidence)
+        if OBS_STATE.enabled:
+            _APPROX_REQUESTS.inc()
+            _APPROX_BOUND_WIDTH.observe(answer.bound_width)
+        acc = explain_collector()
+        if acc is not None:
+            acc.put(
+                "approx",
+                {
+                    "estimator": answer.estimator,
+                    "sample_size": answer.sample_size,
+                    "matched": answer.matched,
+                    "bound_width": round(answer.bound_width, 6),
+                },
+            )
+        response["value"] = answer.estimate
+        response["approx"] = answer.to_block()
+        return response
 
     def _answer(self, snap: CubeVersion, op: str, request: QueryRequest) -> dict:
         query = snap.query
@@ -449,6 +618,8 @@ class QueryEngine:
         if op == "dice":
             cell = self._normalize_cell(snap, request, default_apex=True)
             predicates = self._normalize_predicates(snap, request, cell)
+            if request.approx:
+                return self._dice_approx(snap, cell, predicates, request)
             named = {
                 snap.schema.dimensions[d].name: values
                 for d, values in predicates.items()
@@ -491,6 +662,13 @@ class QueryEngine:
                 sorted((str(k), tuple(v) if isinstance(v, (list, tuple)) else v)
                        for k, v in predicates.items())
             )
+            if request.approx:
+                # A separate key space: the exact entry for the same dice
+                # must never answer an approx request or vice versa.
+                return (
+                    snap.version, op, cell, canonical,
+                    "approx", request.confidence, request.having,
+                )
             return (snap.version, op, cell, canonical)
         return (snap.version, op, cell)
 
@@ -564,6 +742,8 @@ class QueryEngine:
                 f"request targets version {req.version}, engine serves {snap.version}",
                 code=ErrorCode.VERSION_CONFLICT,
             )
+        if req.approx or req.confidence is not None or req.having is not None:
+            self._validate_approx(req)  # reject malformed approx shapes early
         if req.explain:
             return self._execute_explain(snap, op, req)
         key = self._cache_key(snap, op, req)
@@ -703,6 +883,8 @@ class QueryEngine:
                         f"engine serves {snap.version}",
                         code=ErrorCode.VERSION_CONFLICT,
                     )
+                if req.approx or req.confidence is not None or req.having is not None:
+                    self._validate_approx(req)
                 key = self._cache_key(snap, op, req)
                 try:
                     hit = self.cache.get(key)

@@ -15,7 +15,11 @@ Endpoints (bodies are JSON unless noted):
 * ``GET /trace``     — recent spans as JSON (``?limit=N`` keeps the
   newest N; ``?format=chrome`` returns Chrome trace-event JSON)
 * ``GET /slowlog``   — the engine's sampled slow-query entries
-* ``POST /query``    — one read request, e.g. ``{"op": "point", "cell": [0, null]}``
+* ``POST /query``    — one read request, e.g. ``{"op": "point", "cell": [0, null]}``.
+  The approximate tier rides this endpoint unchanged: a dice with
+  ``"approx": true`` (plus optional ``confidence`` / ``having``)
+  returns the estimate in ``value`` and the confidence-interval block
+  in ``approx`` — no new route, old clients never see the new fields
 * ``POST /query/batch`` — ``{"requests": [...]}``: many read requests
   answered in order against one cube snapshot; per-item errors come
   back as structured ``{"error": {...}}`` entries, empty cells as

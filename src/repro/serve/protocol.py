@@ -177,6 +177,14 @@ class QueryRequest:
     caller's :class:`~repro.obs.tracing.TraceContext` so the server's
     spans join the caller's trace (a malformed context is dropped, never
     an error — observability must not fail the request it decorates).
+
+    The approximate-answer fields follow the same absent-when-unset
+    rule: ``approx=True`` asks a ``dice`` to be answered from the cube's
+    sketch with probabilistic bounds (see :mod:`repro.approx`),
+    ``confidence`` sets the bound level (default 0.95) and ``having``
+    keeps only finest cells with ``count >= having`` (the iceberg
+    filter).  ``confidence``/``having`` are only meaningful with
+    ``approx`` and are rejected without it by the engine.
     """
 
     op: str = "point"
@@ -188,11 +196,14 @@ class QueryRequest:
     protocol: int | None = None
     explain: bool | None = None
     trace_context: TraceContext | None = None
+    approx: bool | None = None
+    confidence: float | None = None
+    having: float | None = None
 
     #: Wire keys, in emission order.
     _FIELDS = (
         "op", "cell", "bindings", "dim", "predicates", "version", "protocol",
-        "explain", "trace_context",
+        "explain", "trace_context", "approx", "confidence", "having",
     )
 
     def to_json(self) -> dict:
@@ -205,7 +216,7 @@ class QueryRequest:
                 value = list(value)
             elif name == "trace_context":
                 value = value.to_json()
-            elif name == "explain":
+            elif name in ("explain", "approx"):
                 if not value:
                     continue
                 value = True
@@ -240,6 +251,9 @@ class QueryRequest:
             protocol=protocol,
             explain=True if obj.get("explain") else None,
             trace_context=ctx,
+            approx=True if obj.get("approx") else None,
+            confidence=obj.get("confidence"),
+            having=obj.get("having"),
         )
 
 
@@ -305,6 +319,7 @@ class QueryResponse:
     cached: bool | None = None
     error: ErrorInfo | None = None
     explain: dict | None = None
+    approx: dict | None = None
 
     def to_json(self) -> dict:
         out: dict = {"op": self.op, "version": self.version}
@@ -325,6 +340,8 @@ class QueryResponse:
             out["cached"] = self.cached
         if self.explain is not None:
             out["explain"] = self.explain
+        if self.approx is not None:
+            out["approx"] = self.approx
         return out
 
     @classmethod
@@ -341,6 +358,7 @@ class QueryResponse:
             cached=obj.get("cached"),
             error=None if error is None else ErrorInfo.from_json(error),
             explain=obj.get("explain"),
+            approx=obj.get("approx"),
         )
 
     @property

@@ -56,6 +56,7 @@ import threading
 import time
 from typing import Mapping, Sequence
 
+from repro.approx import exact_partial, finalize_partials
 from repro.core.columnar import collect_explain
 from repro.core.partitioned import shard_partition_payloads
 from repro.cube.cell import Cell
@@ -69,7 +70,13 @@ from repro.exec.workers import (
 from repro.obs import OBS_STATE, SlowQueryLog, TraceContext, get_registry, get_tracer
 from repro.obs.metrics import MetricRegistry
 from repro.serve.cache import LRUCache
-from repro.serve.engine import QueryEngine, validate_rows
+from repro.serve.engine import (
+    _APPROX_BOUND_WIDTH,
+    _APPROX_FALLBACKS,
+    _APPROX_REQUESTS,
+    QueryEngine,
+    validate_rows,
+)
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     ErrorCode,
@@ -149,6 +156,12 @@ class ShardEngine:
         self.engine = QueryEngine.from_table(
             table, aggregator=aggregator, min_support=min_support, cache_capacity=8
         )
+        # Distinct per-shard sampling seeds: the router sums per-shard
+        # variances, which is only valid when the shard samples are
+        # independent.  Same-seed shards over similarly ordered
+        # partitions draw correlated samples and the merged confidence
+        # interval undercovers.
+        self.engine._sketch_seed = 1 + shard_id
         self.version = 0
         self._staged: tuple[int, list, list] | None = None
         self._latency = 0.0
@@ -168,7 +181,10 @@ class ShardEngine:
         Items are pre-validated by the router: ``("point", cell)`` →
         state-or-None; ``("children", cell, dim)`` → ``[(value, state)]``
         for the non-empty specializations along ``dim``; ``("dice",
-        cell, {dim: codes})`` → the merged state of the sub-cube.
+        cell, {dim: codes})`` → the merged state of the sub-cube;
+        ``("approx_dice", cell, {dim: codes}, having)`` → one mergeable
+        partial estimate dict (:meth:`repro.approx.CubeSketch.estimate_partial`),
+        which the router combines variance-correctly and finalizes once.
 
         ``trace`` (a :meth:`TraceContext.to_json` dict) grafts this
         shard's work into the router's trace: the worker opens a real
@@ -243,6 +259,10 @@ class ShardEngine:
                 out[i] = self._children(snap, tuple(item[1]), item[2])
             elif kind == "dice":
                 out[i] = self._dice_state(snap, tuple(item[1]), item[2])
+            elif kind == "approx_dice":
+                out[i] = self._dice_approx_partial(
+                    snap, tuple(item[1]), item[2], item[3]
+                )
             else:  # pragma: no cover - router never sends unknown kinds
                 raise ServeError(f"unknown scatter item kind {kind!r}")
         return out
@@ -269,6 +289,10 @@ class ShardEngine:
                     out[i] = self._children(snap, tuple(item[1]), item[2])
                 elif kind == "dice":
                     out[i] = self._dice_state(snap, tuple(item[1]), item[2])
+                elif kind == "approx_dice":
+                    out[i] = self._dice_approx_partial(
+                        snap, tuple(item[1]), item[2], item[3]
+                    )
                 else:  # pragma: no cover - router never sends unknown kinds
                     raise ServeError(f"unknown scatter item kind {kind!r}")
             account = dict(acc.data)
@@ -329,6 +353,36 @@ class ShardEngine:
 
         walk(0)
         return total
+
+    def _dice_approx_partial(
+        self,
+        snap,
+        cell: Cell,
+        predicates: Mapping[int, Sequence[int]],
+        having: float | None,
+    ) -> dict:
+        """One shard's mergeable partial estimate for an approx dice.
+
+        Shards never finalize bounds — per-shard samples are independent,
+        so the router sums estimates and variances and computes the
+        interval once.  A shard whose aggregator cannot be estimated
+        contributes its exact dice state as a zero-variance partial
+        (unless ``having`` is set, which only the sketch can honor).
+        """
+        sketch = self.engine._sketch_for(snap)
+        if sketch is None:
+            if having is not None:
+                raise ServeError(
+                    f"shard {self.shard_id}: the aggregator has no sampling "
+                    "estimator, and 'having' cannot be answered exactly",
+                    shard=self.shard_id,
+                )
+            if OBS_STATE.enabled:
+                _APPROX_FALLBACKS.inc(reason="unsupported-aggregator")
+            state = self._dice_state(snap, cell, predicates)
+            return exact_partial(snap.cube.aggregator, state)
+        base = {d: v for d, v in enumerate(cell) if v is not None}
+        return sketch.estimate_partial(base, predicates, having=having)
 
     # -- two-phase refresh ----------------------------------------------
 
@@ -461,6 +515,7 @@ class ShardRouter:
     _normalize_predicates = QueryEngine._normalize_predicates
     _cache_key = QueryEngine._cache_key
     _request_op = staticmethod(QueryEngine._request_op)
+    _validate_approx = QueryEngine._validate_approx
 
     def __init__(
         self,
@@ -692,6 +747,8 @@ class ShardRouter:
                 f"request targets version {req.version}, router serves {snap.version}",
                 code=ErrorCode.VERSION_CONFLICT,
             )
+        if req.approx or req.confidence is not None or req.having is not None:
+            self._validate_approx(req)  # reject malformed approx shapes early
         if req.explain:
             return self._execute_explain(snap, op, req)
         key = self._cache_key(snap, op, req)
@@ -757,6 +814,17 @@ class ShardRouter:
             "fanout": len(plan.targets),
             "items": [item[0] for item in plan.items],
         }
+        if plan.approx and "approx" in response:
+            blk = response["approx"]
+            width = float(blk["upper"]["count"] - blk["lower"]["count"])
+            account["approx"] = {
+                "estimator": blk.get("estimator"),
+                "sample_size": blk.get("sample_size"),
+                "matched": blk.get("matched"),
+                "bound_width": round(
+                    width / max(float(blk["estimate"]["count"]), 1.0), 6
+                ),
+            }
         account["shards"] = self._merge_accounts(accounts[0])
         account["phases_us"] = {
             "cache": round((t1 - t0) * 1e6, 1),
@@ -842,6 +910,8 @@ class ShardRouter:
                             f"router serves {snap.version}",
                             code=ErrorCode.VERSION_CONFLICT,
                         )
+                    if req.approx or req.confidence is not None or req.having is not None:
+                        self._validate_approx(req)
                     if req.explain:
                         responses[i] = self._execute_explain(snap, op, req)
                         continue
@@ -934,6 +1004,14 @@ class ShardRouter:
                 targets = tuple(sorted({self._route(v) for v in deduped[sd]}))
             else:
                 targets = all_shards
+            if req.approx:
+                confidence = self._validate_approx(req)
+                having = None if req.having is None else float(req.having)
+                return _Plan(
+                    op, targets, (("approx_dice", cell, deduped, having),),
+                    cell=cell, predicates=predicates,
+                    approx=True, confidence=confidence, having=having,
+                )
             return _Plan(
                 op, targets, (("dice", cell, deduped),), cell=cell,
                 predicates=predicates,
@@ -1127,16 +1205,30 @@ class ShardRouter:
                 )
             return {"op": op, "version": version, "children": children}
         if op == "dice":
-            state = agg.merge_many(partials[0])
-            return {
+            response = {
                 "op": op,
                 "version": version,
                 "predicates": {
                     str(d): v for d, v in sorted(plan.predicates.items())
                 },
                 "cell": list(plan.cell),
-                "value": None if state is None else agg.finalize(state),
             }
+            if plan.approx:
+                # Per-shard estimators are independent (disjoint row
+                # partitions, private samples): estimates and variances
+                # sum, and the interval is computed exactly once here.
+                answer = finalize_partials(agg, partials[0], plan.confidence)
+                if OBS_STATE.enabled:
+                    _APPROX_REQUESTS.inc()
+                    _APPROX_BOUND_WIDTH.observe(answer.bound_width)
+                response["value"] = answer.estimate
+                response["approx"] = answer.to_block()
+                if any(p.get("estimator") == "exact" for p in partials[0]):
+                    response["approx"]["fallback"] = True
+                return response
+            state = agg.merge_many(partials[0])
+            response["value"] = None if state is None else agg.finalize(state)
+            return response
         raise ServeError(f"unknown op {op!r}")  # pragma: no cover
 
     @staticmethod
@@ -1398,7 +1490,10 @@ class _RouterSnap:
 class _Plan:
     """One validated request, routed: scatter items plus response shape."""
 
-    __slots__ = ("op", "targets", "items", "cell", "dim", "predicates", "free_dims")
+    __slots__ = (
+        "op", "targets", "items", "cell", "dim", "predicates", "free_dims",
+        "approx", "confidence", "having",
+    )
 
     def __init__(
         self,
@@ -1410,6 +1505,9 @@ class _Plan:
         dim: int | None = None,
         predicates: dict | None = None,
         free_dims: tuple[int, ...] = (),
+        approx: bool = False,
+        confidence: float | None = None,
+        having: float | None = None,
     ) -> None:
         self.op = op
         self.targets = targets
@@ -1418,6 +1516,9 @@ class _Plan:
         self.dim = dim
         self.predicates = predicates
         self.free_dims = free_dims
+        self.approx = approx
+        self.confidence = confidence
+        self.having = having
 
 
 __all__ = ["ShardEngine", "ShardRouter", "_build_shard_engine"]

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
@@ -106,6 +106,11 @@ class WorkloadReport:
     #: Allowed miss fraction — the error budget (0.01 = 1% of requests
     #: may exceed the target before the budget is spent).
     slo_budget: float = 0.01
+    #: Requests issued through the approximate tier (``approx=True``
+    #: dice) and how many of them missed the SLO target; their
+    #: latencies sit under the ``dice_approx`` row in ``op_latency``.
+    approx_requests: int = 0
+    approx_slo_misses: int = 0
 
     @property
     def throughput(self) -> float:
@@ -123,6 +128,23 @@ class WorkloadReport:
         if self.slo_p99_ms is None or not self.total_requests:
             return 1.0
         return 1.0 - self.slo_misses / self.total_requests
+
+    @property
+    def approx_slo_attainment(self) -> float:
+        """SLO attainment over just the approximate-tier requests."""
+        if self.slo_p99_ms is None or not self.approx_requests:
+            return 1.0
+        return 1.0 - self.approx_slo_misses / self.approx_requests
+
+    @property
+    def exact_slo_attainment(self) -> float:
+        """SLO attainment over the exact (non-approx) requests."""
+        if self.slo_p99_ms is None:
+            return 1.0
+        exact = self.total_requests - self.approx_requests
+        if exact <= 0:
+            return 1.0
+        return 1.0 - (self.slo_misses - self.approx_slo_misses) / exact
 
     @property
     def slo_burn(self) -> float:
@@ -175,6 +197,13 @@ class WorkloadReport:
                 f"     error budget {100 * self.slo_budget:g}%: "
                 f"burn {burn:.2f}x ({verdict})"
             )
+            if self.approx_requests:
+                lines.append(
+                    f"     attainment by tier: exact "
+                    f"{100 * self.exact_slo_attainment:.2f}%  approx "
+                    f"{100 * self.approx_slo_attainment:.2f}% "
+                    f"({self.approx_requests} approx requests)"
+                )
         if self.appends:
             lines.append(
                 f"writes: {self.appends} append batches "
@@ -210,6 +239,8 @@ class WorkloadDriver:
         cold_start_factory: Callable[[], object] | None = None,
         slo_p99_ms: float | None = None,
         slo_budget: float = 0.01,
+        approx_fraction: float = 0.0,
+        approx_confidence: float = 0.95,
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be positive")
@@ -219,6 +250,14 @@ class WorkloadDriver:
             raise ValueError("cold_start requires a cold_start_factory")
         self.client_factory = client_factory
         self.mix = mix or WorkloadMix()
+        if approx_fraction > 0 and self.mix.normalized()["dice"] == 0:
+            # Approx traffic rides on dice queries; a mix without any
+            # would silently turn --approx-fraction into a no-op, so
+            # fold a default dice share in (scaled so the explicit
+            # weights keep their relative proportions).
+            self.mix = replace(self.mix, dice=0.2 * sum(
+                v for k, v in vars(self.mix).items() if k != "dice"
+            ))
         self.theta = theta
         self.pool_size = pool_size
         self.max_bound_dims = max_bound_dims
@@ -251,6 +290,17 @@ class WorkloadDriver:
             raise ValueError("slo_budget must be in (0, 1]")
         self.slo_p99_ms = slo_p99_ms
         self.slo_budget = slo_budget
+        #: Fraction of pooled dice queries issued through the approximate
+        #: tier (``approx=True`` with ``approx_confidence``).  Their
+        #: latencies land under the synthetic ``dice_approx`` op so the
+        #: report shows the exact and approximate regimes side by side,
+        #: and their SLO misses are counted separately.
+        if not 0 <= approx_fraction <= 1:
+            raise ValueError("approx_fraction must be in [0, 1]")
+        if not 0 < approx_confidence < 1:
+            raise ValueError("approx_confidence must be in (0, 1)")
+        self.approx_fraction = approx_fraction
+        self.approx_confidence = approx_confidence
 
     # -- request generation ---------------------------------------------
 
@@ -330,10 +380,27 @@ class WorkloadDriver:
                     )
                     for d in pred_dims
                 }
+            approx = (
+                op == "dice"
+                and self.approx_fraction > 0
+                and rng.random() < self.approx_fraction
+            )
             pool.append(
-                QueryRequest(op=op, cell=cell, dim=dim, predicates=predicates)
+                QueryRequest(
+                    op=op,
+                    cell=cell,
+                    dim=dim,
+                    predicates=predicates,
+                    approx=True if approx else None,
+                    confidence=self.approx_confidence if approx else None,
+                )
             )
         return pool
+
+    @staticmethod
+    def _op_key(request: QueryRequest) -> str:
+        """The latency-bucket key: approx dice get their own regime row."""
+        return "dice_approx" if request.approx else request.op
 
     def _client_run(self, task: tuple[list[QueryRequest], np.ndarray]) -> dict:
         """One client's life: replay its request sequence, record latencies.
@@ -348,13 +415,17 @@ class WorkloadDriver:
         cached = 0
         errors = 0
         slo_misses = 0
+        approx_requests = 0
+        approx_slo_misses = 0
         slo_s = None if self.slo_p99_ms is None else self.slo_p99_ms / 1000.0
         if self.batch_size > 1:
             return self._client_run_batched(pool, sequence)
         with self.client_factory() as client:
             for index in sequence:
                 request = pool[int(index)]
-                op = request.op
+                op = self._op_key(request)
+                if request.approx:
+                    approx_requests += 1
                 start = time.perf_counter()
                 try:
                     response = client.query(request)
@@ -362,10 +433,14 @@ class WorkloadDriver:
                     errors += 1
                     if slo_s is not None:  # a failed request met no target
                         slo_misses += 1
+                        if request.approx:
+                            approx_slo_misses += 1
                     continue
                 elapsed = time.perf_counter() - start
                 if slo_s is not None and elapsed > slo_s:
                     slo_misses += 1
+                    if request.approx:
+                        approx_slo_misses += 1
                 histogram = histograms.get(op)
                 if histogram is None:
                     histogram = histograms[op] = LatencyHistogram()
@@ -379,6 +454,8 @@ class WorkloadDriver:
             "cached": cached,
             "errors": errors,
             "slo_misses": slo_misses,
+            "approx_requests": approx_requests,
+            "approx_slo_misses": approx_slo_misses,
         }
 
     def _client_run_batched(
@@ -420,7 +497,7 @@ class WorkloadDriver:
                     if "error" in response:
                         errors += 1
                         continue
-                    op = request.op
+                    op = self._op_key(request)
                     op_counts[op] = op_counts.get(op, 0) + 1
                     if response.get("cached"):
                         cached += 1
@@ -546,6 +623,8 @@ class WorkloadDriver:
         cached = 0
         errors = 0
         slo_misses = 0
+        approx_requests = 0
+        approx_slo_misses = 0
         for result in results:
             for op, histogram in result["histograms"].items():
                 latency.merge(histogram)
@@ -558,6 +637,8 @@ class WorkloadDriver:
             cached += result["cached"]
             errors += result["errors"]
             slo_misses += result.get("slo_misses", 0)
+            approx_requests += result.get("approx_requests", 0)
+            approx_slo_misses += result.get("approx_slo_misses", 0)
         if self.cold_start:
             # After the concurrent run so restart rounds never contend
             # with it; counted in op_latency (the per-op percentile
@@ -585,4 +666,6 @@ class WorkloadDriver:
             slo_p99_ms=self.slo_p99_ms,
             slo_misses=slo_misses,
             slo_budget=self.slo_budget,
+            approx_requests=approx_requests,
+            approx_slo_misses=approx_slo_misses,
         )

@@ -281,6 +281,9 @@ class SnapshotEngine:
     _pair = staticmethod(QueryEngine._pair)
     _answer = QueryEngine._answer
     _cache_key = QueryEngine._cache_key
+    _validate_approx = QueryEngine._validate_approx
+    _sketch_for = QueryEngine._sketch_for
+    _dice_approx = QueryEngine._dice_approx
     _request_op = staticmethod(QueryEngine._request_op)
     execute = QueryEngine.execute
     _execute = QueryEngine._execute

@@ -118,6 +118,13 @@ def save_sharded_snapshot(
                 min_support=min_support,
                 engine_version=engine_version,
                 rows_absorbed=len(codes),
+                # Each shard carries its own approx-tier sketch (built
+                # over its partition; skipped for custom aggregators) so
+                # a cold-started fleet estimates without a warm-up build.
+                # Distinct per-shard seeds keep the samples independent;
+                # the router's variance merge assumes that.
+                sketch=True,
+                sketch_seed=1 + shard,
             )
         manifest = {
             "format": ROUTER_FORMAT,
@@ -174,6 +181,9 @@ class SnapshotShardEngine(ShardEngine):
             promote_after=promote_after,
             name=f"shard-{shard_id}",
         )
+        # Independent per-shard sampling, as in ShardEngine: only
+        # reached when the mapped snapshot lacks a persisted sketch.
+        self.engine._sketch_seed = 1 + shard_id
         self.version = int(engine_version)
         self._staged = None
         self._latency = 0.0

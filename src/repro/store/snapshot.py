@@ -43,6 +43,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.approx import CubeSketch, SketchUnsupported
 from repro.core.columnar import (
     STAR_CODE,
     ColumnarRangeStore,
@@ -215,6 +216,8 @@ def write_snapshot(
     engine_version: int = 0,
     rows_absorbed: int = 0,
     tuning: dict | None = None,
+    sketch: "CubeSketch | bool | None" = None,
+    sketch_seed: int = 0,
 ) -> Path:
     """Freeze ``source`` into a snapshot directory at ``path`` (atomic).
 
@@ -223,13 +226,26 @@ def write_snapshot(
     snapshot can serve without the base table.  ``tuning`` (optional) is
     a :meth:`~repro.tune.TuningPlan.to_json` document recording how the
     build was self-tuned — provenance only, since snapshot ranges are
-    always stored in original dimension/value coding.  Returns ``path``.
+    always stored in original dimension/value coding.  ``sketch`` adds
+    the approximate tier's summary (:class:`repro.approx.CubeSketch`) as
+    extra ``sketch_*`` columns plus a manifest block: pass a prebuilt
+    sketch, or ``True`` to build one here (skipped silently when the
+    aggregator has no sampling estimator).  Old loaders ignore both —
+    the format version is unchanged.  Returns ``path``.
     """
     store = source if isinstance(source, ColumnarRangeStore) else source.to_columnar()
     if schema.n_dims != store.n_dims:
         raise SnapshotError(
             f"schema has {schema.n_dims} dims, store has {store.n_dims}"
         )
+    if sketch is True:
+        try:
+            # ``sketch_seed`` matters for sharded fleets: each shard must
+            # sample with a distinct seed so the router can treat the
+            # per-shard estimates as independent when summing variances.
+            sketch = CubeSketch.from_store(store, seed=sketch_seed)
+        except SketchUnsupported:
+            sketch = None
     path = Path(path)
     arrays: dict[str, np.ndarray] = {
         "specific": store.specific,
@@ -242,6 +258,8 @@ def write_snapshot(
     kinds, measure_arrays = _measure_arrays(store)
     arrays.update(measure_arrays)
     arrays.update(_postings_csr(store))
+    if sketch:
+        arrays.update(sketch.to_arrays())
 
     tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
     if tmp.exists():
@@ -293,6 +311,8 @@ def write_snapshot(
         }
         if tuning is not None:
             manifest["tuning"] = tuning
+        if sketch:
+            manifest["sketch"] = sketch.manifest_entry()
         (tmp / MANIFEST_NAME).write_text(
             json.dumps(manifest, indent=1, sort_keys=True)
         )
@@ -601,6 +621,14 @@ class SnapshotStore(ColumnarRangeStore):
         self.states = _LazyStates(self)
         self.ranges = _LazyRanges(self)
         self.postings = _split_postings(arrays, self.n_dims)
+        # The persisted approx-tier summary, when the writer included
+        # one; the serving layer builds a resident sketch lazily if not.
+        sketch_meta = manifest.get("sketch")
+        self.sketch = (
+            CubeSketch.from_arrays(sketch_meta, arrays)
+            if sketch_meta is not None
+            else None
+        )
         self._apex_id = self._resolve_apex()
         self._memo_lock = threading.Lock()
         self._cuboid_ids = {}

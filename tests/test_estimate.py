@@ -39,6 +39,26 @@ def test_gee_empty_sample():
     assert gee_distinct_estimate(np.array([], dtype=np.int64), 100) == 0.0
 
 
+def test_gee_sample_equals_population_is_exact():
+    # n == N: the scale factor is 1, so the estimate collapses to
+    # f1 + f_{>=2} — exactly the distinct count of the full data.
+    groups = np.array([3, 3, 7, 9, 9, 9, 12], dtype=np.int64)
+    estimate = gee_distinct_estimate(groups, n_total=len(groups))
+    assert estimate == float(len(np.unique(groups)))
+
+
+def test_gee_empty_population():
+    # A 0-row table: no sample can be drawn and nothing exists to count.
+    assert gee_distinct_estimate(np.array([], dtype=np.int64), 0) == 0.0
+
+
+def test_cuboid_estimate_is_exact_when_sample_covers_the_table():
+    table = make_paper_table()  # 6 rows << any sane sample size
+    for dims in ([0], [0, 1], [0, 1, 2, 3]):
+        exact = float(np.unique(table.dim_codes[:, dims], axis=0).shape[0])
+        assert estimate_cuboid_size(table, dims, sample_size=2000) == exact
+
+
 def test_small_tables_are_counted_exactly():
     table = make_paper_table()
     assert estimate_full_cube_size(table) == full_cube_size(table)

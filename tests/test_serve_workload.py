@@ -111,6 +111,26 @@ def test_driver_pool_bind_dim_pins_the_shard_key():
         assert "error" not in response
 
 
+def test_approx_fraction_folds_dice_into_a_diceless_mix():
+    # The default mix carries no dice, so --approx-fraction would
+    # silently send zero approximate traffic; the driver folds a dice
+    # share in instead of no-opping.
+    engine = QueryEngine.from_table(_zipf_table())
+    driver = WorkloadDriver(
+        lambda: InProcessClient(engine), pool_size=64, seed=3,
+        approx_fraction=1.0,
+    )
+    assert driver.mix.normalized()["dice"] > 0
+    pool = driver._build_pool(engine.stats(), np.random.default_rng(3))
+    assert any(r.approx for r in pool)
+    # An explicit dice weight is left alone.
+    explicit = WorkloadMix(point=0.5, dice=0.5)
+    driver = WorkloadDriver(
+        lambda: InProcessClient(engine), mix=explicit, approx_fraction=0.5,
+    )
+    assert driver.mix == explicit
+
+
 def test_driver_with_writer_appends_and_bumps_version():
     engine = QueryEngine.from_table(_zipf_table(n_rows=120))
     driver = WorkloadDriver(
